@@ -1,0 +1,51 @@
+"""Ablation — time-window width vs state and matches.
+
+The paper maintains the graph as a time window (§2) and fixes an
+8M-triple processing window for Fig. 9. This ablation sweeps the window
+width on the netflow stream and reports, per width: completed matches
+(monotone non-decreasing in width), peak partial-match state and
+runtime — the memory/recall trade-off a deployment would tune.
+"""
+
+import pytest
+
+from _common import PROCESS_WINDOW, ascii_table, dataset, print_banner, query_group, run_query
+
+WIDTHS = [2.0, 4.0, 8.0, 16.0, float("inf")]
+
+
+def test_window_ablation(benchmark):
+    warmup, stream, _, _ = dataset("netflow")
+    queries = query_group("netflow", "path", 3)
+    assert queries
+    query = queries[0]
+
+    def run_all():
+        return {
+            width: run_query(
+                warmup, stream, query, "SingleLazy", window=width
+            )
+            for width in WIDTHS
+        }
+
+    outcome = benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0)
+
+    print_banner(f"Ablation — window sweep on {query.name} (SingleLazy)")
+    rows = [
+        [
+            width,
+            stats.matches,
+            stats.peak_partial_matches,
+            f"{stats.runtime_seconds:.3f}",
+        ]
+        for width, stats in outcome.items()
+    ]
+    print(ascii_table(["window", "matches", "peak partials", "seconds"], rows))
+
+    matches = [outcome[width].matches for width in WIDTHS]
+    assert matches == sorted(matches), "matches must grow with window width"
+    partials = [outcome[width].peak_partial_matches for width in WIDTHS]
+    assert partials[0] <= partials[-1], "state must grow with window width"
+    benchmark.extra_info["matches_by_width"] = dict(
+        zip(map(str, WIDTHS), matches)
+    )

@@ -1,0 +1,30 @@
+"""Appendix — NYT performance sweep ("performance similar to CAIDA").
+
+The paper relegates the NYT runtimes to an appendix, noting they look
+like the netflow results. The NYT substitute is a bipartite article →
+entity stream, so its natural 4-edge query class is the k-partite star
+(as used for Fig. 10); we sweep star sizes 2/3/4 under the same five
+strategies and check the same ordering claims as Fig. 9.
+"""
+
+import pytest
+
+from _common import assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
+
+SIZES = [2, 3, 4]
+
+
+def test_appendix_nyt_runtimes(benchmark):
+    results = benchmark.pedantic(
+        fig9_sweep,
+        args=("nyt", "star", SIZES),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print_banner("Appendix — k-partite (star) queries on NYT (seconds)")
+    print(fig9_report("", results, x_label="star edges"))
+    assert results, "no valid NYT star query groups were generated"
+    for group in results:
+        speedup = assert_lazy_beats_vf2(group)
+        benchmark.extra_info[f"speedup_size{group.size}"] = round(speedup, 1)

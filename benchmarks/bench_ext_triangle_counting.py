@@ -1,0 +1,68 @@
+"""Extension — triangle statistics (§5.1 / §7 future work).
+
+The paper motivates triangle counting as the next selectivity primitive
+("approximate triangle counting via sampling for streaming … has been
+extensively studied", citing Jha et al. [11]). This bench exercises the
+implemented extension on the netflow substitute:
+
+* exact type-aware triangle counting over the live graph (timed);
+* the birthday-paradox streaming estimator, compared against the exact
+  count for order-of-magnitude agreement.
+"""
+
+import pytest
+
+from repro.graph import StreamingGraph
+from repro.stats import BirthdayTriangleEstimator, count_triangles
+
+from _common import ascii_table, edge_events, print_banner
+
+
+def _graph(name: str) -> StreamingGraph:
+    graph = StreamingGraph()
+    for event in edge_events(name):
+        graph.add_event(event)
+    return graph
+
+
+def test_exact_triangle_counting(benchmark):
+    graph = _graph("netflow")
+    counts = benchmark.pedantic(
+        count_triangles, args=(graph,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    total = sum(counts.values())
+    print_banner("Extension — exact triangles on netflow")
+    top = sorted(counts.items(), key=lambda kv: -kv[1])[:5]
+    print(ascii_table(["signature", "count"], [[str(s), c] for s, c in top]))
+    print(f"total triangles: {total}; distinct signatures: {len(counts)}")
+    benchmark.extra_info["triangles"] = total
+    assert total >= 0
+
+
+def test_birthday_estimator_vs_exact(benchmark):
+    graph = _graph("netflow")
+    exact = sum(count_triangles(graph).values())
+
+    def estimate():
+        estimator = BirthdayTriangleEstimator(
+            edge_reservoir=4_000, wedge_reservoir=8_000, seed=5
+        )
+        for event in edge_events("netflow"):
+            estimator.observe(event.src, event.dst)
+        return estimator.estimate_triangles()
+
+    approx = benchmark.pedantic(estimate, rounds=1, iterations=1, warmup_rounds=0)
+    print_banner("Extension — birthday-paradox estimator vs exact")
+    print(
+        ascii_table(
+            ["method", "triangles"],
+            [["exact", exact], ["birthday estimate", f"{approx:.0f}"]],
+        )
+    )
+    benchmark.extra_info["exact"] = exact
+    benchmark.extra_info["estimate"] = round(approx)
+    if exact >= 100:
+        # order-of-magnitude agreement is what the optimizer needs
+        assert exact / 20 <= approx <= exact * 20
+    else:
+        assert approx >= 0.0

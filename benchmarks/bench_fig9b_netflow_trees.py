@@ -1,0 +1,45 @@
+"""Figure 9b — runtime of binary-tree queries on netflow.
+
+Tree queries of 5-15 vertices (Sun et al.'s generation methodology),
+same five strategies and protocol as Fig. 9a. The paper highlights that
+the growth rate in processing time with query size is much slower for
+the Lazy variants — checked below by comparing the largest-size runtime
+ratio (lazy vs eager).
+"""
+
+import pytest
+
+from _common import SCALE, assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
+
+SIZES = [5, 7, 9] if SCALE.stream_events <= 10_000 else [5, 7, 9, 11, 13]
+
+
+def test_fig9b_runtimes(benchmark):
+    results = benchmark.pedantic(
+        fig9_sweep,
+        args=("netflow", "btree", SIZES),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print_banner("Fig. 9b — binary tree queries on netflow (seconds)")
+    print(fig9_report("", results, x_label="tree vertices"))
+
+    for group in results:
+        speedup = assert_lazy_beats_vf2(group)
+        benchmark.extra_info[f"speedup_size{group.size}"] = round(speedup, 1)
+
+    # growth-rate claim: from smallest to largest size, lazy runtime grows
+    # no faster than eager runtime
+    if len(results) >= 2:
+        first, last = results[0], results[-1]
+
+        def growth(strategy_pair):
+            lo = min(first.mean_projected_seconds(s) for s in strategy_pair)
+            hi = min(last.mean_projected_seconds(s) for s in strategy_pair)
+            return hi / max(lo, 1e-9)
+
+        lazy_growth = growth(("SingleLazy", "PathLazy"))
+        eager_growth = growth(("Single", "Path"))
+        print(f"growth lazy x{lazy_growth:.2f} vs eager x{eager_growth:.2f}")
+        assert lazy_growth <= eager_growth * 2.0

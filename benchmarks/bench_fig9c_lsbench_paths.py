@@ -1,0 +1,27 @@
+"""Figure 9c — runtime of path queries on LSBench.
+
+Path queries of length 3/4/5 grown from the LSBench schema triples
+(§6.4.1), five strategies, same protocol as Fig. 9a.
+"""
+
+import pytest
+
+from _common import assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
+
+SIZES = [3, 4, 5]
+
+
+def test_fig9c_runtimes(benchmark):
+    results = benchmark.pedantic(
+        fig9_sweep,
+        args=("lsbench", "spath", SIZES),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print_banner("Fig. 9c — path queries on LSBench (seconds)")
+    print(fig9_report("", results, x_label="path length"))
+    assert results, "no valid LSBench path query groups were generated"
+    for group in results:
+        speedup = assert_lazy_beats_vf2(group)
+        benchmark.extra_info[f"speedup_size{group.size}"] = round(speedup, 1)

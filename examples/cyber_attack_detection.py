@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Cyber attack detection: the paper's Fig. 1 motivating scenario.
+
+Three attack patterns — insider infiltration (a lateral-movement path),
+denial of service (parallel attacker→bot→victim paths) and information
+exfiltration (browse → phone-home → large upload) — are registered as
+continuous queries against enterprise-style traffic. The attacks are
+*planted* into benign background noise, and the engine must report each
+one the moment its final edge arrives.
+
+Run:  python examples/cyber_attack_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ContinuousQueryEngine, EdgeEvent
+from repro.datasets import NetflowGenerator, interleave_at, split_stream
+from repro.query import (
+    denial_of_service,
+    information_exfiltration,
+    insider_infiltration,
+)
+from repro.query.patterns import C2_CHANNEL, EXFIL, HTTP, LATERAL_MOVE
+
+
+def benign_background(num_events: int, seed: int) -> list[EdgeEvent]:
+    """Backbone noise plus *benign* uses of the attack edge types, so the
+    warmup statistics know RDP/HTTP/LARGE_MSG exist (as rare types)."""
+    rng = random.Random(seed)
+    base = NetflowGenerator(
+        num_events=num_events, num_hosts=800, seed=seed
+    ).generate()
+    noisy: list[EdgeEvent] = []
+    for event in base:
+        noisy.append(event)
+        if rng.random() < 0.02:  # sprinkle rare admin/web traffic
+            etype = rng.choice([LATERAL_MOVE, HTTP, EXFIL])
+            noisy.append(
+                EdgeEvent(
+                    src=f"ip{rng.randrange(800)}",
+                    dst=f"ip{rng.randrange(800)}",
+                    etype=etype,
+                    timestamp=event.timestamp,
+                    src_type="ip",
+                    dst_type="ip",
+                )
+            )
+    return noisy
+
+
+def attack_events() -> list[list[EdgeEvent]]:
+    """The three planted attacks, each a burst of consecutive edges so the
+    whole pattern fits inside the detection window."""
+    infiltration = []
+    chain = ["ip666", "ip100", "ip101", "ip102"]
+    for src, dst in zip(chain, chain[1:]):
+        infiltration.append(EdgeEvent(src, dst, LATERAL_MOVE, 0.0, "ip", "ip"))
+    dos = []
+    for bot in ("ip201", "ip202"):
+        dos.append(EdgeEvent("ip200", bot, C2_CHANNEL, 0.0, "ip", "ip"))
+        dos.append(EdgeEvent(bot, "ip203", "ICMP", 0.0, "ip", "ip"))
+    exfiltration = [
+        EdgeEvent("ip300", "ip301", HTTP, 0.0, "ip", "ip"),
+        EdgeEvent("ip300", "ip302", C2_CHANNEL, 0.0, "ip", "ip"),
+        EdgeEvent("ip300", "ip302", EXFIL, 0.0, "ip", "ip"),
+    ]
+    return [infiltration, dos, exfiltration]
+
+
+def main() -> None:
+    background = benign_background(num_events=8_000, seed=7)
+    warmup, live = split_stream(background, warmup_fraction=0.3)
+
+    # inject each attack as a burst at a different point of the live stream
+    bursts = attack_events()
+    planted: list[EdgeEvent] = []
+    positions: list[int] = []
+    step = len(live) // (len(bursts) + 1)
+    for burst_index, burst in enumerate(bursts):
+        start = step * (burst_index + 1)
+        for offset, event in enumerate(burst):
+            planted.append(event)
+            positions.append(start + offset * 5)
+    stream = list(interleave_at(live, planted, positions))
+
+    # a tight pattern window keeps the all-TCP DoS query's partial-match
+    # state bounded: at the default inter-arrival of 10 ms, 20 s of window
+    # still spans ~2,000 flows — plenty for an attack that lands in bursts
+    engine = ContinuousQueryEngine(window=20.0)
+    engine.warmup(warmup)
+
+    # ICMP flood traffic, TCP command channel: distinct types keep the
+    # pattern selective on hub-heavy backbone traffic. The victim vertex is
+    # *bound* to the protected host — the paper's labeled-query usage
+    # ("a tree pattern where the root has an IP address from a certain
+    # subnet", §6.2) — so benign flood-shaped traffic elsewhere is ignored.
+    dos = denial_of_service(num_bots=2, vtype="ip", flood_etype="ICMP")
+    dos.add_vertex(1, "ip", binding="ip203")
+    patterns = {
+        "infiltration": insider_infiltration(hops=3, vtype="ip"),
+        "dos": dos,
+        "exfiltration": information_exfiltration(vtype="ip"),
+    }
+    for name, query in patterns.items():
+        registered = engine.register(query, strategy="auto", name=name)
+        decision = (
+            registered.decision.explain() if registered.decision else "(pinned)"
+        )
+        print(f"{name:14s} -> {registered.strategy:12s} {decision}")
+    print()
+
+    alerts: dict[str, int] = {name: 0 for name in patterns}
+    for event in stream:
+        for record in engine.process_event(event):
+            alerts[record.query_name] += 1
+            if alerts[record.query_name] <= 2:
+                actors = sorted(set(record.match.vertex_map.values()))
+                print(
+                    f"ALERT {record.query_name:14s} t={record.completed_at:9.3f} "
+                    f"actors={actors}"
+                )
+
+    print()
+    for name, count in alerts.items():
+        status = "DETECTED" if count else "missed!"
+        print(f"{name:14s} alerts={count:4d}  {status}")
+    assert all(alerts[name] > 0 for name in patterns), "an attack went undetected"
+    print("\nall three planted attacks were detected in-stream")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""News co-mention detection on the NYT-style stream (paper appendix).
+
+The NYT dataset is a bipartite article→entity stream with four mention
+types. A *k-partite* (star) query — "an article that mentions a person,
+an organisation AND a location" — is the query class the paper draws
+from this dataset (Fig. 10). This example also demonstrates *why* the
+selectivity ordering matters: the ``org`` mention is the rarest edge
+type, so the SJ-Tree searches it first and the lazy bitmap keeps the
+overwhelmingly common ``person`` mentions out of the match tables.
+
+The example runs the same query under SingleLazy and under the eager
+Single strategy and compares partial-match state and runtime.
+
+Run:  python examples/news_comention_analysis.py
+"""
+
+import time
+
+from repro import ContinuousQueryEngine, QueryGraph
+from repro.datasets import NYTGenerator, split_stream
+
+
+def comention_query() -> QueryGraph:
+    query = QueryGraph(name="co-mention")
+    article, person, org, place = 0, 1, 2, 3
+    query.add_vertex(article, "article")
+    query.add_vertex(person, "person")
+    query.add_vertex(org, "org")
+    query.add_vertex(place, "geoloc")
+    query.add_edge(article, person, "article_mentions_person")
+    query.add_edge(article, org, "article_mentions_org")
+    query.add_edge(article, place, "article_mentions_geoloc")
+    return query
+
+
+def run(strategy: str, warmup, live) -> None:
+    engine = ContinuousQueryEngine(window=50.0)
+    engine.warmup(warmup)
+    registered = engine.register(comention_query(), strategy=strategy)
+    started = time.perf_counter()
+    matches = 0
+    for event in live:
+        matches += len(engine.process_event(event))
+    elapsed = time.perf_counter() - started
+    lifetime = registered.tree.lifetime_inserts() if registered.tree else 0
+    print(
+        f"  {strategy:11s} matches={matches:5d} runtime={elapsed:6.2f}s "
+        f"partial-match inserts={lifetime}"
+    )
+    if registered.tree is not None:
+        order = " -> ".join(
+            leaf.leaf_label for leaf in registered.tree.leaves()
+        )
+        print(f"              join order: {order}")
+
+
+def main() -> None:
+    generator = NYTGenerator(num_events=30_000, seed=23)
+    events = generator.generate()
+    warmup, live = split_stream(events, warmup_fraction=0.25)
+
+    probe = ContinuousQueryEngine()
+    probe.warmup(warmup)
+    print("mention-type selectivities (rarest first):")
+    for label, count in probe.estimator.edge_distribution().top(4)[::-1]:
+        share = count / probe.estimator.edge_histogram.total
+        print(f"  {label:28s} {share:6.1%}")
+    print()
+
+    print("co-mention query under both execution modes:")
+    run("SingleLazy", warmup, live)
+    run("Single", warmup, live)
+    print()
+    print(
+        "the lazy variant avoids materialising matches for the dominant\n"
+        "person-mention edges until an org mention (the rare leaf) enables\n"
+        "its neighbourhood — same answers, far less state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Social stream monitoring over an LSBench-style RDF stream.
+
+The paper's social use case: "tell me when <pattern> happens" over a
+heterogeneous stream of users, posts, likes and check-ins. This example
+registers two continuous queries:
+
+* **friend-engagement** — a user creates a post and a user they *know*
+  likes it (a 3-edge pattern spanning the social and activity phases);
+* **local-buzz** — two users check in at the same location and one of
+  them follows the other.
+
+Because the LSBench substitute has 45 edge types with extreme 2-edge-path
+skew (Fig. 7), the automatic strategy selection matters: the example
+prints the Relative Selectivity evidence for each query.
+
+Run:  python examples/social_stream_monitoring.py
+"""
+
+from repro import ContinuousQueryEngine, QueryGraph
+from repro.datasets import LSBenchGenerator, split_stream
+
+
+def friend_engagement_query() -> QueryGraph:
+    query = QueryGraph(name="friend-engagement")
+    author, fan, post = 0, 1, 2
+    query.add_vertex(author, "user")
+    query.add_vertex(fan, "user")
+    query.add_vertex(post, "post")
+    query.add_edge(author, fan, "knows")
+    query.add_edge(author, post, "createsPost")
+    query.add_edge(fan, post, "likesPost")
+    return query
+
+
+def local_buzz_query() -> QueryGraph:
+    query = QueryGraph(name="local-buzz")
+    alice, bob, place = 0, 1, 2
+    query.add_vertex(alice, "user")
+    query.add_vertex(bob, "user")
+    query.add_vertex(place, "location")
+    query.add_edge(alice, place, "checksInAt")
+    query.add_edge(bob, place, "checksInAt")
+    query.add_edge(alice, bob, "follows")
+    return query
+
+
+def main() -> None:
+    generator = LSBenchGenerator(num_events=40_000, num_users=800, seed=11)
+    events = generator.generate()
+    # the warmup must extend past the phase-1/phase-2 boundary (50%), or
+    # the activity edge types (createsPost, likesPost, checksInAt …) would
+    # have zero estimated selectivity — the §6.3 "distribution shift" caveat
+    warmup, live = split_stream(events, warmup_fraction=0.6)
+
+    engine = ContinuousQueryEngine(window=150.0)
+    engine.warmup(warmup)
+    pdist = engine.estimator.path_distribution()
+    print(
+        f"warmup: {engine.estimator.events_observed} edges, "
+        f"{len(pdist)} distinct 2-edge paths, "
+        f"top path holds {pdist.skew():.1%} of all paths"
+    )
+    print()
+
+    for query in (friend_engagement_query(), local_buzz_query()):
+        registered = engine.register(query, strategy="auto")
+        print(f"{query.name}:")
+        if registered.decision is not None:
+            print("  " + registered.decision.explain())
+        if registered.tree is not None:
+            for line in registered.tree.describe().splitlines()[1:]:
+                print("  " + line)
+        print()
+
+    reported: dict[str, int] = {}
+    samples: dict[str, str] = {}
+    for event in live:
+        for record in engine.process_event(event):
+            reported[record.query_name] = reported.get(record.query_name, 0) + 1
+            if record.query_name not in samples:
+                mapping = ", ".join(
+                    f"v{qv}={dv}"
+                    for qv, dv in sorted(record.match.vertex_map.items())
+                )
+                samples[record.query_name] = (
+                    f"first at t={record.completed_at:.2f}: {mapping}"
+                )
+
+    print("results over the live stream:")
+    for registered in engine.queries.values():
+        count = reported.get(registered.name, 0)
+        print(
+            f"  {registered.name:18s} strategy={registered.strategy:11s} "
+            f"matches={count}"
+        )
+        if registered.name in samples:
+            print(f"    {samples[registered.name]}")
+    print()
+    print(engine.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Some offline environments ship setuptools without the ``wheel`` package,
+where PEP 660 editable installs fail; ``python setup.py develop`` via
+this shim is the fallback. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Analysis utilities (S16): profiling, reporting, experiment harness."""
+
+from .profiling import PhaseTimer, ProfileCounters
+
+__all__ = ["PhaseTimer", "ProfileCounters"]

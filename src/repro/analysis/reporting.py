@@ -1,0 +1,123 @@
+"""ASCII reporting helpers for the benchmark harness.
+
+Every figure/table of the paper is regenerated as plain text: runtime
+tables in the Fig. 9 layout (rows = query size, columns = strategy),
+distribution dumps in the Fig. 6/7 layout, and log-scale histograms in
+the Fig. 10 layout. Keeping the output textual makes the benches runnable
+in CI and diffable against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell (floats get compact scientific/fixed form)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if math.isinf(value):
+            return "inf"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One plotted line: a strategy's runtime across query sizes."""
+
+    label: str
+    points: Dict[object, float] = field(default_factory=dict)
+
+    def add(self, x: object, y: float) -> None:
+        self.points[x] = y
+
+
+def series_table(
+    series: Sequence[Series],
+    x_label: str,
+    y_format: str = "{:.3f}",
+) -> str:
+    """Fig. 9-style table: one row per x value, one column per series."""
+    xs = sorted({x for s in series for x in s.points}, key=str)
+    headers = [x_label] + [s.label for s in series]
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for s in series:
+            value = s.points.get(x)
+            row.append("-" if value is None else y_format.format(value))
+        rows.append(row)
+    return ascii_table(headers, rows)
+
+
+def log_histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    lo: float = -10.0,
+    hi: float = 2.0,
+    width: int = 40,
+) -> str:
+    """Fig. 10-style histogram over log10 of the values.
+
+    Zero/negative values are clamped to ``lo``. Bars are scaled to
+    ``width`` characters.
+    """
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    counts = [0] * bins
+    step = (hi - lo) / bins
+    for value in values:
+        logv = lo if value <= 0 else max(min(math.log10(value), hi), lo)
+        index = min(int((logv - lo) / step), bins - 1)
+        counts[index] += 1
+    peak = max(counts) if any(counts) else 1
+    lines = []
+    for i, count in enumerate(counts):
+        left = lo + i * step
+        bar = "#" * int(round(count / peak * width)) if count else ""
+        lines.append(f"[{left:6.1f},{left + step:6.1f}) {count:4d} {bar}")
+    return "\n".join(lines)
+
+
+def speedup_summary(
+    baseline_label: str,
+    baseline_seconds: float,
+    others: Dict[str, float],
+) -> str:
+    """One-line-per-strategy speedup factors vs a baseline."""
+    lines = [f"speedups vs {baseline_label} ({baseline_seconds:.3f}s):"]
+    for label, seconds in sorted(others.items()):
+        if seconds > 0:
+            lines.append(f"  {label:12s} {baseline_seconds / seconds:8.1f}x")
+        else:
+            lines.append(f"  {label:12s} (too fast to measure)")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Synthetic dataset substitutes (S14) for the paper's three streams."""
+
+from .base import (
+    StreamConfig,
+    StreamGenerator,
+    WeightedChooser,
+    ZipfSampler,
+    interleave_at,
+    split_stream,
+)
+from .io import read_stream, write_stream
+from .lsbench import LSBenchConfig, LSBenchGenerator, SCHEMA as LSBENCH_SCHEMA
+from .netflow import (
+    DEFAULT_PROTOCOL_WEIGHTS,
+    NetflowConfig,
+    NetflowGenerator,
+    PROTOCOLS,
+)
+from .nyt import MENTION_TYPES, NYTConfig, NYTGenerator
+
+__all__ = [
+    "DEFAULT_PROTOCOL_WEIGHTS",
+    "LSBENCH_SCHEMA",
+    "LSBenchConfig",
+    "LSBenchGenerator",
+    "MENTION_TYPES",
+    "NYTConfig",
+    "NYTGenerator",
+    "NetflowConfig",
+    "NetflowGenerator",
+    "PROTOCOLS",
+    "StreamConfig",
+    "StreamGenerator",
+    "WeightedChooser",
+    "ZipfSampler",
+    "interleave_at",
+    "read_stream",
+    "split_stream",
+    "write_stream",
+]

@@ -1,0 +1,186 @@
+"""Shared machinery for the synthetic dataset generators (S14).
+
+The paper's three datasets are not redistributable, so each generator here
+is a *behaviour-preserving substitute*: a seeded stream of
+:class:`~repro.graph.EdgeEvent` with the properties the experiments
+exercise — skewed edge-type frequencies, skewed 2-edge-path distribution,
+heavy-tailed vertex popularity, and monotone timestamps. DESIGN.md §3
+documents the mapping from each original dataset to its substitute.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+from ..graph.types import EdgeEvent
+from ..query.generator import SchemaTriple
+
+
+class ZipfSampler:
+    """Zipf-distributed sampler over ranks ``0..n-1`` (rank 0 hottest).
+
+    ``P(rank i) ∝ 1/(i+1)^s``. Uses a precomputed CDF + bisect, so sampling
+    is O(log n) with plain :mod:`random` (keeping generators dependency-free
+    and exactly reproducible from a seed).
+    """
+
+    def __init__(self, n: int, s: float = 1.1) -> None:
+        if n < 1:
+            raise ValueError("population must be >= 1")
+        if s < 0:
+            raise ValueError("Zipf exponent must be >= 0")
+        self.n = n
+        self.s = s
+        weights = [1.0 / (i + 1) ** s for i in range(n)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def sample_excluding(self, rng: random.Random, forbidden: int) -> int:
+        """Draw a rank different from ``forbidden`` (rejection, n >= 2)."""
+        if self.n < 2:
+            raise ValueError("cannot exclude from a population of one")
+        while True:
+            rank = self.sample(rng)
+            if rank != forbidden:
+                return rank
+
+
+class WeightedChooser:
+    """O(log n) categorical sampler over labelled weights."""
+
+    def __init__(self, items: Sequence[tuple[str, float]]) -> None:
+        if not items:
+            raise ValueError("need at least one item")
+        labels, weights = zip(*items)
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        self.labels = list(labels)
+        self._cdf = list(itertools.accumulate(w / total for w in weights))
+        self._cdf[-1] = 1.0
+
+    def choose(self, rng: random.Random) -> str:
+        return self.labels[bisect.bisect_left(self._cdf, rng.random())]
+
+    def weight_map(self) -> dict[str, float]:
+        previous = 0.0
+        result = {}
+        for label, edge in zip(self.labels, self._cdf):
+            result[label] = edge - previous
+            previous = edge
+        return result
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Common knobs shared by all generators."""
+
+    num_events: int = 10_000
+    seed: int = 7
+    start_time: float = 0.0
+    mean_interarrival: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.num_events < 0:
+            raise ValueError("num_events must be >= 0")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+
+
+class StreamGenerator(abc.ABC):
+    """A seeded, restartable stream of edge events."""
+
+    #: dataset tag used by reports ("netflow", "lsbench", "nyt").
+    name: str = "abstract"
+
+    def __init__(self, config: StreamConfig) -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def events(self) -> Iterator[EdgeEvent]:
+        """A fresh iterator over the stream (same seed → same stream)."""
+
+    def generate(self, limit: int | None = None) -> List[EdgeEvent]:
+        """Materialise the stream (or its first ``limit`` events)."""
+        iterator = self.events()
+        if limit is None:
+            return list(iterator)
+        return list(itertools.islice(iterator, limit))
+
+    def schema_triples(self) -> List[SchemaTriple]:
+        """Valid (src type, edge type, dst type) triples of this dataset."""
+        return []
+
+    def etypes(self) -> List[str]:
+        """Edge-type alphabet of this dataset."""
+        return sorted({t.etype for t in self.schema_triples()})
+
+    def _clock(self, rng: random.Random) -> Iterator[float]:
+        """Monotone timestamps with exponential inter-arrival times."""
+        t = self.config.start_time
+        mean = self.config.mean_interarrival
+        while True:
+            t += rng.expovariate(1.0 / mean)
+            yield t
+
+
+def split_stream(
+    events: Sequence[EdgeEvent], warmup_fraction: float
+) -> tuple[List[EdgeEvent], List[EdgeEvent]]:
+    """Split a materialised stream into (warmup prefix, processing suffix).
+
+    The paper computes selectivities on an initial portion of the stream and
+    then processes the remainder (§5.1, §6.1).
+    """
+    if not 0.0 <= warmup_fraction <= 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1]")
+    cut = int(len(events) * warmup_fraction)
+    return list(events[:cut]), list(events[cut:])
+
+
+def interleave_at(
+    background: Iterable[EdgeEvent],
+    planted: Sequence[EdgeEvent],
+    positions: Sequence[int],
+) -> Iterator[EdgeEvent]:
+    """Plant events into a background stream at given indexes.
+
+    Each planted event inherits the timestamp of the background event it
+    displaces (plus a small epsilon) so stream monotonicity is preserved.
+    Used by the examples to inject attack subgraphs into benign traffic.
+    """
+    if len(planted) != len(positions):
+        raise ValueError("one position per planted event")
+    schedule = sorted(zip(positions, planted), key=lambda pair: pair[0])
+    queue = list(schedule)
+    for index, event in enumerate(background):
+        while queue and queue[0][0] <= index:
+            _, injected = queue.pop(0)
+            yield EdgeEvent(
+                src=injected.src,
+                dst=injected.dst,
+                etype=injected.etype,
+                timestamp=event.timestamp,
+                src_type=injected.src_type,
+                dst_type=injected.dst_type,
+            )
+        yield event
+    for _, injected in queue:
+        yield injected

@@ -1,0 +1,64 @@
+"""Stream file I/O.
+
+The on-disk stream format is tab-separated, one event per line, in
+timestamp order::
+
+    # timestamp  src  src_type  etype  dst  dst_type
+    0.013500	ip4	ip	TCP	ip91	ip
+
+Lines starting with ``#`` and blank lines are ignored. Fields must not
+contain tabs; everything is read back as strings (vertex ids are opaque).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from ..errors import ParseError
+from ..graph.types import EdgeEvent
+
+_COLUMNS = 6
+
+
+def write_stream(path: Union[str, Path], events: Iterable[EdgeEvent]) -> int:
+    """Write events as TSV; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# timestamp\tsrc\tsrc_type\tetype\tdst\tdst_type\n")
+        for event in events:
+            handle.write(
+                f"{event.timestamp!r}\t{event.src}\t{event.src_type}\t"
+                f"{event.etype}\t{event.dst}\t{event.dst_type}\n"
+            )
+            count += 1
+    return count
+
+
+def read_stream(path: Union[str, Path]) -> Iterator[EdgeEvent]:
+    """Stream events back from a TSV file written by :func:`write_stream`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != _COLUMNS:
+                raise ParseError(
+                    f"{path}:{lineno}: expected {_COLUMNS} tab-separated "
+                    f"fields, got {len(parts)}"
+                )
+            try:
+                timestamp = float(parts[0])
+            except ValueError:
+                raise ParseError(
+                    f"{path}:{lineno}: bad timestamp {parts[0]!r}"
+                ) from None
+            yield EdgeEvent(
+                src=parts[1],
+                dst=parts[4],
+                etype=parts[3],
+                timestamp=timestamp,
+                src_type=parts[2],
+                dst_type=parts[5],
+            )

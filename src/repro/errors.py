@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the engine can catch one type. The subclasses mirror the
+major subsystems: graph storage, query validation, decomposition and
+stream parsing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised on invalid operations against the streaming graph store."""
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an edge id is not present (possibly already evicted)."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when a vertex id is not present in the graph."""
+
+
+class QueryError(ReproError):
+    """Raised when a query graph is malformed or unsupported."""
+
+
+class DisconnectedQueryError(QueryError):
+    """Raised when an algorithm requires a connected query graph."""
+
+
+class ParseError(ReproError):
+    """Raised when a stream file or query DSL string cannot be parsed."""
+
+
+class DecompositionError(ReproError):
+    """Raised when BUILD-SJ-TREE cannot decompose a query graph."""
+
+
+class SerializationError(ReproError):
+    """Raised when an SJ-Tree ASCII file cannot be read back."""
+
+
+class StrategyError(ReproError):
+    """Raised when an unknown search strategy name is requested."""
+
+
+class EstimationError(ReproError):
+    """Raised when selectivity statistics are missing or inconsistent."""

@@ -1,0 +1,27 @@
+"""Streaming graph substrate (S1): typed multigraph with window eviction."""
+
+from .streaming_graph import StreamingGraph
+from .types import (
+    DEFAULT_VERTEX_TYPE,
+    IN,
+    OUT,
+    Edge,
+    EdgeEvent,
+    VertexId,
+    iter_events_sorted,
+    span,
+)
+from .window import TimeWindow
+
+__all__ = [
+    "DEFAULT_VERTEX_TYPE",
+    "Edge",
+    "EdgeEvent",
+    "IN",
+    "OUT",
+    "StreamingGraph",
+    "TimeWindow",
+    "VertexId",
+    "iter_events_sorted",
+    "span",
+]

@@ -1,0 +1,141 @@
+"""Core value types for the streaming multi-relational graph.
+
+The paper (§2) models the data as a directed, labeled dynamic graph with
+multi-edges: ``G = (V, E, ΣV, ΣE, λV, λE)`` where every edge carries a
+timestamp. Two record types capture this:
+
+* :class:`EdgeEvent` — an element of the *input stream*: who connected to
+  whom, with which relation, when, plus the (optional) vertex types used to
+  populate ``λV`` on first sight of a vertex.
+* :class:`Edge` — an edge *resident in the graph store*, carrying the
+  store-assigned ``edge_id`` that match bookkeeping refers to.
+
+Both are frozen dataclasses: matches, hash-table keys and test fixtures all
+rely on value semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+#: Vertex identifiers may be ints (synthetic generators) or strings
+#: (IP addresses, RDF IRIs). Anything hashable works.
+VertexId = Hashable
+
+#: Direction tokens relative to a centre vertex, used by the 2-edge path
+#: signature (Algorithm 5 "accounting for edge directions").
+OUT = "out"
+IN = "in"
+
+#: Vertex type used when a dataset has untyped vertices (e.g. netflow data
+#: where every vertex is an IP address; the paper's netflow queries label
+#: every vertex ``ip``).
+DEFAULT_VERTEX_TYPE = "node"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeEvent:
+    """One element of the graph stream.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint vertex identifiers (directed ``src -> dst``).
+    etype:
+        Edge type / label (``λE``), e.g. a network protocol or RDF predicate.
+    timestamp:
+        Arrival time. Streams must be non-decreasing in time; the window
+        eviction logic relies on it.
+    src_type, dst_type:
+        Vertex types (``λV``). Used to type vertices on first sight.
+    """
+
+    src: VertexId
+    dst: VertexId
+    etype: str
+    timestamp: float
+    src_type: str = DEFAULT_VERTEX_TYPE
+    dst_type: str = DEFAULT_VERTEX_TYPE
+
+    def reversed(self) -> "EdgeEvent":
+        """Return the event with direction flipped (used by tests)."""
+        return EdgeEvent(
+            src=self.dst,
+            dst=self.src,
+            etype=self.etype,
+            timestamp=self.timestamp,
+            src_type=self.dst_type,
+            dst_type=self.src_type,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """An edge resident in the :class:`~repro.graph.StreamingGraph`.
+
+    ``edge_id`` is assigned by the store in arrival order and is unique for
+    the lifetime of the process (ids are never reused after eviction), so a
+    match can safely hold on to edge ids as fingerprints.
+    """
+
+    edge_id: int
+    src: VertexId
+    dst: VertexId
+    etype: str
+    timestamp: float
+
+    def endpoints(self) -> tuple[VertexId, VertexId]:
+        """Return ``(src, dst)``."""
+        return (self.src, self.dst)
+
+    def other_endpoint(self, vertex: VertexId) -> VertexId:
+        """Return the endpoint that is not ``vertex``.
+
+        For self-loops (``src == dst``) returns the same vertex.
+        """
+        if vertex == self.src:
+            return self.dst
+        if vertex == self.dst:
+            return self.src
+        raise ValueError(f"vertex {vertex!r} is not an endpoint of {self!r}")
+
+    def direction_from(self, vertex: VertexId) -> str:
+        """Return :data:`OUT` if the edge leaves ``vertex``, else :data:`IN`.
+
+        Self-loops are reported as :data:`OUT`.
+        """
+        if vertex == self.src:
+            return OUT
+        if vertex == self.dst:
+            return IN
+        raise ValueError(f"vertex {vertex!r} is not an endpoint of {self!r}")
+
+
+def span(edges: Iterable[Edge]) -> float:
+    """Return ``τ(g)``: the time interval covered by a set of edges (§2).
+
+    Defined as the difference between the latest and earliest timestamp.
+    An empty iterable has span ``0.0``.
+    """
+    first = True
+    lo = hi = 0.0
+    for edge in edges:
+        if first:
+            lo = hi = edge.timestamp
+            first = False
+        else:
+            if edge.timestamp < lo:
+                lo = edge.timestamp
+            if edge.timestamp > hi:
+                hi = edge.timestamp
+    return 0.0 if first else hi - lo
+
+
+def iter_events_sorted(events: Iterable[EdgeEvent]) -> Iterator[EdgeEvent]:
+    """Yield events sorted by timestamp (stable for equal stamps).
+
+    Generators in :mod:`repro.datasets` already emit sorted streams; this
+    helper exists for user-supplied data.
+    """
+    yield from sorted(events, key=lambda ev: ev.timestamp)

@@ -1,0 +1,67 @@
+"""Sliding time-window policy.
+
+The paper (§2) maintains the data graph as a window in time: *"Given a time
+window tW, edges are deleted as they become older than tlast − tW, where
+tlast is the timestamp of the newest edge in the graph."*
+
+:class:`TimeWindow` is a small policy object shared by the graph store and
+the SJ-Tree match tables so both apply the exact same cutoff rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeWindow:
+    """Sliding window of width ``width`` over stream timestamps.
+
+    ``width=math.inf`` (the default) disables eviction — useful for batch
+    analysis and for ground-truth comparisons in tests.
+    """
+
+    width: float = math.inf
+    _t_last: float = field(default=-math.inf, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"window width must be positive, got {self.width}")
+
+    @property
+    def t_last(self) -> float:
+        """Timestamp of the newest edge observed so far."""
+        return self._t_last
+
+    @property
+    def cutoff(self) -> float:
+        """Oldest timestamp still inside the window (``t_last - width``)."""
+        if math.isinf(self.width):
+            return -math.inf
+        return self._t_last - self.width
+
+    def advance(self, timestamp: float) -> float:
+        """Record a new stream timestamp and return the updated cutoff.
+
+        Timestamps may repeat but must not go backwards; the window only
+        moves forward even if a late event is fed in.
+        """
+        if timestamp > self._t_last:
+            self._t_last = timestamp
+        return self.cutoff
+
+    def is_live(self, timestamp: float) -> bool:
+        """Return True if an edge with this timestamp is inside the window."""
+        return timestamp >= self.cutoff
+
+    def fits(self, earliest: float, latest: float) -> bool:
+        """Return True if a subgraph spanning ``[earliest, latest]`` satisfies
+        the paper's reporting condition ``τ(g) < tW``."""
+        return (latest - earliest) < self.width
+
+    def copy(self) -> "TimeWindow":
+        """Return an independent window with the same width and clock."""
+        clone = TimeWindow(self.width)
+        clone._t_last = self._t_last
+        return clone

@@ -1,0 +1,14 @@
+"""Subgraph isomorphism substrate (S4/S5): matches, anchored search, VF2."""
+
+from .anchored import find_anchored_matches, find_vertex_anchored_matches
+from .match import Match, merge_all
+from .vf2 import count_isomorphisms, find_isomorphisms
+
+__all__ = [
+    "Match",
+    "count_isomorphisms",
+    "find_anchored_matches",
+    "find_isomorphisms",
+    "find_vertex_anchored_matches",
+    "merge_all",
+]

@@ -1,0 +1,222 @@
+"""Match representation (Definition 3.1.2) and the join operation
+(Definition 3.1.3) plus the projection operator Π used for join keys.
+
+A :class:`Match` is a set of edge pairs — a mapping from *query* edges to
+*data* edges — together with the induced vertex mapping. It is:
+
+* **consistent** — shared query vertices map to one data vertex;
+* **vertex-injective** — distinct query vertices map to distinct data
+  vertices (subgraph *isomorphism*, not homomorphism);
+* **edge-injective** — distinct query edges map to distinct data edges.
+
+Matches are immutable and hashable by their *fingerprint* (the sorted
+``(query_edge_id, data_edge_id)`` pairs), which SJ-Tree nodes use to dedupe
+rediscoveries from the Lazy Search retrospective pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..graph.types import Edge, VertexId
+from ..query.query_graph import QueryEdge
+
+
+class Match:
+    """An immutable (partial) match: query-edge → data-edge pairs."""
+
+    __slots__ = ("pairs", "vertex_map", "min_time", "max_time", "_fingerprint")
+
+    def __init__(
+        self,
+        pairs: Tuple[Tuple[int, Edge], ...],
+        vertex_map: Dict[int, VertexId],
+        min_time: float,
+        max_time: float,
+    ) -> None:
+        # Trusted constructor: callers must pass pairs sorted by query edge
+        # id and a consistent vertex map. Use ``build`` for validated input.
+        self.pairs = pairs
+        self.vertex_map = vertex_map
+        self.min_time = min_time
+        self.max_time = max_time
+        self._fingerprint = tuple((qe, edge.edge_id) for qe, edge in pairs)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        query_edges: Mapping[int, QueryEdge],
+        assignment: Mapping[int, Edge],
+    ) -> Optional["Match"]:
+        """Validated construction from ``{query_edge_id: data_edge}``.
+
+        Returns ``None`` if the assignment violates type agreement,
+        vertex consistency, vertex injectivity or edge injectivity.
+        (Vertex *constraints* — λV / bindings — are the matchers' job;
+        this checks structural validity only.)
+        """
+        vertex_map: Dict[int, VertexId] = {}
+        used_vertices: Dict[VertexId, int] = {}
+        used_edges: set[int] = set()
+        min_time = float("inf")
+        max_time = float("-inf")
+        for qeid in assignment:
+            if qeid not in query_edges:
+                return None
+        for qeid, data_edge in assignment.items():
+            query_edge = query_edges[qeid]
+            if query_edge.etype != data_edge.etype:
+                return None
+            if data_edge.edge_id in used_edges:
+                return None
+            used_edges.add(data_edge.edge_id)
+            for qv, dv in (
+                (query_edge.src, data_edge.src),
+                (query_edge.dst, data_edge.dst),
+            ):
+                bound = vertex_map.get(qv)
+                if bound is None:
+                    owner = used_vertices.get(dv)
+                    if owner is not None and owner != qv:
+                        return None
+                    vertex_map[qv] = dv
+                    used_vertices[dv] = qv
+                elif bound != dv:
+                    return None
+            min_time = min(min_time, data_edge.timestamp)
+            max_time = max(max_time, data_edge.timestamp)
+        pairs = tuple(sorted(assignment.items()))
+        return cls(pairs, vertex_map, min_time, max_time)
+
+    @classmethod
+    def single(cls, qeid: int, query_edge: QueryEdge, data_edge: Edge) -> "Match":
+        """Fast path for a validated 1-edge match (matchers' hot path)."""
+        if query_edge.src == query_edge.dst:
+            vertex_map = {query_edge.src: data_edge.src}
+        else:
+            vertex_map = {query_edge.src: data_edge.src, query_edge.dst: data_edge.dst}
+        return cls(
+            ((qeid, data_edge),),
+            vertex_map,
+            data_edge.timestamp,
+            data_edge.timestamp,
+        )
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> Tuple[Tuple[int, int], ...]:
+        """Canonical identity: sorted ``(query_edge_id, data_edge_id)``."""
+        return self._fingerprint
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def span(self) -> float:
+        """``τ(g)``: time interval covered by the matched edges (§2)."""
+        return self.max_time - self.min_time
+
+    def query_edge_ids(self) -> frozenset[int]:
+        """The query edges covered by this (partial) match."""
+        return frozenset(qe for qe, _ in self.pairs)
+
+    def data_edges(self) -> Tuple[Edge, ...]:
+        """The matched data edges."""
+        return tuple(edge for _, edge in self.pairs)
+
+    def data_vertices(self) -> set[VertexId]:
+        """Distinct data vertices touched by the match."""
+        return set(self.vertex_map.values())
+
+    def key_for(self, cut_vertices: Sequence[int]) -> Tuple[VertexId, ...]:
+        """Projection Π onto the cut subgraph: the join key (Property 4).
+
+        ``cut_vertices`` are query vertex ids (the intersection of the two
+        child subgraphs at the parent SJ-Tree node); the key is the tuple of
+        data vertices they map to.
+        """
+        return tuple(self.vertex_map[qv] for qv in cut_vertices)
+
+    # ------------------------------------------------------------------
+    # join (Definition 3.1.3)
+    # ------------------------------------------------------------------
+
+    def join(self, other: "Match") -> Optional["Match"]:
+        """Combine two partial matches; ``None`` if they conflict.
+
+        Conflicts: overlapping query edges, overlapping data edges,
+        inconsistent or non-injective combined vertex mapping.
+        """
+        small, large = (
+            (self, other) if len(self.pairs) <= len(other.pairs) else (other, self)
+        )
+        large_map = large.vertex_map
+        claimed: Optional[set[VertexId]] = None
+        merged: Optional[Dict[int, VertexId]] = None
+        for qv, dv in small.vertex_map.items():
+            bound = large_map.get(qv)
+            if bound is not None:
+                if bound != dv:
+                    return None  # inconsistent on a shared query vertex
+                continue
+            if claimed is None:
+                claimed = set(large_map.values())
+            if dv in claimed:
+                return None  # would break vertex injectivity
+            if merged is None:
+                merged = dict(large_map)
+            merged[qv] = dv
+            claimed.add(dv)
+        if merged is None:
+            merged = dict(large_map)
+
+        # Edge disjointness (query side and data side).
+        small_qeids = {qe for qe, _ in small.pairs}
+        small_data = {edge.edge_id for _, edge in small.pairs}
+        for qe, edge in large.pairs:
+            if qe in small_qeids or edge.edge_id in small_data:
+                return None
+
+        pairs = tuple(sorted(self.pairs + other.pairs))
+        return Match(
+            pairs,
+            merged,
+            min(self.min_time, other.min_time),
+            max(self.max_time, other.max_time),
+        )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self._fingerprint == other._fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self._fingerprint)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mapping = ", ".join(
+            f"e{qe}->#{edge.edge_id}" for qe, edge in self.pairs
+        )
+        return f"Match({mapping}, span={self.span:.3g})"
+
+
+def merge_all(matches: Iterable[Match]) -> Optional[Match]:
+    """Left-fold join over an iterable of matches (test helper)."""
+    result: Optional[Match] = None
+    for match in matches:
+        result = match if result is None else result.join(match)
+        if result is None:
+            return None
+    return result

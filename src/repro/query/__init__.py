@@ -1,0 +1,29 @@
+"""Query model (S2/S3/S15): graphs, DSL, patterns.
+
+``repro.query.generator`` is intentionally *not* re-exported here: it
+imports the stats layer, and keeping it a plain submodule avoids an import
+cycle (stats consumes query graphs). Import it directly::
+
+    from repro.query.generator import QueryGenerator
+"""
+
+from .parser import format_query, parse_query, parse_triples
+from .patterns import (
+    ALL_PATTERNS,
+    denial_of_service,
+    information_exfiltration,
+    insider_infiltration,
+)
+from .query_graph import QueryEdge, QueryGraph
+
+__all__ = [
+    "ALL_PATTERNS",
+    "QueryEdge",
+    "QueryGraph",
+    "denial_of_service",
+    "format_query",
+    "information_exfiltration",
+    "insider_infiltration",
+    "parse_query",
+    "parse_triples",
+]

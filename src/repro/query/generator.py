@@ -1,0 +1,284 @@
+"""Random query generation (§6.4.1).
+
+The paper sweeps randomly generated queries:
+
+* **Netflow path queries** — directed paths of length 3-5, every vertex
+  typed ``ip``, edge types drawn uniformly from the 7 protocols.
+* **Netflow binary-tree queries** — binary trees of 5-15 vertices (edges
+  directed parent→child), following Sun et al.'s test methodology.
+* **LSBench path / n-ary tree queries** — grown edge-by-edge from a list
+  of valid ``(vertex type, edge type, vertex type)`` schema triples,
+  starting from a random triple and iteratively attaching valid new edges
+  to any available node.
+
+Validity filtering ("eliminate queries that contained 2-edge paths not
+seen in the sampled path distribution") and Expected-Selectivity sampling
+live here too, so benchmark code can reproduce the paper's query-set
+construction end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import QueryError
+from ..stats.estimator import SelectivityEstimator
+from .query_graph import QueryGraph
+
+
+@dataclass(frozen=True)
+class SchemaTriple:
+    """A valid ``src_type -etype-> dst_type`` combination of a dataset."""
+
+    src_type: str
+    etype: str
+    dst_type: str
+
+
+class QueryGenerator:
+    """Seeded random query factory over an edge-type alphabet or schema."""
+
+    def __init__(
+        self,
+        etypes: Optional[Sequence[str]] = None,
+        triples: Optional[Sequence[SchemaTriple]] = None,
+        vertex_type: Optional[str] = None,
+        seed: int = 0,
+    ) -> None:
+        if not etypes and not triples:
+            raise QueryError("provide an edge-type alphabet or schema triples")
+        self.etypes = list(etypes) if etypes else sorted(
+            {t.etype for t in (triples or [])}
+        )
+        self.triples = list(triples) if triples else []
+        self.vertex_type = vertex_type
+        self.rng = random.Random(seed)
+        # forward index: src_type -> triples usable to extend from a vertex
+        self._by_src: dict[str, list[SchemaTriple]] = {}
+        self._by_dst: dict[str, list[SchemaTriple]] = {}
+        for triple in self.triples:
+            self._by_src.setdefault(triple.src_type, []).append(triple)
+            self._by_dst.setdefault(triple.dst_type, []).append(triple)
+
+    # ------------------------------------------------------------------
+    # alphabet-based shapes (netflow style: uniform vertex type)
+    # ------------------------------------------------------------------
+
+    def path_query(self, length: int, name: str = "") -> QueryGraph:
+        """Directed path of ``length`` edges with random edge types."""
+        if length < 1:
+            raise QueryError("path length must be >= 1")
+        types = [self.rng.choice(self.etypes) for _ in range(length)]
+        return QueryGraph.path(
+            types, vtype=self.vertex_type, name=name or f"path{length}"
+        )
+
+    def binary_tree_query(self, num_vertices: int, name: str = "") -> QueryGraph:
+        """Binary tree with ``num_vertices`` vertices, edges parent→child.
+
+        Children attach to the earliest vertex with fewer than two
+        children, yielding the complete-ish trees of Sun et al. [16].
+        """
+        if num_vertices < 2:
+            raise QueryError("a tree query needs at least 2 vertices")
+        query = QueryGraph(name=name or f"btree{num_vertices}")
+        query.add_vertex(0, self.vertex_type)
+        children = {0: 0}
+        for vertex in range(1, num_vertices):
+            parent = min(v for v, c in children.items() if c < 2)
+            children[parent] += 1
+            children[vertex] = 0
+            query.add_vertex(vertex, self.vertex_type)
+            query.add_edge(parent, vertex, self.rng.choice(self.etypes))
+        return query
+
+    def random_tree_query(
+        self, num_vertices: int, name: str = "", max_degree: int = 4
+    ) -> QueryGraph:
+        """Random-attachment tree (each new vertex picks a random parent)."""
+        if num_vertices < 2:
+            raise QueryError("a tree query needs at least 2 vertices")
+        query = QueryGraph(name=name or f"tree{num_vertices}")
+        query.add_vertex(0, self.vertex_type)
+        degree = {0: 0}
+        for vertex in range(1, num_vertices):
+            candidates = [v for v, d in degree.items() if d < max_degree]
+            parent = self.rng.choice(candidates)
+            degree[parent] += 1
+            degree[vertex] = 1
+            query.add_vertex(vertex, self.vertex_type)
+            query.add_edge(parent, vertex, self.rng.choice(self.etypes))
+        return query
+
+    # ------------------------------------------------------------------
+    # schema-constrained shapes (LSBench style)
+    # ------------------------------------------------------------------
+
+    def _require_schema(self) -> None:
+        if not self.triples:
+            raise QueryError("this generator has no schema triples")
+
+    def schema_path_query(self, length: int, name: str = "") -> Optional[QueryGraph]:
+        """Directed path whose consecutive triples chain through vertex
+        types. Returns ``None`` when the random walk dead-ends (callers
+        retry with the generator's evolving RNG state)."""
+        self._require_schema()
+        first = self.rng.choice(self.triples)
+        query = QueryGraph(name=name or f"spath{length}")
+        query.add_vertex(0, first.src_type)
+        query.add_vertex(1, first.dst_type)
+        query.add_edge(0, 1, first.etype)
+        tail_type = first.dst_type
+        for index in range(1, length):
+            options = self._by_src.get(tail_type)
+            if not options:
+                return None
+            triple = self.rng.choice(options)
+            query.add_vertex(index + 1, triple.dst_type)
+            query.add_edge(index, index + 1, triple.etype)
+            tail_type = triple.dst_type
+        return query
+
+    def schema_tree_query(self, num_edges: int, name: str = "") -> Optional[QueryGraph]:
+        """N-ary tree grown per §6.4.1: start from a random valid triple,
+        then iteratively add valid new edges from any available node."""
+        self._require_schema()
+        first = self.rng.choice(self.triples)
+        query = QueryGraph(name=name or f"stree{num_edges}")
+        query.add_vertex(0, first.src_type)
+        query.add_vertex(1, first.dst_type)
+        query.add_edge(0, 1, first.etype)
+        vertex_types = {0: first.src_type, 1: first.dst_type}
+        for _ in range(num_edges - 1):
+            grown = False
+            for vertex in self.rng.sample(
+                list(vertex_types), k=len(vertex_types)
+            ):
+                vtype = vertex_types[vertex]
+                outward = self._by_src.get(vtype, [])
+                inward = self._by_dst.get(vtype, [])
+                if not outward and not inward:
+                    continue
+                pool = outward + inward
+                triple = self.rng.choice(pool)
+                new_vertex = len(vertex_types)
+                if triple in outward and triple.src_type == vtype:
+                    query.add_vertex(new_vertex, triple.dst_type)
+                    query.add_edge(vertex, new_vertex, triple.etype)
+                    vertex_types[new_vertex] = triple.dst_type
+                else:
+                    query.add_vertex(new_vertex, triple.src_type)
+                    query.add_edge(new_vertex, vertex, triple.etype)
+                    vertex_types[new_vertex] = triple.src_type
+                grown = True
+                break
+            if not grown:
+                return None
+        return query
+
+    def k_partite_query(
+        self, num_edges: int, hub_first: bool = True, name: str = ""
+    ) -> QueryGraph:
+        """Star/k-partite query (the NYT Fig. 10 query class): one hub with
+        ``num_edges`` typed out-edges to distinct leaves."""
+        query = QueryGraph(name=name or f"star{num_edges}")
+        query.add_vertex(0, self.vertex_type)
+        for leaf in range(1, num_edges + 1):
+            query.add_vertex(leaf, self.vertex_type)
+            if hub_first:
+                query.add_edge(0, leaf, self.rng.choice(self.etypes))
+            else:
+                query.add_edge(leaf, 0, self.rng.choice(self.etypes))
+        return query
+
+    # ------------------------------------------------------------------
+    # §6.4 query-set construction
+    # ------------------------------------------------------------------
+
+    def generate_group(
+        self,
+        kind: str,
+        size: int,
+        count: int,
+        max_attempts: int = 2000,
+    ) -> List[QueryGraph]:
+        """Generate ``count`` queries of one (kind, size) group.
+
+        ``kind`` ∈ {"path", "btree", "tree", "spath", "stree", "star"}.
+        ``size`` is the path length / vertex count / edge count depending
+        on kind, matching the paper's group definitions.
+        """
+        makers = {
+            "path": lambda: self.path_query(size),
+            "btree": lambda: self.binary_tree_query(size),
+            "tree": lambda: self.random_tree_query(size),
+            "spath": lambda: self.schema_path_query(size),
+            "stree": lambda: self.schema_tree_query(size),
+            "star": lambda: self.k_partite_query(size),
+        }
+        if kind not in makers:
+            raise QueryError(
+                f"unknown query kind {kind!r}; expected one of {sorted(makers)}"
+            )
+        queries: List[QueryGraph] = []
+        attempts = 0
+        while len(queries) < count and attempts < max_attempts:
+            attempts += 1
+            query = makers[kind]()
+            if query is None:
+                continue
+            query.name = f"{kind}{size}-{len(queries)}"
+            queries.append(query)
+        return queries
+
+
+def filter_valid(
+    queries: Iterable[QueryGraph], estimator: SelectivityEstimator
+) -> List[QueryGraph]:
+    """Drop queries containing 2-edge paths unseen in the warmup sample.
+
+    §6.4: unseen combinations make a query "artificially discriminative"
+    and force the Path decomposition to degrade, biasing comparisons.
+    """
+    return [q for q in queries if not estimator.unseen_query_paths(q)]
+
+
+def sample_by_expected_selectivity(
+    queries: Sequence[QueryGraph],
+    estimator: SelectivityEstimator,
+    count: int,
+) -> List[QueryGraph]:
+    """Reduce a query set to ``count`` queries spread near-uniformly over
+    the (log) Expected Selectivity of their 2-edge decomposition (§6.4).
+    """
+    from ..sjtree.builder import preview_leaves  # local: breaks import cycle
+    from ..stats.selectivity import expected_selectivity, log10_or_floor
+
+    if count <= 0 or not queries:
+        return []
+    scored = []
+    for query in queries:
+        leaves = preview_leaves(query, estimator, "path")
+        scored.append((log10_or_floor(expected_selectivity(leaves)), query))
+    scored.sort(key=lambda pair: (pair[0], pair[1].name))
+    if len(scored) <= count:
+        return [query for _, query in scored]
+    lo = scored[0][0]
+    hi = scored[-1][0]
+    if hi == lo:
+        step = max(len(scored) // count, 1)
+        return [query for _, query in scored[::step]][:count]
+    picked: List[QueryGraph] = []
+    used: set[int] = set()
+    for i in range(count):
+        target = lo + (hi - lo) * i / (count - 1) if count > 1 else lo
+        best_index = min(
+            (j for j in range(len(scored)) if j not in used),
+            key=lambda j: abs(scored[j][0] - target),
+        )
+        used.add(best_index)
+        picked.append(scored[best_index][1])
+    picked.sort(key=lambda q: q.name)
+    return picked

@@ -1,0 +1,93 @@
+"""NetworkX interoperability.
+
+Downstream users often already hold patterns as :class:`networkx.DiGraph`
+or :class:`networkx.MultiDiGraph`; these converters map them onto
+:class:`~repro.query.QueryGraph` and back.
+
+Conventions:
+
+* edge type is read from the edge attribute ``etype`` (configurable);
+* vertex type constraints from node attribute ``vtype`` (optional);
+* exact vertex bindings from node attribute ``binding`` (optional);
+* node names may be anything hashable — they are densified to the
+  0-based integer ids QueryGraph uses, preserving insertion order, and
+  restored as a ``name`` node attribute on export.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from ..errors import QueryError
+from .query_graph import QueryGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+
+def from_networkx(
+    graph: "networkx.DiGraph",
+    etype_attr: str = "etype",
+    vtype_attr: str = "vtype",
+    binding_attr: str = "binding",
+    name: str = "",
+) -> QueryGraph:
+    """Convert a (Multi)DiGraph into a :class:`QueryGraph`.
+
+    Every edge must carry the ``etype_attr`` attribute. Undirected graphs
+    are rejected — the paper's queries are directed.
+    """
+    if not graph.is_directed():
+        raise QueryError("query graphs are directed; pass a DiGraph")
+    query = QueryGraph(name=name or str(graph.name or ""))
+    ids: dict[Hashable, int] = {}
+    for node, data in graph.nodes(data=True):
+        ids[node] = len(ids)
+        query.add_vertex(
+            ids[node],
+            data.get(vtype_attr),
+            binding=data.get(binding_attr),
+        )
+    edge_iter = (
+        graph.edges(data=True, keys=False)
+        if graph.is_multigraph()
+        else graph.edges(data=True)
+    )
+    for src, dst, data in edge_iter:
+        etype = data.get(etype_attr)
+        if not etype:
+            raise QueryError(
+                f"edge ({src!r}, {dst!r}) is missing the {etype_attr!r} attribute"
+            )
+        query.add_edge(ids[src], ids[dst], str(etype))
+    if query.num_edges == 0:
+        raise QueryError("the graph has no edges")
+    return query
+
+
+def to_networkx(
+    query: QueryGraph,
+    etype_attr: str = "etype",
+    vtype_attr: str = "vtype",
+    binding_attr: str = "binding",
+) -> "networkx.MultiDiGraph":
+    """Convert a :class:`QueryGraph` into a :class:`networkx.MultiDiGraph`.
+
+    Vertex ids become node names; types/bindings become node attributes
+    (omitted when unset).
+    """
+    import networkx
+
+    graph = networkx.MultiDiGraph(name=query.name)
+    for vertex in query.vertices():
+        attrs = {}
+        vtype = query.vertex_type(vertex)
+        if vtype is not None:
+            attrs[vtype_attr] = vtype
+        binding = query.binding(vertex)
+        if binding is not None:
+            attrs[binding_attr] = binding
+        graph.add_node(vertex, **attrs)
+    for edge in query.edges:
+        graph.add_edge(edge.src, edge.dst, **{etype_attr: edge.etype})
+    return graph

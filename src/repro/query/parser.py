@@ -1,0 +1,120 @@
+"""Text formats for queries.
+
+Two formats are supported:
+
+* **Edge DSL** — one edge per line, human-authorable::
+
+      # infiltration path
+      host1:host -RDP-> host2:host
+      host2 -RDP-> host3
+      victim:host = "10.1.2.3"     # bind a query vertex to a data vertex
+
+  Vertex names are arbitrary identifiers (mapped to dense integer ids in
+  first-appearance order); ``:type`` is optional and may appear on any
+  mention of the vertex; a standalone ``name = "value"`` line binds the
+  vertex to a concrete data-vertex id.
+
+* **Triple lines** — ``src etype dst`` whitespace-separated triples, the
+  format the random query generators serialize to.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from ..errors import ParseError
+from .query_graph import QueryGraph
+
+_EDGE_RE = re.compile(
+    r"^\s*(?P<src>[\w.:\-]+?)(?::(?P<stype>[\w.\-]+))?"
+    r"\s*-(?P<etype>[\w.\-]+)->\s*"
+    r"(?P<dst>[\w.:\-]+?)(?::(?P<dtype>[\w.\-]+))?\s*$"
+)
+_BIND_RE = re.compile(
+    r"^\s*(?P<name>[\w.\-]+)(?::(?P<vtype>[\w.\-]+))?\s*=\s*"
+    r"\"(?P<value>[^\"]*)\"\s*$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    idx = line.find("#")
+    return line if idx < 0 else line[:idx]
+
+
+def parse_query(text: str, name: str = "") -> QueryGraph:
+    """Parse the edge DSL into a :class:`QueryGraph`.
+
+    Raises :class:`~repro.errors.ParseError` with the offending line number
+    on malformed input.
+    """
+    query = QueryGraph(name=name)
+    ids: Dict[str, int] = {}
+
+    def vertex_id(token: str, vtype: str | None) -> int:
+        if token not in ids:
+            ids[token] = len(ids)
+        vid = ids[token]
+        query.add_vertex(vid, vtype)
+        return vid
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        edge_m = _EDGE_RE.match(line)
+        if edge_m:
+            src = vertex_id(edge_m.group("src"), edge_m.group("stype"))
+            dst = vertex_id(edge_m.group("dst"), edge_m.group("dtype"))
+            query.add_edge(src, dst, edge_m.group("etype"))
+            continue
+        bind_m = _BIND_RE.match(line)
+        if bind_m:
+            vid = vertex_id(bind_m.group("name"), bind_m.group("vtype"))
+            query.add_vertex(vid, None, binding=bind_m.group("value"))
+            continue
+        raise ParseError(f"line {lineno}: cannot parse query line {raw!r}")
+    if query.num_edges == 0:
+        raise ParseError("query has no edges")
+    return query
+
+
+def format_query(query: QueryGraph) -> str:
+    """Serialize a query back to the edge DSL (inverse of :func:`parse_query`).
+
+    Vertices are named ``v<id>``; types and bindings are preserved.
+    """
+    lines = []
+    for edge in query.edges:
+        stype = query.vertex_type(edge.src)
+        dtype = query.vertex_type(edge.dst)
+        src = f"v{edge.src}" + (f":{stype}" if stype else "")
+        dst = f"v{edge.dst}" + (f":{dtype}" if dtype else "")
+        lines.append(f"{src} -{edge.etype}-> {dst}")
+    for vertex in sorted(query.vertices()):
+        bound = query.binding(vertex)
+        if bound is not None:
+            lines.append(f'v{vertex} = "{bound}"')
+    return "\n".join(lines) + "\n"
+
+
+def parse_triples(text: str, name: str = "") -> QueryGraph:
+    """Parse whitespace-separated ``src etype dst`` triples (ints for ids)."""
+    query = QueryGraph(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ParseError(f"line {lineno}: expected 'src etype dst', got {raw!r}")
+        try:
+            src, dst = int(parts[0]), int(parts[2])
+        except ValueError:
+            raise ParseError(
+                f"line {lineno}: vertex ids must be integers in triple format"
+            ) from None
+        query.add_edge(src, dst, parts[1])
+    if query.num_edges == 0:
+        raise ParseError("query has no edges")
+    return query

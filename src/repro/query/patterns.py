@@ -1,0 +1,93 @@
+"""Attack-pattern query library (Fig. 1 of the paper).
+
+The paper motivates continuous pattern detection with three cyber attack
+shapes; this module builds them as :class:`~repro.query.QueryGraph` objects
+so the examples and tests can register them directly:
+
+* **Insider infiltration** (Fig. 1a) — a path of lateral-movement edges
+  (``host -RDP-> host -RDP-> ...``), a *path query*.
+* **Denial of service** (Fig. 1b) — ``n`` parallel attacker→bot→victim
+  paths converging on one victim, a *parallel-paths query*.
+* **Information exfiltration** (Fig. 1c) — victim browses a compromised
+  web server, then opens a command-and-control channel and ships a large
+  message out, a *tree query*.
+"""
+
+from __future__ import annotations
+
+from .query_graph import QueryGraph
+
+#: Edge type used for lateral movement (remote desktop connections).
+LATERAL_MOVE = "RDP"
+#: Edge types used by the exfiltration pattern.
+HTTP = "HTTP"
+C2_CHANNEL = "TCP"
+EXFIL = "LARGE_MSG"
+
+
+def insider_infiltration(hops: int = 3, vtype: str = "host") -> QueryGraph:
+    """Fig. 1a: a directed path of ``hops`` lateral-movement edges.
+
+    ``host0 -RDP-> host1 -RDP-> ... -RDP-> host<hops>``.
+    """
+    if hops < 1:
+        raise ValueError("an infiltration path needs at least one hop")
+    return QueryGraph.path(
+        [LATERAL_MOVE] * hops, vtype=vtype, name=f"infiltration-{hops}hop"
+    )
+
+
+def denial_of_service(
+    num_bots: int = 3,
+    vtype: str = "host",
+    c2_etype: str = C2_CHANNEL,
+    flood_etype: str = C2_CHANNEL,
+) -> QueryGraph:
+    """Fig. 1b: attacker commands ``num_bots`` bots which all hit the victim.
+
+    Vertex 0 is the attacker, vertex 1 the victim, vertices 2.. the bots::
+
+        attacker -c2_etype-> bot_i -flood_etype-> victim   (for each bot)
+
+    The command channel and the flood traffic default to TCP as drawn in
+    the paper, but real floods are often ICMP/UDP; distinct types also
+    keep the pattern's partial-match state tractable on hub-heavy data.
+    """
+    if num_bots < 1:
+        raise ValueError("a DoS pattern needs at least one bot")
+    query = QueryGraph(name=f"dos-{num_bots}bots")
+    attacker, victim = 0, 1
+    query.add_vertex(attacker, vtype)
+    query.add_vertex(victim, vtype)
+    for i in range(num_bots):
+        bot = 2 + i
+        query.add_vertex(bot, vtype)
+        query.add_edge(attacker, bot, c2_etype)
+        query.add_edge(bot, victim, flood_etype)
+    return query
+
+
+def information_exfiltration(vtype: str = "host") -> QueryGraph:
+    """Fig. 1c: compromised-website exfiltration.
+
+    Vertex 0 = victim, 1 = web server, 2 = botnet command & control::
+
+        victim -HTTP-> webserver
+        victim -TCP->  c2           (script phones home)
+        victim -LARGE_MSG-> c2      (data leaves)
+    """
+    query = QueryGraph(name="exfiltration")
+    victim, webserver, c2 = 0, 1, 2
+    for vertex in (victim, webserver, c2):
+        query.add_vertex(vertex, vtype)
+    query.add_edge(victim, webserver, HTTP)
+    query.add_edge(victim, c2, C2_CHANNEL)
+    query.add_edge(victim, c2, EXFIL)
+    return query
+
+
+ALL_PATTERNS = {
+    "infiltration": insider_infiltration,
+    "dos": denial_of_service,
+    "exfiltration": information_exfiltration,
+}

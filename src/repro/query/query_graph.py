@@ -1,0 +1,347 @@
+"""Query graph model.
+
+A query graph (``Gq`` in the paper) is a small directed, typed multigraph.
+Vertices carry *type constraints* (``None`` = wildcard, matching the paper's
+"unlabeled" netflow queries where every vertex is just ``ip``) and optional
+*bindings* to concrete data-vertex ids (the paper's "labeled" queries, e.g.
+a tree rooted at a specific IP).
+
+The class is a mutable builder — ``add_vertex`` / ``add_edge`` — with cheap
+derived indexes recomputed on demand and invalidated on mutation. All
+matching code treats it as read-only once registered with an engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..graph.types import IN, OUT, VertexId
+
+
+@dataclass(frozen=True, slots=True)
+class QueryEdge:
+    """A directed, typed edge of the query graph.
+
+    ``edge_id`` is the index of the edge within its :class:`QueryGraph`
+    (0-based, dense); matches are keyed on it.
+    """
+
+    edge_id: int
+    src: int
+    dst: int
+    etype: str
+
+    def endpoints(self) -> tuple[int, int]:
+        """Return ``(src, dst)``."""
+        return (self.src, self.dst)
+
+    def direction_from(self, vertex: int) -> str:
+        """:data:`~repro.graph.OUT` if the edge leaves ``vertex`` else IN."""
+        if vertex == self.src:
+            return OUT
+        if vertex == self.dst:
+            return IN
+        raise ValueError(f"vertex {vertex} is not an endpoint of {self}")
+
+    def other_endpoint(self, vertex: int) -> int:
+        """The endpoint that is not ``vertex`` (self for loops)."""
+        if vertex == self.src:
+            return self.dst
+        if vertex == self.dst:
+            return self.src
+        raise ValueError(f"vertex {vertex} is not an endpoint of {self}")
+
+
+class QueryGraph:
+    """A small directed multigraph with typed edges and constrained vertices.
+
+    Examples
+    --------
+    A 3-hop netflow path query (Fig. 8 of the paper)::
+
+        q = QueryGraph()
+        for v in range(5):
+            q.add_vertex(v, "ip")
+        q.add_edge(0, 1, "ESP")
+        q.add_edge(1, 2, "TCP")
+        q.add_edge(2, 3, "ICMP")
+        q.add_edge(3, 4, "GRE")
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._vertex_types: Dict[int, Optional[str]] = {}
+        self._bindings: Dict[int, VertexId] = {}
+        self._edges: list[QueryEdge] = []
+        self._incident: Optional[Dict[int, Tuple[QueryEdge, ...]]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(
+        self,
+        vertex: int,
+        vtype: Optional[str] = None,
+        *,
+        binding: Optional[VertexId] = None,
+    ) -> int:
+        """Declare a query vertex.
+
+        Parameters
+        ----------
+        vertex:
+            Integer id of the vertex within this query.
+        vtype:
+            Required data-vertex type, or ``None`` for a wildcard.
+        binding:
+            If given, the vertex may only map to this exact data vertex.
+        """
+        if vertex in self._vertex_types:
+            existing = self._vertex_types[vertex]
+            if existing is not None and vtype is not None and existing != vtype:
+                raise QueryError(
+                    f"vertex {vertex} re-declared with conflicting type "
+                    f"{vtype!r} (was {existing!r})"
+                )
+            if vtype is not None:
+                self._vertex_types[vertex] = vtype
+        else:
+            self._vertex_types[vertex] = vtype
+        if binding is not None:
+            self._bindings[vertex] = binding
+        self._incident = None
+        return vertex
+
+    def add_edge(self, src: int, dst: int, etype: str) -> QueryEdge:
+        """Add a directed edge ``src -> dst`` of type ``etype``.
+
+        Endpoints are auto-declared as wildcard vertices if unseen.
+        """
+        if not etype:
+            raise QueryError("edge type must be a non-empty string")
+        if src not in self._vertex_types:
+            self.add_vertex(src)
+        if dst not in self._vertex_types:
+            self.add_vertex(dst)
+        edge = QueryEdge(len(self._edges), src, dst, etype)
+        self._edges.append(edge)
+        self._incident = None
+        return edge
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[tuple[int, str, int]],
+        vertex_types: Optional[Dict[int, str]] = None,
+        name: str = "",
+    ) -> "QueryGraph":
+        """Build a query from ``(src, etype, dst)`` triples."""
+        query = cls(name=name)
+        for vertex, vtype in (vertex_types or {}).items():
+            query.add_vertex(vertex, vtype)
+        for src, etype, dst in triples:
+            query.add_edge(src, dst, etype)
+        return query
+
+    @classmethod
+    def path(
+        cls,
+        etypes: Sequence[str],
+        vtype: Optional[str] = None,
+        name: str = "",
+    ) -> "QueryGraph":
+        """Build the directed path ``v0 -t0-> v1 -t1-> ... -> vk``."""
+        query = cls(name=name)
+        for vertex in range(len(etypes) + 1):
+            query.add_vertex(vertex, vtype)
+        for i, etype in enumerate(etypes):
+            query.add_edge(i, i + 1, etype)
+        return query
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def edges(self) -> Sequence[QueryEdge]:
+        """All query edges, indexed by ``edge_id``."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_types)
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over query vertex ids."""
+        return iter(self._vertex_types)
+
+    def vertex_type(self, vertex: int) -> Optional[str]:
+        """Type constraint of a vertex (``None`` = wildcard)."""
+        try:
+            return self._vertex_types[vertex]
+        except KeyError:
+            raise QueryError(f"unknown query vertex {vertex}") from None
+
+    def binding(self, vertex: int) -> Optional[VertexId]:
+        """Concrete data-vertex binding of a vertex, if any."""
+        return self._bindings.get(vertex)
+
+    def edge(self, edge_id: int) -> QueryEdge:
+        """Query edge by id (works for fragments with non-dense ids too)."""
+        if 0 <= edge_id < len(self._edges):
+            candidate = self._edges[edge_id]
+            if candidate.edge_id == edge_id:
+                return candidate
+        for candidate in self._edges:
+            if candidate.edge_id == edge_id:
+                return candidate
+        raise QueryError(f"unknown query edge {edge_id}")
+
+    def incident(self, vertex: int) -> Tuple[QueryEdge, ...]:
+        """All query edges touching ``vertex`` (self-loops once)."""
+        if self._incident is None:
+            index: Dict[int, list[QueryEdge]] = {v: [] for v in self._vertex_types}
+            for edge in self._edges:
+                index[edge.src].append(edge)
+                if edge.dst != edge.src:
+                    index[edge.dst].append(edge)
+            self._incident = {v: tuple(es) for v, es in index.items()}
+        result = self._incident.get(vertex)
+        if result is None:
+            raise QueryError(f"unknown query vertex {vertex}")
+        return result
+
+    def degree(self, vertex: int) -> int:
+        """Undirected degree of a query vertex."""
+        return len(self.incident(vertex))
+
+    def etypes(self) -> list[str]:
+        """Distinct edge types used by the query, in first-use order."""
+        seen: Dict[str, None] = {}
+        for edge in self._edges:
+            seen.setdefault(edge.etype, None)
+        return list(seen)
+
+    def vertex_ok(
+        self, vertex: int, data_vertex: VertexId, data_vtype: str
+    ) -> bool:
+        """True if ``data_vertex`` (of type ``data_vtype``) may play the role
+        of query vertex ``vertex`` — the λV constraint plus any binding."""
+        required = self._vertex_types.get(vertex)
+        if required is not None and required != data_vtype:
+            return False
+        bound = self._bindings.get(vertex)
+        return bound is None or bound == data_vertex
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """True if the query is connected when directions are ignored.
+
+        The empty query is considered connected.
+        """
+        if not self._vertex_types:
+            return True
+        start = next(iter(self._vertex_types))
+        seen = {start}
+        stack = [start]
+        while stack:
+            vertex = stack.pop()
+            for edge in self.incident(vertex):
+                other = edge.other_endpoint(vertex)
+                if other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        return len(seen) == len(self._vertex_types)
+
+    def diameter(self) -> int:
+        """Undirected diameter (max shortest-path length over vertex pairs).
+
+        Used by the IncIsoMatch baseline to size its re-search neighbourhood.
+        Raises :class:`QueryError` on a disconnected query.
+        """
+        if self.num_vertices == 0:
+            return 0
+        best = 0
+        for source in self._vertex_types:
+            dist = {source: 0}
+            frontier = [source]
+            while frontier:
+                nxt: list[int] = []
+                for vertex in frontier:
+                    for edge in self.incident(vertex):
+                        other = edge.other_endpoint(vertex)
+                        if other not in dist:
+                            dist[other] = dist[vertex] + 1
+                            nxt.append(other)
+                frontier = nxt
+            if len(dist) != self.num_vertices:
+                raise QueryError("diameter undefined for a disconnected query")
+            best = max(best, max(dist.values()))
+        return best
+
+    def subgraph(self, edge_ids: Iterable[int], name: str = "") -> "QueryGraph":
+        """The edge-induced sub-query over ``edge_ids``.
+
+        Vertex ids, types and bindings are preserved so matches against the
+        fragment compose with matches against other fragments.
+        """
+        fragment = QueryGraph(name=name)
+        for edge_id in sorted(set(edge_ids)):
+            edge = self.edge(edge_id)
+            for vertex in edge.endpoints():
+                fragment.add_vertex(
+                    vertex,
+                    self._vertex_types[vertex],
+                    binding=self._bindings.get(vertex),
+                )
+            # Preserve the *original* edge id: fragments index into the
+            # parent query so SJ-Tree joins can merge edge maps directly.
+            frag_edge = QueryEdge(edge.edge_id, edge.src, edge.dst, edge.etype)
+            fragment._edges.append(frag_edge)
+        fragment._incident = None
+        return fragment
+
+    def edge_ids(self) -> frozenset[int]:
+        """The set of edge ids present (contiguous only for full queries)."""
+        return frozenset(edge.edge_id for edge in self._edges)
+
+    def copy(self, name: Optional[str] = None) -> "QueryGraph":
+        """Deep-enough copy (edges are immutable)."""
+        clone = QueryGraph(name=self.name if name is None else name)
+        clone._vertex_types = dict(self._vertex_types)
+        clone._bindings = dict(self._bindings)
+        clone._edges = list(self._edges)
+        return clone
+
+    def edges_by_id(self) -> Dict[int, QueryEdge]:
+        """Mapping ``edge_id -> QueryEdge`` (works for fragments too)."""
+        return {edge.edge_id: edge for edge in self._edges}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or "query"
+        return (
+            f"QueryGraph({label!r}, vertices={self.num_vertices}, "
+            f"edges={[(e.src, e.etype, e.dst) for e in self._edges]})"
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line description used by the CLI and docs."""
+        lines = [f"query {self.name or '<anonymous>'}:"]
+        for vertex in sorted(self._vertex_types):
+            vtype = self._vertex_types[vertex] or "*"
+            bound = self._bindings.get(vertex)
+            suffix = f" = {bound!r}" if bound is not None else ""
+            lines.append(f"  v{vertex}: {vtype}{suffix}")
+        for edge in self._edges:
+            lines.append(f"  e{edge.edge_id}: v{edge.src} -{edge.etype}-> v{edge.dst}")
+        return "\n".join(lines)

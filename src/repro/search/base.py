@@ -1,0 +1,70 @@
+"""Common interface for the continuous search algorithms.
+
+All five strategies (eager/lazy SJ-Tree search plus the two baselines)
+implement :class:`SearchAlgorithm`: they share the data graph owned by the
+engine and consume one inserted :class:`~repro.graph.Edge` at a time,
+returning the *incremental* set of complete matches —
+``M(G_d^{k+1}) − M(G_d^k)`` in the problem statement (§2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.profiling import ProfileCounters
+from ..graph.streaming_graph import StreamingGraph
+from ..graph.types import Edge
+from ..graph.window import TimeWindow
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+
+#: Profile phase names shared by all algorithms (the §6.4.1 split).
+PHASE_ISO = "iso"
+PHASE_JOIN = "join"
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """A complete match together with its reporting context."""
+
+    query_name: str
+    strategy: str
+    match: Match
+    completed_at: float
+
+
+class SearchAlgorithm(abc.ABC):
+    """One registered continuous query under one execution strategy."""
+
+    #: Strategy tag used in reports ("Single", "PathLazy", "VF2", ...).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        graph: StreamingGraph,
+        query: QueryGraph,
+        window: Optional[TimeWindow] = None,
+        profile: Optional[ProfileCounters] = None,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.window = window if window is not None else graph.window
+        self.profile = profile if profile is not None else ProfileCounters()
+        self.matches_emitted = 0
+
+    @abc.abstractmethod
+    def process_edge(self, edge: Edge) -> List[Match]:
+        """Fold one new data edge in; return newly completed matches."""
+
+    def housekeeping(self) -> None:
+        """Periodic maintenance (expiry sweeps); optional per algorithm."""
+
+    def partial_match_count(self) -> int:
+        """Live partial-match state size (0 for stateless baselines)."""
+        return 0
+
+    def _emit(self, matches: List[Match]) -> List[Match]:
+        self.matches_emitted += len(matches)
+        return matches

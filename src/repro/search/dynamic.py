@@ -1,0 +1,62 @@
+"""DYNAMIC-GRAPH-SEARCH (Algorithms 1 + 2) — the "track everything" mode.
+
+Every SJ-Tree leaf primitive is searched around every incoming edge; every
+found match is inserted into the tree, where ``UPDATE-SJ-TREE`` hash-joins
+it with sibling matches and propagates upward. This is the paper's
+``Single`` / ``Path`` configuration (depending on the decomposition used)
+— correct but potentially memory-hungry when a leaf primitive is frequent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.profiling import ProfileCounters
+from ..graph.streaming_graph import StreamingGraph
+from ..graph.types import Edge
+from ..graph.window import TimeWindow
+from ..isomorphism.anchored import find_anchored_matches
+from ..isomorphism.match import Match
+from ..sjtree.tree import SJTree
+from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
+
+
+class DynamicGraphSearch(SearchAlgorithm):
+    """Eager decomposition-driven continuous search."""
+
+    name = "Dynamic"
+
+    def __init__(
+        self,
+        graph: StreamingGraph,
+        tree: SJTree,
+        window: Optional[TimeWindow] = None,
+        profile: Optional[ProfileCounters] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(graph, tree.query, window, profile)
+        self.tree = tree
+        if name is not None:
+            self.name = name
+
+    def process_edge(self, edge: Edge) -> List[Match]:
+        results: List[Match] = []
+        sink = results.append
+        for leaf in self.tree.leaves():
+            with self.profile.phase(PHASE_ISO):
+                matches = find_anchored_matches(self.graph, leaf.fragment, edge)
+            if not matches:
+                continue
+            self.profile.bump("leaf_matches", len(matches))
+            with self.profile.phase(PHASE_JOIN):
+                for match in matches:
+                    self.tree.insert_match(
+                        leaf.node_id, match, self.window, sink
+                    )
+        return self._emit(results)
+
+    def housekeeping(self) -> None:
+        self.tree.expire(self.window.cutoff)
+
+    def partial_match_count(self) -> int:
+        return self.tree.total_partial_matches()

@@ -1,0 +1,296 @@
+"""Continuous query engine — the public front door of the library.
+
+Mirrors the paper's two-step workflow (§6.1):
+
+1. **Query decomposition** — warm the selectivity estimator on a stream
+   prefix, register queries (strategy chosen automatically via Relative
+   Selectivity unless pinned), optionally persist the SJ-Tree to ASCII.
+2. **Query processing** — start from an empty data graph and stream edges
+   through; every registered query folds each edge in incrementally and
+   emits complete matches as :class:`~repro.search.base.MatchRecord`.
+
+Example
+-------
+>>> engine = ContinuousQueryEngine(window=3600.0)
+>>> engine.warmup(prefix_events)                       # doctest: +SKIP
+>>> engine.register(query, strategy="auto")            # doctest: +SKIP
+>>> for record in engine.run(stream).records:          # doctest: +SKIP
+...     print(record.query_name, record.match)
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.profiling import ProfileCounters
+from ..errors import QueryError, StrategyError
+from ..graph.streaming_graph import StreamingGraph
+from ..graph.types import EdgeEvent
+from ..query.query_graph import QueryGraph
+from ..sjtree.builder import build_sj_tree
+from ..sjtree.tree import SJTree
+from ..stats.estimator import SelectivityEstimator
+from ..stats.paths import EdgeMapFn, default_edge_map
+from .base import MatchRecord, SearchAlgorithm
+from .baseline import IncIsoMatchSearch, PeriodicVF2Search, VF2PerEdgeSearch
+from .dynamic import DynamicGraphSearch
+from .lazy import LazySearch
+from .strategy import STRATEGY_NAMES, StrategyDecision, choose_strategy
+
+
+@dataclass
+class RegisteredQuery:
+    """A query under execution inside the engine."""
+
+    name: str
+    query: QueryGraph
+    strategy: str
+    algorithm: SearchAlgorithm
+    tree: Optional[SJTree] = None
+    decision: Optional[StrategyDecision] = None
+
+    @property
+    def profile(self) -> ProfileCounters:
+        return self.algorithm.profile
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`ContinuousQueryEngine.run`."""
+
+    records: List[MatchRecord] = field(default_factory=list)
+    edges_processed: int = 0
+    elapsed_seconds: float = 0.0
+    peak_partial_matches: int = 0
+
+    @property
+    def matches(self) -> int:
+        return len(self.records)
+
+    def by_query(self) -> Dict[str, List[MatchRecord]]:
+        grouped: Dict[str, List[MatchRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.query_name, []).append(record)
+        return grouped
+
+
+class ContinuousQueryEngine:
+    """Multi-query continuous pattern detection over one streaming graph."""
+
+    def __init__(
+        self,
+        window: float = math.inf,
+        estimator: Optional[SelectivityEstimator] = None,
+        map_edge: EdgeMapFn = default_edge_map,
+        housekeeping_every: int = 2048,
+    ) -> None:
+        self.graph = StreamingGraph(window)
+        self.estimator = (
+            estimator if estimator is not None else SelectivityEstimator(map_edge)
+        )
+        self.queries: Dict[str, RegisteredQuery] = {}
+        if housekeeping_every < 1:
+            raise ValueError("housekeeping_every must be >= 1")
+        self.housekeeping_every = housekeeping_every
+        self._edges_since_sweep = 0
+        #: when True, the estimator keeps observing the live stream (the
+        #: paper assumes a stable selectivity order, so default off).
+        self.update_statistics = False
+
+    # ------------------------------------------------------------------
+    # step 1: decomposition
+    # ------------------------------------------------------------------
+
+    def warmup(self, events: Iterable[EdgeEvent]) -> int:
+        """Feed a stream prefix to the selectivity estimator only."""
+        return self.estimator.observe_events(events)
+
+    def register(
+        self,
+        query: QueryGraph,
+        strategy: str = "auto",
+        name: Optional[str] = None,
+        **options,
+    ) -> RegisteredQuery:
+        """Register a continuous query.
+
+        ``strategy`` is one of :data:`~repro.search.strategy.STRATEGY_NAMES`
+        or ``"auto"`` (Relative-Selectivity rule). ``options`` are passed to
+        the algorithm constructor (e.g. ``retrospective=False`` for the
+        lazy ablation, ``period=...`` for PeriodicVF2).
+        """
+        if not query.is_connected():
+            raise QueryError(
+                "continuous queries must be connected "
+                "(the decomposition join order requires shared vertices)"
+            )
+        query_name = name or query.name or f"q{len(self.queries)}"
+        if query_name in self.queries:
+            raise QueryError(f"query name {query_name!r} already registered")
+
+        decision: Optional[StrategyDecision] = None
+        if strategy == "auto":
+            decision = choose_strategy(query, self.estimator)
+            strategy = decision.chosen
+
+        registered = RegisteredQuery(
+            name=query_name,
+            query=query,
+            strategy=strategy,
+            algorithm=self._build_algorithm(query, strategy, **options),
+            decision=decision,
+        )
+        if isinstance(registered.algorithm, (DynamicGraphSearch, LazySearch)):
+            registered.tree = registered.algorithm.tree
+        self.queries[query_name] = registered
+        return registered
+
+    def _build_algorithm(
+        self, query: QueryGraph, strategy: str, **options
+    ) -> SearchAlgorithm:
+        window = self.graph.window
+        if strategy in ("Single", "SingleLazy", "Path", "PathLazy"):
+            self.estimator.require_warm()
+            flavour = "single" if strategy.startswith("Single") else "path"
+            tree = build_sj_tree(query, self.estimator, flavour)
+            if strategy.endswith("Lazy"):
+                return LazySearch(
+                    self.graph, tree, window, name=strategy, **options
+                )
+            return DynamicGraphSearch(
+                self.graph, tree, window, name=strategy, **options
+            )
+        if strategy == "VF2":
+            return VF2PerEdgeSearch(self.graph, query, window, **options)
+        if strategy == "IncIso":
+            return IncIsoMatchSearch(self.graph, query, window, **options)
+        if strategy == "PeriodicVF2":
+            return PeriodicVF2Search(self.graph, query, window, **options)
+        raise StrategyError(
+            f"unknown strategy {strategy!r}; expected 'auto' or one of "
+            f"{STRATEGY_NAMES}"
+        )
+
+    # ------------------------------------------------------------------
+    # step 2: processing
+    # ------------------------------------------------------------------
+
+    def process_event(self, event: EdgeEvent) -> List[MatchRecord]:
+        """Insert one stream event; return all newly completed matches."""
+        edge = self.graph.add_event(event)
+        if self.update_statistics:
+            self.estimator.observe(edge)
+        records: List[MatchRecord] = []
+        for registered in self.queries.values():
+            for match in registered.algorithm.process_edge(edge):
+                records.append(
+                    MatchRecord(
+                        query_name=registered.name,
+                        strategy=registered.strategy,
+                        match=match,
+                        completed_at=edge.timestamp,
+                    )
+                )
+        self._edges_since_sweep += 1
+        if self._edges_since_sweep >= self.housekeeping_every:
+            self.sweep()
+        return records
+
+    def run(
+        self,
+        events: Iterable[EdgeEvent],
+        limit: Optional[int] = None,
+    ) -> RunResult:
+        """Process a whole stream; collect records and resource metrics."""
+        result = RunResult()
+        started = time.perf_counter()
+        for event in events:
+            if limit is not None and result.edges_processed >= limit:
+                break
+            result.records.extend(self.process_event(event))
+            result.edges_processed += 1
+            if result.edges_processed % 1000 == 0:
+                result.peak_partial_matches = max(
+                    result.peak_partial_matches, self.partial_match_count()
+                )
+        result.peak_partial_matches = max(
+            result.peak_partial_matches, self.partial_match_count()
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def sweep(self) -> None:
+        """Expire stale partial state in all queries (and the bitmaps)."""
+        self._edges_since_sweep = 0
+        for registered in self.queries.values():
+            registered.algorithm.housekeeping()
+
+    # ------------------------------------------------------------------
+    # adaptation (§7 future work, implemented — see repro.search.adaptive)
+    # ------------------------------------------------------------------
+
+    def refresh_query(self, name: str, strategy: str = "auto", **options):
+        """Re-derive a query's decomposition from *current* statistics and
+        migrate its state by replaying the live window.
+
+        Useful after the selectivity order has drifted (enable
+        ``update_statistics`` so the estimator keeps tracking the live
+        stream). Returns a :class:`~repro.search.adaptive.RefreshReport`;
+        matches rediscovered during the replay were already reported when
+        they first completed and are suppressed, not re-emitted.
+        """
+        from .adaptive import migrate
+
+        try:
+            registered = self.queries[name]
+        except KeyError:
+            raise QueryError(f"no registered query named {name!r}") from None
+
+        decision: Optional[StrategyDecision] = None
+        if strategy == "auto":
+            decision = choose_strategy(registered.query, self.estimator)
+            strategy = decision.chosen
+        replacement = self._build_algorithm(registered.query, strategy, **options)
+        report = migrate(self.graph, registered.algorithm, replacement, name)
+
+        registered.algorithm = replacement
+        registered.strategy = strategy
+        registered.decision = decision
+        registered.tree = (
+            replacement.tree
+            if isinstance(replacement, (DynamicGraphSearch, LazySearch))
+            else None
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def partial_match_count(self) -> int:
+        """Live partial matches across all registered queries."""
+        return sum(
+            registered.algorithm.partial_match_count()
+            for registered in self.queries.values()
+        )
+
+    def describe(self) -> str:
+        """Multi-line status summary (CLI / examples)."""
+        lines = [
+            f"graph: {self.graph.num_vertices} vertices, "
+            f"{self.graph.num_edges} live edges "
+            f"({self.graph.total_edges_seen} seen, window="
+            f"{self.graph.window.width:g})"
+        ]
+        for registered in self.queries.values():
+            emitted = registered.algorithm.matches_emitted
+            lines.append(
+                f"  {registered.name}: strategy={registered.strategy} "
+                f"matches={emitted} partial={registered.algorithm.partial_match_count()}"
+            )
+            if registered.decision is not None:
+                lines.append(f"    {registered.decision.explain()}")
+        return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""LAZY-SEARCH (Algorithm 3): selectivity-gated continuous search.
+
+The most selective primitive (leaf 0) is searched around every incoming
+edge; every other leaf ``i`` is searched around an edge only if one of the
+edge's endpoints has the leaf enabled in the bitmap ``Mb``. Enablement is
+driven by match insertions: a match stored at a node whose sibling is leaf
+``i`` switches leaf ``i`` on for all data vertices of the match.
+
+Arrival-order robustness (§4): the moment a leaf is freshly enabled at a
+vertex, the existing neighbourhood is *retrospectively* searched for
+matches of that leaf which arrived before enablement — "when we find g1
+and enable the search for g2 … we also perform a search in Gd" (the paper
+phrases the example with the roles swapped; the mechanism is the same).
+Retrospective discoveries insert normally, so they can cascade further
+enablements. Duplicate discoveries are suppressed by the node tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.profiling import ProfileCounters
+from ..graph.streaming_graph import StreamingGraph
+from ..graph.types import Edge
+from ..graph.window import TimeWindow
+from ..isomorphism.anchored import (
+    find_anchored_matches,
+    find_vertex_anchored_matches,
+)
+from ..isomorphism.match import Match
+from ..sjtree.node import SJTreeNode
+from ..sjtree.tree import SJTree
+from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
+from .bitmap import ScanBitmap
+
+
+class LazySearch(SearchAlgorithm):
+    """Lazy decomposition-driven continuous search (Algorithm 3)."""
+
+    name = "Lazy"
+
+    def __init__(
+        self,
+        graph: StreamingGraph,
+        tree: SJTree,
+        window: Optional[TimeWindow] = None,
+        profile: Optional[ProfileCounters] = None,
+        name: Optional[str] = None,
+        retrospective: bool = True,
+    ) -> None:
+        super().__init__(graph, tree.query, window, profile)
+        if not tree.is_join_order_connected():
+            from ..errors import DecompositionError
+
+            raise DecompositionError(
+                "Lazy Search requires a frontier-connected join order: "
+                "every leaf must share a query vertex with the leaves "
+                "before it, or its enablement bits would never be set at "
+                "the right data vertices and matches would be lost. Use "
+                "BUILD-SJ-TREE (whose frontier rule guarantees this) or "
+                "the eager DynamicGraphSearch for this tree."
+            )
+        self.tree = tree
+        self.bitmap = ScanBitmap(tree.num_leaves)
+        #: disabling the retrospective pass reproduces the §4 robustness
+        #: failure mode — exercised by an ablation benchmark.
+        self.retrospective = retrospective
+        if name is not None:
+            self.name = name
+        # node_id -> leaf index to enable when a match lands on the node
+        # (defined where the node's sibling is a leaf other than leaf 0).
+        self._enable_target: Dict[int, int] = {}
+        for node in tree.nodes:
+            if node.is_root or node.sibling is None:
+                continue
+            sibling = tree.node(node.sibling)
+            if sibling.is_leaf and sibling.leaf_index:
+                self._enable_target[node.node_id] = sibling.leaf_index
+        self._leaves = tree.leaves()
+
+    # ------------------------------------------------------------------
+
+    def process_edge(self, edge: Edge) -> List[Match]:
+        results: List[Match] = []
+        sink = results.append
+        hook = self._make_hook(sink)
+        for leaf in self._leaves:
+            index = leaf.leaf_index or 0
+            if index > 0 and not (
+                self.bitmap.enabled(edge.src, index)
+                or self.bitmap.enabled(edge.dst, index)
+            ):
+                continue  # DISABLED(u, n) and DISABLED(v, n)
+            with self.profile.phase(PHASE_ISO):
+                matches = find_anchored_matches(self.graph, leaf.fragment, edge)
+            if not matches:
+                continue
+            self.profile.bump("leaf_matches", len(matches))
+            with self.profile.phase(PHASE_JOIN):
+                for match in matches:
+                    self.tree.insert_match(
+                        leaf.node_id, match, self.window, sink, hook
+                    )
+        return self._emit(results)
+
+    # ------------------------------------------------------------------
+
+    def _make_hook(self, sink) -> "callable":
+        def on_insert(node: SJTreeNode, match: Match) -> None:
+            target = self._enable_target.get(node.node_id)
+            if target is None:
+                return
+            self._enable_and_backfill(target, match, sink, on_insert)
+
+        return on_insert
+
+    def _enable_and_backfill(
+        self, leaf_index: int, match: Match, sink, hook
+    ) -> None:
+        """Turn on leaf ``leaf_index`` for the match's vertices; on fresh
+        enablement, retrospectively search the vertex neighbourhood."""
+        leaf = self._leaves[leaf_index]
+        for vertex in match.data_vertices():
+            if not self.bitmap.enable(vertex, leaf_index):
+                continue
+            self.profile.bump("enablements")
+            if not self.retrospective:
+                continue
+            with self.profile.phase(PHASE_ISO):
+                found = find_vertex_anchored_matches(
+                    self.graph, leaf.fragment, vertex
+                )
+            if not found:
+                continue
+            self.profile.bump("retro_matches", len(found))
+            for retro in found:
+                self.tree.insert_match(
+                    leaf.node_id, retro, self.window, sink, hook
+                )
+
+    # ------------------------------------------------------------------
+
+    def housekeeping(self) -> None:
+        self.tree.expire(self.window.cutoff)
+        self.bitmap.compact(self.graph)
+
+    def partial_match_count(self) -> int:
+        return self.tree.total_partial_matches()

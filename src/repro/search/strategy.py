@@ -1,0 +1,76 @@
+"""Automated strategy selection via Relative Selectivity (§5.2 / §6.5).
+
+The paper evaluates four SJ-Tree configurations — {1-edge, 2-edge path}
+decomposition × {eager, lazy} execution — and derives an empirical rule:
+queries whose Relative Selectivity ``ξ(T_path, T_single)`` falls below
+``10⁻³`` (the low cluster in Fig. 10) should run **PathLazy**; the rest
+run **SingleLazy**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..query.query_graph import QueryGraph
+from ..sjtree.builder import preview_leaves
+from ..stats.estimator import SelectivityEstimator
+from ..stats.selectivity import (
+    RELATIVE_SELECTIVITY_THRESHOLD,
+    expected_selectivity,
+    relative_selectivity,
+)
+
+#: All execution strategies the engine can instantiate.
+STRATEGY_NAMES: tuple[str, ...] = (
+    "Single",
+    "SingleLazy",
+    "Path",
+    "PathLazy",
+    "VF2",
+    "IncIso",
+    "PeriodicVF2",
+)
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """Outcome of the automatic selection, with its evidence."""
+
+    chosen: str
+    relative_selectivity: float
+    expected_single: float
+    expected_path: float
+    threshold: float
+
+    def explain(self) -> str:
+        comparison = "<" if self.relative_selectivity < self.threshold else ">="
+        return (
+            f"xi = S^(T_path)/S^(T_single) = {self.expected_path:.3e}/"
+            f"{self.expected_single:.3e} = {self.relative_selectivity:.3e} "
+            f"{comparison} {self.threshold:g}  ->  {self.chosen}"
+        )
+
+
+def choose_strategy(
+    query: QueryGraph,
+    estimator: SelectivityEstimator,
+    threshold: float = RELATIVE_SELECTIVITY_THRESHOLD,
+) -> StrategyDecision:
+    """Pick PathLazy or SingleLazy for a query using the ξ rule.
+
+    Requires a warm estimator (statistics from a stream prefix).
+    """
+    estimator.require_warm()
+    leaves_single = preview_leaves(query, estimator, "single")
+    leaves_path = preview_leaves(query, estimator, "path")
+    expected_single = expected_selectivity(leaves_single)
+    expected_path = expected_selectivity(leaves_path)
+    xi = relative_selectivity(leaves_path, leaves_single)
+    chosen = "PathLazy" if xi < threshold else "SingleLazy"
+    return StrategyDecision(
+        chosen=chosen,
+        relative_selectivity=xi,
+        expected_single=expected_single,
+        expected_path=expected_path,
+        threshold=threshold,
+    )

@@ -1,0 +1,33 @@
+"""SJ-Tree (S9/S10): decomposition structure, builder, serialization."""
+
+from .builder import (
+    STRATEGIES,
+    build_sj_tree,
+    decompose,
+    make_catalogue,
+    preview_leaves,
+)
+from .node import MatchTable, SJTreeNode
+from .primitives import EdgePrimitive, PathPrimitive, Primitive, instance_vertices
+from .serialize import dumps, load, loads, save
+from .tree import SJTree, leaf_partition_of
+
+__all__ = [
+    "EdgePrimitive",
+    "MatchTable",
+    "PathPrimitive",
+    "Primitive",
+    "SJTree",
+    "SJTreeNode",
+    "STRATEGIES",
+    "build_sj_tree",
+    "decompose",
+    "dumps",
+    "instance_vertices",
+    "leaf_partition_of",
+    "load",
+    "loads",
+    "make_catalogue",
+    "preview_leaves",
+    "save",
+]

@@ -1,0 +1,149 @@
+"""SJ-Tree nodes and their match tables.
+
+Each non-root node stores the partial matches for its query subgraph in a
+hash table keyed by the projection of the match onto the parent's *cut
+subgraph* (Properties 3 and 4). The table supports:
+
+* O(1) insert with duplicate suppression (Lazy Search's retrospective pass
+  may rediscover a match that the normal pass already stored);
+* O(1) bucket probe (the hash-join of ``UPDATE-SJ-TREE``);
+* lazy expiry of matches whose earliest edge has left the time window —
+  once an edge is evicted from the graph no new join partner can contain
+  it, and retrospective searches can no longer rediscover it, so keeping
+  the partial match would only leak memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+
+JoinKey = Tuple  # tuple of data vertex ids (possibly empty)
+
+
+class MatchTable:
+    """Hash table of partial matches with expiry bookkeeping."""
+
+    __slots__ = ("_buckets", "_seen", "_heap", "_entries", "_next_uid", "inserted_total")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[JoinKey, Dict[int, Match]] = {}
+        self._seen: Dict[tuple, int] = {}
+        self._heap: List[Tuple[float, int]] = []
+        self._entries: Dict[int, Tuple[JoinKey, Match]] = {}
+        self._next_uid = 0
+        #: lifetime insert count (the space-complexity measure of §5.2 uses it)
+        self.inserted_total = 0
+
+    def insert(self, key: JoinKey, match: Match) -> bool:
+        """Store a match under ``key``; False if it is already present."""
+        fingerprint = match.fingerprint
+        if fingerprint in self._seen:
+            return False
+        uid = self._next_uid
+        self._next_uid += 1
+        self._seen[fingerprint] = uid
+        self._entries[uid] = (key, match)
+        self._buckets.setdefault(key, {})[uid] = match
+        heapq.heappush(self._heap, (match.min_time, uid))
+        self.inserted_total += 1
+        return True
+
+    def probe(self, key: JoinKey) -> List[Match]:
+        """All live matches stored under ``key`` (copy — join recursion may
+        insert into other tables while the caller iterates)."""
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return []
+        return list(bucket.values())
+
+    def expire(self, cutoff: float) -> int:
+        """Drop matches whose ``min_time`` is strictly below ``cutoff``.
+
+        The cutoff is the graph's edge-eviction cutoff (``t_last − tW``):
+        a partial match is retained exactly as long as all its edges are
+        still live, which Lazy Search's retrospective joins rely on.
+        """
+        dropped = 0
+        while self._heap and self._heap[0][0] < cutoff:
+            min_time, uid = heapq.heappop(self._heap)
+            entry = self._entries.pop(uid, None)
+            if entry is None:
+                continue  # already removed
+            key, match = entry
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.pop(uid, None)
+                if not bucket:
+                    del self._buckets[key]
+            self._seen.pop(match.fingerprint, None)
+            dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Match]:
+        for _, match in self._entries.values():
+            yield match
+
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+
+@dataclass
+class SJTreeNode:
+    """One node of the SJ-Tree (Definition 3.1.1).
+
+    ``edge_ids`` identifies the query subgraph ``VSG(n)`` (Property 1/2:
+    the root covers all query edges; an internal node covers the union of
+    its children). ``cut_vertices`` is the intersection of the children's
+    vertex sets (Property 4) — defined for internal nodes. A node's own
+    matches are keyed by the *parent's* cut (``key_vertices``).
+    """
+
+    node_id: int
+    fragment: QueryGraph
+    edge_ids: frozenset[int]
+    parent: Optional[int] = None
+    sibling: Optional[int] = None
+    left: Optional[int] = None
+    right: Optional[int] = None
+    leaf_index: Optional[int] = None
+    cut_vertices: Tuple[int, ...] = ()
+    key_vertices: Tuple[int, ...] = ()
+    #: leaf metadata: human label + estimated selectivity of the primitive
+    leaf_label: str = ""
+    leaf_selectivity: Optional[float] = None
+    table: MatchTable = field(default_factory=MatchTable)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def num_query_edges(self) -> int:
+        return len(self.edge_ids)
+
+    def vertices(self) -> frozenset[int]:
+        """Query vertices covered by this node's subgraph."""
+        return frozenset(self.fragment.vertices())
+
+    def space_estimate(self) -> int:
+        """§5.2 space measure: subgraph size × stored match count."""
+        return self.num_query_edges * len(self.table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "leaf" if self.is_leaf else ("root" if self.is_root else "join")
+        return (
+            f"SJTreeNode(#{self.node_id} {kind} edges={sorted(self.edge_ids)} "
+            f"cut={self.cut_vertices} stored={len(self.table)})"
+        )

@@ -1,0 +1,133 @@
+"""Search primitives — the alphabet of the query decomposition.
+
+The paper selects *single-edge subgraphs* and *2-edge paths* as primitives
+(§5.1): their subgraph-isomorphism cost is low (O(1) / O(d̄)) and their
+selectivities can be estimated from stream statistics cheaply. A
+:class:`Primitive` knows how to locate an instance of itself inside a
+*query* graph (that is what ``SUBGRAPH-ISO(Gq, v, gM)`` does in
+Algorithm 4 — note it searches the query, not the data graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set
+
+from ..query.query_graph import QueryGraph
+from ..stats.paths import PathSignature, make_signature
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """Base class: a typed shape with an estimated selectivity."""
+
+    selectivity: float
+
+    @property
+    def num_edges(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def find_instance(
+        self,
+        query: QueryGraph,
+        remaining: Set[int],
+        frontier: Optional[Set[int]],
+    ) -> Optional[Sequence[int]]:
+        """Return query-edge ids of an instance within ``remaining``, or None.
+
+        When ``frontier`` is given the instance must include at least one
+        frontier vertex (Algorithm 4 lines 5-8). The search is deterministic
+        (lowest edge ids win) so decompositions are reproducible.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EdgePrimitive(Primitive):
+    """A single-edge subgraph of a given edge type."""
+
+    etype: str = ""
+
+    @property
+    def num_edges(self) -> int:
+        return 1
+
+    @property
+    def label(self) -> str:
+        return f"edge[{self.etype}]"
+
+    def find_instance(
+        self,
+        query: QueryGraph,
+        remaining: Set[int],
+        frontier: Optional[Set[int]],
+    ) -> Optional[Sequence[int]]:
+        for qeid in sorted(remaining):
+            edge = query.edge(qeid)
+            if edge.etype != self.etype:
+                continue
+            if frontier is not None and not (
+                edge.src in frontier or edge.dst in frontier
+            ):
+                continue
+            return (qeid,)
+        return None
+
+
+@dataclass(frozen=True)
+class PathPrimitive(Primitive):
+    """A 2-edge path with a given direction-aware signature (§5.1)."""
+
+    signature: PathSignature = ((("out", ""), ("out", "")))  # type: ignore[assignment]
+
+    @property
+    def num_edges(self) -> int:
+        return 2
+
+    @property
+    def label(self) -> str:
+        (d1, t1), (d2, t2) = self.signature
+        return f"path[{d1}:{t1} ~ {d2}:{t2}]"
+
+    def find_instance(
+        self,
+        query: QueryGraph,
+        remaining: Set[int],
+        frontier: Optional[Set[int]],
+    ) -> Optional[Sequence[int]]:
+        for centre in sorted(query.vertices()):
+            incident = [
+                e for e in query.incident(centre) if e.edge_id in remaining
+            ]
+            for i, edge_a in enumerate(incident):
+                token_a = (edge_a.direction_from(centre), edge_a.etype)
+                for edge_b in incident[i + 1 :]:
+                    token_b = (edge_b.direction_from(centre), edge_b.etype)
+                    if make_signature(token_a, token_b) != self.signature:
+                        continue
+                    if frontier is not None:
+                        vertices = {
+                            edge_a.src,
+                            edge_a.dst,
+                            edge_b.src,
+                            edge_b.dst,
+                        }
+                        if not (vertices & frontier):
+                            continue
+                    pair = sorted((edge_a.edge_id, edge_b.edge_id))
+                    return tuple(pair)
+        return None
+
+
+def instance_vertices(query: QueryGraph, edge_ids: Sequence[int]) -> Set[int]:
+    """Query vertices covered by a primitive instance."""
+    vertices: Set[int] = set()
+    for qeid in edge_ids:
+        edge = query.edge(qeid)
+        vertices.add(edge.src)
+        vertices.add(edge.dst)
+    return vertices

@@ -1,0 +1,111 @@
+"""ASCII serialization of SJ-Tree decompositions.
+
+The paper's workflow stores the decomposition produced by the query
+optimizer as an ASCII file, which the query-processing step later loads
+(§6.1). The format is line-oriented and human-readable::
+
+    SJTREE v1
+    query <name>
+    edges e0:v0-TCP->v1 e1:v1-ICMP->v2 ...
+    leaf <index> edges <id,id> selectivity <float> label <text>
+    ...
+
+Loading validates that the file's edge list matches the query it is being
+applied to, so a stale decomposition cannot silently corrupt matching.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from ..errors import SerializationError
+from ..query.query_graph import QueryGraph
+from ..stats.selectivity import LeafSelectivity
+from .tree import SJTree
+
+_HEADER = "SJTREE v1"
+
+
+def _edge_signature(query: QueryGraph) -> str:
+    return " ".join(
+        f"e{e.edge_id}:v{e.src}-{e.etype}->v{e.dst}"
+        for e in sorted(query.edges, key=lambda e: e.edge_id)
+    )
+
+
+def dumps(tree: SJTree) -> str:
+    """Serialize a tree's decomposition (not its runtime match state)."""
+    lines = [_HEADER, f"query {tree.query.name or '<anonymous>'}"]
+    lines.append(f"edges {_edge_signature(tree.query)}")
+    for leaf in tree.leaves():
+        ids = ",".join(str(i) for i in sorted(leaf.edge_ids))
+        selectivity = (
+            "?" if leaf.leaf_selectivity is None else repr(leaf.leaf_selectivity)
+        )
+        label = leaf.leaf_label or "-"
+        lines.append(
+            f"leaf {leaf.leaf_index} edges {ids} "
+            f"selectivity {selectivity} label {label}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str, query: QueryGraph) -> SJTree:
+    """Rebuild a tree for ``query`` from :func:`dumps` output."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[0].strip() != _HEADER:
+        raise SerializationError(f"missing {_HEADER!r} header")
+    leaf_sets: List[tuple[int, ...]] = []
+    meta: List[LeafSelectivity] = []
+    expected_index = 0
+    for line in lines[1:]:
+        parts = line.split()
+        if parts[0] == "query":
+            continue
+        if parts[0] == "edges":
+            recorded = line.split(" ", 1)[1].strip()
+            actual = _edge_signature(query)
+            if recorded != actual:
+                raise SerializationError(
+                    "decomposition was built for a different query: "
+                    f"file has {recorded!r}, query is {actual!r}"
+                )
+            continue
+        if parts[0] != "leaf":
+            raise SerializationError(f"unexpected line {line!r}")
+        try:
+            index = int(parts[1])
+            assert parts[2] == "edges" and parts[4] == "selectivity"
+            ids = tuple(int(x) for x in parts[3].split(","))
+            selectivity = 1.0 if parts[5] == "?" else float(parts[5])
+            label_idx = line.index(" label ") + len(" label ")
+            label = line[label_idx:].strip()
+        except (AssertionError, IndexError, ValueError) as exc:
+            raise SerializationError(f"malformed leaf line {line!r}") from exc
+        if index != expected_index:
+            raise SerializationError(
+                f"leaf indexes out of order: expected {expected_index}, got {index}"
+            )
+        expected_index += 1
+        leaf_sets.append(ids)
+        meta.append(
+            LeafSelectivity(
+                description="" if label == "-" else label,
+                selectivity=selectivity,
+                num_edges=len(ids),
+            )
+        )
+    if not leaf_sets:
+        raise SerializationError("no leaves in SJ-Tree file")
+    return SJTree.from_leaf_partition(query, leaf_sets, meta)
+
+
+def save(tree: SJTree, path: Union[str, Path]) -> None:
+    """Write :func:`dumps` output to ``path``."""
+    Path(path).write_text(dumps(tree), encoding="utf-8")
+
+
+def load(path: Union[str, Path], query: QueryGraph) -> SJTree:
+    """Read a tree for ``query`` from ``path``."""
+    return loads(Path(path).read_text(encoding="utf-8"), query)

@@ -1,0 +1,311 @@
+"""The Subgraph Join Tree (SJ-Tree, §3.1) and its update algorithm (§3.2).
+
+An SJ-Tree is a left-deep binary tree over an ordered partition of the
+query's edges. Leaf ``k`` holds matches of primitive ``g_k``; internal
+node ``k`` holds matches of ``g_1 ⋈ … ⋈ g_k``; the root corresponds to the
+whole query. ``insert_match`` implements ``UPDATE-SJ-TREE`` (Algorithm 2)
+with symmetric sibling probing: whichever child receives a match probes
+the other child's hash table on the shared cut projection, and successful
+joins recurse upward until the root emits a complete match.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import DecompositionError
+from ..graph.window import TimeWindow
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+from ..stats.selectivity import LeafSelectivity, expected_selectivity
+from .node import SJTreeNode
+
+#: Callback invoked with every complete (root-level) match.
+MatchSink = Callable[[Match], None]
+#: Hook invoked after every successful non-root insertion (Lazy Search
+#: uses it to drive leaf enablement).
+InsertHook = Callable[[SJTreeNode, Match], None]
+
+
+class SJTree:
+    """A built decomposition, owning per-node partial-match state."""
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        nodes: List[SJTreeNode],
+        root_id: int,
+        leaf_ids: List[int],
+    ) -> None:
+        self.query = query
+        self.nodes = nodes
+        self.root_id = root_id
+        self.leaf_ids = leaf_ids
+        self.complete_matches = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_leaf_partition(
+        cls,
+        query: QueryGraph,
+        leaf_edge_sets: Sequence[Sequence[int]],
+        leaf_meta: Optional[Sequence[LeafSelectivity]] = None,
+    ) -> "SJTree":
+        """Build the left-deep tree for an ordered edge partition.
+
+        ``leaf_edge_sets[k]`` lists the query edge ids of leaf ``k`` (the
+        join order — index 0 is the most selective subgraph). The sets must
+        partition the query's edges.
+        """
+        cls._validate_partition(query, leaf_edge_sets)
+        if leaf_meta is not None and len(leaf_meta) != len(leaf_edge_sets):
+            raise DecompositionError("leaf_meta length must match leaf count")
+
+        nodes: List[SJTreeNode] = []
+
+        def new_node(edge_ids: frozenset[int]) -> SJTreeNode:
+            node = SJTreeNode(
+                node_id=len(nodes),
+                fragment=query.subgraph(edge_ids),
+                edge_ids=edge_ids,
+            )
+            nodes.append(node)
+            return node
+
+        leaves: List[SJTreeNode] = []
+        for index, edge_ids in enumerate(leaf_edge_sets):
+            leaf = new_node(frozenset(edge_ids))
+            leaf.leaf_index = index
+            if leaf_meta is not None:
+                leaf.leaf_label = leaf_meta[index].description
+                leaf.leaf_selectivity = leaf_meta[index].selectivity
+            leaves.append(leaf)
+
+        current = leaves[0]
+        for leaf in leaves[1:]:
+            parent = new_node(current.edge_ids | leaf.edge_ids)
+            parent.left = current.node_id
+            parent.right = leaf.node_id
+            cut = tuple(sorted(current.vertices() & leaf.vertices()))
+            parent.cut_vertices = cut
+            current.parent = parent.node_id
+            current.sibling = leaf.node_id
+            current.key_vertices = cut
+            leaf.parent = parent.node_id
+            leaf.sibling = current.node_id
+            leaf.key_vertices = cut
+            current = parent
+
+        return cls(
+            query,
+            nodes,
+            root_id=current.node_id,
+            leaf_ids=[leaf.node_id for leaf in leaves],
+        )
+
+    @staticmethod
+    def _validate_partition(
+        query: QueryGraph, leaf_edge_sets: Sequence[Sequence[int]]
+    ) -> None:
+        if not leaf_edge_sets:
+            raise DecompositionError("decomposition needs at least one leaf")
+        all_ids: set[int] = set()
+        for edge_ids in leaf_edge_sets:
+            ids = set(edge_ids)
+            if not ids:
+                raise DecompositionError("empty leaf in decomposition")
+            if ids & all_ids:
+                raise DecompositionError(
+                    f"leaves overlap on query edges {sorted(ids & all_ids)}"
+                )
+            all_ids |= ids
+        expected = {edge.edge_id for edge in query.edges}
+        if all_ids != expected:
+            raise DecompositionError(
+                "leaves do not partition the query edges: "
+                f"missing {sorted(expected - all_ids)}, "
+                f"extra {sorted(all_ids - expected)}"
+            )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> SJTreeNode:
+        return self.nodes[self.root_id]
+
+    def node(self, node_id: int) -> SJTreeNode:
+        return self.nodes[node_id]
+
+    def leaves(self) -> List[SJTreeNode]:
+        """Leaf nodes in join order (``GET-LEAF-NODES``)."""
+        return [self.nodes[i] for i in self.leaf_ids]
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self.leaf_ids)
+
+    def is_join_order_connected(self) -> bool:
+        """True if every leaf after the first shares a query vertex with
+        the union of the leaves before it (Algorithm 4's frontier rule).
+
+        **Lazy Search requires this**: leaf ``i+1`` is only ever searched
+        around the vertices of matches covering leaves ``0..i``, so a leaf
+        disconnected from its predecessors would never be enabled at the
+        right vertices and matches would be silently lost. Eager search
+        stays exact without it (the hash join degenerates to a cartesian
+        product on an empty cut), just slower.
+        """
+        leaves = self.leaves()
+        if not leaves:
+            return False
+        seen: set[int] = set(leaves[0].vertices())
+        for leaf in leaves[1:]:
+            vertices = set(leaf.vertices())
+            if not (vertices & seen):
+                return False
+            seen |= vertices
+        return True
+
+    def leaf_selectivities(self) -> List[LeafSelectivity]:
+        """Per-leaf metadata (description, S(g), size)."""
+        result = []
+        for leaf in self.leaves():
+            result.append(
+                LeafSelectivity(
+                    description=leaf.leaf_label or f"leaf{leaf.leaf_index}",
+                    selectivity=(
+                        leaf.leaf_selectivity
+                        if leaf.leaf_selectivity is not None
+                        else 1.0
+                    ),
+                    num_edges=len(leaf.edge_ids),
+                )
+            )
+        return result
+
+    def expected_selectivity(self) -> float:
+        """Equation 1 over this tree's leaves."""
+        return expected_selectivity(self.leaf_selectivities())
+
+    # ------------------------------------------------------------------
+    # UPDATE-SJ-TREE (Algorithm 2, symmetric-probing variant)
+    # ------------------------------------------------------------------
+
+    def insert_match(
+        self,
+        node_id: int,
+        match: Match,
+        window: TimeWindow,
+        sink: MatchSink,
+        on_insert: Optional[InsertHook] = None,
+    ) -> bool:
+        """Insert a match at a node and propagate joins toward the root.
+
+        Returns True if the match was new at ``node_id`` (complete matches
+        at the root always count as new — they are not stored).
+        """
+        node = self.nodes[node_id]
+        if node.is_root:
+            if window.fits(match.min_time, match.max_time):
+                self.complete_matches += 1
+                sink(match)
+                return True
+            return False
+
+        if match.min_time < window.cutoff:
+            return False  # contains an edge the window already evicted
+
+        key = match.key_for(node.key_vertices)
+        if not node.table.insert(key, match):
+            return False
+
+        sibling = self.nodes[node.sibling]  # type: ignore[index]
+        parent_id = node.parent
+        sibling.table.expire(window.cutoff)
+        for other in sibling.table.probe(key):
+            joined = match.join(other)
+            if joined is None:
+                continue
+            if not window.fits(joined.min_time, joined.max_time):
+                continue
+            self.insert_match(parent_id, joined, window, sink, on_insert)  # type: ignore[arg-type]
+
+        # The enablement hook runs *after* sibling probing: a retrospective
+        # insertion triggered by the hook probes this node's table (where
+        # the current match already sits), so firing the hook earlier would
+        # let the same root match be assembled from both sides and emitted
+        # twice — the root does not deduplicate.
+        if on_insert is not None:
+            on_insert(node, match)
+        return True
+
+    # ------------------------------------------------------------------
+    # maintenance / accounting
+    # ------------------------------------------------------------------
+
+    def expire(self, cutoff: float) -> int:
+        """Expire stale partial matches in every node; return total dropped."""
+        if math.isinf(cutoff) and cutoff < 0:
+            return 0
+        return sum(node.table.expire(cutoff) for node in self.nodes)
+
+    def total_partial_matches(self) -> int:
+        """Live partial matches across all nodes."""
+        return sum(len(node.table) for node in self.nodes)
+
+    def space_estimate(self) -> int:
+        """§5.2: ``S(T) = Σ |E(g_k)| · frequency(g_k)`` over live state."""
+        return sum(node.space_estimate() for node in self.nodes)
+
+    def lifetime_inserts(self) -> int:
+        """Total number of partial matches ever stored (memory pressure)."""
+        return sum(node.table.inserted_total for node in self.nodes)
+
+    def reset_state(self) -> None:
+        """Drop all partial matches (keeps the decomposition)."""
+        for node in self.nodes:
+            node.table = type(node.table)()
+        self.complete_matches = 0
+
+    # ------------------------------------------------------------------
+    # description
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line rendering of the decomposition (Fig. 8 style)."""
+        lines = [
+            f"SJ-Tree for query {self.query.name or '<anonymous>'} "
+            f"({self.num_leaves} leaves, Ŝ={self.expected_selectivity():.3e})"
+        ]
+        for leaf in self.leaves():
+            edge_desc = ", ".join(
+                f"v{e.src}-{e.etype}->v{e.dst}"
+                for e in sorted(leaf.fragment.edges, key=lambda e: e.edge_id)
+            )
+            sel = (
+                f"{leaf.leaf_selectivity:.3e}"
+                if leaf.leaf_selectivity is not None
+                else "?"
+            )
+            lines.append(
+                f"  leaf {leaf.leaf_index}: {{{edge_desc}}}  "
+                f"S={sel}  {leaf.leaf_label}"
+            )
+        for node in self.nodes:
+            if not node.is_leaf:
+                lines.append(
+                    f"  join #{node.node_id}: edges={sorted(node.edge_ids)} "
+                    f"cut={node.cut_vertices}"
+                )
+        return "\n".join(lines)
+
+
+def leaf_partition_of(tree: SJTree) -> List[Tuple[int, ...]]:
+    """The ordered edge partition a tree was built from (round-trip aid)."""
+    return [tuple(sorted(leaf.edge_ids)) for leaf in tree.leaves()]

@@ -1,0 +1,70 @@
+"""Selectivity statistics (S7/S8): histograms, Algorithm 5, metrics."""
+
+from .estimator import SelectivityEstimator, estimator_from_graph
+from .histogram import EdgeTypeHistogram
+from .paths import (
+    PathSignature,
+    Token,
+    TwoEdgePathCounter,
+    count_two_edge_paths,
+    default_edge_map,
+    edge_token,
+    fragment_signature,
+    make_signature,
+    make_token,
+    query_path_signatures,
+)
+from .selectivity import (
+    RELATIVE_SELECTIVITY_THRESHOLD,
+    LeafSelectivity,
+    SelectivityDistribution,
+    expected_selectivity,
+    log10_or_floor,
+    relative_selectivity,
+)
+from .windowed import WindowedSelectivityEstimator
+from .triangles import (
+    BirthdayTriangleEstimator,
+    count_triangles,
+    total_triangles,
+)
+from .stability import (
+    DistributionTracker,
+    Snapshot,
+    order_agreement,
+    rank_correlation,
+    rank_stability,
+    track_edge_types,
+)
+
+__all__ = [
+    "BirthdayTriangleEstimator",
+    "DistributionTracker",
+    "EdgeTypeHistogram",
+    "LeafSelectivity",
+    "PathSignature",
+    "RELATIVE_SELECTIVITY_THRESHOLD",
+    "SelectivityDistribution",
+    "SelectivityEstimator",
+    "Snapshot",
+    "Token",
+    "TwoEdgePathCounter",
+    "WindowedSelectivityEstimator",
+    "count_triangles",
+    "count_two_edge_paths",
+    "default_edge_map",
+    "total_triangles",
+    "edge_token",
+    "estimator_from_graph",
+    "expected_selectivity",
+    "fragment_signature",
+    "log10_or_floor",
+    "make_signature",
+    "make_token",
+    "order_agreement",
+    "query_path_signatures",
+    "rank_correlation",
+    "rank_stability",
+    "relative_selectivity",
+    "track_edge_types",
+]

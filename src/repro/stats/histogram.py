@@ -1,0 +1,79 @@
+"""Streaming 1-edge histogram.
+
+The selectivity distribution for single-edge subgraphs "resolves to
+computing a histogram of various edge types" (§5.1). This class maintains
+that histogram incrementally so it can be recomputed cheaply as the stream
+evolves, and supports removal so a windowed variant stays exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable
+
+
+class EdgeTypeHistogram:
+    """Counts of edges per edge type, with O(1) add/remove.
+
+    ``total`` tracks the number of observations so selectivities do not
+    require a second pass.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+        self._total = 0
+
+    def add(self, etype: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of an edge type."""
+        if count < 0:
+            raise ValueError("use remove() for negative updates")
+        self._counts[etype] += count
+        self._total += count
+
+    def remove(self, etype: str, count: int = 1) -> None:
+        """Forget ``count`` occurrences (window eviction)."""
+        current = self._counts.get(etype, 0)
+        if count > current:
+            raise ValueError(
+                f"cannot remove {count} x {etype!r}: only {current} recorded"
+            )
+        if current == count:
+            del self._counts[etype]
+        else:
+            self._counts[etype] = current - count
+        self._total -= count
+
+    def count(self, etype: str) -> int:
+        """Occurrences of ``etype`` (0 if unseen)."""
+        return self._counts.get(etype, 0)
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded edges."""
+        return self._total
+
+    def selectivity(self, etype: str) -> float:
+        """``S(g)`` for the 1-edge subgraph of this type (§5 definition):
+        occurrences of the type over all 1-edge subgraphs. 0.0 when empty."""
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(etype, 0) / self._total
+
+    def types(self) -> Iterable[str]:
+        """Edge types with a non-zero count."""
+        return self._counts.keys()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the raw counts."""
+        return dict(self._counts)
+
+    def distribution(self) -> list[tuple[str, int]]:
+        """Types with counts, *ascending* by frequency — the paper's
+        'selectivity distribution' ordering (rarest first)."""
+        return sorted(self._counts.items(), key=lambda kv: (kv[1], kv[0]))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EdgeTypeHistogram(types={len(self._counts)}, total={self._total})"

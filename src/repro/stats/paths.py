@@ -1,0 +1,226 @@
+"""2-edge path statistics — Algorithm 5 (COUNT-2-EDGE-PATHS) and a
+streaming, eviction-aware equivalent.
+
+A *2-edge path* is an unordered pair of distinct edges sharing a centre
+vertex. Its type — the **path signature** — is the unordered pair of
+*tokens*, where a token encodes the edge's type and its direction relative
+to the centre ("accounting for edge directions", §5.1). The paper's
+``Map()`` hook is preserved: pass ``map_edge`` to fold extra edge
+attributes into the token, e.g. collapsing ports into protocols.
+
+Self-loops contribute a single ``out`` token at their vertex, consistent
+with :meth:`repro.graph.StreamingGraph.incident_edges` reporting them once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple
+
+from ..graph.types import IN, OUT, Edge, VertexId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.streaming_graph import StreamingGraph
+    from ..query.query_graph import QueryGraph
+
+#: A token: (direction relative to centre, mapped edge type).
+Token = Tuple[str, str]
+#: A path signature: pair of tokens in canonical (sorted) order.
+PathSignature = Tuple[Token, Token]
+
+#: Signature for ``map_edge`` callbacks: (edge, centre_vertex) -> type label.
+EdgeMapFn = Callable[[Edge, VertexId], str]
+
+
+def default_edge_map(edge: Edge, centre: VertexId) -> str:
+    """The identity ``Map()``: the token type is just ``λE(edge)``."""
+    return edge.etype
+
+
+def make_token(direction: str, etype: str) -> Token:
+    """Build a token, validating the direction label."""
+    if direction not in (OUT, IN):
+        raise ValueError(f"direction must be {OUT!r} or {IN!r}, got {direction!r}")
+    return (direction, etype)
+
+
+def make_signature(token_a: Token, token_b: Token) -> PathSignature:
+    """Canonical (order-independent) signature of two tokens."""
+    return (token_a, token_b) if token_a <= token_b else (token_b, token_a)
+
+
+def edge_token(edge: Edge, centre: VertexId, map_edge: EdgeMapFn = default_edge_map) -> Token:
+    """Token of ``edge`` as seen from ``centre``."""
+    return (edge.direction_from(centre), map_edge(edge, centre))
+
+
+def count_two_edge_paths(
+    graph: "StreamingGraph",
+    map_edge: EdgeMapFn = default_edge_map,
+) -> Counter:
+    """Algorithm 5, literally: batch-count all 2-edge paths in ``graph``.
+
+    For every vertex ``v``, count the tokens of its incident edges, then
+    combine: pairs of the same token contribute ``n·(n−1)/2`` and pairs of
+    distinct tokens ``n1·n2`` (lexically-greater constraint ensures each
+    unordered pair is counted once). Runs in ``O(V · (d̄ + k²))``.
+    """
+    paths: Counter[PathSignature] = Counter()
+    for vertex in graph.vertices():
+        local: Counter[Token] = Counter()
+        for edge in graph.incident_edges(vertex):
+            local[edge_token(edge, vertex, map_edge)] += 1
+        tokens = sorted(local)
+        for i, token_a in enumerate(tokens):
+            n_a = local[token_a]
+            if n_a > 1:
+                paths[make_signature(token_a, token_a)] += n_a * (n_a - 1) // 2
+            for token_b in tokens[i + 1 :]:  # LEXICALLY-GREATER
+                paths[make_signature(token_a, token_b)] += n_a * local[token_b]
+    return paths
+
+
+class TwoEdgePathCounter:
+    """Streaming, eviction-aware 2-edge path distribution.
+
+    Maintains per-vertex token counters so each edge insertion/removal
+    updates the global signature counts in ``O(k)`` where ``k`` is the
+    number of distinct tokens at the two endpoints. The result is always
+    identical to re-running :func:`count_two_edge_paths` on the live graph
+    (a property-based test enforces this).
+    """
+
+    def __init__(self, map_edge: EdgeMapFn = default_edge_map) -> None:
+        self._map_edge = map_edge
+        self._per_vertex: Dict[VertexId, Counter[Token]] = {}
+        self._paths: Counter[PathSignature] = Counter()
+        self._total = 0
+
+    # -- stream maintenance -------------------------------------------------
+
+    def add_edge(self, edge: Edge) -> None:
+        """Account for a newly inserted edge."""
+        if edge.src == edge.dst:
+            self._add_token(edge.src, (OUT, self._map_edge(edge, edge.src)))
+        else:
+            self._add_token(edge.src, (OUT, self._map_edge(edge, edge.src)))
+            self._add_token(edge.dst, (IN, self._map_edge(edge, edge.dst)))
+
+    def remove_edge(self, edge: Edge) -> None:
+        """Account for an evicted edge."""
+        if edge.src == edge.dst:
+            self._remove_token(edge.src, (OUT, self._map_edge(edge, edge.src)))
+        else:
+            self._remove_token(edge.src, (OUT, self._map_edge(edge, edge.src)))
+            self._remove_token(edge.dst, (IN, self._map_edge(edge, edge.dst)))
+
+    def _add_token(self, vertex: VertexId, token: Token) -> None:
+        local = self._per_vertex.setdefault(vertex, Counter())
+        # The new edge pairs up with every existing incident edge.
+        for other, count in local.items():
+            sig = make_signature(token, other)
+            self._paths[sig] += count
+            self._total += count
+        local[token] += 1
+
+    def _remove_token(self, vertex: VertexId, token: Token) -> None:
+        local = self._per_vertex.get(vertex)
+        if local is None or local.get(token, 0) == 0:
+            raise ValueError(f"token {token} not present at vertex {vertex!r}")
+        local[token] -= 1
+        if local[token] == 0:
+            del local[token]
+        if not local:
+            del self._per_vertex[vertex]
+        # The removed edge was paired with every *remaining* incident edge.
+        if local is not None and (vertex in self._per_vertex):
+            for other, count in local.items():
+                sig = make_signature(token, other)
+                self._paths[sig] -= count
+                if self._paths[sig] == 0:
+                    del self._paths[sig]
+                self._total -= count
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total number of live 2-edge paths."""
+        return self._total
+
+    def count(self, signature: PathSignature) -> int:
+        """Occurrences of a path signature (0 if unseen)."""
+        return self._paths.get(signature, 0)
+
+    def seen(self, signature: PathSignature) -> bool:
+        """True if the signature occurs in the live graph."""
+        return signature in self._paths
+
+    def selectivity(self, signature: PathSignature) -> float:
+        """``S(g)`` for the 2-edge path: count over all 2-edge paths."""
+        if self._total == 0:
+            return 0.0
+        return self._paths.get(signature, 0) / self._total
+
+    def signatures(self) -> Iterable[PathSignature]:
+        """All live signatures."""
+        return self._paths.keys()
+
+    def as_counter(self) -> Counter:
+        """Copy of the raw counts (for comparisons against Algorithm 5)."""
+        return Counter(self._paths)
+
+    def distribution(self) -> list[tuple[PathSignature, int]]:
+        """Signatures ascending by count — rarest (most selective) first."""
+        return sorted(self._paths.items(), key=lambda kv: (kv[1], kv[0]))
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TwoEdgePathCounter(signatures={len(self._paths)}, "
+            f"paths={self._total})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# query-side signature extraction (used by the decomposer and the §6.4
+# "unseen 2-edge path" validity filter)
+# ---------------------------------------------------------------------------
+
+
+def query_path_signatures(query: "QueryGraph") -> list[PathSignature]:
+    """All 2-edge path signatures present in a query graph.
+
+    Mirrors the data-side counting: for every query vertex, every unordered
+    pair of distinct incident query edges contributes the signature of their
+    direction-tokens at that vertex. Duplicates are kept (callers needing a
+    set can wrap in ``set()``).
+    """
+    signatures: list[PathSignature] = []
+    for vertex in query.vertices():
+        incident = query.incident(vertex)
+        for i, edge_a in enumerate(incident):
+            token_a = (edge_a.direction_from(vertex), edge_a.etype)
+            for edge_b in incident[i + 1 :]:
+                token_b = (edge_b.direction_from(vertex), edge_b.etype)
+                signatures.append(make_signature(token_a, token_b))
+    return signatures
+
+
+def fragment_signature(fragment: "QueryGraph") -> Optional[PathSignature]:
+    """Signature of a 2-edge *path* fragment; ``None`` if not a 2-edge path.
+
+    Used to price 2-edge SJ-Tree leaves against the path distribution.
+    """
+    if fragment.num_edges != 2:
+        return None
+    edge_a, edge_b = fragment.edges
+    shared = ({edge_a.src, edge_a.dst} & {edge_b.src, edge_b.dst})
+    if not shared:
+        return None
+    centre = min(shared, key=repr)
+    token_a = (edge_a.direction_from(centre), edge_a.etype)
+    token_b = (edge_b.direction_from(centre), edge_b.etype)
+    return make_signature(token_a, token_b)

@@ -1,0 +1,127 @@
+"""Selectivity metrics (§5): subgraph selectivity, selectivity
+distributions, and the paper's two query-level metrics —
+
+* **Expected Selectivity** ``Ŝ(T) = ∏_{n ∈ leaves(T)} S(VSG(T, n))`` —
+  the product of the selectivities of the leaf-level query subgraphs of an
+  SJ-Tree decomposition (Equation 1).
+* **Relative Selectivity** ``ξ(Tk, T1) = Ŝ(Tk) / Ŝ(T1)`` — the expected
+  selectivity of a decomposition relative to the 1-edge decomposition of
+  the same query (Equation 2). The paper's empirical rule: decompositions
+  with ``ξ < 10⁻³`` should run *PathLazy*, others *SingleLazy* (§6.5).
+
+The functions here operate on *leaf descriptors* — anything exposing a
+``selectivity`` float — so they work both with built SJ-Trees and with the
+lightweight previews the strategy selector uses before committing to a
+decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: ξ threshold below which the paper recommends the PathLazy strategy.
+RELATIVE_SELECTIVITY_THRESHOLD = 1e-3
+
+
+@dataclass(frozen=True)
+class LeafSelectivity:
+    """Selectivity record for one SJ-Tree leaf.
+
+    ``description`` is a human-readable label (edge type or path signature)
+    used by reports; ``selectivity`` is ``S(g)`` per the §5 definition;
+    ``num_edges`` the primitive size (1 or 2 in this paper).
+    """
+
+    description: str
+    selectivity: float
+    num_edges: int
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.selectivity <= 1.0):
+            raise ValueError(
+                f"selectivity must lie in [0, 1], got {self.selectivity}"
+            )
+
+
+def expected_selectivity(leaves: Iterable[LeafSelectivity]) -> float:
+    """Equation 1: the product of leaf selectivities.
+
+    An empty decomposition has expected selectivity 1.0 (empty product).
+    """
+    product = 1.0
+    for leaf in leaves:
+        product *= leaf.selectivity
+    return product
+
+
+def relative_selectivity(
+    leaves_k: Sequence[LeafSelectivity], leaves_1: Sequence[LeafSelectivity]
+) -> float:
+    """Equation 2: ``ξ(Tk, T1) = Ŝ(Tk) / Ŝ(T1)``.
+
+    When ``Ŝ(T1)`` is zero (a query edge type never seen in the stream),
+    returns ``math.inf`` if ``Ŝ(Tk) > 0`` and ``1.0`` if both vanish — the
+    decompositions are then equally (in)feasible and the caller's tie-break
+    applies.
+    """
+    s_k = expected_selectivity(leaves_k)
+    s_1 = expected_selectivity(leaves_1)
+    if s_1 == 0.0:
+        return 1.0 if s_k == 0.0 else math.inf
+    return s_k / s_1
+
+
+def log10_or_floor(value: float, floor: float = -12.0) -> float:
+    """``log10(value)`` clamped below; used by the Fig. 10 histogramming.
+
+    Zero or negative values map to ``floor``.
+    """
+    if value <= 0.0:
+        return floor
+    return max(math.log10(value), floor)
+
+
+@dataclass(frozen=True)
+class SelectivityDistribution:
+    """The §5 'Selectivity Distribution': selectivities of a family of
+    subgraphs, ordered by ascending frequency (rarest first)."""
+
+    labels: tuple[str, ...]
+    counts: tuple[int, ...]
+
+    @classmethod
+    def from_items(cls, items: Iterable[tuple[object, int]]) -> "SelectivityDistribution":
+        ordered = sorted(items, key=lambda kv: (kv[1], str(kv[0])))
+        return cls(
+            labels=tuple(str(k) for k, _ in ordered),
+            counts=tuple(c for _, c in ordered),
+        )
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def selectivities(self) -> tuple[float, ...]:
+        """The selectivity vector (counts normalised by the total)."""
+        total = self.total
+        if total == 0:
+            return tuple(0.0 for _ in self.counts)
+        return tuple(c / total for c in self.counts)
+
+    def skew(self) -> float:
+        """Fraction of mass held by the single most frequent subgraph —
+        the headline number behind Fig. 7's 'heavily skewed' claim."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return max(self.counts) / total
+
+    def top(self, k: int) -> list[tuple[str, int]]:
+        """The ``k`` most frequent entries (descending)."""
+        pairs = sorted(zip(self.labels, self.counts), key=lambda kv: -kv[1])
+        return pairs[:k]
+
+    def __len__(self) -> int:
+        return len(self.counts)

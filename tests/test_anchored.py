@@ -1,0 +1,202 @@
+"""Unit tests for edge- and vertex-anchored subgraph search."""
+
+import pytest
+
+from repro.isomorphism import find_anchored_matches, find_vertex_anchored_matches
+from repro.query import QueryGraph
+
+from .util import brute_force_matches, fingerprints, graph_from_tuples
+
+
+def anchored_truth(graph, query, anchor_edge_id):
+    """Oracle: brute-force matches containing the anchor edge."""
+    return {
+        fp
+        for fp in brute_force_matches(graph, query)
+        if any(data == anchor_edge_id for _, data in fp)
+    }
+
+
+class TestSingleEdgeFragment:
+    def test_matching_edge(self):
+        graph = graph_from_tuples([("a", "b", "T")])
+        query = QueryGraph.path(["T"])
+        matches = find_anchored_matches(graph, query, graph.edge_by_id(0))
+        assert len(matches) == 1
+        assert matches[0].vertex_map == {0: "a", 1: "b"}
+
+    def test_type_mismatch(self):
+        graph = graph_from_tuples([("a", "b", "U")])
+        query = QueryGraph.path(["T"])
+        assert find_anchored_matches(graph, query, graph.edge_by_id(0)) == []
+
+    def test_vertex_type_constraint(self):
+        graph = graph_from_tuples([("a", "b", "T", 0.0, "ip", "host")])
+        ok = QueryGraph.path(["T"], vtype=None)
+        ok.add_vertex(0, "ip")
+        bad = QueryGraph.path(["T"], vtype="ip")
+        assert len(find_anchored_matches(graph, ok, graph.edge_by_id(0))) == 1
+        assert find_anchored_matches(graph, bad, graph.edge_by_id(0)) == []
+
+    def test_binding_constraint(self):
+        graph = graph_from_tuples([("a", "b", "T")])
+        query = QueryGraph()
+        query.add_vertex(0, binding="a")
+        query.add_edge(0, 1, "T")
+        assert len(find_anchored_matches(graph, query, graph.edge_by_id(0))) == 1
+        bound_away = QueryGraph()
+        bound_away.add_vertex(0, binding="z")
+        bound_away.add_edge(0, 1, "T")
+        assert find_anchored_matches(graph, bound_away, graph.edge_by_id(0)) == []
+
+
+class TestTwoEdgeFragments:
+    def test_out_out_path(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "U")])
+        query = QueryGraph.path(["T", "U"])
+        for anchor in (0, 1):
+            matches = find_anchored_matches(graph, query, graph.edge_by_id(anchor))
+            assert fingerprints(matches) == {((0, 0), (1, 1))}
+
+    def test_direction_matters(self):
+        # query wants v0->v1->v2 but data has a->b<-c
+        graph = graph_from_tuples([("a", "b", "T"), ("c", "b", "U")])
+        query = QueryGraph.path(["T", "U"])
+        assert find_anchored_matches(graph, query, graph.edge_by_id(0)) == []
+
+    def test_fan_out_enumeration(self):
+        graph = graph_from_tuples(
+            [("a", "b", "T"), ("b", "c", "U"), ("b", "d", "U"), ("b", "e", "U")]
+        )
+        query = QueryGraph.path(["T", "U"])
+        matches = find_anchored_matches(graph, query, graph.edge_by_id(0))
+        assert len(matches) == 3
+
+    def test_injectivity_blocks_reuse(self):
+        # a->b->a would map v0 and v2 to the same vertex
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "a", "T")])
+        query = QueryGraph.path(["T", "T"])
+        matches = find_anchored_matches(graph, query, graph.edge_by_id(0))
+        assert matches == []
+
+    def test_anchor_can_play_either_role(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T")])
+        query = QueryGraph.path(["T", "T"])
+        matches = find_anchored_matches(graph, query, graph.edge_by_id(0))
+        # edge 0 as query edge 0 gives the full path; as query edge 1 there
+        # is no predecessor of a, so exactly one match.
+        assert fingerprints(matches) == {((0, 0), (1, 1))}
+
+    def test_multi_edge_instances_are_distinct(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("a", "b", "T"), ("b", "c", "U")])
+        query = QueryGraph.path(["T", "U"])
+        matches = find_anchored_matches(graph, query, graph.edge_by_id(2))
+        assert len(matches) == 2  # one per parallel T edge
+
+    def test_matches_brute_force(self):
+        graph = graph_from_tuples(
+            [
+                ("a", "b", "T"),
+                ("b", "c", "U"),
+                ("c", "a", "T"),
+                ("b", "d", "U"),
+                ("d", "a", "T"),
+            ]
+        )
+        query = QueryGraph.path(["T", "U"])
+        for anchor in range(5):
+            got = fingerprints(
+                find_anchored_matches(graph, query, graph.edge_by_id(anchor))
+            )
+            assert got == anchored_truth(graph, query, anchor)
+
+
+class TestTriangleAndLoops:
+    def test_triangle_fragment(self):
+        graph = graph_from_tuples(
+            [("a", "b", "T"), ("b", "c", "T"), ("c", "a", "T")]
+        )
+        triangle = QueryGraph.from_triples([(0, "T", 1), (1, "T", 2), (2, "T", 0)])
+        for anchor in range(3):
+            got = fingerprints(
+                find_anchored_matches(graph, triangle, graph.edge_by_id(anchor))
+            )
+            assert got == anchored_truth(graph, triangle, anchor)
+
+    def test_self_loop_query_needs_loop_data(self):
+        graph = graph_from_tuples([("a", "b", "T")])
+        loop_query = QueryGraph()
+        loop_query.add_edge(0, 0, "T")
+        assert find_anchored_matches(graph, loop_query, graph.edge_by_id(0)) == []
+
+    def test_self_loop_match(self):
+        graph = graph_from_tuples([("a", "a", "T")])
+        loop_query = QueryGraph()
+        loop_query.add_edge(0, 0, "T")
+        matches = find_anchored_matches(graph, loop_query, graph.edge_by_id(0))
+        assert len(matches) == 1
+        assert matches[0].vertex_map == {0: "a"}
+
+    def test_loop_data_rejected_by_plain_query(self):
+        graph = graph_from_tuples([("a", "a", "T")])
+        query = QueryGraph.path(["T"])
+        assert find_anchored_matches(graph, query, graph.edge_by_id(0)) == []
+
+
+class TestLimit:
+    def test_limit_caps_results(self):
+        rows = [("a", f"b{i}", "T") for i in range(10)]
+        graph = graph_from_tuples(rows)
+        query = QueryGraph.path(["T"])
+        matches = find_anchored_matches(
+            graph, query, graph.edge_by_id(0), limit=1
+        )
+        assert len(matches) == 1
+
+
+class TestVertexAnchored:
+    def test_finds_all_matches_touching_vertex(self):
+        graph = graph_from_tuples(
+            [("a", "b", "T"), ("b", "c", "U"), ("x", "b", "T")]
+        )
+        query = QueryGraph.path(["T", "U"])
+        got = fingerprints(find_vertex_anchored_matches(graph, query, "b"))
+        assert got == {((0, 0), (1, 1)), ((0, 2), (1, 1))}
+
+    def test_deduplicates_across_roles(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T")])
+        query = QueryGraph.path(["T", "T"])
+        matches = find_vertex_anchored_matches(graph, query, "b")
+        assert len(matches) == len(set(fingerprints(matches))) == 1
+
+    def test_missing_vertex_gives_nothing(self):
+        graph = graph_from_tuples([("a", "b", "T")])
+        query = QueryGraph.path(["T"])
+        assert find_vertex_anchored_matches(graph, query, "zzz") == []
+
+    def test_vertex_must_appear_in_match(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("c", "d", "T")])
+        query = QueryGraph.path(["T"])
+        got = fingerprints(find_vertex_anchored_matches(graph, query, "a"))
+        assert got == {((0, 0),)}
+
+    def test_brute_force_agreement(self):
+        graph = graph_from_tuples(
+            [
+                ("a", "b", "T"),
+                ("b", "c", "U"),
+                ("c", "d", "T"),
+                ("b", "d", "U"),
+                ("d", "b", "T"),
+            ]
+        )
+        query = QueryGraph.path(["T", "U"])
+        for vertex in "abcd":
+            got = fingerprints(find_vertex_anchored_matches(graph, query, vertex))
+            truth = set()
+            for fp in brute_force_matches(graph, query):
+                edges = [graph.edge_by_id(d) for _, d in fp]
+                touched = {e.src for e in edges} | {e.dst for e in edges}
+                if vertex in touched:
+                    truth.add(fp)
+            assert got == truth, vertex

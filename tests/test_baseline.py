@@ -1,0 +1,121 @@
+"""Unit tests for the selectivity-agnostic baselines."""
+
+import math
+
+import pytest
+
+from repro.graph import StreamingGraph
+from repro.query import QueryGraph
+from repro.search import IncIsoMatchSearch, PeriodicVF2Search, VF2PerEdgeSearch
+
+from .util import fingerprints
+
+
+def feed(search, graph, rows):
+    found = []
+    for src, dst, etype, ts in rows:
+        found.extend(search.process_edge(graph.add_edge(src, dst, etype, ts)))
+    return found
+
+
+STREAM = [
+    ("a", "b", "T", 1.0),
+    ("b", "c", "U", 2.0),
+    ("x", "b", "T", 3.0),
+    ("b", "d", "U", 4.0),
+]
+
+
+class TestVF2PerEdge:
+    def test_reports_each_match_once_at_completion(self):
+        graph = StreamingGraph()
+        query = QueryGraph.path(["T", "U"])
+        search = VF2PerEdgeSearch(graph, query)
+        found = feed(search, graph, STREAM)
+        prints = [m.fingerprint for m in found]
+        assert len(prints) == len(set(prints)) == 4
+        assert search.matches_emitted == 4
+
+    def test_window_respected(self):
+        graph = StreamingGraph(window=1.5)
+        query = QueryGraph.path(["T", "U"])
+        search = VF2PerEdgeSearch(graph, query)
+        found = feed(search, graph, STREAM)
+        # pairs within span < 1.5: (T@1,U@2), (T@3,U@2) and (T@3,U@4);
+        # the unwindowed run also finds (T@1,U@4), span 3
+        assert len(found) == 3
+        assert all(m.span < 1.5 for m in found)
+
+    def test_stateless(self):
+        graph = StreamingGraph()
+        search = VF2PerEdgeSearch(graph, QueryGraph.path(["T"]))
+        assert search.partial_match_count() == 0
+
+
+class TestIncIsoMatch:
+    def test_matches_vf2_per_edge_output(self):
+        query = QueryGraph.path(["T", "U"])
+        g1, g2 = StreamingGraph(), StreamingGraph()
+        baseline = VF2PerEdgeSearch(g1, query)
+        inciso = IncIsoMatchSearch(g2, query)
+        got1 = fingerprints(feed(baseline, g1, STREAM))
+        got2 = fingerprints(feed(inciso, g2, STREAM))
+        assert got1 == got2
+
+    def test_dedup_across_edges(self):
+        graph = StreamingGraph()
+        query = QueryGraph.path(["T"])
+        search = IncIsoMatchSearch(graph, query)
+        found = feed(
+            search, graph, [("a", "b", "T", 1.0), ("a", "c", "T", 2.0)]
+        )
+        assert len(found) == 2
+        assert search.partial_match_count() == 2  # dedup set size
+
+    def test_neighborhood_restriction_is_sufficient(self):
+        # match far away from the new edge is NOT reported by that edge
+        graph = StreamingGraph()
+        query = QueryGraph.path(["T", "U"])
+        search = IncIsoMatchSearch(graph, query)
+        found = feed(
+            search,
+            graph,
+            [
+                ("a", "b", "T", 1.0),
+                ("b", "c", "U", 2.0),  # completes the first match
+                ("p", "q", "T", 3.0),  # unrelated region, no new match
+            ],
+        )
+        assert len(found) == 1
+
+
+class TestPeriodicVF2:
+    def test_period_one_equals_per_edge(self):
+        query = QueryGraph.path(["T", "U"])
+        g1, g2 = StreamingGraph(), StreamingGraph()
+        per_edge = VF2PerEdgeSearch(g1, query)
+        periodic = PeriodicVF2Search(g2, query, period=1)
+        assert fingerprints(feed(per_edge, g1, STREAM)) == fingerprints(
+            feed(periodic, g2, STREAM)
+        )
+
+    def test_long_period_can_miss_windowed_matches(self):
+        query = QueryGraph.path(["T", "U"])
+        graph = StreamingGraph(window=2.0)
+        periodic = PeriodicVF2Search(graph, query, period=4)
+        found = feed(
+            periodic,
+            graph,
+            [
+                ("a", "b", "T", 1.0),
+                ("b", "c", "U", 2.0),  # completes, but no run until edge 4
+                ("z1", "z2", "T", 10.0),  # eviction removes the pair
+                ("z2", "z3", "U", 11.0),  # run happens now
+            ],
+        )
+        # only the still-live match is discovered; the early one was missed
+        assert len(found) == 1
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicVF2Search(StreamingGraph(), QueryGraph.path(["T"]), period=0)

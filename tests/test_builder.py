@@ -1,0 +1,169 @@
+"""Unit tests for BUILD-SJ-TREE (Algorithm 4)."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.query import QueryGraph
+from repro.sjtree import (
+    EdgePrimitive,
+    build_sj_tree,
+    decompose,
+    make_catalogue,
+    preview_leaves,
+)
+from repro.stats import SelectivityEstimator
+
+from .util import events_from_tuples
+
+
+def netflowish_estimator():
+    """TCP frequent, ICMP medium, ESP/GRE rare; all query paths seen."""
+    rows = []
+    # chains producing the 2-edge paths that the test queries contain
+    chain = ["ESP", "TCP", "ICMP", "GRE"]
+    node = 0
+    for repeat in range(3):
+        for etype in chain:
+            rows.append((f"n{node}", f"n{node + 1}", etype))
+            node += 1
+    for i in range(30):
+        rows.append((f"t{i}", f"t{i + 1}", "TCP"))
+    for i in range(10):
+        rows.append((f"i{i}", f"i{i + 1}", "ICMP"))
+    est = SelectivityEstimator()
+    est.observe_events(events_from_tuples(rows))
+    return est
+
+
+@pytest.fixture
+def estimator():
+    return netflowish_estimator()
+
+
+@pytest.fixture
+def query():
+    return QueryGraph.path(["ESP", "TCP", "ICMP", "GRE"], name="fig8")
+
+
+class TestCatalogue:
+    def test_single_catalogue_sorted_ascending(self, estimator, query):
+        catalogue = make_catalogue(query, estimator, "single")
+        assert all(isinstance(p, EdgePrimitive) for p in catalogue)
+        sels = [p.selectivity for p in catalogue]
+        assert sels == sorted(sels)
+        # rarest protocols first
+        assert catalogue[0].etype in ("ESP", "GRE")
+        assert catalogue[-1].etype == "TCP"
+
+    def test_single_catalogue_only_query_types(self, estimator, query):
+        catalogue = make_catalogue(query, estimator, "single")
+        assert {p.etype for p in catalogue} == {"ESP", "TCP", "ICMP", "GRE"}
+
+    def test_path_catalogue_has_paths_then_edges(self, estimator, query):
+        catalogue = make_catalogue(query, estimator, "path")
+        kinds = [p.num_edges for p in catalogue]
+        assert 2 in kinds and 1 in kinds
+        first_edge = kinds.index(1)
+        assert all(k == 1 for k in kinds[first_edge:])
+
+    def test_path_catalogue_excludes_unseen_signatures(self, estimator):
+        query = QueryGraph.path(["GRE", "GRE"])  # GRE-GRE path never seen
+        catalogue = make_catalogue(query, estimator, "path")
+        assert all(p.num_edges == 1 for p in catalogue)
+
+    def test_mixed_catalogue_sorted_globally(self, estimator, query):
+        catalogue = make_catalogue(query, estimator, "mixed")
+        sels = [p.selectivity for p in catalogue]
+        assert sels == sorted(sels)
+
+    def test_unknown_strategy_rejected(self, estimator, query):
+        with pytest.raises(DecompositionError, match="unknown"):
+            make_catalogue(query, estimator, "bogus")
+
+
+class TestDecompose:
+    def test_partition_covers_query(self, estimator, query):
+        for strategy in ("single", "path", "mixed"):
+            catalogue = make_catalogue(query, estimator, strategy)
+            leaves, meta = decompose(query, catalogue)
+            covered = sorted(qeid for leaf in leaves for qeid in leaf)
+            assert covered == [0, 1, 2, 3]
+            assert len(meta) == len(leaves)
+
+    def test_single_decomposition_order_follows_selectivity(
+        self, estimator, query
+    ):
+        catalogue = make_catalogue(query, estimator, "single")
+        leaves, meta = decompose(query, catalogue)
+        assert all(len(leaf) == 1 for leaf in leaves)
+        # first leaf is the rarest edge type of the query
+        first_type = query.edge(leaves[0][0]).etype
+        assert first_type == catalogue[0].etype
+        # after the first, choices are frontier-constrained, so selectivity
+        # order may interleave — but the metadata stays consistent
+        assert [m.num_edges for m in meta] == [1, 1, 1, 1]
+
+    def test_path_decomposition_uses_two_edge_leaves(self, estimator, query):
+        catalogue = make_catalogue(query, estimator, "path")
+        leaves, meta = decompose(query, catalogue)
+        assert sorted(len(leaf) for leaf in leaves) == [2, 2]
+
+    def test_odd_query_gets_single_edge_leftover(self, estimator):
+        query = QueryGraph.path(["ESP", "TCP", "ICMP"])
+        catalogue = make_catalogue(query, estimator, "path")
+        leaves, _ = decompose(query, catalogue)
+        sizes = sorted(len(leaf) for leaf in leaves)
+        assert sizes == [1, 2]
+
+    def test_frontier_connectivity(self, estimator, query):
+        """Every leaf after the first shares a vertex with earlier leaves."""
+        for strategy in ("single", "path"):
+            catalogue = make_catalogue(query, estimator, strategy)
+            leaves, _ = decompose(query, catalogue)
+            seen_vertices = set()
+            for index, leaf in enumerate(leaves):
+                vertices = set()
+                for qeid in leaf:
+                    edge = query.edge(qeid)
+                    vertices |= {edge.src, edge.dst}
+                if index > 0:
+                    assert vertices & seen_vertices, f"leaf {index} disconnected"
+                seen_vertices |= vertices
+
+    def test_empty_query_rejected(self, estimator):
+        with pytest.raises(DecompositionError):
+            decompose(QueryGraph(), [])
+
+    def test_uncoverable_query_reports_types(self, estimator, query):
+        catalogue = [EdgePrimitive(selectivity=0.5, etype="ESP")]
+        with pytest.raises(DecompositionError, match="TCP"):
+            decompose(query, catalogue)
+
+    def test_disconnected_query_still_decomposes(self, estimator):
+        query = QueryGraph()
+        query.add_edge(0, 1, "TCP")
+        query.add_edge(5, 6, "ICMP")
+        catalogue = make_catalogue(query, estimator, "single")
+        leaves, _ = decompose(query, catalogue)
+        assert sorted(qeid for leaf in leaves for qeid in leaf) == [0, 1]
+
+
+class TestBuildSJTree:
+    def test_end_to_end(self, estimator, query):
+        tree = build_sj_tree(query, estimator, "path")
+        assert tree.num_leaves == 2
+        assert tree.root.edge_ids == frozenset({0, 1, 2, 3})
+        assert 0.0 < tree.expected_selectivity() < 1.0
+
+    def test_single_edge_query(self, estimator):
+        query = QueryGraph.path(["TCP"])
+        tree = build_sj_tree(query, estimator, "single")
+        assert tree.num_leaves == 1
+        assert tree.root.is_leaf
+
+    def test_preview_matches_build(self, estimator, query):
+        preview = preview_leaves(query, estimator, "path")
+        tree = build_sj_tree(query, estimator, "path")
+        built = tree.leaf_selectivities()
+        assert [p.selectivity for p in preview] == [b.selectivity for b in built]
+        assert [p.num_edges for p in preview] == [b.num_edges for b in built]

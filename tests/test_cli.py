@@ -1,0 +1,121 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.tsv"
+    assert (
+        main(
+            [
+                "generate",
+                "--dataset",
+                "netflow",
+                "--events",
+                "1500",
+                "--seed",
+                "3",
+                "--out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "query.txt"
+    path.write_text("v1:ip -TCP-> v2:ip\nv2 -ICMP-> v3:ip\n")
+    return path
+
+
+class TestGenerate:
+    def test_writes_stream(self, stream_file):
+        lines = [
+            line
+            for line in stream_file.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(lines) == 1500
+        assert any("TCP" in line for line in lines)
+
+
+class TestStats:
+    def test_prints_distributions(self, stream_file, capsys):
+        assert main(["stats", "--stream", str(stream_file)]) == 0
+        out = capsys.readouterr().out
+        assert "observed edges : 1500" in out
+        assert "edge types" in out
+
+
+class TestDecompose:
+    def test_prints_and_saves_tree(self, stream_file, query_file, tmp_path, capsys):
+        out_file = tmp_path / "q.sjtree"
+        code = main(
+            [
+                "decompose",
+                "--stream",
+                str(stream_file),
+                "--query",
+                str(query_file),
+                "--strategy",
+                "path",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SJ-Tree for query" in out
+        assert out_file.read_text().startswith("SJTREE v1")
+
+
+class TestRun:
+    @pytest.mark.parametrize("strategy", ["auto", "SingleLazy", "VF2"])
+    def test_runs_and_reports(self, stream_file, query_file, capsys, strategy):
+        code = main(
+            [
+                "run",
+                "--stream",
+                str(stream_file),
+                "--query",
+                str(query_file),
+                "--strategy",
+                strategy,
+                "--max-print",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "graph:" in out
+        assert "profile:" in out
+
+    def test_strategies_agree_on_match_count(self, stream_file, query_file, capsys):
+        counts = {}
+        for strategy in ("SingleLazy", "VF2"):
+            main(
+                [
+                    "run",
+                    "--stream",
+                    str(stream_file),
+                    "--query",
+                    str(query_file),
+                    "--strategy",
+                    strategy,
+                    "--max-print",
+                    "0",
+                ]
+            )
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if "matches=" in line:
+                    counts[strategy] = int(
+                        line.split("matches=")[1].split()[0]
+                    )
+        assert counts["SingleLazy"] == counts["VF2"]

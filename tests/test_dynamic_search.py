@@ -1,0 +1,100 @@
+"""Unit tests for DYNAMIC-GRAPH-SEARCH (the eager strategies)."""
+
+import math
+
+import pytest
+
+from repro.graph import EdgeEvent, StreamingGraph
+from repro.query import QueryGraph
+from repro.search import DynamicGraphSearch
+from repro.sjtree import build_sj_tree
+from repro.stats import SelectivityEstimator
+
+from .util import events_from_tuples, fingerprints
+
+
+def make_search(rows_for_stats, query, strategy="single", window=math.inf):
+    estimator = SelectivityEstimator()
+    estimator.observe_events(events_from_tuples(rows_for_stats))
+    graph = StreamingGraph(window)
+    tree = build_sj_tree(query, estimator, strategy)
+    return graph, DynamicGraphSearch(graph, tree, name="Single")
+
+
+STATS_ROWS = [
+    ("a", "b", "T"),
+    ("b", "c", "U"),
+    ("c", "d", "T"),
+    ("d", "e", "U"),
+    ("e", "f", "T"),
+]
+
+
+class TestDynamicSearch:
+    def test_incremental_match_on_completion_edge(self):
+        query = QueryGraph.path(["T", "U"])
+        graph, search = make_search(STATS_ROWS, query)
+        edge1 = graph.add_edge("x", "y", "T", 1.0)
+        assert search.process_edge(edge1) == []
+        edge2 = graph.add_edge("y", "z", "U", 2.0)
+        results = search.process_edge(edge2)
+        assert len(results) == 1
+        assert results[0].vertex_map == {0: "x", 1: "y", 2: "z"}
+        assert search.matches_emitted == 1
+
+    def test_arrival_order_does_not_matter_for_eager(self):
+        query = QueryGraph.path(["T", "U"])
+        graph, search = make_search(STATS_ROWS, query)
+        edge2 = graph.add_edge("y", "z", "U", 1.0)
+        assert search.process_edge(edge2) == []
+        edge1 = graph.add_edge("x", "y", "T", 2.0)
+        assert len(search.process_edge(edge1)) == 1
+
+    def test_multiple_completions_in_one_edge(self):
+        query = QueryGraph.path(["T", "U"])
+        graph, search = make_search(STATS_ROWS, query)
+        search.process_edge(graph.add_edge("x1", "y", "T", 1.0))
+        search.process_edge(graph.add_edge("x2", "y", "T", 2.0))
+        results = search.process_edge(graph.add_edge("y", "z", "U", 3.0))
+        assert len(results) == 2
+
+    def test_window_expiry_blocks_stale_partners(self):
+        query = QueryGraph.path(["T", "U"])
+        graph, search = make_search(STATS_ROWS, query, window=10.0)
+        search.process_edge(graph.add_edge("x", "y", "T", 0.0))
+        results = search.process_edge(graph.add_edge("y", "z", "U", 50.0))
+        assert results == []
+
+    def test_partial_count_and_housekeeping(self):
+        query = QueryGraph.path(["T", "U"])
+        graph, search = make_search(STATS_ROWS, query, window=10.0)
+        search.process_edge(graph.add_edge("x", "y", "T", 0.0))
+        assert search.partial_match_count() == 1
+        graph.add_edge("p", "q", "T", 100.0)  # advances window
+        search.housekeeping()
+        assert search.partial_match_count() <= 1  # stale T match expired
+
+    def test_path_decomposition_equivalent(self):
+        query = QueryGraph.path(["T", "U", "T", "U"])
+        stream = [
+            ("n0", "n1", "T", 1.0),
+            ("n1", "n2", "U", 2.0),
+            ("n2", "n3", "T", 3.0),
+            ("n3", "n4", "U", 4.0),
+        ]
+        results = {}
+        for strategy in ("single", "path"):
+            graph, search = make_search(STATS_ROWS, query, strategy=strategy)
+            found = []
+            for src, dst, etype, ts in stream:
+                found.extend(search.process_edge(graph.add_edge(src, dst, etype, ts)))
+            results[strategy] = fingerprints(found)
+        assert results["single"] == results["path"] != set()
+
+    def test_profile_phases_populated(self):
+        query = QueryGraph.path(["T", "U"])
+        graph, search = make_search(STATS_ROWS, query)
+        search.process_edge(graph.add_edge("x", "y", "T", 1.0))
+        search.process_edge(graph.add_edge("y", "z", "U", 2.0))
+        assert search.profile.seconds("iso") > 0.0
+        assert search.profile.counters.get("leaf_matches", 0) >= 2

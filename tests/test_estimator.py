@@ -1,0 +1,95 @@
+"""Unit tests for the SelectivityEstimator facade."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.graph import IN, OUT
+from repro.query import QueryGraph
+from repro.stats import (
+    SelectivityEstimator,
+    estimator_from_graph,
+    make_signature,
+    make_token,
+)
+
+from .util import events_from_tuples, graph_from_tuples
+
+
+def warm_estimator():
+    est = SelectivityEstimator()
+    est.observe_events(
+        events_from_tuples(
+            [
+                ("a", "b", "TCP"),
+                ("b", "c", "ICMP"),
+                ("c", "d", "TCP"),
+                ("d", "e", "TCP"),
+            ]
+        )
+    )
+    return est
+
+
+class TestWarmup:
+    def test_observe_events_counts(self):
+        est = warm_estimator()
+        assert est.events_observed == 4
+        assert est.edge_histogram.total == 4
+
+    def test_cold_estimator_raises(self):
+        with pytest.raises(EstimationError, match="cold"):
+            SelectivityEstimator().require_warm()
+
+    def test_warm_estimator_passes(self):
+        warm_estimator().require_warm()
+
+    def test_from_graph(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "U")])
+        est = estimator_from_graph(graph)
+        assert est.events_observed == 2
+        assert est.edge_selectivity("T") == pytest.approx(0.5)
+
+
+class TestSelectivities:
+    def test_edge_selectivity(self):
+        est = warm_estimator()
+        assert est.edge_selectivity("TCP") == pytest.approx(0.75)
+        assert est.edge_selectivity("ICMP") == pytest.approx(0.25)
+        assert est.edge_selectivity("GRE") == 0.0
+
+    def test_path_selectivity_and_seen(self):
+        est = warm_estimator()
+        seen = make_signature(make_token(IN, "TCP"), make_token(OUT, "ICMP"))
+        unseen = make_signature(make_token(IN, "GRE"), make_token(OUT, "GRE"))
+        assert est.path_seen(seen)
+        assert est.path_selectivity(seen) > 0.0
+        assert not est.path_seen(unseen)
+
+
+class TestQueryHelpers:
+    def test_single_edge_leaves(self):
+        est = warm_estimator()
+        query = QueryGraph.path(["TCP", "ICMP"])
+        leaves = est.single_edge_leaves(query)
+        assert [l.description for l in leaves] == ["TCP", "ICMP"]
+        assert leaves[0].selectivity == pytest.approx(0.75)
+        assert all(l.num_edges == 1 for l in leaves)
+
+    def test_unseen_query_paths(self):
+        est = warm_estimator()
+        good = QueryGraph.path(["TCP", "ICMP"])
+        assert est.unseen_query_paths(good) == []
+        bad = QueryGraph.path(["ICMP", "ICMP"])
+        assert len(est.unseen_query_paths(bad)) == 1
+
+    def test_distributions(self):
+        est = warm_estimator()
+        edist = est.edge_distribution()
+        assert edist.labels == ("ICMP", "TCP")
+        pdist = est.path_distribution()
+        assert pdist.total == est.path_counter.total
+
+    def test_describe_smoke(self):
+        text = warm_estimator().describe()
+        assert "observed edges : 4" in text
+        assert "edge types" in text

@@ -1,0 +1,108 @@
+"""Unit tests for the shared experiment harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    BenchScale,
+    FIG9_STRATEGIES,
+    build_query_group,
+    prepare_dataset,
+    run_query,
+    sweep_group,
+)
+from repro.datasets import NetflowGenerator
+from repro.query import QueryGraph
+
+
+@pytest.fixture(scope="module")
+def netflow_setup():
+    generator = NetflowGenerator(num_events=2500, seed=3, num_hosts=400)
+    return prepare_dataset(generator, warmup_fraction=0.3), generator
+
+
+class TestBenchScale:
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        scale = BenchScale.from_env()
+        assert scale.stream_events == 8_000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert BenchScale.from_env().stream_events == 2_000
+
+    def test_bad_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            BenchScale.from_env()
+
+
+class TestPrepareDataset:
+    def test_split_and_warm(self, netflow_setup):
+        (warmup, stream, estimator), _ = netflow_setup
+        assert len(warmup) == 750
+        assert len(stream) == 1750
+        assert estimator.events_observed == 750
+
+
+class TestRunQuery:
+    def test_complete_run(self, netflow_setup):
+        (warmup, stream, _), _ = netflow_setup
+        query = QueryGraph.path(["TCP", "ICMP"], vtype="ip", name="q")
+        stats = run_query(warmup, stream, query, "SingleLazy")
+        assert stats.strategy == "SingleLazy"
+        assert stats.edges_processed == len(stream)
+        assert not stats.extrapolated
+        assert stats.projected_seconds == stats.runtime_seconds
+        assert stats.matches >= 0
+        assert stats.profile is not None
+
+    def test_budget_truncation_extrapolates(self, netflow_setup):
+        (warmup, stream, _), _ = netflow_setup
+        query = QueryGraph.path(["TCP", "UDP"], vtype="ip", name="q")
+        stats = run_query(
+            warmup, stream, query, "VF2", budget_seconds=0.001, check_every=8
+        )
+        assert stats.extrapolated
+        assert stats.edges_processed < len(stream)
+        assert stats.projected_seconds > stats.runtime_seconds
+
+    def test_window_passthrough(self, netflow_setup):
+        (warmup, stream, _), _ = netflow_setup
+        query = QueryGraph.path(["TCP", "TCP"], vtype="ip", name="q")
+        windowed = run_query(warmup, stream, query, "SingleLazy", window=0.05)
+        unwindowed = run_query(warmup, stream, query, "SingleLazy")
+        assert windowed.matches <= unwindowed.matches
+
+
+class TestQueryGroups:
+    def test_netflow_group(self, netflow_setup):
+        (warmup, stream, estimator), generator = netflow_setup
+        queries = build_query_group(generator, estimator, "path", 3, 3, seed=1)
+        assert 0 < len(queries) <= 3
+        for query in queries:
+            assert query.num_edges == 3
+            assert not estimator.unseen_query_paths(query)
+            assert query.vertex_type(0) == "ip"
+
+
+class TestSweep:
+    def test_sweep_group_aggregates(self, netflow_setup):
+        (warmup, stream, estimator), generator = netflow_setup
+        queries = build_query_group(generator, estimator, "path", 3, 2, seed=2)
+        result = sweep_group(
+            warmup,
+            stream[:400],
+            queries,
+            ["SingleLazy", "PathLazy"],
+            kind="path",
+            size=3,
+        )
+        for strategy in ("SingleLazy", "PathLazy"):
+            assert len(result.per_strategy[strategy]) == len(queries)
+            assert result.mean_projected_seconds(strategy) > 0.0
+            assert not result.any_extrapolated(strategy)
+
+    def test_fig9_strategy_list(self):
+        assert "VF2" in FIG9_STRATEGIES and "PathLazy" in FIG9_STRATEGIES

@@ -1,0 +1,205 @@
+"""Unit tests for random query generation (§6.4.1)."""
+
+import pytest
+
+from repro.datasets import LSBenchGenerator, NetflowGenerator
+from repro.errors import QueryError
+from repro.query.generator import (
+    QueryGenerator,
+    SchemaTriple,
+    filter_valid,
+    sample_by_expected_selectivity,
+)
+from repro.stats import SelectivityEstimator
+
+
+@pytest.fixture(scope="module")
+def netflow_estimator():
+    est = SelectivityEstimator()
+    est.observe_events(NetflowGenerator(num_events=4000, seed=1).events())
+    return est
+
+
+@pytest.fixture(scope="module")
+def lsbench_schema():
+    return LSBenchGenerator(num_events=1).schema_triples()
+
+
+class TestAlphabetShapes:
+    def test_path_query(self):
+        gen = QueryGenerator(etypes=["A", "B"], vertex_type="ip", seed=1)
+        query = gen.path_query(4)
+        assert query.num_edges == 4
+        assert query.num_vertices == 5
+        assert query.is_connected()
+        assert all(query.vertex_type(v) == "ip" for v in query.vertices())
+
+    def test_path_length_validated(self):
+        gen = QueryGenerator(etypes=["A"], seed=1)
+        with pytest.raises(QueryError):
+            gen.path_query(0)
+
+    def test_binary_tree_query(self):
+        gen = QueryGenerator(etypes=["A", "B"], seed=2)
+        query = gen.binary_tree_query(7)
+        assert query.num_vertices == 7
+        assert query.num_edges == 6
+        assert query.is_connected()
+        # every vertex has at most 2 children
+        children = {}
+        for edge in query.edges:
+            children[edge.src] = children.get(edge.src, 0) + 1
+        assert all(c <= 2 for c in children.values())
+
+    def test_random_tree_query(self):
+        gen = QueryGenerator(etypes=["A"], seed=3)
+        query = gen.random_tree_query(6)
+        assert query.num_edges == 5
+        assert query.is_connected()
+
+    def test_k_partite_query(self):
+        gen = QueryGenerator(etypes=["A", "B"], seed=4)
+        star = gen.k_partite_query(4)
+        assert star.num_edges == 4
+        assert all(e.src == 0 for e in star.edges)
+
+    def test_deterministic_per_seed(self):
+        q1 = QueryGenerator(etypes=["A", "B"], seed=9).path_query(3)
+        q2 = QueryGenerator(etypes=["A", "B"], seed=9).path_query(3)
+        assert [e.etype for e in q1.edges] == [e.etype for e in q2.edges]
+
+    def test_requires_alphabet_or_schema(self):
+        with pytest.raises(QueryError):
+            QueryGenerator()
+
+
+class TestSchemaShapes:
+    def test_schema_path_follows_triples(self, lsbench_schema):
+        valid = {(t.src_type, t.etype, t.dst_type) for t in lsbench_schema}
+        gen = QueryGenerator(triples=lsbench_schema, seed=5)
+        for _ in range(20):
+            query = gen.schema_path_query(3)
+            if query is None:
+                continue
+            for edge in query.edges:
+                triple = (
+                    query.vertex_type(edge.src),
+                    edge.etype,
+                    query.vertex_type(edge.dst),
+                )
+                assert triple in valid
+
+    def test_schema_tree_follows_triples(self, lsbench_schema):
+        valid = {(t.src_type, t.etype, t.dst_type) for t in lsbench_schema}
+        gen = QueryGenerator(triples=lsbench_schema, seed=6)
+        for _ in range(20):
+            query = gen.schema_tree_query(4)
+            if query is None:
+                continue
+            assert query.num_edges == 4
+            assert query.is_connected()
+            for edge in query.edges:
+                triple = (
+                    query.vertex_type(edge.src),
+                    edge.etype,
+                    query.vertex_type(edge.dst),
+                )
+                assert triple in valid
+
+    def test_schema_required(self):
+        gen = QueryGenerator(etypes=["A"], seed=1)
+        with pytest.raises(QueryError):
+            gen.schema_path_query(2)
+
+
+class TestGroups:
+    def test_generate_group_counts_and_names(self):
+        gen = QueryGenerator(etypes=["A", "B"], seed=7)
+        group = gen.generate_group("path", 3, 5)
+        assert len(group) == 5
+        assert len({q.name for q in group}) == 5
+
+    def test_unknown_kind(self):
+        gen = QueryGenerator(etypes=["A"], seed=1)
+        with pytest.raises(QueryError, match="unknown query kind"):
+            gen.generate_group("cycle", 3, 2)
+
+    def test_schema_group(self, lsbench_schema):
+        gen = QueryGenerator(triples=lsbench_schema, seed=8)
+        group = gen.generate_group("stree", 3, 4)
+        assert 0 < len(group) <= 4
+
+
+class TestValidityFilter:
+    def test_filter_drops_unseen_paths(self, netflow_estimator):
+        gen = QueryGenerator(
+            etypes=["TCP", "UDP", "NOSUCH"], vertex_type="ip", seed=9
+        )
+        queries = [gen.path_query(3) for _ in range(30)]
+        valid = filter_valid(queries, netflow_estimator)
+        for query in valid:
+            assert not netflow_estimator.unseen_query_paths(query)
+        # queries using the NOSUCH type must have been dropped
+        assert all(
+            "NOSUCH" not in [e.etype for e in q.edges] for q in valid
+        )
+
+    def test_all_valid_pass_through(self, netflow_estimator):
+        gen = QueryGenerator(etypes=["TCP", "UDP"], vertex_type="ip", seed=10)
+        queries = [gen.path_query(2) for _ in range(10)]
+        assert len(filter_valid(queries, netflow_estimator)) == 10
+
+
+class TestExpectedSelectivitySampling:
+    def test_reduces_to_count(self, netflow_estimator):
+        gen = QueryGenerator(
+            etypes=["TCP", "UDP", "ICMP", "GRE"], vertex_type="ip", seed=11
+        )
+        queries = filter_valid(
+            [gen.path_query(3) for _ in range(40)], netflow_estimator
+        )
+        sample = sample_by_expected_selectivity(queries, netflow_estimator, 5)
+        assert len(sample) == 5
+        assert len({id(q) for q in sample}) == 5
+
+    def test_small_input_returned_whole(self, netflow_estimator):
+        gen = QueryGenerator(etypes=["TCP"], vertex_type="ip", seed=12)
+        queries = [gen.path_query(2) for _ in range(3)]
+        sample = sample_by_expected_selectivity(queries, netflow_estimator, 10)
+        assert len(sample) == 3
+
+    def test_empty_cases(self, netflow_estimator):
+        assert sample_by_expected_selectivity([], netflow_estimator, 5) == []
+        gen = QueryGenerator(etypes=["TCP"], vertex_type="ip", seed=13)
+        assert (
+            sample_by_expected_selectivity(
+                [gen.path_query(2)], netflow_estimator, 0
+            )
+            == []
+        )
+
+    def test_spread_covers_range(self, netflow_estimator):
+        """Sampled queries should span the selectivity range, not cluster."""
+        from repro.sjtree.builder import preview_leaves
+        from repro.stats import expected_selectivity, log10_or_floor
+
+        gen = QueryGenerator(
+            etypes=["TCP", "UDP", "ICMP", "IPv6", "GRE", "ESP"],
+            vertex_type="ip",
+            seed=14,
+        )
+        queries = filter_valid(
+            [gen.path_query(3) for _ in range(60)], netflow_estimator
+        )
+        if len(queries) < 8:
+            pytest.skip("not enough valid queries generated")
+        sample = sample_by_expected_selectivity(queries, netflow_estimator, 8)
+
+        def log_sel(query):
+            leaves = preview_leaves(query, netflow_estimator, "path")
+            return log10_or_floor(expected_selectivity(leaves))
+
+        all_scores = sorted(log_sel(q) for q in queries)
+        sample_scores = sorted(log_sel(q) for q in sample)
+        assert sample_scores[0] <= all_scores[len(all_scores) // 4]
+        assert sample_scores[-1] >= all_scores[-1 - len(all_scores) // 4]

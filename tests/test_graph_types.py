@@ -1,0 +1,87 @@
+"""Unit tests for repro.graph.types."""
+
+import pytest
+
+from repro.graph import Edge, EdgeEvent, IN, OUT, iter_events_sorted, span
+
+
+def make_edge(src="a", dst="b", etype="T", ts=1.0, edge_id=0):
+    return Edge(edge_id=edge_id, src=src, dst=dst, etype=etype, timestamp=ts)
+
+
+class TestEdge:
+    def test_endpoints(self):
+        edge = make_edge()
+        assert edge.endpoints() == ("a", "b")
+
+    def test_other_endpoint(self):
+        edge = make_edge()
+        assert edge.other_endpoint("a") == "b"
+        assert edge.other_endpoint("b") == "a"
+
+    def test_other_endpoint_self_loop(self):
+        loop = make_edge(src="a", dst="a")
+        assert loop.other_endpoint("a") == "a"
+
+    def test_other_endpoint_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            make_edge().other_endpoint("z")
+
+    def test_direction_from(self):
+        edge = make_edge()
+        assert edge.direction_from("a") == OUT
+        assert edge.direction_from("b") == IN
+
+    def test_direction_from_self_loop_is_out(self):
+        loop = make_edge(src="a", dst="a")
+        assert loop.direction_from("a") == OUT
+
+    def test_direction_from_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            make_edge().direction_from("z")
+
+    def test_edges_are_hashable_values(self):
+        assert make_edge() == make_edge()
+        assert len({make_edge(), make_edge()}) == 1
+
+
+class TestEdgeEvent:
+    def test_reversed_flips_direction_and_types(self):
+        event = EdgeEvent("a", "b", "T", 1.0, "x", "y")
+        rev = event.reversed()
+        assert (rev.src, rev.dst) == ("b", "a")
+        assert (rev.src_type, rev.dst_type) == ("y", "x")
+        assert rev.etype == "T"
+        assert rev.timestamp == 1.0
+
+    def test_default_vertex_types(self):
+        event = EdgeEvent("a", "b", "T", 0.0)
+        assert event.src_type == event.dst_type == "node"
+
+
+class TestSpan:
+    def test_empty_is_zero(self):
+        assert span([]) == 0.0
+
+    def test_single_edge_is_zero(self):
+        assert span([make_edge(ts=5.0)]) == 0.0
+
+    def test_interval(self):
+        edges = [make_edge(ts=2.0), make_edge(ts=9.5, edge_id=1), make_edge(ts=4.0, edge_id=2)]
+        assert span(edges) == pytest.approx(7.5)
+
+
+class TestIterEventsSorted:
+    def test_sorts_by_timestamp(self):
+        events = [
+            EdgeEvent("a", "b", "T", 3.0),
+            EdgeEvent("c", "d", "T", 1.0),
+            EdgeEvent("e", "f", "T", 2.0),
+        ]
+        stamps = [e.timestamp for e in iter_events_sorted(events)]
+        assert stamps == [1.0, 2.0, 3.0]
+
+    def test_stable_for_equal_stamps(self):
+        events = [EdgeEvent("a", "b", "T", 1.0), EdgeEvent("c", "d", "T", 1.0)]
+        ordered = list(iter_events_sorted(events))
+        assert ordered[0].src == "a" and ordered[1].src == "c"

@@ -1,0 +1,72 @@
+"""Unit tests for the 1-edge histogram."""
+
+import pytest
+
+from repro.stats import EdgeTypeHistogram
+
+
+class TestEdgeTypeHistogram:
+    def test_add_and_count(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP")
+        hist.add("TCP")
+        hist.add("UDP")
+        assert hist.count("TCP") == 2
+        assert hist.count("UDP") == 1
+        assert hist.count("GRE") == 0
+        assert hist.total == 3
+        assert len(hist) == 2
+
+    def test_bulk_add(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP", count=10)
+        assert hist.total == 10
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeTypeHistogram().add("TCP", count=-1)
+
+    def test_remove(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP", 3)
+        hist.remove("TCP")
+        assert hist.count("TCP") == 2
+        assert hist.total == 2
+
+    def test_remove_to_zero_drops_key(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP")
+        hist.remove("TCP")
+        assert "TCP" not in set(hist.types())
+        assert hist.total == 0
+
+    def test_over_remove_rejected(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP")
+        with pytest.raises(ValueError):
+            hist.remove("TCP", 2)
+
+    def test_selectivity(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP", 3)
+        hist.add("GRE", 1)
+        assert hist.selectivity("TCP") == pytest.approx(0.75)
+        assert hist.selectivity("GRE") == pytest.approx(0.25)
+        assert hist.selectivity("missing") == 0.0
+
+    def test_selectivity_empty(self):
+        assert EdgeTypeHistogram().selectivity("TCP") == 0.0
+
+    def test_distribution_ascending(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP", 5)
+        hist.add("GRE", 1)
+        hist.add("UDP", 3)
+        assert hist.distribution() == [("GRE", 1), ("UDP", 3), ("TCP", 5)]
+
+    def test_as_dict_is_a_copy(self):
+        hist = EdgeTypeHistogram()
+        hist.add("TCP")
+        snapshot = hist.as_dict()
+        snapshot["TCP"] = 99
+        assert hist.count("TCP") == 1

@@ -1,0 +1,183 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines rather than single modules: decomposition
+→ ASCII serialization → reload → search; the Fig. 1 attack scenario end
+to end; cyclic queries (the capability the paper highlights over DAG
+decompositions, §2.2); and the package-level doctest.
+"""
+
+import doctest
+import math
+
+import pytest
+
+import repro
+from repro import ContinuousQueryEngine, QueryGraph, StreamingGraph
+from repro.datasets import NetflowGenerator, interleave_at, split_stream
+from repro.graph import EdgeEvent
+from repro.isomorphism import find_isomorphisms
+from repro.query import insider_infiltration
+from repro.search import DynamicGraphSearch, LazySearch
+from repro.sjtree import build_sj_tree, dumps, loads
+from repro.stats import SelectivityEstimator
+
+from .util import events_from_tuples, fingerprints
+
+
+class TestSerializedTreePipeline:
+    """The paper's two-step workflow: decomposition stored as ASCII, then
+    query processing initialised from the file (§6.1)."""
+
+    def test_loaded_tree_produces_identical_matches(self):
+        generator = NetflowGenerator(num_events=2_000, num_hosts=300, seed=5)
+        events = generator.generate()
+        warmup, live = split_stream(events, 0.3)
+        estimator = SelectivityEstimator()
+        estimator.observe_events(warmup)
+        query = QueryGraph.path(["TCP", "ICMP"], vtype="ip", name="q")
+
+        fresh_tree = build_sj_tree(query, estimator, "path")
+        loaded_tree = loads(dumps(fresh_tree), query)
+
+        results = {}
+        for label, tree in (("fresh", fresh_tree), ("loaded", loaded_tree)):
+            graph = StreamingGraph()
+            search = DynamicGraphSearch(graph, tree)
+            found = []
+            for event in live:
+                found.extend(search.process_edge(graph.add_event(event)))
+            results[label] = fingerprints(found)
+        assert results["fresh"] == results["loaded"]
+        assert results["fresh"]
+
+
+class TestCyclicQueries:
+    """§2.2: DAG-based decompositions cannot express cyclic queries such
+    as the infiltration pattern; the SJ-Tree handles them exactly."""
+
+    def cycle_query(self):
+        query = QueryGraph(name="cycle3")
+        query.add_edge(0, 1, "T")
+        query.add_edge(1, 2, "T")
+        query.add_edge(2, 0, "T")
+        return query
+
+    def stream(self):
+        return events_from_tuples(
+            [
+                ("a", "b", "T", 1.0),
+                ("b", "c", "T", 2.0),
+                ("x", "y", "T", 3.0),
+                ("c", "a", "T", 4.0),  # closes a->b->c->a
+                ("y", "x", "T", 5.0),  # 2-cycle, not a triangle
+            ]
+        )
+
+    @pytest.mark.parametrize(
+        "strategy", ["Single", "SingleLazy", "Path", "PathLazy", "VF2"]
+    )
+    def test_cycle_detected_by_every_strategy(self, strategy):
+        engine = ContinuousQueryEngine()
+        engine.warmup(self.stream())
+        engine.register(self.cycle_query(), strategy=strategy)
+        records = []
+        for event in self.stream():
+            records.extend(engine.process_event(event))
+        found = fingerprints(records)
+        # 3 rotations of the single triangle (matches are mappings)
+        assert len(found) == 3
+        for fp in found:
+            assert {edge_id for _, edge_id in fp} == {0, 1, 3}
+
+    def test_cycle_matches_batch_ground_truth(self):
+        graph = StreamingGraph()
+        for event in self.stream():
+            graph.add_event(event)
+        truth = fingerprints(find_isomorphisms(graph, self.cycle_query()))
+        assert len(truth) == 3
+
+
+class TestAttackScenario:
+    """Compressed version of the cyber example: a planted infiltration
+    path must be reported exactly once, against background noise."""
+
+    def test_planted_infiltration_detected(self):
+        background = NetflowGenerator(
+            num_events=3_000, num_hosts=500, seed=9
+        ).generate()
+        warmup, live = split_stream(background, 0.3)
+        # a few benign RDP edges so the estimator knows the type
+        noise = [
+            EdgeEvent(f"ip{i}", f"ip{i + 7}", "RDP", 0.0, "ip", "ip")
+            for i in range(5)
+        ]
+        attack = [
+            EdgeEvent("ipA", "ipB", "RDP", 0.0, "ip", "ip"),
+            EdgeEvent("ipB", "ipC", "RDP", 0.0, "ip", "ip"),
+        ]
+        stream = list(
+            interleave_at(live, noise + attack, [10, 60, 110, 160, 210, 800, 1300])
+        )
+        estimator_prefix = warmup + stream[:300]
+
+        engine = ContinuousQueryEngine(window=1_000.0)
+        engine.warmup(estimator_prefix)
+        engine.register(insider_infiltration(hops=2, vtype="ip"), strategy="auto")
+        records = []
+        for event in stream:
+            records.extend(engine.process_event(event))
+        chains = {
+            tuple(r.match.vertex_map[v] for v in sorted(r.match.vertex_map))
+            for r in records
+        }
+        assert ("ipA", "ipB", "ipC") in chains
+
+    def test_detection_is_immediate(self):
+        """The match must be reported at its completing edge's timestamp."""
+        engine = ContinuousQueryEngine()
+        engine.warmup(
+            events_from_tuples([("x", "y", "RDP"), ("y", "z", "RDP")])
+        )
+        engine.register(insider_infiltration(hops=2, vtype=None), strategy="Single")
+        engine.process_event(EdgeEvent("a", "b", "RDP", 10.0))
+        records = engine.process_event(EdgeEvent("b", "c", "RDP", 20.0))
+        assert len(records) == 1
+        assert records[0].completed_at == 20.0
+
+
+class TestPathLazyDegradation:
+    """A query containing 2-edge paths unseen in the sample must degrade
+    to 1-edge leaves under the path catalogue — and stay exact."""
+
+    def test_unseen_signature_falls_back_and_stays_exact(self):
+        warmup = events_from_tuples(
+            [("a", "b", "T"), ("c", "d", "U")] * 5  # T and U never chain
+        )
+        stream = events_from_tuples(
+            [("p", "q", "T", 100.0), ("q", "r", "U", 101.0)]
+        )
+        engine = ContinuousQueryEngine()
+        engine.warmup(warmup)
+        query = QueryGraph.path(["T", "U"], name="q")
+        registered = engine.register(query, strategy="PathLazy")
+        # the T~U signature was never observed: 1-edge leaves only
+        assert all(len(l.edge_ids) == 1 for l in registered.tree.leaves())
+        records = []
+        for event in stream:
+            records.extend(engine.process_event(event))
+        assert len(records) == 1
+
+
+class TestSingleLeafLazy:
+    def test_one_edge_query_under_lazy(self):
+        engine = ContinuousQueryEngine()
+        engine.warmup(events_from_tuples([("a", "b", "T")]))
+        engine.register(QueryGraph.path(["T"], name="q"), strategy="SingleLazy")
+        records = engine.process_event(EdgeEvent("x", "y", "T", 1.0))
+        assert len(records) == 1
+        assert records[0].match.vertex_map == {0: "x", 1: "y"}
+
+
+def test_package_docstring_examples():
+    failures, tried = doctest.testmod(repro, verbose=False).failed, None
+    assert failures == 0

@@ -1,0 +1,135 @@
+"""Tests for networkx interop and parser round-trip properties."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.query import QueryGraph, format_query, parse_query
+from repro.query.interop import from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_digraph_conversion(self):
+        g = nx.DiGraph()
+        g.add_node("attacker", vtype="ip")
+        g.add_node("victim", vtype="ip", binding="10.0.0.9")
+        g.add_edge("attacker", "victim", etype="TCP")
+        query = from_networkx(g)
+        assert query.num_edges == 1
+        assert query.vertex_type(0) == "ip"
+        assert query.binding(1) == "10.0.0.9"
+        assert query.edges[0].etype == "TCP"
+
+    def test_multidigraph_parallel_edges(self):
+        g = nx.MultiDiGraph()
+        g.add_edge("a", "b", etype="TCP")
+        g.add_edge("a", "b", etype="LARGE_MSG")
+        query = from_networkx(g)
+        assert query.num_edges == 2
+        assert sorted(e.etype for e in query.edges) == ["LARGE_MSG", "TCP"]
+
+    def test_undirected_rejected(self):
+        with pytest.raises(QueryError, match="directed"):
+            from_networkx(nx.Graph())
+
+    def test_missing_etype_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        with pytest.raises(QueryError, match="etype"):
+            from_networkx(g)
+
+    def test_empty_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("lonely")
+        with pytest.raises(QueryError, match="no edges"):
+            from_networkx(g)
+
+    def test_custom_attribute_names(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", rel="knows")
+        query = from_networkx(g, etype_attr="rel")
+        assert query.edges[0].etype == "knows"
+
+
+class TestRoundTrip:
+    def test_networkx_round_trip(self):
+        original = QueryGraph.path(["ESP", "TCP"], vtype="ip", name="rt")
+        original.add_vertex(0, binding="ip1")
+        back = from_networkx(to_networkx(original), name="rt")
+        assert back.num_edges == original.num_edges
+        assert [e.etype for e in back.edges] == [e.etype for e in original.edges]
+        assert back.vertex_type(0) == "ip"
+        assert back.binding(0) == "ip1"
+
+    def test_round_tripped_query_is_runnable(self):
+        from repro import ContinuousQueryEngine
+        from repro.graph import EdgeEvent
+
+        query = from_networkx(to_networkx(QueryGraph.path(["T", "U"], name="q")))
+        query.name = "q"
+        engine = ContinuousQueryEngine()
+        engine.warmup([EdgeEvent("a", "b", "T", 0.0), EdgeEvent("b", "c", "U", 1.0)])
+        engine.register(query, strategy="SingleLazy")
+        records = []
+        for event in [EdgeEvent("x", "y", "T", 2.0), EdgeEvent("y", "z", "U", 3.0)]:
+            records.extend(engine.process_event(event))
+        assert len(records) == 1
+
+
+@st.composite
+def random_structured_queries(draw):
+    n_edges = draw(st.integers(min_value=1, max_value=6))
+    etypes = ["TCP", "UDP", "RDP"]
+    vtypes = [None, "ip", "host"]
+    query = QueryGraph(name="prop")
+    query.add_vertex(0, draw(st.sampled_from(vtypes)))
+    next_vertex = 1
+    for _ in range(n_edges):
+        anchor = draw(st.integers(min_value=0, max_value=next_vertex - 1))
+        query.add_vertex(next_vertex, draw(st.sampled_from(vtypes)))
+        if draw(st.booleans()):
+            query.add_edge(anchor, next_vertex, draw(st.sampled_from(etypes)))
+        else:
+            query.add_edge(next_vertex, anchor, draw(st.sampled_from(etypes)))
+        next_vertex += 1
+    if draw(st.booleans()):
+        bound = draw(st.integers(min_value=0, max_value=next_vertex - 1))
+        query.add_vertex(bound, None, binding=f"ip{bound}")
+    return query
+
+
+class TestParserProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(query=random_structured_queries())
+    def test_dsl_round_trip_preserves_structure(self, query):
+        parsed = parse_query(format_query(query))
+        assert parsed.num_edges == query.num_edges
+        assert parsed.num_vertices == query.num_vertices
+        # the parser renumbers vertices in first-appearance order over the
+        # edge list; rebuild that correspondence before comparing per-vertex
+        rename: dict[int, int] = {}
+        for edge in query.edges:
+            for vertex in (edge.src, edge.dst):
+                rename.setdefault(vertex, len(rename))
+        assert [
+            (rename[e.src], e.etype, rename[e.dst]) for e in query.edges
+        ] == [(e.src, e.etype, e.dst) for e in parsed.edges]
+        for vertex in query.vertices():
+            mapped = rename[vertex]
+            assert parsed.vertex_type(mapped) == query.vertex_type(vertex)
+            assert parsed.binding(mapped) == query.binding(vertex)
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=random_structured_queries())
+    def test_networkx_round_trip_property(self, query):
+        # networkx iterates edges grouped by source node, so edge *order*
+        # (and hence edge ids) may permute; structure must survive as a set
+        back = from_networkx(to_networkx(query))
+        assert back.num_edges == query.num_edges
+        assert sorted((e.src, e.etype, e.dst) for e in back.edges) == sorted(
+            (e.src, e.etype, e.dst) for e in query.edges
+        )
+        for vertex in query.vertices():
+            assert back.vertex_type(vertex) == query.vertex_type(vertex)
+            assert back.binding(vertex) == query.binding(vertex)

@@ -1,0 +1,154 @@
+"""Unit tests for Match construction, joins and projections."""
+
+import pytest
+
+from repro.graph import Edge
+from repro.isomorphism import Match, merge_all
+from repro.query import QueryGraph
+
+
+def edge(eid, src, dst, etype="T", ts=0.0):
+    return Edge(edge_id=eid, src=src, dst=dst, etype=etype, timestamp=ts)
+
+
+@pytest.fixture
+def path_query():
+    return QueryGraph.path(["T", "T", "T"])  # v0->v1->v2->v3
+
+
+def qmap(query):
+    return query.edges_by_id()
+
+
+class TestBuild:
+    def test_valid_build(self, path_query):
+        match = Match.build(
+            qmap(path_query),
+            {0: edge(10, "a", "b", ts=1.0), 1: edge(11, "b", "c", ts=3.0)},
+        )
+        assert match is not None
+        assert match.vertex_map == {0: "a", 1: "b", 2: "c"}
+        assert match.min_time == 1.0 and match.max_time == 3.0
+        assert match.span == 2.0
+        assert match.num_edges == 2
+        assert match.query_edge_ids() == frozenset({0, 1})
+
+    def test_type_mismatch_rejected(self, path_query):
+        assert Match.build(qmap(path_query), {0: edge(10, "a", "b", etype="X")}) is None
+
+    def test_vertex_inconsistency_rejected(self, path_query):
+        match = Match.build(
+            qmap(path_query),
+            {0: edge(10, "a", "b"), 1: edge(11, "z", "c")},  # v1 must be b
+        )
+        assert match is None
+
+    def test_vertex_injectivity_enforced(self, path_query):
+        match = Match.build(
+            qmap(path_query),
+            {0: edge(10, "a", "b"), 1: edge(11, "b", "a")},  # v2 == v0 image
+        )
+        assert match is None
+
+    def test_data_edge_reuse_rejected(self):
+        query = QueryGraph()
+        query.add_edge(0, 1, "T")
+        query.add_edge(0, 1, "T")  # parallel query edges
+        shared = edge(10, "a", "b")
+        assert Match.build(qmap(query), {0: shared, 1: shared}) is None
+
+    def test_unknown_query_edge_rejected(self, path_query):
+        assert Match.build(qmap(path_query), {9: edge(10, "a", "b")}) is None
+
+    def test_single_fast_path(self, path_query):
+        qedge = path_query.edge(0)
+        match = Match.single(0, qedge, edge(5, "x", "y", ts=2.0))
+        assert match.vertex_map == {0: "x", 1: "y"}
+        assert match.span == 0.0
+
+    def test_single_self_loop(self):
+        query = QueryGraph()
+        query.add_edge(0, 0, "T")
+        match = Match.single(0, query.edge(0), edge(5, "x", "x"))
+        assert match.vertex_map == {0: "x"}
+
+
+class TestJoin:
+    def test_compatible_join(self, path_query):
+        m1 = Match.build(qmap(path_query), {0: edge(10, "a", "b", ts=1.0)})
+        m2 = Match.build(qmap(path_query), {1: edge(11, "b", "c", ts=5.0)})
+        joined = m1.join(m2)
+        assert joined is not None
+        assert joined.vertex_map == {0: "a", 1: "b", 2: "c"}
+        assert joined.span == 4.0
+        assert joined.query_edge_ids() == frozenset({0, 1})
+
+    def test_join_is_symmetric(self, path_query):
+        m1 = Match.build(qmap(path_query), {0: edge(10, "a", "b")})
+        m2 = Match.build(qmap(path_query), {1: edge(11, "b", "c")})
+        assert m1.join(m2) == m2.join(m1)
+
+    def test_overlapping_query_edges_rejected(self, path_query):
+        m1 = Match.build(qmap(path_query), {0: edge(10, "a", "b")})
+        m2 = Match.build(qmap(path_query), {0: edge(11, "x", "y")})
+        assert m1.join(m2) is None
+
+    def test_inconsistent_shared_vertex_rejected(self, path_query):
+        m1 = Match.build(qmap(path_query), {0: edge(10, "a", "b")})
+        m2 = Match.build(qmap(path_query), {1: edge(11, "z", "c")})
+        assert m1.join(m2) is None
+
+    def test_injectivity_across_join_rejected(self, path_query):
+        m1 = Match.build(qmap(path_query), {0: edge(10, "a", "b")})
+        m2 = Match.build(qmap(path_query), {2: edge(11, "c", "a")})  # v3 -> a
+        assert m1.join(m2) is None
+
+    def test_shared_data_edge_rejected(self):
+        query = QueryGraph()
+        query.add_edge(0, 1, "T")
+        query.add_edge(1, 2, "T")
+        shared = edge(10, "a", "b")
+        m1 = Match.build(qmap(query), {0: shared})
+        m2 = Match.build(qmap(query), {1: edge(10, "b", "c")})  # same edge id
+        assert m1.join(m2) is None
+
+    def test_merge_all(self, path_query):
+        parts = [
+            Match.build(qmap(path_query), {0: edge(10, "a", "b")}),
+            Match.build(qmap(path_query), {1: edge(11, "b", "c")}),
+            Match.build(qmap(path_query), {2: edge(12, "c", "d")}),
+        ]
+        combined = merge_all(parts)
+        assert combined is not None
+        assert combined.num_edges == 3
+
+    def test_merge_all_conflict_returns_none(self, path_query):
+        parts = [
+            Match.build(qmap(path_query), {0: edge(10, "a", "b")}),
+            Match.build(qmap(path_query), {1: edge(11, "q", "c")}),
+        ]
+        assert merge_all(parts) is None
+
+
+class TestIdentity:
+    def test_fingerprint_and_equality(self, path_query):
+        m1 = Match.build(qmap(path_query), {0: edge(10, "a", "b")})
+        m2 = Match.build(qmap(path_query), {0: edge(10, "a", "b")})
+        m3 = Match.build(qmap(path_query), {0: edge(11, "a", "b")})
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+        assert m1 != m3
+        assert m1.fingerprint == ((0, 10),)
+
+    def test_key_for_cut(self, path_query):
+        match = Match.build(
+            qmap(path_query), {0: edge(10, "a", "b"), 1: edge(11, "b", "c")}
+        )
+        assert match.key_for((1,)) == ("b",)
+        assert match.key_for((0, 2)) == ("a", "c")
+        assert match.key_for(()) == ()
+
+    def test_data_accessors(self, path_query):
+        match = Match.build(qmap(path_query), {0: edge(10, "a", "b")})
+        assert match.data_vertices() == {"a", "b"}
+        assert [e.edge_id for e in match.data_edges()] == [10]

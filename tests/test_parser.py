@@ -1,0 +1,82 @@
+"""Unit tests for the query text formats."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import QueryGraph, format_query, parse_query, parse_triples
+
+
+class TestParseQuery:
+    def test_basic_edge_line(self):
+        query = parse_query("a -TCP-> b")
+        assert query.num_edges == 1
+        assert query.edges[0].etype == "TCP"
+
+    def test_vertex_types(self):
+        query = parse_query("a:ip -TCP-> b:host")
+        assert query.vertex_type(0) == "ip"
+        assert query.vertex_type(1) == "host"
+
+    def test_vertex_names_are_reused(self):
+        query = parse_query("a -T-> b\nb -U-> c")
+        assert query.num_vertices == 3
+        assert query.edges[1].src == 1
+
+    def test_type_on_any_mention(self):
+        query = parse_query("a -T-> b\nb:ip -U-> c")
+        assert query.vertex_type(1) == "ip"
+
+    def test_comments_and_blanks(self):
+        query = parse_query("# header\n\na -T-> b  # trailing\n")
+        assert query.num_edges == 1
+
+    def test_binding_line(self):
+        query = parse_query('a -T-> b\na = "10.0.0.1"')
+        assert query.binding(0) == "10.0.0.1"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_query("a => b")
+
+    def test_rejects_empty_query(self):
+        with pytest.raises(ParseError, match="no edges"):
+            parse_query("# nothing\n")
+
+    def test_dotted_names(self):
+        query = parse_query("web.server -HTTP-> app-01")
+        assert query.num_edges == 1
+
+
+class TestFormatRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = QueryGraph.path(["ESP", "TCP"], vtype="ip")
+        original.add_vertex(0, binding="ip3")
+        parsed = parse_query(format_query(original))
+        assert parsed.num_edges == original.num_edges
+        assert [e.etype for e in parsed.edges] == ["ESP", "TCP"]
+        assert parsed.vertex_type(0) == "ip"
+        assert parsed.binding(0) == "ip3"
+
+    def test_round_trip_wildcards(self):
+        original = QueryGraph.path(["A", "B", "C"])
+        parsed = parse_query(format_query(original))
+        assert all(parsed.vertex_type(v) is None for v in parsed.vertices())
+
+
+class TestParseTriples:
+    def test_triples(self):
+        query = parse_triples("0 TCP 1\n1 ICMP 2\n")
+        assert query.num_edges == 2
+        assert query.edges[1].etype == "ICMP"
+
+    def test_bad_arity(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse_triples("0 TCP\n")
+
+    def test_non_integer_vertices(self):
+        with pytest.raises(ParseError, match="integers"):
+            parse_triples("a TCP b\n")
+
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_triples("# only comments\n")

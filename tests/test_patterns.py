@@ -1,0 +1,77 @@
+"""Unit tests for the Fig. 1 attack-pattern library."""
+
+import pytest
+
+from repro.query import (
+    denial_of_service,
+    information_exfiltration,
+    insider_infiltration,
+)
+from repro.query.patterns import ALL_PATTERNS
+
+
+class TestInfiltration:
+    def test_is_a_path(self):
+        query = insider_infiltration(hops=3)
+        assert query.num_edges == 3
+        assert query.num_vertices == 4
+        assert all(e.etype == "RDP" for e in query.edges)
+        assert query.diameter() == 3
+
+    def test_vertex_type(self):
+        query = insider_infiltration(hops=2, vtype="machine")
+        assert query.vertex_type(0) == "machine"
+
+    def test_rejects_zero_hops(self):
+        with pytest.raises(ValueError):
+            insider_infiltration(hops=0)
+
+
+class TestDoS:
+    def test_parallel_paths(self):
+        query = denial_of_service(num_bots=3)
+        assert query.num_edges == 6
+        assert query.num_vertices == 5
+        # every bot has one in-edge (from attacker) and one out-edge (to victim)
+        for bot in (2, 3, 4):
+            assert query.degree(bot) == 2
+        assert query.degree(0) == 3  # attacker fan-out
+        assert query.degree(1) == 3  # victim fan-in
+
+    def test_connected(self):
+        assert denial_of_service(num_bots=2).is_connected()
+
+    def test_rejects_zero_bots(self):
+        with pytest.raises(ValueError):
+            denial_of_service(num_bots=0)
+
+    def test_custom_protocols(self):
+        query = denial_of_service(num_bots=2, c2_etype="TCP", flood_etype="ICMP")
+        etypes = sorted(e.etype for e in query.edges)
+        assert etypes == ["ICMP", "ICMP", "TCP", "TCP"]
+        # flood edges all point at the victim
+        assert all(e.dst == 1 for e in query.edges if e.etype == "ICMP")
+
+
+class TestExfiltration:
+    def test_shape(self):
+        query = information_exfiltration()
+        assert query.num_edges == 3
+        assert query.num_vertices == 3
+        etypes = sorted(e.etype for e in query.edges)
+        assert etypes == ["HTTP", "LARGE_MSG", "TCP"]
+
+    def test_victim_is_the_hub(self):
+        query = information_exfiltration()
+        assert all(e.src == 0 for e in query.edges)
+
+    def test_parallel_edges_to_c2(self):
+        query = information_exfiltration()
+        to_c2 = [e for e in query.edges if e.dst == 2]
+        assert len(to_c2) == 2
+
+
+def test_registry_contains_all_three():
+    assert set(ALL_PATTERNS) == {"infiltration", "dos", "exfiltration"}
+    for factory in ALL_PATTERNS.values():
+        assert factory().num_edges >= 1

@@ -1,0 +1,100 @@
+"""Unit tests for decomposition primitives."""
+
+from repro.graph import IN, OUT
+from repro.query import QueryGraph
+from repro.sjtree import EdgePrimitive, PathPrimitive, instance_vertices
+from repro.stats import make_signature, make_token
+
+
+def sig(d1, t1, d2, t2):
+    return make_signature(make_token(d1, t1), make_token(d2, t2))
+
+
+def path_query():
+    return QueryGraph.path(["ESP", "TCP", "ICMP", "GRE"])
+
+
+class TestEdgePrimitive:
+    def test_finds_matching_edge(self):
+        prim = EdgePrimitive(selectivity=0.1, etype="TCP")
+        query = path_query()
+        remaining = {e.edge_id for e in query.edges}
+        assert prim.find_instance(query, remaining, None) == (1,)
+
+    def test_respects_remaining_set(self):
+        prim = EdgePrimitive(selectivity=0.1, etype="TCP")
+        query = path_query()
+        assert prim.find_instance(query, {0, 2, 3}, None) is None
+
+    def test_frontier_constraint(self):
+        prim = EdgePrimitive(selectivity=0.1, etype="GRE")
+        query = path_query()
+        remaining = {e.edge_id for e in query.edges}
+        assert prim.find_instance(query, remaining, {0, 1}) is None
+        assert prim.find_instance(query, remaining, {3}) == (3,)
+
+    def test_deterministic_lowest_id(self):
+        query = QueryGraph.path(["T", "T", "T"])
+        prim = EdgePrimitive(selectivity=0.1, etype="T")
+        assert prim.find_instance(query, {0, 1, 2}, None) == (0,)
+
+    def test_metadata(self):
+        prim = EdgePrimitive(selectivity=0.1, etype="TCP")
+        assert prim.num_edges == 1
+        assert "TCP" in prim.label
+
+
+class TestPathPrimitive:
+    def test_finds_centre_pair(self):
+        query = path_query()
+        prim = PathPrimitive(
+            selectivity=0.01, signature=sig(IN, "ESP", OUT, "TCP")
+        )
+        remaining = {e.edge_id for e in query.edges}
+        assert prim.find_instance(query, remaining, None) == (0, 1)
+
+    def test_wrong_direction_not_found(self):
+        query = path_query()
+        prim = PathPrimitive(
+            selectivity=0.01, signature=sig(OUT, "ESP", OUT, "TCP")
+        )
+        remaining = {e.edge_id for e in query.edges}
+        assert prim.find_instance(query, remaining, None) is None
+
+    def test_star_pair(self):
+        query = QueryGraph.from_triples([(0, "A", 1), (0, "B", 2)])
+        prim = PathPrimitive(selectivity=0.01, signature=sig(OUT, "A", OUT, "B"))
+        assert prim.find_instance(query, {0, 1}, None) == (0, 1)
+
+    def test_frontier_constraint(self):
+        query = path_query()
+        prim = PathPrimitive(
+            selectivity=0.01, signature=sig(IN, "ICMP", OUT, "GRE")
+        )
+        remaining = {e.edge_id for e in query.edges}
+        assert prim.find_instance(query, remaining, {0}) is None
+        assert prim.find_instance(query, remaining, {3}) == (2, 3)
+
+    def test_remaining_respected(self):
+        query = path_query()
+        prim = PathPrimitive(selectivity=0.01, signature=sig(IN, "ESP", OUT, "TCP"))
+        assert prim.find_instance(query, {1, 2, 3}, None) is None
+
+    def test_parallel_edge_pair(self):
+        query = QueryGraph()
+        query.add_edge(0, 1, "T")
+        query.add_edge(0, 1, "U")
+        prim = PathPrimitive(selectivity=0.01, signature=sig(OUT, "T", OUT, "U"))
+        assert prim.find_instance(query, {0, 1}, None) == (0, 1)
+
+    def test_metadata(self):
+        prim = PathPrimitive(selectivity=0.01, signature=sig(IN, "A", OUT, "B"))
+        assert prim.num_edges == 2
+        assert "A" in prim.label and "B" in prim.label
+
+
+class TestInstanceVertices:
+    def test_union_of_endpoints(self):
+        query = path_query()
+        assert instance_vertices(query, [0, 1]) == {0, 1, 2}
+        assert instance_vertices(query, [3]) == {3, 4}

@@ -1,0 +1,78 @@
+"""Unit tests for the exclusive-time profiler."""
+
+import time
+
+import pytest
+
+from repro.analysis import ProfileCounters
+
+
+class TestPhases:
+    def test_basic_accumulation(self):
+        profile = ProfileCounters()
+        with profile.phase("iso"):
+            time.sleep(0.01)
+        assert profile.seconds("iso") >= 0.008
+        assert profile.phases["iso"].calls == 1
+
+    def test_repeat_entries_sum(self):
+        profile = ProfileCounters()
+        for _ in range(3):
+            with profile.phase("iso"):
+                pass
+        assert profile.phases["iso"].calls == 3
+
+    def test_nested_phases_measure_exclusive_time(self):
+        profile = ProfileCounters()
+        with profile.phase("join"):
+            time.sleep(0.02)
+            with profile.phase("iso"):
+                time.sleep(0.02)
+            time.sleep(0.01)
+        iso = profile.seconds("iso")
+        join = profile.seconds("join")
+        assert iso == pytest.approx(0.02, abs=0.01)
+        assert join == pytest.approx(0.03, abs=0.015)
+        # the inner phase's time is NOT double counted in the outer
+        assert profile.total_seconds == pytest.approx(0.05, abs=0.02)
+
+    def test_unknown_phase_is_zero(self):
+        assert ProfileCounters().seconds("nope") == 0.0
+
+    def test_fraction(self):
+        profile = ProfileCounters()
+        with profile.phase("a"):
+            time.sleep(0.01)
+        assert profile.fraction("a") == pytest.approx(1.0)
+        assert ProfileCounters().fraction("a") == 0.0
+
+
+class TestCountersAndMerge:
+    def test_bump(self):
+        profile = ProfileCounters()
+        profile.bump("matches")
+        profile.bump("matches", 4)
+        assert profile.counters["matches"] == 5
+
+    def test_merge(self):
+        a, b = ProfileCounters(), ProfileCounters()
+        with a.phase("iso"):
+            pass
+        with b.phase("iso"):
+            pass
+        with b.phase("join"):
+            pass
+        b.bump("n", 2)
+        a.merge(b)
+        assert a.phases["iso"].calls == 2
+        assert "join" in a.phases
+        assert a.counters["n"] == 2
+
+    def test_report_smoke(self):
+        profile = ProfileCounters()
+        with profile.phase("iso"):
+            pass
+        profile.bump("events")
+        text = profile.report()
+        assert "iso" in text and "events" in text
+        assert ProfileCounters().report() == "(no profile data)"

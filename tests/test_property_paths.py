@@ -1,0 +1,78 @@
+"""Property-based tests: streaming path counter ≡ Algorithm 5, under
+arbitrary interleavings of insertions and window evictions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import EdgeEvent, StreamingGraph
+from repro.stats import TwoEdgePathCounter, count_two_edge_paths
+
+
+@st.composite
+def windowed_streams(draw):
+    n_vertices = draw(st.integers(min_value=2, max_value=6))
+    n_edges = draw(st.integers(min_value=1, max_value=40))
+    window = draw(st.sampled_from([3.0, 8.0, 1e9]))
+    events = []
+    t = 0.0
+    for _ in range(n_edges):
+        t += draw(st.integers(min_value=0, max_value=3))
+        src = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        dst = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        etype = draw(st.sampled_from(["A", "B"]))
+        events.append(EdgeEvent(src, dst, etype, float(t)))
+    return events, window
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=windowed_streams())
+def test_streaming_counter_tracks_live_graph(data):
+    events, window = data
+    graph = StreamingGraph(window)
+    counter = TwoEdgePathCounter()
+    live = {}
+    for event in events:
+        edge = graph.add_event(event)  # may evict older edges
+        # mirror the graph's evictions into the counter
+        still_live = {e.edge_id for e in graph.edges()}
+        for known_id in list(live):
+            if known_id not in still_live:
+                counter.remove_edge(live.pop(known_id))
+        counter.add_edge(edge)
+        live[edge.edge_id] = edge
+    assert counter.as_counter() == count_two_edge_paths(graph)
+    assert counter.total == sum(count_two_edge_paths(graph).values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=windowed_streams())
+def test_full_teardown_reaches_zero(data):
+    events, _ = data
+    graph = StreamingGraph()
+    counter = TwoEdgePathCounter()
+    edges = []
+    for event in events:
+        edge = graph.add_event(event)
+        counter.add_edge(edge)
+        edges.append(edge)
+    for edge in reversed(edges):
+        counter.remove_edge(edge)
+    assert counter.total == 0
+    assert len(counter) == 0
+    assert counter.as_counter() == {}
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=windowed_streams())
+def test_counts_are_non_negative_and_consistent(data):
+    events, _ = data
+    graph = StreamingGraph()
+    counter = TwoEdgePathCounter()
+    for event in events:
+        counter.add_edge(graph.add_event(event))
+    assert all(c > 0 for _, c in counter.distribution())
+    assert counter.total == sum(c for _, c in counter.distribution())
+    for signature, _ in counter.distribution():
+        assert counter.seen(signature)
+        assert 0.0 < counter.selectivity(signature) <= 1.0

@@ -1,0 +1,170 @@
+"""Unit tests for the query graph model."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import QueryGraph
+
+
+def three_hop():
+    return QueryGraph.path(["ESP", "TCP", "ICMP"], vtype="ip", name="p3")
+
+
+class TestConstruction:
+    def test_path_constructor(self):
+        query = three_hop()
+        assert query.num_vertices == 4
+        assert query.num_edges == 3
+        assert [e.etype for e in query.edges] == ["ESP", "TCP", "ICMP"]
+        assert all(query.vertex_type(v) == "ip" for v in query.vertices())
+
+    def test_from_triples(self):
+        query = QueryGraph.from_triples(
+            [(0, "A", 1), (1, "B", 2)], vertex_types={0: "x"}
+        )
+        assert query.num_edges == 2
+        assert query.vertex_type(0) == "x"
+        assert query.vertex_type(2) is None
+
+    def test_auto_vertex_declaration(self):
+        query = QueryGraph()
+        query.add_edge(5, 9, "T")
+        assert set(query.vertices()) == {5, 9}
+        assert query.vertex_type(5) is None
+
+    def test_conflicting_vertex_types_rejected(self):
+        query = QueryGraph()
+        query.add_vertex(0, "ip")
+        with pytest.raises(QueryError, match="conflicting"):
+            query.add_vertex(0, "host")
+
+    def test_type_can_be_refined_from_wildcard(self):
+        query = QueryGraph()
+        query.add_vertex(0)
+        query.add_vertex(0, "ip")
+        assert query.vertex_type(0) == "ip"
+
+    def test_empty_etype_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph().add_edge(0, 1, "")
+
+    def test_edge_ids_dense(self):
+        query = three_hop()
+        assert [e.edge_id for e in query.edges] == [0, 1, 2]
+        assert query.edge(1).etype == "TCP"
+
+    def test_unknown_edge_and_vertex_raise(self):
+        query = three_hop()
+        with pytest.raises(QueryError):
+            query.edge(17)
+        with pytest.raises(QueryError):
+            query.vertex_type(42)
+        with pytest.raises(QueryError):
+            query.incident(42)
+
+
+class TestStructure:
+    def test_incident(self):
+        query = three_hop()
+        assert [e.edge_id for e in query.incident(0)] == [0]
+        assert sorted(e.edge_id for e in query.incident(1)) == [0, 1]
+        assert query.degree(1) == 2
+
+    def test_incident_self_loop_once(self):
+        query = QueryGraph()
+        query.add_edge(0, 0, "T")
+        assert len(query.incident(0)) == 1
+
+    def test_etypes_in_first_use_order(self):
+        query = QueryGraph.path(["B", "A", "B"])
+        assert query.etypes() == ["B", "A"]
+
+    def test_is_connected(self):
+        assert three_hop().is_connected()
+        disconnected = QueryGraph()
+        disconnected.add_edge(0, 1, "T")
+        disconnected.add_edge(2, 3, "T")
+        assert not disconnected.is_connected()
+        assert QueryGraph().is_connected()
+
+    def test_diameter_path(self):
+        assert three_hop().diameter() == 3
+
+    def test_diameter_star(self):
+        query = QueryGraph()
+        for leaf in (1, 2, 3):
+            query.add_edge(0, leaf, "T")
+        assert query.diameter() == 2
+
+    def test_diameter_disconnected_raises(self):
+        query = QueryGraph()
+        query.add_edge(0, 1, "T")
+        query.add_edge(2, 3, "T")
+        with pytest.raises(QueryError):
+            query.diameter()
+
+
+class TestVertexOk:
+    def test_wildcard_accepts_any_type(self):
+        query = QueryGraph()
+        query.add_edge(0, 1, "T")
+        assert query.vertex_ok(0, "x", "whatever")
+
+    def test_type_constraint(self):
+        query = three_hop()
+        assert query.vertex_ok(0, "x", "ip")
+        assert not query.vertex_ok(0, "x", "host")
+
+    def test_binding_constraint(self):
+        query = QueryGraph()
+        query.add_vertex(0, "ip", binding="10.0.0.1")
+        query.add_edge(0, 1, "T")
+        assert query.vertex_ok(0, "10.0.0.1", "ip")
+        assert not query.vertex_ok(0, "10.0.0.2", "ip")
+        assert query.binding(0) == "10.0.0.1"
+        assert query.binding(1) is None
+
+
+class TestSubgraph:
+    def test_preserves_ids_types_bindings(self):
+        query = three_hop()
+        query.add_vertex(0, binding="ip1")
+        fragment = query.subgraph([1, 2])
+        assert fragment.num_edges == 2
+        assert sorted(fragment.edge_ids()) == [1, 2]
+        assert fragment.edge(1).etype == "TCP"
+        assert set(fragment.vertices()) == {1, 2, 3}
+        assert fragment.vertex_type(2) == "ip"
+
+    def test_binding_carried_into_fragment(self):
+        query = three_hop()
+        query.add_vertex(1, binding="ip9")
+        fragment = query.subgraph([0])
+        assert fragment.binding(1) == "ip9"
+
+    def test_fragment_edge_lookup_non_dense(self):
+        fragment = three_hop().subgraph([2])
+        assert fragment.edge(2).etype == "ICMP"
+        with pytest.raises(QueryError):
+            fragment.edge(0)
+
+    def test_edges_by_id(self):
+        fragment = three_hop().subgraph([0, 2])
+        assert set(fragment.edges_by_id()) == {0, 2}
+
+    def test_copy_independent(self):
+        query = three_hop()
+        clone = query.copy()
+        clone.add_edge(3, 0, "GRE")
+        assert query.num_edges == 3
+        assert clone.num_edges == 4
+
+
+class TestDescribe:
+    def test_describe_mentions_everything(self):
+        query = three_hop()
+        query.add_vertex(0, binding="ip7")
+        text = query.describe()
+        assert "p3" in text
+        assert "v0: ip = 'ip7'" in text
+        assert "-TCP->" in text

@@ -1,0 +1,85 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    Series,
+    ascii_table,
+    format_cell,
+    log_histogram,
+    series_table,
+    speedup_summary,
+)
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(123456.0) == "1.235e+05"
+        assert format_cell(0.00001) == "1.000e-05"
+        assert format_cell(float("inf")) == "inf"
+
+    def test_bool_and_str(self):
+        assert format_cell(True) == "yes"
+        assert format_cell("x") == "x"
+        assert format_cell(7) == "7"
+
+
+class TestAsciiTable:
+    def test_alignment_and_header(self):
+        table = ascii_table(
+            ["name", "value"], [["alpha", 1], ["b", 123456.0]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        table = ascii_table(["a"], [])
+        assert "a" in table
+
+
+class TestSeriesTable:
+    def test_grid_with_missing_points(self):
+        s1 = Series("Lazy")
+        s1.add(3, 0.5)
+        s1.add(4, 0.7)
+        s2 = Series("VF2")
+        s2.add(3, 50.0)
+        text = series_table([s1, s2], x_label="size")
+        assert "Lazy" in text and "VF2" in text
+        lines = text.splitlines()
+        assert any("0.500" in line for line in lines)
+        assert any("-" == cell.strip() for line in lines for cell in line.split("  ") if cell)
+
+
+class TestLogHistogram:
+    def test_counts_sum(self):
+        import re
+
+        text = log_histogram([1e-5, 1e-5, 1e-1, 10.0], bins=6, lo=-6, hi=2)
+        counts = [int(re.search(r"\)\s+(\d+)", line).group(1)) for line in text.splitlines()]
+        assert sum(counts) == 4
+
+    def test_zero_values_clamp_to_floor(self):
+        text = log_histogram([0.0], bins=4, lo=-4, hi=0)
+        first = text.splitlines()[0]
+        assert " 1 " in first or first.endswith("1 #" + "#" * 39)
+
+    def test_validates_bins(self):
+        with pytest.raises(ValueError):
+            log_histogram([1.0], bins=0)
+
+
+class TestSpeedupSummary:
+    def test_factors(self):
+        text = speedup_summary("VF2", 100.0, {"Lazy": 1.0, "Eager": 10.0})
+        assert "100.0x" in text
+        assert "10.0x" in text
+
+    def test_zero_time_handled(self):
+        text = speedup_summary("VF2", 1.0, {"Lazy": 0.0})
+        assert "too fast" in text

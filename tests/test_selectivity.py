@@ -1,0 +1,97 @@
+"""Unit tests for Expected / Relative Selectivity and distributions."""
+
+import math
+
+import pytest
+
+from repro.stats import (
+    LeafSelectivity,
+    SelectivityDistribution,
+    expected_selectivity,
+    log10_or_floor,
+    relative_selectivity,
+)
+
+
+def leaf(sel, desc="x", edges=1):
+    return LeafSelectivity(description=desc, selectivity=sel, num_edges=edges)
+
+
+class TestLeafSelectivity:
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            leaf(1.5)
+        with pytest.raises(ValueError):
+            leaf(-0.1)
+
+    def test_boundaries_allowed(self):
+        assert leaf(0.0).selectivity == 0.0
+        assert leaf(1.0).selectivity == 1.0
+
+
+class TestExpectedSelectivity:
+    def test_product(self):
+        assert expected_selectivity([leaf(0.5), leaf(0.2)]) == pytest.approx(0.1)
+
+    def test_empty_product_is_one(self):
+        assert expected_selectivity([]) == 1.0
+
+    def test_zero_leaf_zeroes_product(self):
+        assert expected_selectivity([leaf(0.5), leaf(0.0)]) == 0.0
+
+
+class TestRelativeSelectivity:
+    def test_equation_two(self):
+        t_path = [leaf(0.01, edges=2), leaf(0.1)]
+        t_single = [leaf(0.5), leaf(0.5), leaf(0.4)]
+        xi = relative_selectivity(t_path, t_single)
+        assert xi == pytest.approx((0.01 * 0.1) / (0.5 * 0.5 * 0.4))
+
+    def test_zero_denominator_both_zero(self):
+        assert relative_selectivity([leaf(0.0)], [leaf(0.0)]) == 1.0
+
+    def test_zero_denominator_nonzero_numerator(self):
+        assert relative_selectivity([leaf(0.5)], [leaf(0.0)]) == math.inf
+
+
+class TestLog10OrFloor:
+    def test_normal_value(self):
+        assert log10_or_floor(0.001) == pytest.approx(-3.0)
+
+    def test_zero_clamps(self):
+        assert log10_or_floor(0.0) == -12.0
+
+    def test_tiny_value_clamps(self):
+        assert log10_or_floor(1e-30) == -12.0
+
+    def test_custom_floor(self):
+        assert log10_or_floor(0.0, floor=-5.0) == -5.0
+
+
+class TestSelectivityDistribution:
+    def test_from_items_sorted_ascending(self):
+        dist = SelectivityDistribution.from_items([("a", 5), ("b", 1), ("c", 3)])
+        assert dist.labels == ("b", "c", "a")
+        assert dist.counts == (1, 3, 5)
+        assert dist.total == 9
+
+    def test_selectivities_normalised(self):
+        dist = SelectivityDistribution.from_items([("a", 3), ("b", 1)])
+        assert dist.selectivities() == pytest.approx((0.25, 0.75))
+
+    def test_selectivities_empty(self):
+        dist = SelectivityDistribution.from_items([])
+        assert dist.selectivities() == ()
+        assert dist.total == 0
+        assert dist.skew() == 0.0
+
+    def test_skew(self):
+        dist = SelectivityDistribution.from_items([("a", 9), ("b", 1)])
+        assert dist.skew() == pytest.approx(0.9)
+
+    def test_top(self):
+        dist = SelectivityDistribution.from_items([("a", 9), ("b", 1), ("c", 5)])
+        assert dist.top(2) == [("a", 9), ("c", 5)]
+
+    def test_len(self):
+        assert len(SelectivityDistribution.from_items([("a", 1)])) == 1

@@ -1,0 +1,88 @@
+"""Unit tests for SJ-Tree ASCII serialization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.query import QueryGraph
+from repro.sjtree import SJTree, dumps, load, loads, save, leaf_partition_of
+from repro.stats import LeafSelectivity
+
+
+@pytest.fixture
+def query():
+    return QueryGraph.path(["ESP", "TCP", "ICMP", "GRE"], name="fig8")
+
+
+@pytest.fixture
+def tree(query):
+    meta = [
+        LeafSelectivity("path[in:ESP ~ out:TCP]", 0.004, 2),
+        LeafSelectivity("edge[ICMP]", 0.13, 1),
+        LeafSelectivity("edge[GRE]", 0.02, 1),
+    ]
+    return SJTree.from_leaf_partition(query, [(0, 1), (2,), (3,)], meta)
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self, tree, query):
+        text = dumps(tree)
+        rebuilt = loads(text, query)
+        assert leaf_partition_of(rebuilt) == leaf_partition_of(tree)
+        assert rebuilt.expected_selectivity() == pytest.approx(
+            tree.expected_selectivity()
+        )
+        assert [l.leaf_label for l in rebuilt.leaves()] == [
+            l.leaf_label for l in tree.leaves()
+        ]
+
+    def test_save_load_file(self, tree, query, tmp_path):
+        path = tmp_path / "fig8.sjtree"
+        save(tree, path)
+        rebuilt = load(path, query)
+        assert leaf_partition_of(rebuilt) == [(0, 1), (2,), (3,)]
+
+    def test_header_present(self, tree):
+        assert dumps(tree).startswith("SJTREE v1\n")
+
+    def test_runtime_state_not_serialized(self, tree, query):
+        text = dumps(tree)
+        assert "Match" not in text
+        rebuilt = loads(text, query)
+        assert rebuilt.total_partial_matches() == 0
+
+    def test_unknown_selectivity_round_trips(self, query):
+        tree = SJTree.from_leaf_partition(query, [(0, 1), (2, 3)])
+        rebuilt = loads(dumps(tree), query)
+        assert rebuilt.num_leaves == 2
+
+
+class TestValidation:
+    def test_missing_header(self, query):
+        with pytest.raises(SerializationError, match="header"):
+            loads("nonsense\n", query)
+
+    def test_query_mismatch_detected(self, tree):
+        other = QueryGraph.path(["TCP", "ESP", "ICMP", "GRE"])
+        with pytest.raises(SerializationError, match="different query"):
+            loads(dumps(tree), other)
+
+    def test_malformed_leaf_line(self, tree, query):
+        text = dumps(tree).replace("leaf 0 edges 0,1", "leaf 0 banana 0,1")
+        with pytest.raises(SerializationError, match="malformed"):
+            loads(text, query)
+
+    def test_out_of_order_leaves(self, tree, query):
+        lines = dumps(tree).splitlines()
+        lines[3], lines[4] = lines[4], lines[3]
+        with pytest.raises(SerializationError, match="out of order"):
+            loads("\n".join(lines), query)
+
+    def test_no_leaves(self, query):
+        text = "SJTREE v1\nquery q\n"
+        with pytest.raises(SerializationError, match="no leaves"):
+            loads(text, query)
+
+    def test_unexpected_line(self, tree, query):
+        text = dumps(tree) + "garbage here\n"
+        with pytest.raises(SerializationError, match="unexpected"):
+            loads(text, query)

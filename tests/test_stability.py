@@ -1,0 +1,114 @@
+"""Unit tests for the §6.3 selectivity-order stability machinery."""
+
+import pytest
+
+from repro.graph import EdgeEvent
+from repro.stats import (
+    DistributionTracker,
+    order_agreement,
+    rank_correlation,
+    rank_stability,
+    track_edge_types,
+)
+
+
+def events(types):
+    return [EdgeEvent(f"s{i}", f"d{i}", t, float(i)) for i, t in enumerate(types)]
+
+
+class TestDistributionTracker:
+    def test_interval_snapshots_are_not_cumulative(self):
+        tracker = DistributionTracker(interval=3)
+        for key in ["a", "a", "b", "b", "b", "c"]:
+            tracker.observe(key)
+        assert len(tracker.snapshots) == 2
+        assert tracker.snapshots[0].counts == {"a": 2, "b": 1}
+        assert tracker.snapshots[1].counts == {"b": 2, "c": 1}
+
+    def test_flush_closes_partial_interval(self):
+        tracker = DistributionTracker(interval=10)
+        tracker.observe("a")
+        tracker.flush()
+        assert len(tracker.snapshots) == 1
+
+    def test_flush_is_idempotent(self):
+        tracker = DistributionTracker(interval=10)
+        tracker.observe("a")
+        tracker.flush()
+        tracker.flush()
+        assert len(tracker.snapshots) == 1
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            DistributionTracker(interval=0)
+
+    def test_series_fills_missing_with_zero(self):
+        tracker = DistributionTracker(interval=2)
+        for key in ["a", "a", "b", "b"]:
+            tracker.observe(key)
+        series = tracker.series()
+        assert series["a"] == [2, 0]
+        assert series["b"] == [0, 2]
+
+    def test_snapshot_order(self):
+        tracker = DistributionTracker(interval=2)
+        for key in ["a", "b"]:
+            tracker.observe(key)
+        assert tracker.snapshots[0].order() == ["a", "b"]
+
+
+class TestRankCorrelation:
+    def test_identical_rankings(self):
+        assert rank_correlation({"a": 1, "b": 5}, {"a": 2, "b": 9}) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        tau = rank_correlation({"a": 1, "b": 5}, {"a": 5, "b": 1})
+        assert tau == pytest.approx(-1.0)
+
+    def test_single_key_is_stable(self):
+        assert rank_correlation({"a": 1}, {"a": 2}) == 1.0
+
+    def test_constant_side_is_stable(self):
+        assert rank_correlation({"a": 1, "b": 1}, {"a": 1, "b": 2}) == 1.0
+
+    def test_missing_keys_count_as_zero(self):
+        tau = rank_correlation({"a": 5}, {"b": 5})
+        assert -1.0 <= tau <= 1.0
+
+
+class TestRankStability:
+    def test_pairwise_series(self):
+        tracker = DistributionTracker(interval=2)
+        for key in ["a", "b", "a", "b", "b", "a"]:
+            tracker.observe(key)
+        taus = rank_stability(tracker.snapshots)
+        assert len(taus) == len(tracker.snapshots) - 1
+
+
+class TestOrderAgreement:
+    def test_perfectly_stable_stream(self):
+        tracker = DistributionTracker(interval=4)
+        for _ in range(3):
+            for key in ["a", "a", "a", "b"]:
+                tracker.observe(key)
+        assert order_agreement(tracker.snapshots) == 1.0
+
+    def test_ignore_low_frequency_tail(self):
+        snapshots = DistributionTracker(interval=1)
+        # two snapshots where only the 1-count tail flips order
+        from repro.stats import Snapshot
+
+        a = Snapshot(1, {"hot": 100, "warm": 50, "rare1": 1, "rare2": 2})
+        b = Snapshot(2, {"hot": 110, "warm": 40, "rare1": 2, "rare2": 1})
+        assert order_agreement([a, b]) < 1.0
+        assert order_agreement([a, b], ignore_below=5) == 1.0
+
+    def test_short_series_trivially_stable(self):
+        assert order_agreement([]) == 1.0
+
+
+class TestTrackEdgeTypes:
+    def test_convenience_wrapper(self):
+        tracker = track_edge_types(events(["T", "T", "U", "U"]), interval=2)
+        assert len(tracker.snapshots) == 2
+        assert tracker.snapshots[0].counts == {"T": 2}

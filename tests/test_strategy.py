@@ -1,0 +1,64 @@
+"""Unit tests for Relative-Selectivity strategy selection."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.query import QueryGraph
+from repro.search import choose_strategy
+from repro.stats import SelectivityEstimator
+
+from .util import events_from_tuples
+
+
+def skewed_estimator():
+    """A and B edges are common, but the A→B chain is seen exactly once.
+
+    ξ = Ŝ(T_path)/Ŝ(T_single) is small exactly when a query's 2-edge paths
+    are much rarer than the product of their edge frequencies — so the
+    fixture provides: 200 disjoint A edges, 200 disjoint B edges, one A→B
+    chain (x→y→z), a 200-edge C hub (lots of C~C paths inflating the path
+    total) and a 50-edge C chain (so in-C~out-C is seen and common).
+    """
+    rows = []
+    rows += [(f"a{2 * i}", f"a{2 * i + 1}", "A") for i in range(200)]
+    rows += [(f"b{2 * i}", f"b{2 * i + 1}", "B") for i in range(200)]
+    rows += [("hub", f"h{i}", "C") for i in range(200)]
+    rows += [(f"c{i}", f"c{i + 1}", "C") for i in range(50)]
+    rows += [("x", "y", "A"), ("y", "z", "B")]
+    est = SelectivityEstimator()
+    est.observe_events(events_from_tuples(rows))
+    return est
+
+
+class TestChooseStrategy:
+    def test_requires_warm_estimator(self):
+        with pytest.raises(EstimationError):
+            choose_strategy(QueryGraph.path(["A"]), SelectivityEstimator())
+
+    def test_rare_path_query_gets_path_lazy(self):
+        est = skewed_estimator()
+        query = QueryGraph.path(["A", "B"])
+        decision = choose_strategy(query, est)
+        assert decision.chosen == "PathLazy"
+        assert decision.relative_selectivity < decision.threshold
+        assert decision.expected_path < decision.expected_single
+
+    def test_common_path_query_gets_single_lazy(self):
+        est = skewed_estimator()
+        query = QueryGraph.path(["C", "C"])
+        decision = choose_strategy(query, est)
+        assert decision.chosen == "SingleLazy"
+        assert decision.relative_selectivity >= decision.threshold
+
+    def test_threshold_is_tunable(self):
+        est = skewed_estimator()
+        query = QueryGraph.path(["C", "C"])
+        forced = choose_strategy(query, est, threshold=1e9)
+        assert forced.chosen == "PathLazy"
+
+    def test_explain_mentions_decision(self):
+        est = skewed_estimator()
+        decision = choose_strategy(QueryGraph.path(["C", "C"]), est)
+        text = decision.explain()
+        assert "SingleLazy" in text
+        assert "xi" in text

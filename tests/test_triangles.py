@@ -1,0 +1,137 @@
+"""Unit + property tests for triangle statistics (§5.1/§7 extension)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.stats.triangles import (
+    BirthdayTriangleEstimator,
+    count_triangles,
+    total_triangles,
+)
+
+from .util import graph_from_tuples
+
+
+def brute_force_triangle_count(rows):
+    """Count triangles as unordered triples of distinct edges over three
+    distinct vertices where each pair of edges shares a vertex."""
+    edges = [
+        (i, row[0], row[1]) for i, row in enumerate(rows) if row[0] != row[1]
+    ]
+    count = 0
+    for (i1, a1, b1), (i2, a2, b2), (i3, a3, b3) in itertools.combinations(edges, 3):
+        vertices = {a1, b1, a2, b2, a3, b3}
+        if len(vertices) != 3:
+            continue
+        pairs = [{a1, b1}, {a2, b2}, {a3, b3}]
+        if pairs[0] != pairs[1] and pairs[1] != pairs[2] and pairs[0] != pairs[2]:
+            count += 1
+    return count
+
+
+class TestExactCounting:
+    def test_single_directed_triangle(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T"), ("c", "a", "T")])
+        assert total_triangles(graph) == 1
+
+    def test_direction_does_not_matter_structurally(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T"), ("a", "c", "T")])
+        assert total_triangles(graph) == 1
+
+    def test_no_triangle_in_a_path(self):
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T")])
+        assert total_triangles(graph) == 0
+
+    def test_self_loops_ignored(self):
+        graph = graph_from_tuples(
+            [("a", "a", "T"), ("a", "b", "T"), ("b", "c", "T"), ("c", "a", "T")]
+        )
+        assert total_triangles(graph) == 1
+
+    def test_multi_edges_multiply(self):
+        graph = graph_from_tuples(
+            [
+                ("a", "b", "T"),
+                ("a", "b", "U"),  # parallel
+                ("b", "c", "T"),
+                ("c", "a", "T"),
+            ]
+        )
+        assert total_triangles(graph) == 2
+
+    def test_signatures_distinguish_types(self):
+        graph = graph_from_tuples(
+            [("a", "b", "T"), ("b", "c", "T"), ("c", "a", "T"),
+             ("x", "y", "U"), ("y", "z", "U"), ("z", "x", "U")]
+        )
+        counts = count_triangles(graph)
+        assert len(counts) == 2
+        assert sum(counts.values()) == 2
+
+    def test_k4_has_four_triangles(self):
+        vertices = ["a", "b", "c", "d"]
+        rows = [
+            (u, v, "T") for u, v in itertools.combinations(vertices, 2)
+        ]
+        graph = graph_from_tuples(rows)
+        assert total_triangles(graph) == 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        rows = []
+        for _ in range(rng.randint(5, 14)):
+            u = f"n{rng.randrange(6)}"
+            v = f"n{rng.randrange(6)}"
+            rows.append((u, v, rng.choice("TU")))
+        graph = graph_from_tuples(rows)
+        assert total_triangles(graph) == brute_force_triangle_count(rows)
+
+
+class TestBirthdayEstimator:
+    def test_validates_reservoirs(self):
+        with pytest.raises(ValueError):
+            BirthdayTriangleEstimator(edge_reservoir=1)
+
+    def test_zero_on_empty(self):
+        assert BirthdayTriangleEstimator().estimate_triangles() == 0.0
+
+    def test_triangle_free_stream_estimates_zero(self):
+        est = BirthdayTriangleEstimator(seed=1)
+        for i in range(2000):  # long path: no triangles
+            est.observe(f"n{i}", f"n{i+1}")
+        assert est.closed_wedge_fraction() == 0.0
+        assert est.estimate_triangles() == 0.0
+
+    def test_dense_triangle_stream_estimates_nonzero(self):
+        rng = random.Random(7)
+        est = BirthdayTriangleEstimator(seed=2)
+        # a clique-ish stream: triangles everywhere
+        vertices = [f"v{i}" for i in range(25)]
+        for _ in range(3000):
+            u, v = rng.sample(vertices, 2)
+            est.observe(u, v)
+        assert est.closed_wedge_fraction() > 0.05
+        assert est.estimate_triangles() > 0.0
+
+    def test_order_of_magnitude_on_clique(self):
+        """On a stream that fits in the reservoir, the estimate should be
+        within an order of magnitude of the exact count."""
+        import itertools as it
+
+        vertices = [f"v{i}" for i in range(16)]
+        pairs = list(it.combinations(vertices, 2))
+        random.Random(3).shuffle(pairs)
+        est = BirthdayTriangleEstimator(edge_reservoir=500, wedge_reservoir=4000, seed=4)
+        for u, v in pairs:
+            est.observe(u, v)
+        exact = 16 * 15 * 14 / 6  # C(16,3) = 560
+        estimate = est.estimate_triangles()
+        assert exact / 10 < estimate < exact * 10
+
+    def test_self_loops_skipped(self):
+        est = BirthdayTriangleEstimator()
+        est.observe("a", "a")
+        assert est.edges_seen == 0

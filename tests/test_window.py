@@ -1,0 +1,56 @@
+"""Unit tests for the TimeWindow policy."""
+
+import math
+
+import pytest
+
+from repro.graph import TimeWindow
+
+
+class TestTimeWindow:
+    def test_default_is_infinite(self):
+        window = TimeWindow()
+        assert math.isinf(window.width)
+        window.advance(1e12)
+        assert window.cutoff == -math.inf
+        assert window.is_live(-1e12)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0.0)
+        with pytest.raises(ValueError):
+            TimeWindow(-3.0)
+
+    def test_cutoff_follows_newest_edge(self):
+        window = TimeWindow(10.0)
+        assert window.advance(25.0) == pytest.approx(15.0)
+        assert window.cutoff == pytest.approx(15.0)
+
+    def test_clock_never_goes_backwards(self):
+        window = TimeWindow(10.0)
+        window.advance(50.0)
+        window.advance(40.0)  # late event does not rewind
+        assert window.t_last == 50.0
+
+    def test_is_live_boundary(self):
+        window = TimeWindow(10.0)
+        window.advance(20.0)
+        assert window.is_live(10.0)  # exactly at cutoff stays live
+        assert not window.is_live(9.999)
+
+    def test_fits_is_strict(self):
+        window = TimeWindow(10.0)
+        assert window.fits(0.0, 9.999)
+        assert not window.fits(0.0, 10.0)  # τ < tW, strictly
+
+    def test_infinite_window_fits_everything(self):
+        window = TimeWindow()
+        assert window.fits(0.0, 1e18)
+
+    def test_copy_is_independent(self):
+        window = TimeWindow(5.0)
+        window.advance(7.0)
+        clone = window.copy()
+        assert clone.t_last == 7.0
+        clone.advance(100.0)
+        assert window.t_last == 7.0

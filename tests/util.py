@@ -1,0 +1,113 @@
+"""Shared test helpers: tiny graph builders and an oracle matcher.
+
+``brute_force_matches`` enumerates *all* injective query-edge → data-edge
+assignments directly (O(|E_d|^|E_q|)); it is deliberately independent of
+both production matchers (anchored backtracker, VF2) so the three can be
+cross-checked on small inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph import Edge, EdgeEvent, StreamingGraph, TimeWindow
+from repro.query import QueryGraph
+
+Fingerprint = Tuple[Tuple[int, int], ...]
+
+
+def graph_from_tuples(
+    rows: Sequence[tuple],
+    window: float = math.inf,
+) -> StreamingGraph:
+    """Build a graph from ``(src, dst, etype[, timestamp[, stype, dtype]])``."""
+    graph = StreamingGraph(window)
+    for i, row in enumerate(rows):
+        src, dst, etype = row[0], row[1], row[2]
+        timestamp = row[3] if len(row) > 3 else float(i)
+        src_type = row[4] if len(row) > 4 else "node"
+        dst_type = row[5] if len(row) > 5 else "node"
+        graph.add_event(EdgeEvent(src, dst, etype, timestamp, src_type, dst_type))
+    return graph
+
+
+def events_from_tuples(rows: Sequence[tuple]) -> List[EdgeEvent]:
+    """Events from ``(src, dst, etype[, timestamp[, stype, dtype]])``."""
+    events = []
+    for i, row in enumerate(rows):
+        src, dst, etype = row[0], row[1], row[2]
+        timestamp = row[3] if len(row) > 3 else float(i)
+        src_type = row[4] if len(row) > 4 else "node"
+        dst_type = row[5] if len(row) > 5 else "node"
+        events.append(EdgeEvent(src, dst, etype, timestamp, src_type, dst_type))
+    return events
+
+
+def brute_force_matches(
+    graph: StreamingGraph,
+    query: QueryGraph,
+    window: Optional[TimeWindow] = None,
+) -> Set[Fingerprint]:
+    """All match fingerprints by exhaustive assignment enumeration."""
+    data_edges = list(graph.edges())
+    query_edges = list(query.edges)
+    results: Set[Fingerprint] = set()
+
+    def vertex_ok(qv: int, dv) -> bool:
+        return query.vertex_ok(qv, dv, graph.vertex_type(dv))
+
+    def extend(
+        index: int,
+        assignment: Dict[int, Edge],
+        vmap: Dict[int, object],
+        used_data: Set[int],
+    ) -> None:
+        if index == len(query_edges):
+            times = [e.timestamp for e in assignment.values()]
+            if window is not None and not window.fits(min(times), max(times)):
+                return
+            results.add(tuple(sorted((q, e.edge_id) for q, e in assignment.items())))
+            return
+        qedge = query_edges[index]
+        for dedge in data_edges:
+            if dedge.etype != qedge.etype or dedge.edge_id in used_data:
+                continue
+            new_bindings: List[tuple] = []
+            trial = dict(vmap)
+            ok = True
+            for qv, dv in ((qedge.src, dedge.src), (qedge.dst, dedge.dst)):
+                bound = trial.get(qv)
+                if bound is not None:
+                    if bound != dv:
+                        ok = False
+                        break
+                    continue
+                if not vertex_ok(qv, dv) or dv in trial.values():
+                    ok = False
+                    break
+                trial[qv] = dv
+                new_bindings.append((qv, dv))
+            if not ok:
+                continue
+            assignment[qedge.edge_id] = dedge
+            for qv, dv in new_bindings:
+                vmap[qv] = dv
+            used_data.add(dedge.edge_id)
+            extend(index + 1, assignment, vmap, used_data)
+            used_data.discard(dedge.edge_id)
+            for qv, _ in new_bindings:
+                del vmap[qv]
+            del assignment[qedge.edge_id]
+
+    extend(0, {}, {}, set())
+    return results
+
+
+def fingerprints(matches: Iterable) -> Set[Fingerprint]:
+    """Fingerprint set from Match objects or MatchRecords."""
+    result = set()
+    for item in matches:
+        match = getattr(item, "match", item)
+        result.add(match.fingerprint)
+    return result
