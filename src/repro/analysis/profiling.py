@@ -49,20 +49,35 @@ class ProfileCounters:
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a section under ``name`` (nested sections pause the outer)."""
-        now = time.perf_counter()
-        if self._stack:
-            outer = self._stack[-1]
-            self.phases.setdefault(outer[0], PhaseTimer()).seconds += now - outer[1]
-        self._stack.append([name, now])
+        self.phase_enter(name)
         try:
             yield
         finally:
-            end = time.perf_counter()
-            entry = self._stack.pop()
-            timer = self.phases.setdefault(name, PhaseTimer())
-            timer.add(end - entry[1])
-            if self._stack:
-                self._stack[-1][1] = end
+            self.phase_exit()
+
+    # Explicit enter/exit pair — same stack semantics as :meth:`phase`
+    # without the contextlib generator machinery; used by the per-edge hot
+    # loops where the context-manager overhead is measurable. Callers must
+    # guarantee balanced calls (no user code runs between them that could
+    # raise without aborting the whole run).
+
+    def phase_enter(self, name: str) -> None:
+        """Open a phase (pausing the enclosing one, if any)."""
+        now = time.perf_counter()
+        stack = self._stack
+        if stack:
+            outer = stack[-1]
+            self.phases.setdefault(outer[0], PhaseTimer()).seconds += now - outer[1]
+        stack.append([name, now])
+
+    def phase_exit(self) -> None:
+        """Close the innermost phase (resuming the enclosing one, if any)."""
+        end = time.perf_counter()
+        entry = self._stack.pop()
+        timer = self.phases.setdefault(entry[0], PhaseTimer())
+        timer.add(end - entry[1])
+        if self._stack:
+            self._stack[-1][1] = end
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a scalar counter."""

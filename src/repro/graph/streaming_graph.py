@@ -262,15 +262,35 @@ class StreamingGraph:
 
     def out_edges(
         self, vertex: VertexId, etype: Optional[str] = None
-    ) -> Iterator[Edge]:
-        """Edges leaving ``vertex``, optionally restricted to one type."""
-        yield from self._adj_iter(self._out, vertex, etype)
+    ) -> Iterable[Edge]:
+        """Edges leaving ``vertex``, optionally restricted to one type.
+
+        With an ``etype`` this returns the live dict-values view of the
+        adjacency bucket — no generator frames or copies on the matchers'
+        hot path. Callers must not mutate the graph while iterating.
+        """
+        return self._adj_view(self._out, vertex, etype)
 
     def in_edges(
         self, vertex: VertexId, etype: Optional[str] = None
-    ) -> Iterator[Edge]:
-        """Edges entering ``vertex``, optionally restricted to one type."""
-        yield from self._adj_iter(self._in, vertex, etype)
+    ) -> Iterable[Edge]:
+        """Edges entering ``vertex``, optionally restricted to one type.
+
+        Same view semantics as :meth:`out_edges`.
+        """
+        return self._adj_view(self._in, vertex, etype)
+
+    @staticmethod
+    def _adj_view(
+        index: _AdjIndex, vertex: VertexId, etype: Optional[str]
+    ) -> Iterable[Edge]:
+        by_type = index.get(vertex)
+        if by_type is None:
+            return ()
+        if etype is None:
+            return StreamingGraph._adj_iter(index, vertex, None)
+        bucket = by_type.get(etype)
+        return bucket.values() if bucket else ()
 
     def incident_edges(
         self, vertex: VertexId, etype: Optional[str] = None
@@ -376,9 +396,6 @@ class StreamingGraph:
         return copy
 
     def snapshot_counts(self) -> dict[str, int]:
-        """Live edge count per edge type (cheap O(V·types) aggregation)."""
-        counts: dict[str, int] = {}
-        for by_type in self._out.values():
-            for etype, bucket in by_type.items():
-                counts[etype] = counts.get(etype, 0) + len(bucket)
-        return counts
+        """Live edge count per edge type (O(#types) off the ``_by_type``
+        index — no vertex iteration)."""
+        return {etype: len(bucket) for etype, bucket in self._by_type.items()}

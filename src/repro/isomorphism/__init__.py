@@ -1,12 +1,18 @@
-"""Subgraph isomorphism substrate (S4/S5): matches, anchored search, VF2."""
+"""Subgraph isomorphism substrate (S4/S5): matches, anchored search, VF2,
+and compiled anchored-match plans (the SJ-Tree leaf fast path)."""
 
 from .anchored import find_anchored_matches, find_vertex_anchored_matches
 from .match import Match, merge_all
+from .plan import MatchPlan, compile_fragment_plans, compile_plan, execute_plans
 from .vf2 import count_isomorphisms, find_isomorphisms
 
 __all__ = [
     "Match",
+    "MatchPlan",
+    "compile_fragment_plans",
+    "compile_plan",
     "count_isomorphisms",
+    "execute_plans",
     "find_anchored_matches",
     "find_isomorphisms",
     "find_vertex_anchored_matches",

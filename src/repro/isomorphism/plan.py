@@ -1,0 +1,423 @@
+"""Compiled anchored-match plans — the SJ-Tree leaf fast path.
+
+:func:`~repro.isomorphism.anchored.find_anchored_matches` re-derives the
+same decisions for every incoming edge: which query edge to extend next
+(``_pick_next`` scans all fragment edges at every recursion level), which
+endpoint each candidate binds, and which λV/binding checks apply — plus it
+rebuilds ``used_edge_ids``/``used_vertices`` sets from scratch at each
+level. For a leaf fragment those decisions depend only on *which* query
+edges are already assigned, never on the data, so they can be compiled
+once per (fragment, anchor query-edge role) pair and replayed per edge.
+
+:func:`compile_fragment_plans` performs that compilation — one
+:class:`MatchPlan` per query edge of the fragment, in edge order — and
+:func:`execute_plans` runs them against a data edge. The pair is an exact
+drop-in for ``find_anchored_matches``: same matches, same emission order
+(plans mirror ``_pick_next``'s deterministic edge-order policy), which the
+equivalence property tests pin down.
+
+Plans are built at SJ-Tree construction time (see
+:meth:`repro.sjtree.node.SJTreeNode.match_plans`), so the per-edge hot
+path of the eager and lazy search touches no query-graph methods at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.streaming_graph import StreamingGraph
+from ..graph.types import Edge, VertexId
+from ..query.query_graph import QueryGraph
+from .match import Match
+
+#: Step kinds. CLOSE = both endpoints already bound (existence check);
+#: EXTEND_OUT / EXTEND_IN = one endpoint bound, candidate edges drawn from
+#: the bound vertex's typed adjacency; GLOBAL = neither endpoint bound
+#: (disconnected fragment — generic-matcher fallback, never emitted for
+#: SJ-Tree leaves, which are connected).
+CLOSE = 0
+EXTEND_OUT = 1
+EXTEND_IN = 2
+GLOBAL = 3
+
+
+@dataclass(frozen=True)
+class RoleCheck:
+    """Compiled λV constraint + binding for one query-vertex role."""
+
+    role: int
+    vtype: Optional[str]
+    binding: Optional[VertexId]
+
+    def ok(self, graph: StreamingGraph, data_vertex: VertexId) -> bool:
+        if self.vtype is not None and graph.vertex_type(data_vertex) != self.vtype:
+            return False
+        return self.binding is None or self.binding == data_vertex
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One precompiled backtracking level.
+
+    ``anchor_role`` is the already-bound query vertex whose adjacency is
+    scanned (CLOSE: the source role; EXTEND_IN: the destination role).
+    ``other_role`` is the query vertex on the far side — bound for CLOSE,
+    freshly bound (subject to ``new_check``) for the EXTEND kinds. GLOBAL
+    steps carry checks for both endpoints instead.
+    """
+
+    kind: int
+    edge_id: int
+    etype: str
+    anchor_role: int
+    other_role: int
+    new_check: Optional[RoleCheck] = None
+    src_check: Optional[RoleCheck] = None  # GLOBAL only
+    dst_check: Optional[RoleCheck] = None  # GLOBAL only
+    is_loop: bool = False
+
+
+@dataclass(frozen=True)
+class MatchPlan:
+    """Full compiled plan for one anchor query-edge role."""
+
+    anchor_edge_id: int
+    etype: str
+    is_loop: bool
+    src_check: RoleCheck
+    dst_check: RoleCheck
+    steps: Tuple[PlanStep, ...]
+    #: ``(query_edge_id, slot)`` pairs sorted by query edge id, where slot
+    #: 0 is the anchor and slot k is ``steps[k-1]`` — lets the executor
+    #: emit Match.pairs already sorted without a per-match sort.
+    emit_order: Tuple[Tuple[int, int], ...]
+
+
+def _role_check(fragment: QueryGraph, role: int) -> RoleCheck:
+    return RoleCheck(
+        role=role,
+        vtype=fragment.vertex_type(role),
+        binding=fragment.binding(role),
+    )
+
+
+def compile_plan(fragment: QueryGraph, anchor_edge_id: int) -> MatchPlan:
+    """Compile the backtracking plan for one anchor query-edge role.
+
+    The step order replays ``_pick_next``'s policy statically: at each
+    level, the first fragment edge (in edge order) with both endpoints
+    bound wins; otherwise the first with one endpoint bound; otherwise the
+    first disconnected edge. Which query vertices are bound at each level
+    depends only on which edges were assigned — never on the data — so the
+    simulation is exact.
+    """
+    anchor = fragment.edge(anchor_edge_id)
+    bound = {anchor.src, anchor.dst}
+    remaining = [e for e in fragment.edges if e.edge_id != anchor_edge_id]
+    steps: List[PlanStep] = []
+    slot_of: Dict[int, int] = {anchor_edge_id: 0}
+
+    while remaining:
+        both = None
+        one = None
+        for edge in remaining:
+            src_b = edge.src in bound
+            dst_b = edge.dst in bound
+            if src_b and dst_b:
+                both = edge
+                break
+            if (src_b or dst_b) and one is None:
+                one = edge
+        chosen = both or one or remaining[0]
+        remaining.remove(chosen)
+        slot_of[chosen.edge_id] = len(steps) + 1
+
+        src_b = chosen.src in bound
+        dst_b = chosen.dst in bound
+        if src_b and dst_b:
+            steps.append(
+                PlanStep(
+                    kind=CLOSE,
+                    edge_id=chosen.edge_id,
+                    etype=chosen.etype,
+                    anchor_role=chosen.src,
+                    other_role=chosen.dst,
+                )
+            )
+        elif src_b:
+            steps.append(
+                PlanStep(
+                    kind=EXTEND_OUT,
+                    edge_id=chosen.edge_id,
+                    etype=chosen.etype,
+                    anchor_role=chosen.src,
+                    other_role=chosen.dst,
+                    new_check=_role_check(fragment, chosen.dst),
+                )
+            )
+        elif dst_b:
+            steps.append(
+                PlanStep(
+                    kind=EXTEND_IN,
+                    edge_id=chosen.edge_id,
+                    etype=chosen.etype,
+                    anchor_role=chosen.dst,
+                    other_role=chosen.src,
+                    new_check=_role_check(fragment, chosen.src),
+                )
+            )
+        else:
+            steps.append(
+                PlanStep(
+                    kind=GLOBAL,
+                    edge_id=chosen.edge_id,
+                    etype=chosen.etype,
+                    anchor_role=chosen.src,
+                    other_role=chosen.dst,
+                    src_check=_role_check(fragment, chosen.src),
+                    dst_check=_role_check(fragment, chosen.dst),
+                    is_loop=chosen.src == chosen.dst,
+                )
+            )
+        bound.add(chosen.src)
+        bound.add(chosen.dst)
+
+    emit_order = tuple(sorted((eid, slot) for eid, slot in slot_of.items()))
+    return MatchPlan(
+        anchor_edge_id=anchor_edge_id,
+        etype=anchor.etype,
+        is_loop=anchor.src == anchor.dst,
+        src_check=_role_check(fragment, anchor.src),
+        dst_check=_role_check(fragment, anchor.dst),
+        steps=tuple(steps),
+        emit_order=emit_order,
+    )
+
+
+def compile_fragment_plans(fragment: QueryGraph) -> Tuple[MatchPlan, ...]:
+    """One plan per query edge of ``fragment``, in fragment edge order —
+    the same anchor-role enumeration ``find_anchored_matches`` performs."""
+    return tuple(compile_plan(fragment, edge.edge_id) for edge in fragment.edges)
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def execute_plans(
+    graph: StreamingGraph,
+    plans: Tuple[MatchPlan, ...],
+    anchor: Edge,
+    *,
+    limit: Optional[int] = None,
+) -> List[Match]:
+    """All matches the compiled ``plans`` find around ``anchor``.
+
+    Exactly equivalent to ``find_anchored_matches(graph, fragment, anchor)``
+    for the fragment the plans were compiled from.
+    """
+    results: List[Match] = []
+    for plan in plans:
+        execute_plan(graph, plan, anchor, results, limit=limit)
+        if limit is not None and len(results) >= limit:
+            break
+    return results
+
+
+def execute_plan(
+    graph: StreamingGraph,
+    plan: MatchPlan,
+    anchor: Edge,
+    results: List[Match],
+    *,
+    limit: Optional[int] = None,
+) -> None:
+    """Run one compiled plan; append matches to ``results``."""
+    if anchor.etype != plan.etype:
+        return
+    loop_d = anchor.src == anchor.dst
+    if plan.is_loop != loop_d:
+        return
+    check = plan.src_check
+    if check.vtype is not None and graph.vertex_type(anchor.src) != check.vtype:
+        return
+    if check.binding is not None and check.binding != anchor.src:
+        return
+    check = plan.dst_check
+    if check.vtype is not None and graph.vertex_type(anchor.dst) != check.vtype:
+        return
+    if check.binding is not None and check.binding != anchor.dst:
+        return
+
+    if not plan.steps:
+        # 1-edge fragment (the "Single" decomposition's leaves): the anchor
+        # itself is the whole match — skip the backtracking machinery.
+        if plan.is_loop:
+            vertex_map = {plan.src_check.role: anchor.src}
+        else:
+            vertex_map = {
+                plan.src_check.role: anchor.src,
+                plan.dst_check.role: anchor.dst,
+            }
+        results.append(
+            Match(
+                ((plan.anchor_edge_id, anchor),),
+                vertex_map,
+                anchor.timestamp,
+                anchor.timestamp,
+            )
+        )
+        return
+
+    if plan.is_loop:
+        vertex_map = {plan.src_check.role: anchor.src}
+        used_vertices = {anchor.src}
+    else:
+        vertex_map = {
+            plan.src_check.role: anchor.src,
+            plan.dst_check.role: anchor.dst,
+        }
+        used_vertices = {anchor.src, anchor.dst}
+    chosen: List[Edge] = [anchor] + [anchor] * len(plan.steps)
+    used_edges = {anchor.edge_id}
+    _run(
+        graph,
+        plan,
+        0,
+        chosen,
+        vertex_map,
+        used_edges,
+        used_vertices,
+        results,
+        limit,
+    )
+
+
+def _emit(plan: MatchPlan, chosen: List[Edge], vertex_map, results) -> None:
+    pairs = tuple((eid, chosen[slot]) for eid, slot in plan.emit_order)
+    lo = hi = chosen[0].timestamp
+    for edge in chosen[1:]:
+        ts = edge.timestamp
+        if ts < lo:
+            lo = ts
+        elif ts > hi:
+            hi = ts
+    results.append(Match(pairs, dict(vertex_map), lo, hi))
+
+
+def _run(
+    graph: StreamingGraph,
+    plan: MatchPlan,
+    step_index: int,
+    chosen: List[Edge],
+    vertex_map: Dict[int, VertexId],
+    used_edges: set,
+    used_vertices: set,
+    results: List[Match],
+    limit: Optional[int],
+) -> None:
+    if limit is not None and len(results) >= limit:
+        return
+    if step_index == len(plan.steps):
+        _emit(plan, chosen, vertex_map, results)
+        return
+    step = plan.steps[step_index]
+    slot = step_index + 1
+
+    if step.kind == CLOSE:
+        target = vertex_map[step.other_role]
+        for data_edge in graph.out_edges(vertex_map[step.anchor_role], step.etype):
+            if data_edge.dst != target or data_edge.edge_id in used_edges:
+                continue
+            chosen[slot] = data_edge
+            used_edges.add(data_edge.edge_id)
+            _run(
+                graph, plan, slot, chosen, vertex_map,
+                used_edges, used_vertices, results, limit,
+            )
+            used_edges.discard(data_edge.edge_id)
+            if limit is not None and len(results) >= limit:
+                return
+        return
+
+    if step.kind == EXTEND_OUT or step.kind == EXTEND_IN:
+        check = step.new_check
+        source = vertex_map[step.anchor_role]
+        candidates = (
+            graph.out_edges(source, step.etype)
+            if step.kind == EXTEND_OUT
+            else graph.in_edges(source, step.etype)
+        )
+        for data_edge in candidates:
+            new_vertex = (
+                data_edge.dst if step.kind == EXTEND_OUT else data_edge.src
+            )
+            if new_vertex in used_vertices or data_edge.edge_id in used_edges:
+                continue
+            if not check.ok(graph, new_vertex):
+                continue
+            chosen[slot] = data_edge
+            used_edges.add(data_edge.edge_id)
+            used_vertices.add(new_vertex)
+            vertex_map[step.other_role] = new_vertex
+            _run(
+                graph, plan, slot, chosen, vertex_map,
+                used_edges, used_vertices, results, limit,
+            )
+            del vertex_map[step.other_role]
+            used_vertices.discard(new_vertex)
+            used_edges.discard(data_edge.edge_id)
+            if limit is not None and len(results) >= limit:
+                return
+        return
+
+    # GLOBAL: disconnected fragment component — fall back to the graph-wide
+    # per-type index (generic-matcher use only; leaves are connected).
+    for data_edge in graph.edges_of_type(step.etype):
+        loop_d = data_edge.src == data_edge.dst
+        if step.is_loop != loop_d:
+            continue
+        if data_edge.edge_id in used_edges:
+            continue
+        if step.is_loop:
+            if data_edge.src in used_vertices:
+                continue
+            if not step.src_check.ok(graph, data_edge.src):
+                continue
+            chosen[slot] = data_edge
+            used_edges.add(data_edge.edge_id)
+            used_vertices.add(data_edge.src)
+            vertex_map[step.anchor_role] = data_edge.src
+            _run(
+                graph, plan, slot, chosen, vertex_map,
+                used_edges, used_vertices, results, limit,
+            )
+            del vertex_map[step.anchor_role]
+            used_vertices.discard(data_edge.src)
+            used_edges.discard(data_edge.edge_id)
+        else:
+            if data_edge.src in used_vertices or data_edge.dst in used_vertices:
+                continue
+            if not step.src_check.ok(graph, data_edge.src):
+                continue
+            if not step.dst_check.ok(graph, data_edge.dst):
+                continue
+            chosen[slot] = data_edge
+            used_edges.add(data_edge.edge_id)
+            used_vertices.add(data_edge.src)
+            used_vertices.add(data_edge.dst)
+            vertex_map[step.anchor_role] = data_edge.src
+            vertex_map[step.other_role] = data_edge.dst
+            _run(
+                graph, plan, slot, chosen, vertex_map,
+                used_edges, used_vertices, results, limit,
+            )
+            del vertex_map[step.other_role]
+            del vertex_map[step.anchor_role]
+            used_vertices.discard(data_edge.dst)
+            used_vertices.discard(data_edge.src)
+            used_edges.discard(data_edge.edge_id)
+        if limit is not None and len(results) >= limit:
+            return

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import FrozenSet, List, Optional
 
 from ..analysis.profiling import ProfileCounters
 from ..graph.streaming_graph import StreamingGraph
@@ -57,6 +57,20 @@ class SearchAlgorithm(abc.ABC):
     @abc.abstractmethod
     def process_edge(self, edge: Edge) -> List[Match]:
         """Fold one new data edge in; return newly completed matches."""
+
+    def relevant_etypes(self) -> Optional[FrozenSet[str]]:
+        """Edge types this algorithm can possibly consume, or ``None``.
+
+        The engine's type-indexed dispatch only offers an edge to
+        algorithms whose set contains its type. ``None`` means "offer every
+        edge" — required by algorithms whose behaviour depends on edges the
+        query cannot match (e.g. PeriodicVF2's run-every-k-edges counter).
+        The default — the query's edge-type alphabet — is exact for every
+        matcher that reports a match only when its final constituent edge
+        arrives: an edge of a type foreign to the query is never a
+        constituent, so skipping it cannot lose or reorder matches.
+        """
+        return frozenset(self.query.etypes())
 
     def housekeeping(self) -> None:
         """Periodic maintenance (expiry sweeps); optional per algorithm."""

@@ -91,6 +91,11 @@ class PeriodicVF2Search(SearchAlgorithm):
 
     name = "PeriodicVF2"
 
+    def relevant_etypes(self):
+        # The run-every-k-edges counter must tick on *every* stream edge,
+        # including types the query cannot match — opt out of dispatch.
+        return None
+
     def __init__(
         self,
         graph: StreamingGraph,

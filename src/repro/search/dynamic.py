@@ -5,11 +5,20 @@ found match is inserted into the tree, where ``UPDATE-SJ-TREE`` hash-joins
 it with sibling matches and propagates upward. This is the paper's
 ``Single`` / ``Path`` configuration (depending on the decomposition used)
 — correct but potentially memory-hungry when a leaf primitive is frequent.
+
+Per-edge fast path: leaves are indexed by the edge types their fragments
+contain, so an incoming edge only visits leaves that can possibly anchor a
+match of it (a leaf with no query edge of the incoming type would fail
+every ``_seed`` attempt anyway), and each visited leaf is searched with
+its compiled :class:`~repro.isomorphism.plan.MatchPlan`s instead of the
+interpretive backtracker. ``compiled_plans=False`` restores the seed
+behaviour — full leaf scan through ``find_anchored_matches`` — which the
+equivalence tests and the throughput benchmark use as the reference path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.profiling import ProfileCounters
 from ..graph.streaming_graph import StreamingGraph
@@ -17,8 +26,26 @@ from ..graph.types import Edge
 from ..graph.window import TimeWindow
 from ..isomorphism.anchored import find_anchored_matches
 from ..isomorphism.match import Match
+from ..isomorphism.plan import execute_plans
+from ..sjtree.node import SJTreeNode
 from ..sjtree.tree import SJTree
 from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
+
+
+def leaves_by_etype(
+    leaves: List[SJTreeNode],
+) -> Dict[str, Tuple[SJTreeNode, ...]]:
+    """Index leaves by the edge types their fragments contain.
+
+    A leaf appears under every type in its fragment's alphabet, preserving
+    join order within each bucket, so iterating one bucket visits exactly
+    the leaves a full scan would have found matches in.
+    """
+    index: Dict[str, List[SJTreeNode]] = {}
+    for leaf in leaves:
+        for etype in leaf.fragment.etypes():
+            index.setdefault(etype, []).append(leaf)
+    return {etype: tuple(bucket) for etype, bucket in index.items()}
 
 
 class DynamicGraphSearch(SearchAlgorithm):
@@ -33,16 +60,48 @@ class DynamicGraphSearch(SearchAlgorithm):
         window: Optional[TimeWindow] = None,
         profile: Optional[ProfileCounters] = None,
         name: Optional[str] = None,
+        compiled_plans: bool = True,
     ) -> None:
         super().__init__(graph, tree.query, window, profile)
         self.tree = tree
         if name is not None:
             self.name = name
+        self.compiled_plans = compiled_plans
+        self._leaves = tree.leaves()
+        self._leaves_by_etype = leaves_by_etype(self._leaves)
+        for leaf in self._leaves:  # hand-built trees may lack plans
+            leaf.match_plans()
 
     def process_edge(self, edge: Edge) -> List[Match]:
         results: List[Match] = []
         sink = results.append
-        for leaf in self.tree.leaves():
+        if not self.compiled_plans:
+            return self._process_edge_legacy(edge, results, sink)
+        leaves = self._leaves_by_etype.get(edge.etype)
+        if leaves is None:
+            return results  # no leaf fragment contains this edge type
+        graph = self.graph
+        window = self.window
+        profile = self.profile
+        insert = self.tree.insert_match
+        profile.phase_enter(PHASE_ISO)
+        for leaf in leaves:
+            matches = execute_plans(graph, leaf.plans, edge)
+            if not matches:
+                continue
+            profile.bump("leaf_matches", len(matches))
+            profile.phase_enter(PHASE_JOIN)
+            node_id = leaf.node_id
+            for match in matches:
+                insert(node_id, match, window, sink)
+            profile.phase_exit()
+        profile.phase_exit()
+        return self._emit(results)
+
+    def _process_edge_legacy(self, edge: Edge, results, sink) -> List[Match]:
+        """The seed per-edge path: offer the edge to every leaf through the
+        interpretive backtracker (benchmark/equivalence reference)."""
+        for leaf in self._leaves:
             with self.profile.phase(PHASE_ISO):
                 matches = find_anchored_matches(self.graph, leaf.fragment, edge)
             if not matches:
@@ -59,4 +118,10 @@ class DynamicGraphSearch(SearchAlgorithm):
         self.tree.expire(self.window.cutoff)
 
     def partial_match_count(self) -> int:
+        # Insert-time sibling expiry became a probe-time filter (see
+        # SJTree.insert_match), so stale entries may linger in the tables
+        # between housekeeping sweeps; sweep before counting so the
+        # live-state metric (peak_partial_matches, §5.2 space figures)
+        # reports only genuinely live matches.
+        self.tree.expire(self.window.cutoff)
         return self.tree.total_partial_matches()

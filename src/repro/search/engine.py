@@ -86,6 +86,7 @@ class ContinuousQueryEngine:
         estimator: Optional[SelectivityEstimator] = None,
         map_edge: EdgeMapFn = default_edge_map,
         housekeeping_every: int = 2048,
+        dispatch: bool = True,
     ) -> None:
         self.graph = StreamingGraph(window)
         self.estimator = (
@@ -99,6 +100,17 @@ class ContinuousQueryEngine:
         #: when True, the estimator keeps observing the live stream (the
         #: paper assumes a stable selectivity order, so default off).
         self.update_statistics = False
+        #: type-indexed multi-query dispatch: route each edge only to the
+        #: queries whose alphabet contains its type. Disable to force the
+        #: seed behaviour (offer every edge to every query) — the
+        #: equivalence tests compare the two paths record-for-record.
+        self.dispatch = dispatch
+        # etype -> registered queries that can consume it (registration
+        # order), rebuilt on register/refresh. ``_route_default`` holds the
+        # queries that must see *every* edge (relevant_etypes() is None);
+        # it doubles as the route for edge types no query declares.
+        self._routes: Dict[str, List[RegisteredQuery]] = {}
+        self._route_default: List[RegisteredQuery] = []
 
     # ------------------------------------------------------------------
     # step 1: decomposition
@@ -146,7 +158,35 @@ class ContinuousQueryEngine:
         if isinstance(registered.algorithm, (DynamicGraphSearch, LazySearch)):
             registered.tree = registered.algorithm.tree
         self.queries[query_name] = registered
+        self._rebuild_dispatch()
         return registered
+
+    def _rebuild_dispatch(self) -> None:
+        """Recompile the ``etype -> [registered query]`` dispatch index.
+
+        Registration order is preserved within every route so record
+        emission order is identical with dispatch on or off (skipped
+        queries contribute no records).
+        """
+        alphabet: set[str] = set()
+        etype_sets: Dict[str, Optional[frozenset]] = {}
+        default: List[RegisteredQuery] = []
+        for registered in self.queries.values():
+            etypes = registered.algorithm.relevant_etypes()
+            etype_sets[registered.name] = etypes
+            if etypes is None:
+                default.append(registered)
+            else:
+                alphabet |= etypes
+        self._route_default = default
+        self._routes = {
+            etype: [
+                registered
+                for registered in self.queries.values()
+                if (ets := etype_sets[registered.name]) is None or etype in ets
+            ]
+            for etype in alphabet
+        }
 
     def _build_algorithm(
         self, query: QueryGraph, strategy: str, **options
@@ -184,7 +224,11 @@ class ContinuousQueryEngine:
         if self.update_statistics:
             self.estimator.observe(edge)
         records: List[MatchRecord] = []
-        for registered in self.queries.values():
+        if self.dispatch:
+            targets = self._routes.get(edge.etype, self._route_default)
+        else:
+            targets = self.queries.values()
+        for registered in targets:
             for match in registered.algorithm.process_edge(edge):
                 records.append(
                     MatchRecord(
@@ -264,6 +308,7 @@ class ContinuousQueryEngine:
             if isinstance(replacement, (DynamicGraphSearch, LazySearch))
             else None
         )
+        self._rebuild_dispatch()
         return report
 
     # ------------------------------------------------------------------

@@ -28,10 +28,12 @@ from ..isomorphism.anchored import (
     find_vertex_anchored_matches,
 )
 from ..isomorphism.match import Match
+from ..isomorphism.plan import execute_plans
 from ..sjtree.node import SJTreeNode
 from ..sjtree.tree import SJTree
 from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
 from .bitmap import ScanBitmap
+from .dynamic import leaves_by_etype
 
 
 class LazySearch(SearchAlgorithm):
@@ -47,6 +49,7 @@ class LazySearch(SearchAlgorithm):
         profile: Optional[ProfileCounters] = None,
         name: Optional[str] = None,
         retrospective: bool = True,
+        compiled_plans: bool = True,
     ) -> None:
         super().__init__(graph, tree.query, window, profile)
         if not tree.is_join_order_connected():
@@ -77,6 +80,14 @@ class LazySearch(SearchAlgorithm):
             if sibling.is_leaf and sibling.leaf_index:
                 self._enable_target[node.node_id] = sibling.leaf_index
         self._leaves = tree.leaves()
+        #: type-indexed leaf dispatch: an edge only visits leaves whose
+        #: fragment contains its type (skipped leaves would fail every
+        #: anchor-role seed and never touch the bitmap, so the gating and
+        #: enablement behaviour is unchanged).
+        self.compiled_plans = compiled_plans
+        self._leaves_by_etype = leaves_by_etype(self._leaves)
+        for leaf in self._leaves:  # hand-built trees may lack plans
+            leaf.match_plans()
 
     # ------------------------------------------------------------------
 
@@ -84,6 +95,39 @@ class LazySearch(SearchAlgorithm):
         results: List[Match] = []
         sink = results.append
         hook = self._make_hook(sink)
+        if not self.compiled_plans:
+            return self._process_edge_legacy(edge, results, sink, hook)
+        leaves = self._leaves_by_etype.get(edge.etype)
+        if leaves is None:
+            return results  # no leaf fragment contains this edge type
+        graph = self.graph
+        window = self.window
+        profile = self.profile
+        bitmap = self.bitmap
+        insert = self.tree.insert_match
+        profile.phase_enter(PHASE_ISO)
+        for leaf in leaves:
+            index = leaf.leaf_index or 0
+            if index > 0 and not (
+                bitmap.enabled(edge.src, index)
+                or bitmap.enabled(edge.dst, index)
+            ):
+                continue  # DISABLED(u, n) and DISABLED(v, n)
+            matches = execute_plans(graph, leaf.plans, edge)
+            if not matches:
+                continue
+            profile.bump("leaf_matches", len(matches))
+            profile.phase_enter(PHASE_JOIN)
+            node_id = leaf.node_id
+            for match in matches:
+                insert(node_id, match, window, sink, hook)
+            profile.phase_exit()
+        profile.phase_exit()
+        return self._emit(results)
+
+    def _process_edge_legacy(self, edge: Edge, results, sink, hook) -> List[Match]:
+        """The seed per-edge path: bitmap-gated full leaf scan through the
+        interpretive backtracker (benchmark/equivalence reference)."""
         for leaf in self._leaves:
             index = leaf.leaf_index or 0
             if index > 0 and not (
@@ -145,4 +189,7 @@ class LazySearch(SearchAlgorithm):
         self.bitmap.compact(self.graph)
 
     def partial_match_count(self) -> int:
+        # See DynamicGraphSearch.partial_match_count: probe-time expiry
+        # filtering defers reclaim, so sweep before reporting live state.
+        self.tree.expire(self.window.cutoff)
         return self.tree.total_partial_matches()

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..isomorphism.match import Match
+from ..isomorphism.plan import MatchPlan, compile_fragment_plans
 from ..query.query_graph import QueryGraph
 
 JoinKey = Tuple  # tuple of data vertex ids (possibly empty)
@@ -120,6 +121,15 @@ class SJTreeNode:
     leaf_label: str = ""
     leaf_selectivity: Optional[float] = None
     table: MatchTable = field(default_factory=MatchTable)
+    #: compiled anchored-match plans for the fragment (leaf hot path);
+    #: populated at tree build, compiled on first use otherwise.
+    plans: Optional[Tuple[MatchPlan, ...]] = None
+
+    def match_plans(self) -> Tuple[MatchPlan, ...]:
+        """Compiled anchored-match plans for this node's fragment."""
+        if self.plans is None:
+            self.plans = compile_fragment_plans(self.fragment)
+        return self.plans
 
     @property
     def is_leaf(self) -> bool:

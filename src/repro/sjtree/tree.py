@@ -83,6 +83,9 @@ class SJTree:
             if leaf_meta is not None:
                 leaf.leaf_label = leaf_meta[index].description
                 leaf.leaf_selectivity = leaf_meta[index].selectivity
+            # Compile the anchored-match plans now, while we are off the
+            # streaming hot path: every per-edge leaf search replays them.
+            leaf.match_plans()
             leaves.append(leaf)
 
         current = leaves[0]
@@ -209,6 +212,20 @@ class SJTree:
 
         Returns True if the match was new at ``node_id`` (complete matches
         at the root always count as new — they are not stored).
+
+        Expired sibling entries are *filtered* during the probe
+        (``other.min_time >= cutoff``) rather than eagerly evicted: a full
+        ``sibling.table.expire()`` here would pay a heap-pop sweep on
+        every insert, while the filter is one comparison per probed
+        candidate. This is exact — the filter skips precisely the entries
+        an eager expire would have removed (both use the same
+        ``min_time < cutoff`` rule) — and the stale entries themselves are
+        reclaimed by :meth:`expire`, which the engine's periodic
+        housekeeping sweep and the algorithms' ``partial_match_count``
+        both trigger, so memory growth between sweeps is bounded by the
+        housekeeping cadence (callers driving a search algorithm directly
+        on a finite window should call ``housekeeping()`` periodically,
+        as the engine does).
         """
         node = self.nodes[node_id]
         if node.is_root:
@@ -218,7 +235,8 @@ class SJTree:
                 return True
             return False
 
-        if match.min_time < window.cutoff:
+        cutoff = window.cutoff
+        if match.min_time < cutoff:
             return False  # contains an edge the window already evicted
 
         key = match.key_for(node.key_vertices)
@@ -227,8 +245,9 @@ class SJTree:
 
         sibling = self.nodes[node.sibling]  # type: ignore[index]
         parent_id = node.parent
-        sibling.table.expire(window.cutoff)
         for other in sibling.table.probe(key):
+            if other.min_time < cutoff:
+                continue  # stale entry awaiting the housekeeping sweep
             joined = match.join(other)
             if joined is None:
                 continue

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+The test modules use relative imports (``from .util import …``), so the
+directory must be a real package for pytest's rootdir-based collection to
+import them correctly.
+"""

@@ -163,6 +163,73 @@ def test_mid_stream_refresh_stays_exact(events, query, split, pair):
 
 
 @settings(max_examples=25, deadline=None)
+@given(
+    events=streams(),
+    query_list=st.lists(queries(), min_size=2, max_size=5),
+    window_choice=st.sampled_from(["inf", "wide", "tight"]),
+    strategy=st.sampled_from(("Single", "SingleLazy", "Path", "PathLazy")),
+)
+def test_dispatch_engine_is_record_identical(
+    events, query_list, window_choice, strategy
+):
+    """The type-indexed multi-query dispatch plus compiled leaf plans must
+    emit exactly the same MatchRecords — fingerprints, timestamps and
+    emission order — as the seed path (dispatch force-disabled, every edge
+    offered to every leaf through the interpretive backtracker)."""
+    if not events:
+        return
+    duration = events[-1].timestamp - events[0].timestamp
+    width = {
+        "inf": math.inf,
+        "wide": max(duration * 0.7, 2.0),
+        "tight": max(duration * 0.25, 1.0),
+    }[window_choice]
+
+    def run(dispatch: bool):
+        engine = ContinuousQueryEngine(
+            window=width, housekeeping_every=5, dispatch=dispatch
+        )
+        engine.warmup(events)
+        options = {} if dispatch else {"compiled_plans": False}
+        for i, query in enumerate(query_list):
+            engine.register(query, strategy=strategy, name=f"q{i}", **options)
+        records = []
+        for event in events:
+            records.extend(engine.process_event(event))
+        return [
+            (r.query_name, r.match.fingerprint, r.completed_at)
+            for r in records
+        ]
+
+    assert run(dispatch=True) == run(dispatch=False)
+
+
+@settings(max_examples=15, deadline=None)
+@given(events=streams(), query_list=st.lists(queries(), min_size=2, max_size=4))
+def test_dispatch_exact_for_baselines_too(events, query_list):
+    """The engine-level etype prefilter on the VF2/IncIso baselines must
+    not change their output either."""
+    if not events:
+        return
+
+    def run(dispatch: bool):
+        engine = ContinuousQueryEngine(window=math.inf, dispatch=dispatch)
+        engine.warmup(events)
+        for i, query in enumerate(query_list):
+            strategy = "VF2" if i % 2 == 0 else "IncIso"
+            engine.register(query, strategy=strategy, name=f"q{i}")
+        records = []
+        for event in events:
+            records.extend(engine.process_event(event))
+        return [
+            (r.query_name, r.match.fingerprint, r.completed_at)
+            for r in records
+        ]
+
+    assert run(dispatch=True) == run(dispatch=False)
+
+
+@settings(max_examples=25, deadline=None)
 @given(events=streams(), query=queries())
 def test_auto_strategy_is_also_exact(events, query):
     if not events:
