@@ -14,6 +14,13 @@ Both runs must emit the *identical* record stream (asserted here and in
 ``BENCH_throughput.json`` at the repo root so the performance trajectory
 is tracked across PRs.
 
+A third section, ``worker_scaling``, sweeps the query-sharded parallel
+runtime (:class:`repro.runtime.ShardedEngine`) over 1/2/4 workers on the
+same workload — output again asserted record-identical — and records the
+machine's CPU count alongside, because scaling beyond 1x is only
+physically possible when the host actually has spare cores (CI runners
+do; some sandboxes expose a single CPU).
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_throughput.py``) or
 under pytest. Scale via ``REPRO_BENCH_SCALE`` ∈ {smoke, small, medium,
 large}.
@@ -24,7 +31,6 @@ from __future__ import annotations
 import json
 import math
 import os
-import random
 import sys
 import time
 from pathlib import Path
@@ -32,8 +38,12 @@ from typing import List, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import ContinuousQueryEngine, QueryGraph
-from repro.analysis.experiments import BenchScale
+from repro import ContinuousQueryEngine, QueryGraph, ShardedEngine
+from repro.analysis.experiments import (
+    BenchScale,
+    mixed_etype_queries,
+    mixed_etype_stream,
+)
 from repro.graph.types import EdgeEvent
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -47,41 +57,25 @@ NUM_ETYPES = 24
 NUM_QUERIES = 10
 WINDOW = 40.0
 
-
-def etype(i: int) -> str:
-    return f"T{i % NUM_ETYPES:02d}"
+#: worker counts swept by the ``worker_scaling`` section.
+WORKER_COUNTS = (1, 2, 4)
+WORKER_BATCH = 256
+WORKER_REPEATS = 3
 
 
 def make_stream(events: int, seed: int = 7) -> List[EdgeEvent]:
     """Uniform random stream over a square-root-sized vertex population."""
-    rng = random.Random(seed)
-    n_vertices = max(int(math.sqrt(events)) * 2, 32)
-    stream = []
-    t = 0.0
-    for _ in range(events):
-        t += rng.random() * 0.2
-        src = rng.randrange(n_vertices)
-        dst = rng.randrange(n_vertices)
-        if src == dst:
-            dst = (dst + 1) % n_vertices
-        stream.append(EdgeEvent(f"v{src}", f"v{dst}", etype(rng.randrange(NUM_ETYPES)), t))
-    return stream
+    return mixed_etype_stream(events, num_etypes=NUM_ETYPES, seed=seed)
 
 
 def make_queries() -> List[QueryGraph]:
-    """10 small path/fork queries, each over its own slice of the alphabet."""
-    queries = []
-    for i in range(NUM_QUERIES):
-        kinds = [etype(2 * i), etype(2 * i + 1), etype(2 * i + 2)]
-        if i % 3 == 2:  # a few forks for shape variety
-            query = QueryGraph(name=f"q{i}")
-            query.add_edge(1, 0, kinds[0])
-            query.add_edge(0, 2, kinds[1])
-            query.add_edge(0, 3, kinds[2])
-        else:
-            query = QueryGraph.path(kinds, name=f"q{i}")
-        queries.append(query)
-    return queries
+    """10 small path/fork queries, each over its own slice of the alphabet.
+
+    Shared with the sharded-equivalence acceptance test via
+    :func:`repro.analysis.experiments.mixed_etype_queries`, so the bench
+    and the test always validate the same workload shape.
+    """
+    return mixed_etype_queries(NUM_QUERIES, NUM_ETYPES)
 
 
 def run_engine(
@@ -108,6 +102,64 @@ def run_engine(
     return elapsed, identities
 
 
+def run_sharded(
+    stream: List[EdgeEvent],
+    warmup: List[EdgeEvent],
+    queries: List[QueryGraph],
+    workers: int,
+) -> Tuple[float, list]:
+    """One sharded run; startup/registration excluded from the timing."""
+    engine = ShardedEngine(
+        window=WINDOW, workers=workers, batch_size=WORKER_BATCH
+    )
+    engine.warmup(warmup)
+    for query in queries:
+        engine.register(query, strategy="Single", name=query.name)
+    try:
+        engine.start()
+        result = engine.run(stream)
+    finally:
+        engine.close()
+    identities = [
+        (r.query_name, r.match.fingerprint, r.completed_at) for r in result.records
+    ]
+    return result.elapsed_seconds, identities
+
+
+def sweep_workers(
+    stream: List[EdgeEvent],
+    warmup: List[EdgeEvent],
+    queries: List[QueryGraph],
+    reference: list,
+) -> dict:
+    """Best-of-N sharded throughput per worker count, identity-checked."""
+    n = len(stream)
+    series = {}
+    for workers in WORKER_COUNTS:
+        best = math.inf
+        for _ in range(WORKER_REPEATS):
+            elapsed, identities = run_sharded(stream, warmup, queries, workers)
+            assert identities == reference, (
+                f"sharded run (workers={workers}) diverged from the "
+                f"single-process engine: {len(identities)} vs "
+                f"{len(reference)} records"
+            )
+            best = min(best, elapsed)
+        series[str(workers)] = {
+            "elapsed_seconds": round(best, 4),
+            "edges_per_sec": round(n / best, 1),
+        }
+    low = series[str(WORKER_COUNTS[0])]["elapsed_seconds"]
+    high = series[str(WORKER_COUNTS[-1])]["elapsed_seconds"]
+    return {
+        "cpu_count": os.cpu_count(),
+        "batch_size": WORKER_BATCH,
+        "repeats": WORKER_REPEATS,
+        "series": series,
+        "speedup_workers4_over_1": round(low / high, 2),
+    }
+
+
 def run(write: bool = True) -> dict:
     scale = BenchScale.from_env()
     events = scale.stream_events
@@ -123,6 +175,8 @@ def run(write: bool = True) -> dict:
         "fast path diverged from seed path: "
         f"{len(fast_records)} vs {len(seed_records)} records"
     )
+
+    worker_scaling = sweep_workers(stream, warmup, queries, fast_records)
 
     n = len(stream)
     result = {
@@ -146,6 +200,7 @@ def run(write: bool = True) -> dict:
             "edges_per_sec": round(n / fast_elapsed, 1),
         },
         "speedup": round(seed_elapsed / fast_elapsed, 2),
+        "worker_scaling": worker_scaling,
     }
     if write:
         ARTEFACT.write_text(json.dumps(result, indent=2) + "\n")
@@ -162,6 +217,16 @@ def test_throughput_fast_path_speedup():
         f"({result['fast_path']['edges_per_sec']} vs "
         f"{result['seed_path']['edges_per_sec']} edges/sec)"
     )
+    scaling = result["worker_scaling"]
+    # Output identity was already asserted inside sweep_workers for every
+    # worker count. The throughput claim needs hardware that can actually
+    # run 4 workers concurrently; on a 1-CPU sandbox the sweep records the
+    # (necessarily <= 1x) numbers without pretending they mean scaling.
+    if (scaling["cpu_count"] or 1) >= 4:
+        assert scaling["speedup_workers4_over_1"] >= 1.5, (
+            f"sharded runtime only {scaling['speedup_workers4_over_1']}x at "
+            f"workers=4 over workers=1 ({scaling['series']})"
+        )
 
 
 if __name__ == "__main__":
@@ -171,4 +236,13 @@ if __name__ == "__main__":
         f"\nseed path: {outcome['seed_path']['edges_per_sec']:.0f} edges/s   "
         f"fast path: {outcome['fast_path']['edges_per_sec']:.0f} edges/s   "
         f"speedup: {outcome['speedup']:.2f}x"
+    )
+    scaling = outcome["worker_scaling"]
+    per_worker = "   ".join(
+        f"w={w}: {scaling['series'][str(w)]['edges_per_sec']:.0f} e/s"
+        for w in WORKER_COUNTS
+    )
+    print(
+        f"worker scaling ({scaling['cpu_count']} CPUs): {per_worker}   "
+        f"(4w/1w: {scaling['speedup_workers4_over_1']:.2f}x)"
     )

@@ -46,6 +46,7 @@ from .query import (
     insider_infiltration,
     parse_query,
 )
+from .runtime import ShardedEngine
 from .search import (
     ContinuousQueryEngine,
     DynamicGraphSearch,
@@ -86,6 +87,7 @@ __all__ = [
     "SJTree",
     "SelectivityEstimator",
     "SerializationError",
+    "ShardedEngine",
     "StrategyError",
     "StreamingGraph",
     "TimeWindow",

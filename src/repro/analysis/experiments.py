@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import math
 import os
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datasets.base import StreamGenerator, split_stream
 from ..graph.types import EdgeEvent
@@ -36,6 +37,74 @@ from .profiling import ProfileCounters
 
 #: Strategies plotted in Fig. 9 (the paper's four + the VF2 baseline).
 FIG9_STRATEGIES: tuple[str, ...] = ("Path", "Single", "PathLazy", "SingleLazy", "VF2")
+
+
+def mixed_etype_stream(
+    num_events: int,
+    num_etypes: int = 24,
+    seed: int = 7,
+    population: Optional[int] = None,
+) -> List[EdgeEvent]:
+    """Uniform random stream over a wide, sparse edge-type alphabet.
+
+    The multi-query benchmark workload (and its sharded-equivalence
+    acceptance test — single definition so they cannot drift): each edge
+    type lands on only a couple of registered query alphabets, the
+    type-dispatch/shard-routing target regime. ``population`` defaults to
+    a square-root-sized vertex set so density grows with stream length.
+    """
+    rng = random.Random(seed)
+    if population is None:
+        population = max(int(math.sqrt(num_events)) * 2, 32)
+    stream: List[EdgeEvent] = []
+    t = 0.0
+    for _ in range(num_events):
+        t += rng.random() * 0.2
+        src = rng.randrange(population)
+        dst = rng.randrange(population)
+        if src == dst:
+            dst = (dst + 1) % population
+        etype = f"T{rng.randrange(num_etypes):02d}"
+        stream.append(EdgeEvent(f"v{src}", f"v{dst}", etype, t))
+    return stream
+
+
+def mixed_etype_queries(
+    num_queries: int = 10, num_etypes: int = 24
+) -> List[QueryGraph]:
+    """Small path/fork queries, each over its own slice of the alphabet.
+
+    Query ``i`` uses types ``2i..2i+2`` (mod ``num_etypes``), so adjacent
+    queries overlap on one type; every third query is a fork for shape
+    variety. Companion to :func:`mixed_etype_stream`.
+    """
+    etype = lambda i: f"T{i % num_etypes:02d}"  # noqa: E731
+    queries = []
+    for i in range(num_queries):
+        kinds = [etype(2 * i), etype(2 * i + 1), etype(2 * i + 2)]
+        if i % 3 == 2:
+            query = QueryGraph(name=f"q{i}")
+            query.add_edge(1, 0, kinds[0])
+            query.add_edge(0, 2, kinds[1])
+            query.add_edge(0, 3, kinds[2])
+        else:
+            query = QueryGraph.path(kinds, name=f"q{i}")
+        queries.append(query)
+    return queries
+
+
+def mixed_etype_workload(
+    num_events: int,
+    num_queries: int = 10,
+    num_etypes: int = 24,
+    seed: int = 7,
+    population: Optional[int] = None,
+) -> Tuple[List[EdgeEvent], List[QueryGraph]]:
+    """Stream and query set together (the common case)."""
+    return (
+        mixed_etype_stream(num_events, num_etypes, seed, population),
+        mixed_etype_queries(num_queries, num_etypes),
+    )
 
 
 @dataclass(frozen=True)

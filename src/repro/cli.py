@@ -10,27 +10,36 @@ Mirrors the paper's two-step workflow and adds dataset generation::
                           --warmup-fraction 0.25 --window 100
 
 ``run`` prints every complete match as it is found, then a summary with
-the strategy decision and the profile split.
+the strategy decision and the profile split. ``--query`` may be repeated
+to register several continuous queries over the same stream;
+``--workers N`` (N > 1) executes them on the query-sharded parallel
+runtime (:mod:`repro.runtime`), and ``--batch-size`` sizes both the
+chunked stream reader and the per-worker ingest batches.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import math
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .analysis.reporting import ascii_table
 from .datasets import (
     LSBenchGenerator,
     NetflowGenerator,
     NYTGenerator,
+    chunk_events,
+    count_stream_events,
     read_stream,
     split_stream,
     write_stream,
 )
 from .query.parser import parse_query
+from .query.query_graph import QueryGraph
+from .runtime import ShardedEngine
 from .search.engine import ContinuousQueryEngine
 from .sjtree import builder as sjtree_builder
 from .sjtree import serialize as sjtree_serialize
@@ -76,30 +85,97 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_queries(paths: Sequence[str]) -> List[QueryGraph]:
+    queries = []
+    taken = set()
+    for qpath in paths:
+        query = parse_query(Path(qpath).read_text(encoding="utf-8"))
+        # name by file stem; disambiguate same-stem files from different
+        # directories (engine registration requires unique names)
+        name = Path(qpath).stem
+        candidate, suffix = name, 2
+        while candidate in taken:
+            candidate = f"{name}-{suffix}"
+            suffix += 1
+        taken.add(candidate)
+        query.name = candidate
+        queries.append(query)
+    return queries
+
+
+def _print_match(record, shown: int, max_print: int) -> None:
+    if shown < max_print:
+        mapping = ", ".join(
+            f"v{qv}={dv}" for qv, dv in sorted(record.match.vertex_map.items())
+        )
+        print(f"match @t={record.completed_at:.4f}: {mapping}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    query = parse_query(Path(args.query).read_text(encoding="utf-8"))
-    query.name = Path(args.query).stem
-    warmup, stream = _load_estimator(args.stream, args.warmup_fraction)
+    if not 0.0 <= args.warmup_fraction <= 1.0:
+        raise ValueError(
+            f"warmup fraction must be within [0, 1], got {args.warmup_fraction}"
+        )
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    if args.batch_size < 1:
+        raise ValueError(f"--batch-size must be >= 1, got {args.batch_size}")
+    queries = _load_queries(args.query)
     window = math.inf if args.window is None else args.window
+    # Two-pass ingest: one cheap line-count pass sizes the warmup prefix,
+    # then a single parse pass feeds the estimator and — continuing on the
+    # same iterator — the engine, never materialising the whole stream.
+    total = count_stream_events(args.stream)
+    warm_n = int(total * args.warmup_fraction)
+    events = read_stream(args.stream)
+    warmup = itertools.islice(events, warm_n)
+
+    if args.workers > 1:
+        engine = ShardedEngine(
+            window=window, workers=args.workers, batch_size=args.batch_size
+        )
+        engine.warmup(warmup)
+        specs = [engine.register(query, strategy=args.strategy) for query in queries]
+        try:
+            # the coordinator batches per worker itself; feed it the
+            # remaining events straight off the parse iterator
+            result = engine.run(events)
+            for shown, record in enumerate(result.records):
+                _print_match(record, shown, args.max_print)
+            print()
+            print(engine.describe())
+        finally:
+            engine.close()
+        for spec in specs:
+            if spec.decision is not None:
+                print(spec.decision.explain())
+        print()
+        print(
+            f"{len(result.records)} matches over {result.edges_processed} "
+            f"edges in {result.elapsed_seconds:.3f}s "
+            f"({args.workers} workers, batch={args.batch_size})"
+        )
+        return 0
+
     engine = ContinuousQueryEngine(window=window)
     engine.warmup(warmup)
-    registered = engine.register(query, strategy=args.strategy)
+    registered = [engine.register(query, strategy=args.strategy) for query in queries]
     shown = 0
-    for event in stream:
-        for record in engine.process_event(event):
-            if shown < args.max_print:
-                mapping = ", ".join(
-                    f"v{qv}={dv}" for qv, dv in sorted(record.match.vertex_map.items())
-                )
-                print(f"match @t={record.completed_at:.4f}: {mapping}")
+    for chunk in chunk_events(events, args.batch_size):
+        for record in engine.process_events(chunk):
+            _print_match(record, shown, args.max_print)
             shown += 1
     print()
     print(engine.describe())
-    if registered.decision is not None:
-        print(registered.decision.explain())
+    for reg in registered:
+        if reg.decision is not None:
+            print(reg.decision.explain())
     print()
     print("profile:")
-    print(registered.profile.report())
+    for reg in registered:
+        if len(registered) > 1:
+            print(f"[{reg.name}]")
+        print(reg.profile.report())
     return 0
 
 
@@ -133,13 +209,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--out", default=None)
     p_dec.set_defaults(func=_cmd_decompose)
 
-    p_run = sub.add_parser("run", help="continuous query over a stream file")
+    p_run = sub.add_parser("run", help="continuous queries over a stream file")
     p_run.add_argument("--stream", required=True)
-    p_run.add_argument("--query", required=True)
+    p_run.add_argument(
+        "--query",
+        required=True,
+        action="append",
+        help="query file; repeat to register several continuous queries",
+    )
     p_run.add_argument("--strategy", default="auto")
     p_run.add_argument("--warmup-fraction", type=float, default=0.25)
     p_run.add_argument("--window", type=float, default=None)
     p_run.add_argument("--max-print", type=int, default=20)
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for query-sharded execution (1 = in-process)",
+    )
+    p_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=512,
+        help="events per ingest chunk / per worker batch",
+    )
     p_run.set_defaults(func=_cmd_run)
     return parser
 

@@ -8,7 +8,12 @@ from .base import (
     interleave_at,
     split_stream,
 )
-from .io import read_stream, write_stream
+from .io import (
+    chunk_events,
+    count_stream_events,
+    read_stream,
+    write_stream,
+)
 from .lsbench import LSBenchConfig, LSBenchGenerator, SCHEMA as LSBENCH_SCHEMA
 from .netflow import (
     DEFAULT_PROTOCOL_WEIGHTS,
@@ -33,6 +38,8 @@ __all__ = [
     "StreamGenerator",
     "WeightedChooser",
     "ZipfSampler",
+    "chunk_events",
+    "count_stream_events",
     "interleave_at",
     "read_stream",
     "split_stream",

@@ -12,8 +12,9 @@ contain tabs; everything is read back as strings (vertex ids are opaque).
 
 from __future__ import annotations
 
+import itertools
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, List, Union
 
 from ..errors import ParseError
 from ..graph.types import EdgeEvent
@@ -62,3 +63,40 @@ def read_stream(path: Union[str, Path]) -> Iterator[EdgeEvent]:
                 src_type=parts[2],
                 dst_type=parts[5],
             )
+
+
+def chunk_events(
+    events: Iterable[EdgeEvent], chunk_size: int
+) -> Iterator[List[EdgeEvent]]:
+    """Regroup an event iterable into lists of at most ``chunk_size``.
+
+    Works on any iterator, so a caller can peel a warmup prefix off a
+    :func:`read_stream` iterator and chunk the remainder without a second
+    parse pass. The final chunk may be shorter; no empty chunks are
+    yielded.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    iterator = iter(events)
+    while True:
+        chunk = list(itertools.islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def count_stream_events(path: Union[str, Path]) -> int:
+    """Number of events in a TSV stream file.
+
+    Counts data lines textually (same comment/blank rule as
+    :func:`read_stream`) without building :class:`EdgeEvent` objects —
+    the cheap first pass of the CLI's two-pass chunked ingest. Malformed
+    lines are counted here and rejected by the parse pass.
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                count += 1
+    return count

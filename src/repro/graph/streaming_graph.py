@@ -65,6 +65,7 @@ class StreamingGraph:
         self._vertex_types: Dict[VertexId, str] = {}
         self._degrees: Dict[VertexId, int] = {}
         self._next_edge_id = 0
+        self._total_inserted = 0
         self._last_timestamp = -math.inf
         self._evicted_count = 0
 
@@ -72,12 +73,21 @@ class StreamingGraph:
     # mutation
     # ------------------------------------------------------------------
 
-    def add_event(self, event: EdgeEvent, *, evict: bool = True) -> Edge:
+    def add_event(
+        self, event: EdgeEvent, *, evict: bool = True, edge_id: Optional[int] = None
+    ) -> Edge:
         """Insert a stream event; return the stored :class:`Edge`.
 
         Advances the window clock and, when ``evict`` is true, drops edges
         older than ``t_last - tW`` (§2 of the paper). Events must arrive in
         non-decreasing timestamp order.
+
+        ``edge_id`` pins the id the stored edge receives instead of the
+        next auto-assigned one; it must not go backwards. The sharded
+        runtime uses this to give a type-filtered worker graph the *same*
+        edge ids the full single-process graph would assign (the global
+        stream position), so match fingerprints stay comparable across
+        execution paths.
         """
         if event.timestamp < self._last_timestamp:
             raise GraphError(
@@ -85,6 +95,13 @@ class StreamingGraph:
                 f"{event.timestamp} < last seen {self._last_timestamp}; "
                 "sort the stream with iter_events_sorted() first"
             )
+        if edge_id is not None:
+            if edge_id < self._next_edge_id:
+                raise GraphError(
+                    f"edge id {edge_id} goes backwards (next auto id is "
+                    f"{self._next_edge_id}); explicit ids must be increasing"
+                )
+            self._next_edge_id = edge_id
         self._last_timestamp = event.timestamp
         self._window.advance(event.timestamp)
         if evict:
@@ -98,6 +115,7 @@ class StreamingGraph:
             timestamp=event.timestamp,
         )
         self._next_edge_id += 1
+        self._total_inserted += 1
         self._edges[edge.edge_id] = edge
         self._arrival.append(edge)
         self._touch_vertex(event.src, event.src_type)
@@ -127,6 +145,19 @@ class StreamingGraph:
         return self.add_event(
             EdgeEvent(src, dst, etype, timestamp, src_type, dst_type)
         )
+
+    def add_events(
+        self, events: Iterable[EdgeEvent], *, evict: bool = True
+    ) -> list[Edge]:
+        """Batch ingest: insert events in order, return the stored edges.
+
+        Semantics are identical to calling :meth:`add_event` per element
+        (same clock advancement and eviction points); this is the bulk
+        entry point used by oracle/ground-truth loaders and the chunked
+        ingest paths of the runtime.
+        """
+        add_event = self.add_event
+        return [add_event(event, evict=evict) for event in events]
 
     def evict_expired(self) -> int:
         """Drop all edges older than the window cutoff; return the count."""
@@ -200,8 +231,13 @@ class StreamingGraph:
 
     @property
     def total_edges_seen(self) -> int:
-        """Number of edges ever inserted (live + evicted)."""
-        return self._next_edge_id
+        """Number of edges ever inserted (live + evicted).
+
+        Tracked separately from the id counter: pinned edge ids (sharded
+        workers skipping filtered-out stream positions) fast-forward
+        ``_next_edge_id`` past edges this graph never stored.
+        """
+        return self._total_inserted
 
     @property
     def evicted_edges(self) -> int:
@@ -392,6 +428,7 @@ class StreamingGraph:
                 if edge.dst != edge.src:
                     copy._degrees[edge.dst] += 1
                 copy._last_timestamp = edge.timestamp
+                copy._total_inserted += 1
         copy._next_edge_id = self._next_edge_id
         return copy
 

@@ -1,0 +1,27 @@
+"""Parallel runtime: query-sharded multi-worker execution.
+
+Splits a multi-query workload across worker processes — each worker owns
+a full :class:`~repro.search.engine.ContinuousQueryEngine` holding a
+shard of the registered queries — and streams edges to workers in
+type-filtered batches. Output is record-identical (records *and* order)
+to the single-process engine; ``workers=1`` is a zero-overhead in-process
+fallback.
+"""
+
+from .partition import (
+    ShardPlan,
+    estimate_query_cost,
+    greedy_balanced,
+    round_robin,
+)
+from .sharded import QuerySpec, ShardedEngine, WorkerStats
+
+__all__ = [
+    "QuerySpec",
+    "ShardPlan",
+    "ShardedEngine",
+    "WorkerStats",
+    "estimate_query_cost",
+    "greedy_balanced",
+    "round_robin",
+]

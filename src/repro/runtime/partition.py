@@ -1,0 +1,122 @@
+"""Cost-balanced query partitioning for the sharded runtime.
+
+The multi-query scenario registers many standing queries over one edge
+stream; :class:`~repro.runtime.sharded.ShardedEngine` places each query on
+exactly one worker. Because every query is an independently maintainable
+view of the stream (no cross-query state), any placement is *correct* —
+the partitioner only decides how well the per-edge matching work spreads
+across workers.
+
+Two policies:
+
+* :func:`greedy_balanced` — longest-processing-time greedy bin packing
+  over per-query *cost estimates*: queries are placed heaviest-first onto
+  the currently lightest shard. Costs come from
+  :func:`estimate_query_cost`, which uses the warmed selectivity
+  estimator to predict how much of the stream each query's leaves will
+  see — a skewed stream places two hot queries on different workers even
+  when a round-robin split would have collided them.
+* :func:`round_robin` — position-based striping; the fallback when no
+  statistics are available (all costs equal, e.g. a cold estimator).
+
+Both are deterministic: ties break on registration position, so a given
+(query set, estimator state, worker count) always produces the same
+shards — required for the record-identical merge order downstream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..query.query_graph import QueryGraph
+from ..stats.estimator import SelectivityEstimator
+
+#: Cost assigned to a query edge whose type never appeared during warmup.
+#: Unseen types still pay leaf bookkeeping, and a zero cost would make
+#: whole queries free, collapsing the LPT ordering to registration order.
+_FLOOR_COST = 1e-6
+
+
+def estimate_query_cost(
+    query: QueryGraph, estimator: Optional[SelectivityEstimator] = None
+) -> float:
+    """Expected per-stream-edge work for one query, in arbitrary units.
+
+    Each query edge contributes the 1-edge selectivity of its type — the
+    fraction of the stream that will anchor that leaf primitive (§5.1's
+    histogram). Summing over query edges approximates how often the
+    query's leaves fire; a cold or missing estimator degrades to uniform
+    cost per query edge, which makes :func:`greedy_balanced` equivalent
+    to balancing query edge counts.
+    """
+    edges = list(query.edges)
+    if not edges:
+        return _FLOOR_COST
+    if estimator is None or estimator.events_observed == 0:
+        return float(len(edges))
+    return sum(
+        max(estimator.edge_selectivity(edge.etype), _FLOOR_COST)
+        for edge in edges
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's slice of the registered queries.
+
+    ``positions`` are indices into the engine's registration order,
+    ascending — workers register their queries in global registration
+    order so per-event emission order is reconstructible.
+    """
+
+    worker_id: int
+    positions: Tuple[int, ...]
+    cost: float
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+def greedy_balanced(costs: Sequence[float], workers: int) -> List[ShardPlan]:
+    """LPT greedy: heaviest query first, always onto the lightest shard.
+
+    Returns at most ``workers`` shards; shards that would stay empty
+    (more workers than queries) are dropped so no idle process is ever
+    spawned. Deterministic: query ties break on registration position,
+    shard-load ties on worker id.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    n_shards = min(workers, len(costs))
+    if n_shards == 0:
+        return []
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    heap: List[Tuple[float, int]] = [(0.0, wid) for wid in range(n_shards)]
+    members: List[List[int]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    for position in order:
+        load, wid = heapq.heappop(heap)
+        members[wid].append(position)
+        loads[wid] = load + costs[position]
+        heapq.heappush(heap, (loads[wid], wid))
+    return [
+        ShardPlan(worker_id=wid, positions=tuple(sorted(members[wid])), cost=loads[wid])
+        for wid in range(n_shards)
+    ]
+
+
+def round_robin(count: int, workers: int) -> List[ShardPlan]:
+    """Stripe queries over shards by registration position."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    n_shards = min(workers, count)
+    return [
+        ShardPlan(
+            worker_id=wid,
+            positions=tuple(range(wid, count, n_shards)),
+            cost=float(len(range(wid, count, n_shards))),
+        )
+        for wid in range(n_shards)
+    ]

@@ -1,0 +1,654 @@
+"""Query-sharded multi-worker execution — the parallel runtime.
+
+The paper's multi-query deployment (StreamWorks registers many standing
+queries over one edge stream) parallelises naturally along the *query*
+axis: each registered query is an independently maintainable view of the
+stream, so a worker that owns a full :class:`ContinuousQueryEngine` with a
+subset of the queries produces exactly the records those queries would
+have produced in a single process. :class:`ShardedEngine` is the
+coordinator:
+
+* **Registration** mirrors the single-process engine (``warmup`` →
+  ``register`` → ``run``) but records query *specs*; ``"auto"`` strategies
+  are resolved at registration time against the coordinator's estimator so
+  every worker sees the same decision the single-process engine would.
+* **Partitioning** places queries on workers with the greedy
+  cost-balanced policy from :mod:`repro.runtime.partition` (or round
+  robin), using per-query cost predicted by the warmed estimator.
+* **Ingest** streams edges to workers in *type-filtered batches*: a
+  worker only receives events whose edge type is in its shard's combined
+  alphabet (the union of its queries'
+  :meth:`~repro.search.base.SearchAlgorithm.relevant_etypes`), so the
+  per-worker graph holds just the slice of the stream its queries can
+  match. A shard containing a query that must observe every edge
+  (``PeriodicVF2``) receives the unfiltered stream.
+* **Merge**: workers tag every record with ``(stream index, global query
+  registration position)``; a stable sort over those tags reconstructs
+  the exact emission order of the single-process engine — record-identical
+  output, enforced by ``tests/test_sharded_equivalence.py``.
+
+``workers=1`` short-circuits to an in-process engine (no subprocesses, no
+pickling — the zero-overhead serial fallback), so existing callers can
+adopt :class:`ShardedEngine` unconditionally.
+
+Correctness of type filtering
+-----------------------------
+Stream timestamps are non-decreasing, so when a worker processes an edge
+its window clock equals the single-process clock at that same edge: every
+eviction and staleness decision made *while processing a relevant edge*
+is identical, and edges the worker never sees can only have affected the
+clock between relevant edges, where no decisions are made. Matching never
+touches foreign-type adjacency (anchored plans and VF2 expand only along
+query-alphabet types). One caveat: vertex types are assigned on first
+sight, so a stream that re-declares a vertex with *conflicting* vertex
+types across events of different edge types could type it differently in
+a filtered worker; the bundled datasets (and any sane stream) declare
+vertex types consistently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import QueryError
+from ..graph.types import EdgeEvent
+from ..query.query_graph import QueryGraph
+from ..search.engine import ContinuousQueryEngine, RunResult, algorithm_class
+from ..search.strategy import StrategyDecision, choose_strategy
+from ..stats.estimator import SelectivityEstimator
+from .partition import ShardPlan, estimate_query_cost, greedy_balanced, round_robin
+
+_READY_TIMEOUT = 120.0
+
+#: Bound on queued-but-unprocessed batches per worker. Keeps coordinator
+#: memory at O(batch_size x queue depth) per shard on arbitrarily long
+#: streams — put() blocks (backpressure) instead of buffering the whole
+#: stream in the queue feeders. Safe: workers always drain their task
+#: queue, so a blocked put can only wait, never deadlock.
+_TASK_QUEUE_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A registered query awaiting shard placement."""
+
+    position: int
+    name: str
+    query: QueryGraph
+    strategy: str
+    options: Dict[str, object]
+    decision: Optional[StrategyDecision] = None
+
+    def alphabet(self) -> Optional[FrozenSet[str]]:
+        """Edge types this query's algorithm will consume; None = all.
+
+        Computed from the algorithm *class* the strategy maps to
+        (``static_relevant_etypes``), before any worker-side instance
+        exists — the same source the live engine's dispatch uses, so a
+        strategy that must see every edge (PeriodicVF2) can never be
+        starved by the shard router.
+        """
+        return algorithm_class(self.strategy).static_relevant_etypes(self.query)
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker tallies from the last :meth:`ShardedEngine.run`."""
+
+    worker_id: int
+    events_routed: int = 0
+    records: int = 0
+    partial_matches: int = 0
+    query_names: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class _WorkerInit:
+    """Pickled once per worker at spawn time."""
+
+    worker_id: int
+    window: float
+    housekeeping_every: int
+    estimator: SelectivityEstimator
+    specs: Tuple[QuerySpec, ...]
+
+
+def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
+    """Subprocess entry point: one engine, one query shard, batch loop."""
+    try:
+        engine = ContinuousQueryEngine(
+            window=init.window,
+            estimator=init.estimator,
+            housekeeping_every=init.housekeeping_every,
+        )
+        for spec in init.specs:
+            engine.register(
+                spec.query, strategy=spec.strategy, name=spec.name, **spec.options
+            )
+    except BaseException as exc:  # surfaced by the coordinator's gather
+        result_queue.put((init.worker_id, "error", repr(exc)))
+        return
+    result_queue.put((init.worker_id, "ready", None))
+
+    position = {spec.name: spec.position for spec in init.specs}
+    process_event = engine.process_event
+    tagged: List[Tuple[int, int, object]] = []
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "batch":
+            try:
+                for row in message[1]:
+                    index = row[0]
+                    # Pinning edge_id to the global stream index makes the
+                    # worker's (filtered) graph assign the same edge ids as
+                    # the single-process graph — match fingerprints must be
+                    # byte-identical across execution paths.
+                    for record in process_event(
+                        EdgeEvent(*row[1:]), edge_id=index
+                    ):
+                        tagged.append((index, position[record.query_name], record))
+            except BaseException as exc:
+                result_queue.put((init.worker_id, "error", repr(exc)))
+                return
+        elif kind == "collect":
+            result_queue.put(
+                (
+                    init.worker_id,
+                    "collect",
+                    (message[1], tagged, engine.partial_match_count()),
+                )
+            )
+            tagged = []
+        elif kind == "describe":
+            result_queue.put((init.worker_id, "describe", engine.describe()))
+        elif kind == "close":
+            return
+
+
+class ShardedEngine:
+    """Coordinator for query-sharded parallel continuous query execution.
+
+    Drop-in alternative front door to :class:`ContinuousQueryEngine` for
+    multi-query workloads::
+
+        engine = ShardedEngine(window=3600.0, workers=4)
+        engine.warmup(prefix_events)
+        for query in queries:
+            engine.register(query, strategy="auto")
+        result = engine.run(stream)      # record-identical to 1 process
+        engine.close()
+
+    Also usable as a context manager (``with ShardedEngine(...) as e:``).
+
+    Parameters
+    ----------
+    window:
+        Sliding-window width, as for the single-process engine.
+    workers:
+        Number of worker processes. ``1`` (the default) runs fully
+        in-process with zero multiprocessing overhead; empty shards are
+        never spawned, so ``workers`` above the query count is harmless.
+    batch_size:
+        Events per worker message. Larger batches amortise pickling;
+        smaller ones reduce end-of-stream latency skew.
+    partitioner:
+        ``"cost"`` (greedy selectivity-balanced, the default) or
+        ``"round-robin"``.
+    mp_context:
+        A :mod:`multiprocessing` context; defaults to ``fork`` where
+        available (Linux) and the platform default elsewhere.
+    """
+
+    def __init__(
+        self,
+        window: float = math.inf,
+        workers: int = 1,
+        batch_size: int = 256,
+        estimator: Optional[SelectivityEstimator] = None,
+        housekeeping_every: int = 2048,
+        partitioner: str = "cost",
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if partitioner not in ("cost", "round-robin"):
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; "
+                "expected 'cost' or 'round-robin'"
+            )
+        self.window = float(window)
+        self.workers = workers
+        self.batch_size = batch_size
+        self.partitioner = partitioner
+        self.housekeeping_every = housekeeping_every
+        self.estimator = estimator if estimator is not None else SelectivityEstimator()
+        self.specs: List[QuerySpec] = []
+        self.last_worker_stats: List[WorkerStats] = []
+        self._mp_context = mp_context
+        self._started = False
+        self._finished = False
+        self._serial_engine: Optional[ContinuousQueryEngine] = None
+        self._shards: List[ShardPlan] = []
+        self._procs: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._routes: Dict[str, Tuple[int, ...]] = {}
+        self._default_route: Tuple[int, ...] = ()
+        self._collect_seq = 0
+        # Global stream position across run() calls — doubles as the edge
+        # id every worker graph assigns (matching the single-process ids).
+        self._events_streamed = 0
+
+    # ------------------------------------------------------------------
+    # registration (mirrors ContinuousQueryEngine)
+    # ------------------------------------------------------------------
+
+    def warmup(self, events: Iterable[EdgeEvent]) -> int:
+        """Feed a stream prefix to the coordinator's selectivity estimator."""
+        if self._started or self._finished:
+            raise QueryError("cannot warm up after streaming has started")
+        return self.estimator.observe_events(events)
+
+    def register(
+        self,
+        query: QueryGraph,
+        strategy: str = "auto",
+        name: Optional[str] = None,
+        **options,
+    ) -> QuerySpec:
+        """Record a query for execution; placement happens at start().
+
+        ``"auto"`` is resolved immediately against the coordinator's
+        estimator (identical inputs to the single-process engine, hence
+        identical decisions); the returned spec carries the
+        :class:`StrategyDecision` for inspection.
+        """
+        if self._started or self._finished:
+            raise QueryError(
+                "cannot register new queries after streaming has started; "
+                "create a new ShardedEngine"
+            )
+        if not query.is_connected():
+            raise QueryError(
+                "continuous queries must be connected "
+                "(the decomposition join order requires shared vertices)"
+            )
+        query_name = name or query.name or f"q{len(self.specs)}"
+        if any(spec.name == query_name for spec in self.specs):
+            raise QueryError(f"query name {query_name!r} already registered")
+        decision: Optional[StrategyDecision] = None
+        if strategy == "auto":
+            decision = choose_strategy(query, self.estimator)
+            strategy = decision.chosen
+        else:
+            algorithm_class(strategy)  # unknown names fail here, not in a worker
+        spec = QuerySpec(
+            position=len(self.specs),
+            name=query_name,
+            query=query,
+            strategy=strategy,
+            options=dict(options),
+            decision=decision,
+        )
+        self.specs.append(spec)
+        return spec
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def plan(self) -> List[ShardPlan]:
+        """Partition registered queries into shards (no side effects)."""
+        if self.partitioner == "round-robin":
+            return round_robin(len(self.specs), self.workers)
+        costs = [
+            estimate_query_cost(spec.query, self.estimator) for spec in self.specs
+        ]
+        return greedy_balanced(costs, self.workers)
+
+    def shard_alphabet(self, shard: ShardPlan) -> Optional[FrozenSet[str]]:
+        """Combined edge-type alphabet of one shard; ``None`` = all edges."""
+        combined: set = set()
+        for position in shard.positions:
+            alphabet = self.specs[position].alphabet()
+            if alphabet is None:
+                return None
+            combined |= alphabet
+        return frozenset(combined)
+
+    def _compile_routes(self) -> None:
+        """Build the ``etype -> (worker slot, ...)`` coordinator dispatch."""
+        routes: Dict[str, List[int]] = {}
+        default: List[int] = []
+        for slot, shard in enumerate(self._shards):
+            alphabet = self.shard_alphabet(shard)
+            if alphabet is None:
+                default.append(slot)
+                continue
+            for etype in alphabet:
+                routes.setdefault(etype, []).append(slot)
+        for slots in routes.values():
+            slots.extend(default)
+        self._default_route = tuple(default)
+        self._routes = {
+            etype: tuple(sorted(slots)) for etype, slots in routes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn and initialise workers (idempotent).
+
+        Called implicitly by :meth:`run`; call it explicitly to exclude
+        process startup and SJ-Tree construction from run timing (as the
+        throughput benchmark does).
+        """
+        if self._started:
+            return
+        if self._finished:
+            # Worker window/graph state died with the workers; silently
+            # respawning empty ones would break the record-identity
+            # contract (edge ids keep counting, state does not).
+            raise RuntimeError(
+                "ShardedEngine cannot be restarted after close(); "
+                "create a new engine"
+            )
+        self._shards = self.plan()
+        if self.workers == 1 or len(self._shards) <= 1:
+            engine = ContinuousQueryEngine(
+                window=self.window,
+                estimator=self.estimator,
+                housekeeping_every=self.housekeeping_every,
+            )
+            for spec in self.specs:
+                engine.register(
+                    spec.query, strategy=spec.strategy, name=spec.name, **spec.options
+                )
+            self._serial_engine = engine
+            self._started = True
+            return
+
+        ctx = self._mp_context
+        if ctx is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self._result_queue = ctx.Queue()
+        for shard in self._shards:
+            init = _WorkerInit(
+                worker_id=shard.worker_id,
+                window=self.window,
+                housekeeping_every=self.housekeeping_every,
+                estimator=self.estimator,
+                specs=tuple(self.specs[position] for position in shard.positions),
+            )
+            task_queue = ctx.Queue(maxsize=_TASK_QUEUE_DEPTH)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(init, task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-shard-{shard.worker_id}",
+            )
+            proc.start()
+            self._task_queues.append(task_queue)
+            self._procs.append(proc)
+        self._compile_routes()
+        self._gather("ready", timeout=_READY_TIMEOUT)
+        self._started = True
+
+    def close(self) -> None:
+        """Shut workers down; idempotent and safe after worker failure.
+
+        A closed engine cannot be restarted — the workers' window state
+        is gone, so a later :meth:`run` would not be record-identical to
+        a continuous single-process run. :meth:`start` raises instead.
+        """
+        if self._started:
+            self._finished = True
+        for task_queue in self._task_queues:
+            try:
+                # non-blocking: a dead worker leaves a full queue behind,
+                # and close() must never hang — terminate() is the backstop
+                task_queue.put_nowait(("close",))
+            except (ValueError, OSError, queue_module.Full):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
+        self._procs = []
+        self._task_queues = []
+        self._result_queue = None
+        self._serial_engine = None
+        self._started = False
+
+    def __enter__(self) -> "ShardedEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        events: Iterable[EdgeEvent],
+        limit: Optional[int] = None,
+    ) -> RunResult:
+        """Process a stream; return a single-process-identical RunResult.
+
+        Records come back in exactly the order the single-process engine
+        would have emitted them (per event: registration order of the
+        queries, then per-query discovery order). ``peak_partial_matches``
+        is not sampled here (see ``partial_sample_every`` on the serial
+        engine); per-worker end-of-run state lands in
+        :attr:`last_worker_stats`.
+        """
+        self.start()
+        if self._serial_engine is not None:
+            result = self._serial_engine.run(events, limit=limit)
+            self.last_worker_stats = [
+                WorkerStats(
+                    worker_id=0,
+                    events_routed=result.edges_processed,
+                    records=len(result.records),
+                    partial_matches=self._serial_engine.partial_match_count(),
+                    query_names=tuple(spec.name for spec in self.specs),
+                )
+            ]
+            return result
+
+        started = time.perf_counter()
+        batch_size = self.batch_size
+        routes = self._routes
+        default_route = self._default_route
+        pending: List[List[tuple]] = [[] for _ in self._procs]
+        routed_counts = [0] * len(self._procs)
+        task_queues = self._task_queues
+        processed = 0
+        if limit is not None:
+            events = itertools.islice(events, limit)
+        for event in events:
+            processed += 1
+            self._events_streamed += 1
+            row = (
+                self._events_streamed - 1,
+                event.src,
+                event.dst,
+                event.etype,
+                event.timestamp,
+                event.src_type,
+                event.dst_type,
+            )
+            for slot in routes.get(event.etype, default_route):
+                batch = pending[slot]
+                batch.append(row)
+                if len(batch) >= batch_size:
+                    self._put(slot, ("batch", batch))
+                    routed_counts[slot] += len(batch)
+                    pending[slot] = []
+        for slot, batch in enumerate(pending):
+            if batch:
+                self._put(slot, ("batch", batch))
+                routed_counts[slot] += len(batch)
+        self._collect_seq += 1
+        for slot in range(len(task_queues)):
+            self._put(slot, ("collect", self._collect_seq))
+        replies = self._gather("collect")
+
+        tagged: List[Tuple[int, int, object]] = []
+        stats: List[WorkerStats] = []
+        for slot, shard in enumerate(self._shards):
+            seq, worker_tagged, partials = replies[shard.worker_id]
+            if seq != self._collect_seq:
+                raise RuntimeError(
+                    f"worker {shard.worker_id} answered collect {seq}, "
+                    f"expected {self._collect_seq}"
+                )
+            tagged.extend(worker_tagged)
+            stats.append(
+                WorkerStats(
+                    worker_id=shard.worker_id,
+                    events_routed=routed_counts[slot],
+                    records=len(worker_tagged),
+                    partial_matches=partials,
+                    query_names=tuple(
+                        self.specs[position].name for position in shard.positions
+                    ),
+                )
+            )
+        self.last_worker_stats = stats
+        tagged.sort(key=lambda item: (item[0], item[1]))
+
+        result = RunResult()
+        result.records = [record for _, _, record in tagged]
+        result.edges_processed = processed
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line shard/placement summary (plus worker state if live)."""
+        shards = self._shards if self._started else self.plan()
+        lines = [
+            f"sharded engine: {len(self.specs)} queries, "
+            f"workers={self.workers} ({len(shards)} shard(s)), "
+            f"batch_size={self.batch_size}, partitioner={self.partitioner}"
+        ]
+        for shard in shards:
+            alphabet = self.shard_alphabet(shard)
+            names = ", ".join(self.specs[p].name for p in shard.positions)
+            etypes = "*" if alphabet is None else str(len(alphabet))
+            lines.append(
+                f"  shard {shard.worker_id}: cost={shard.cost:.4g} "
+                f"etypes={etypes} queries=[{names}]"
+            )
+        if self._serial_engine is not None:
+            lines.append(self._serial_engine.describe())
+        elif self._started:
+            for slot in range(len(self._task_queues)):
+                self._put(slot, ("describe",))
+            replies = self._gather("describe")
+            for shard in self._shards:
+                lines.append(f"  worker {shard.worker_id}:")
+                lines.extend(
+                    "    " + line for line in replies[shard.worker_id].splitlines()
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _put(self, slot: int, message) -> None:
+        """Blocking put to one worker's bounded task queue.
+
+        Backpressure by design — the queue bound is what keeps coordinator
+        memory flat on long streams — but never a hang: a worker that died
+        (and thus stopped draining) is detected on the next poll.
+        """
+        task_queue = self._task_queues[slot]
+        while True:
+            try:
+                task_queue.put(message, timeout=1.0)
+                return
+            except queue_module.Full:
+                proc = self._procs[slot]
+                if not proc.is_alive():
+                    raise RuntimeError(
+                        f"shard worker {self._shards[slot].worker_id} died "
+                        f"(exitcode={proc.exitcode})"
+                    ) from None
+
+    def _gather(
+        self, kind: str, timeout: Optional[float] = None
+    ) -> Dict[int, object]:
+        """Collect one ``kind`` reply from every worker, surfacing failures.
+
+        With ``timeout=None`` (the collect/describe path) this waits as
+        long as the workers are alive — a long stream legitimately takes
+        long to drain, exactly as it would in-process; a worker that dies
+        without replying is detected on the next poll and raises. The
+        hard deadline is only used for the bounded startup handshake.
+        """
+        replies: Dict[int, object] = {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(replies) < len(self._procs):
+            poll = 1.0
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"timed out waiting for {kind!r} from workers "
+                        f"{[s.worker_id for s in self._shards if s.worker_id not in replies]}"
+                    )
+                poll = min(remaining, poll)
+            try:
+                worker_id, got_kind, payload = self._result_queue.get(
+                    timeout=poll
+                )
+            except queue_module.Empty:
+                self._ensure_workers_alive(replies)
+                continue
+            if got_kind == "error":
+                raise RuntimeError(f"shard worker {worker_id} failed: {payload}")
+            if got_kind != kind:
+                raise RuntimeError(
+                    f"protocol error: expected {kind!r} from worker "
+                    f"{worker_id}, got {got_kind!r}"
+                )
+            replies[worker_id] = payload
+        return replies
+
+    def _ensure_workers_alive(self, replies: Dict[int, object]) -> None:
+        for shard, proc in zip(self._shards, self._procs):
+            if shard.worker_id not in replies and not proc.is_alive():
+                raise RuntimeError(
+                    f"shard worker {shard.worker_id} died "
+                    f"(exitcode={proc.exitcode})"
+                )

@@ -58,6 +58,20 @@ class SearchAlgorithm(abc.ABC):
     def process_edge(self, edge: Edge) -> List[Match]:
         """Fold one new data edge in; return newly completed matches."""
 
+    @classmethod
+    def static_relevant_etypes(
+        cls, query: QueryGraph
+    ) -> Optional[FrozenSet[str]]:
+        """Edge types an instance of ``cls`` for ``query`` would consume.
+
+        Classmethod so shard planning can compute alphabets *before* any
+        algorithm (graph, SJ-Tree) exists; :meth:`relevant_etypes` is
+        defined in terms of it, keeping the two in lockstep. Subclasses
+        that need more than the query's alphabet override this (e.g.
+        PeriodicVF2 returns ``None``).
+        """
+        return frozenset(query.etypes())
+
     def relevant_etypes(self) -> Optional[FrozenSet[str]]:
         """Edge types this algorithm can possibly consume, or ``None``.
 
@@ -70,7 +84,7 @@ class SearchAlgorithm(abc.ABC):
         arrives: an edge of a type foreign to the query is never a
         constituent, so skipping it cannot lose or reorder matches.
         """
-        return frozenset(self.query.etypes())
+        return type(self).static_relevant_etypes(self.query)
 
     def housekeeping(self) -> None:
         """Periodic maintenance (expiry sweeps); optional per algorithm."""

@@ -91,7 +91,8 @@ class PeriodicVF2Search(SearchAlgorithm):
 
     name = "PeriodicVF2"
 
-    def relevant_etypes(self):
+    @classmethod
+    def static_relevant_etypes(cls, query):
         # The run-every-k-edges counter must tick on *every* stream edge,
         # including types the query cannot match — opt out of dispatch.
         return None

@@ -41,6 +41,30 @@ from .lazy import LazySearch
 from .strategy import STRATEGY_NAMES, StrategyDecision, choose_strategy
 
 
+def algorithm_class(strategy: str) -> type:
+    """The :class:`SearchAlgorithm` subclass a strategy name maps to.
+
+    Shared by :meth:`ContinuousQueryEngine._build_algorithm` and the
+    sharded runtime's pre-spawn alphabet computation, so a new strategy
+    (or a changed ``relevant_etypes`` override) cannot diverge between
+    the single-process and sharded paths.
+    """
+    if strategy in ("Single", "Path"):
+        return DynamicGraphSearch
+    if strategy in ("SingleLazy", "PathLazy"):
+        return LazySearch
+    if strategy == "VF2":
+        return VF2PerEdgeSearch
+    if strategy == "IncIso":
+        return IncIsoMatchSearch
+    if strategy == "PeriodicVF2":
+        return PeriodicVF2Search
+    raise StrategyError(
+        f"unknown strategy {strategy!r}; expected 'auto' or one of "
+        f"{STRATEGY_NAMES}"
+    )
+
+
 @dataclass
 class RegisteredQuery:
     """A query under execution inside the engine."""
@@ -87,6 +111,7 @@ class ContinuousQueryEngine:
         map_edge: EdgeMapFn = default_edge_map,
         housekeeping_every: int = 2048,
         dispatch: bool = True,
+        partial_sample_every: Optional[int] = None,
     ) -> None:
         self.graph = StreamingGraph(window)
         self.estimator = (
@@ -96,6 +121,14 @@ class ContinuousQueryEngine:
         if housekeeping_every < 1:
             raise ValueError("housekeeping_every must be >= 1")
         self.housekeeping_every = housekeeping_every
+        if partial_sample_every is not None and partial_sample_every < 1:
+            raise ValueError("partial_sample_every must be >= 1 or None")
+        #: sampling interval (in edges) for ``RunResult.peak_partial_matches``
+        #: during :meth:`run`. ``None`` (the default) skips the sampling
+        #: scan entirely — ``partial_match_count()`` walks every query's
+        #: live state (and sweeps expiry first), which is pure overhead for
+        #: callers that never read the peak figure.
+        self.partial_sample_every = partial_sample_every
         self._edges_since_sweep = 0
         #: when True, the estimator keeps observing the live stream (the
         #: paper assumes a stable selectivity order, so default off).
@@ -203,24 +236,22 @@ class ContinuousQueryEngine:
             return DynamicGraphSearch(
                 self.graph, tree, window, name=strategy, **options
             )
-        if strategy == "VF2":
-            return VF2PerEdgeSearch(self.graph, query, window, **options)
-        if strategy == "IncIso":
-            return IncIsoMatchSearch(self.graph, query, window, **options)
-        if strategy == "PeriodicVF2":
-            return PeriodicVF2Search(self.graph, query, window, **options)
-        raise StrategyError(
-            f"unknown strategy {strategy!r}; expected 'auto' or one of "
-            f"{STRATEGY_NAMES}"
-        )
+        return algorithm_class(strategy)(self.graph, query, window, **options)
 
     # ------------------------------------------------------------------
     # step 2: processing
     # ------------------------------------------------------------------
 
-    def process_event(self, event: EdgeEvent) -> List[MatchRecord]:
-        """Insert one stream event; return all newly completed matches."""
-        edge = self.graph.add_event(event)
+    def process_event(
+        self, event: EdgeEvent, *, edge_id: Optional[int] = None
+    ) -> List[MatchRecord]:
+        """Insert one stream event; return all newly completed matches.
+
+        ``edge_id`` optionally pins the stored edge's id (see
+        :meth:`StreamingGraph.add_event`); sharded workers pass the global
+        stream position so fingerprints match the single-process engine.
+        """
+        edge = self.graph.add_event(event, edge_id=edge_id)
         if self.update_statistics:
             self.estimator.observe(edge)
         records: List[MatchRecord] = []
@@ -243,26 +274,50 @@ class ContinuousQueryEngine:
             self.sweep()
         return records
 
+    def process_events(self, events: Iterable[EdgeEvent]) -> List[MatchRecord]:
+        """Process a batch of stream events; return all completed matches.
+
+        The batch-ingest companion to :meth:`process_event`, used by the
+        chunked CLI path and the sharded runtime's serial fallback. Events
+        are still folded in one at a time — matching must observe the
+        graph exactly as of each edge's arrival — so this is a convenience
+        wrapper, not a semantic change.
+        """
+        records: List[MatchRecord] = []
+        for event in events:
+            records.extend(self.process_event(event))
+        return records
+
     def run(
         self,
         events: Iterable[EdgeEvent],
         limit: Optional[int] = None,
     ) -> RunResult:
-        """Process a whole stream; collect records and resource metrics."""
+        """Process a whole stream; collect records and resource metrics.
+
+        ``RunResult.peak_partial_matches`` is only tracked when the engine
+        was built with ``partial_sample_every`` set — each sample is an
+        ``O(#queries x state)`` scan, which benchmarks should not pay.
+        """
         result = RunResult()
+        sample_every = self.partial_sample_every
         started = time.perf_counter()
         for event in events:
             if limit is not None and result.edges_processed >= limit:
                 break
             result.records.extend(self.process_event(event))
             result.edges_processed += 1
-            if result.edges_processed % 1000 == 0:
+            if (
+                sample_every is not None
+                and result.edges_processed % sample_every == 0
+            ):
                 result.peak_partial_matches = max(
                     result.peak_partial_matches, self.partial_match_count()
                 )
-        result.peak_partial_matches = max(
-            result.peak_partial_matches, self.partial_match_count()
-        )
+        if sample_every is not None:
+            result.peak_partial_matches = max(
+                result.peak_partial_matches, self.partial_match_count()
+            )
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -322,6 +377,36 @@ class ContinuousQueryEngine:
             for registered in self.queries.values()
         )
 
+    def query_alphabets(self) -> Dict[str, Optional[frozenset]]:
+        """Per-query consumable edge types (``None`` = every edge).
+
+        The alphabet export behind shard planning: the sharded runtime
+        streams a worker only the edge types in its queries' combined
+        alphabet, so this is exactly the information that makes
+        type-filtered batching sound.
+        """
+        return {
+            name: registered.algorithm.relevant_etypes()
+            for name, registered in self.queries.items()
+        }
+
+    def route_counts(self) -> Dict[str, Optional[int]]:
+        """Per-query count of edge types the dispatch table routes to it.
+
+        ``None`` means the query sits on the default route and receives
+        every edge (e.g. PeriodicVF2). Exposed so shard balance and
+        dispatch fan-out are debuggable without poking at ``_routes``.
+        """
+        counts: Dict[str, Optional[int]] = {}
+        for name, registered in self.queries.items():
+            if registered in self._route_default:
+                counts[name] = None
+            else:
+                counts[name] = sum(
+                    1 for route in self._routes.values() if registered in route
+                )
+        return counts
+
     def describe(self) -> str:
         """Multi-line status summary (CLI / examples)."""
         lines = [
@@ -330,11 +415,15 @@ class ContinuousQueryEngine:
             f"({self.graph.total_edges_seen} seen, window="
             f"{self.graph.window.width:g})"
         ]
+        routes = self.route_counts()
         for registered in self.queries.values():
             emitted = registered.algorithm.matches_emitted
+            fan_in = routes[registered.name]
+            routed = "*" if fan_in is None else str(fan_in)
             lines.append(
                 f"  {registered.name}: strategy={registered.strategy} "
-                f"matches={emitted} partial={registered.algorithm.partial_match_count()}"
+                f"matches={emitted} partial={registered.algorithm.partial_match_count()} "
+                f"routes={routed}"
             )
             if registered.decision is not None:
                 lines.append(f"    {registered.decision.explain()}")

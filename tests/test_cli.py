@@ -34,6 +34,13 @@ def query_file(tmp_path):
     return path
 
 
+@pytest.fixture
+def second_query_file(tmp_path):
+    path = tmp_path / "udp.txt"
+    path.write_text("v1:ip -UDP-> v2:ip\n")
+    return path
+
+
 class TestGenerate:
     def test_writes_stream(self, stream_file):
         lines = [
@@ -119,3 +126,114 @@ class TestRun:
                         line.split("matches=")[1].split()[0]
                     )
         assert counts["SingleLazy"] == counts["VF2"]
+
+
+def _match_counts(out):
+    """Parse per-query match tallies from describe() output."""
+    counts = {}
+    for line in out.splitlines():
+        if "matches=" in line and "strategy=" in line:
+            name = line.split(":")[0].strip()
+            counts[name] = int(line.split("matches=")[1].split()[0])
+    return counts
+
+
+class TestRunSharded:
+    """generate -> run end-to-end through the parallel runtime flags."""
+
+    def test_multi_query_serial_run(self, stream_file, query_file,
+                                    second_query_file, capsys):
+        code = main(
+            [
+                "run",
+                "--stream", str(stream_file),
+                "--query", str(query_file),
+                "--query", str(second_query_file),
+                "--strategy", "Single",
+                "--batch-size", "100",
+                "--max-print", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        counts = _match_counts(out)
+        assert set(counts) == {"query", "udp"}
+        assert "profile:" in out and "[query]" in out and "[udp]" in out
+
+    def test_workers_flag_matches_serial_output(self, stream_file, query_file,
+                                                second_query_file, capsys):
+        base = [
+            "run",
+            "--stream", str(stream_file),
+            "--query", str(query_file),
+            "--query", str(second_query_file),
+            "--strategy", "Single",
+            "--max-print", "0",
+        ]
+        assert main(base) == 0
+        serial_counts = _match_counts(capsys.readouterr().out)
+
+        code = main(base + ["--workers", "2", "--batch-size", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded engine" in out
+        assert "workers=2" in out
+        assert _match_counts(out) == serial_counts
+        assert "matches over" in out
+
+    def test_bad_warmup_fraction_rejected(self, stream_file, query_file):
+        with pytest.raises(ValueError, match="warmup fraction"):
+            main(
+                [
+                    "run",
+                    "--stream", str(stream_file),
+                    "--query", str(query_file),
+                    "--warmup-fraction", "1.5",
+                ]
+            )
+
+    def test_same_stem_query_files_get_unique_names(self, stream_file,
+                                                    tmp_path, capsys):
+        for sub in ("a", "b"):
+            (tmp_path / sub).mkdir()
+            (tmp_path / sub / "q.txt").write_text("v1:ip -TCP-> v2:ip\n")
+        code = main(
+            [
+                "run",
+                "--stream", str(stream_file),
+                "--query", str(tmp_path / "a" / "q.txt"),
+                "--query", str(tmp_path / "b" / "q.txt"),
+                "--strategy", "Single",
+                "--max-print", "0",
+            ]
+        )
+        assert code == 0
+        counts = _match_counts(capsys.readouterr().out)
+        assert set(counts) == {"q", "q-2"}
+        assert counts["q"] == counts["q-2"]
+
+    def test_bad_workers_and_batch_size_rejected(self, stream_file, query_file):
+        base = ["run", "--stream", str(stream_file), "--query", str(query_file)]
+        with pytest.raises(ValueError, match="--workers"):
+            main(base + ["--workers", "0"])
+        with pytest.raises(ValueError, match="--batch-size"):
+            main(base + ["--batch-size", "0"])
+
+    def test_workers_with_single_query_stays_in_process(self, stream_file,
+                                                        query_file, capsys):
+        # one query -> one shard -> serial fallback, but flags still accepted
+        code = main(
+            [
+                "run",
+                "--stream", str(stream_file),
+                "--query", str(query_file),
+                "--strategy", "SingleLazy",
+                "--workers", "4",
+                "--batch-size", "32",
+                "--max-print", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded engine" in out
+        assert "matches over" in out

@@ -12,6 +12,8 @@ from repro.datasets import (
     PROTOCOLS,
     WeightedChooser,
     ZipfSampler,
+    chunk_events,
+    count_stream_events,
     interleave_at,
     read_stream,
     split_stream,
@@ -261,6 +263,31 @@ class TestStreamIO:
         path.write_text("soon\ta\tip\tTCP\tb\tip\n")
         with pytest.raises(Exception, match="timestamp"):
             list(read_stream(path))
+
+    def test_chunked_reading_covers_stream(self, tmp_path):
+        events = NetflowGenerator(num_events=53, seed=11).generate()
+        path = tmp_path / "stream.tsv"
+        write_stream(path, events)
+        chunks = list(chunk_events(read_stream(path), 10))
+        assert [len(chunk) for chunk in chunks] == [10, 10, 10, 10, 10, 3]
+        assert list(itertools.chain.from_iterable(chunks)) == events
+
+    def test_count_stream_events(self, tmp_path):
+        events = NetflowGenerator(num_events=17, seed=5).generate()
+        path = tmp_path / "stream.tsv"
+        write_stream(path, events)
+        assert count_stream_events(path) == 17
+
+    def test_chunk_events_shares_an_iterator(self):
+        events = NetflowGenerator(num_events=10, seed=5).generate()
+        iterator = iter(events)
+        warmup = list(itertools.islice(iterator, 4))
+        chunks = list(chunk_events(iterator, 3))
+        assert warmup == events[:4]
+        assert [len(c) for c in chunks] == [3, 3]
+        assert list(itertools.chain.from_iterable(chunks)) == events[4:]
+        with pytest.raises(ValueError):
+            list(chunk_events(events, 0))
 
 
 class TestStreamHelpers:

@@ -150,6 +150,63 @@ class TestProcessing:
         with pytest.raises(ValueError):
             ContinuousQueryEngine(housekeeping_every=0)
 
+    def test_bad_partial_sample_interval(self):
+        with pytest.raises(ValueError):
+            ContinuousQueryEngine(partial_sample_every=0)
+
+    def test_run_skips_partial_sampling_by_default(self, engine):
+        # The O(#queries x state) scan is opt-in: without the knob, run()
+        # must leave the peak figure untouched even though partial state
+        # exists (the T edge of the T-U path is a live partial match).
+        engine.register(QueryGraph.path(["T", "U"], name="q"), strategy="Single")
+        result = engine.run(stream_rows())
+        assert result.peak_partial_matches == 0
+        assert engine.partial_match_count() > 0
+
+    def test_run_samples_partials_when_asked(self):
+        eng = ContinuousQueryEngine(window=math.inf, partial_sample_every=1)
+        eng.warmup(events_from_tuples(warm_rows()))
+        eng.register(QueryGraph.path(["T", "U"], name="q"), strategy="Single")
+        result = eng.run(stream_rows())
+        assert result.peak_partial_matches == eng.partial_match_count()
+        assert result.peak_partial_matches > 0
+
+
+class TestIntrospection:
+    def test_route_counts_and_describe(self, engine):
+        engine.register(QueryGraph.path(["T", "U"], name="tu"), strategy="Single")
+        engine.register(QueryGraph.path(["U"], name="u"), strategy="Single")
+        engine.register(
+            QueryGraph.path(["T"], name="all"), strategy="PeriodicVF2", period=4
+        )
+        counts = engine.route_counts()
+        assert counts == {"tu": 2, "u": 1, "all": None}
+        text = engine.describe()
+        assert "routes=2" in text  # tu
+        assert "routes=1" in text  # u
+        assert "routes=*" in text  # PeriodicVF2 sees every edge
+
+    def test_query_alphabets_export(self, engine):
+        engine.register(QueryGraph.path(["T", "U"], name="tu"), strategy="Single")
+        engine.register(
+            QueryGraph.path(["T"], name="all"), strategy="PeriodicVF2", period=4
+        )
+        alphabets = engine.query_alphabets()
+        assert alphabets["tu"] == frozenset({"T", "U"})
+        assert alphabets["all"] is None
+
+    def test_process_events_batch_matches_per_event(self, engine):
+        engine.register(QueryGraph.path(["T", "U"], name="q"), strategy="Single")
+        batched = engine.process_events(stream_rows())
+        loop = ContinuousQueryEngine(window=math.inf)
+        loop.warmup(events_from_tuples(warm_rows()))
+        loop.register(QueryGraph.path(["T", "U"], name="q"), strategy="Single")
+        unbatched = []
+        for event in stream_rows():
+            unbatched.extend(loop.process_event(event))
+        assert fingerprints(batched) == fingerprints(unbatched)
+        assert len(batched) == 2
+
 
 class TestCrossStrategyAgreement:
     def test_all_strategies_agree_on_stream(self, engine):
