@@ -172,7 +172,9 @@ def run_query(
     **options,
 ) -> StrategyRunStats:
     """Run one query under one strategy over one stream."""
-    engine = ContinuousQueryEngine(window=window)
+    # profile_phases: the Fig. 9/10 reporting reads the §6.4.1 iso/join
+    # split, so these runs keep the per-edge phase timers on.
+    engine = ContinuousQueryEngine(window=window, profile_phases=True)
     engine.warmup(warmup)
     registered = engine.register(query, strategy=strategy, **options)
 

@@ -40,10 +40,19 @@ class ProfileCounters:
     another — Lazy Search's retrospective isomorphism runs inside the
     SJ-Tree update — the outer phase is paused, so phase seconds sum to
     wall-clock without double counting.
+
+    ``enabled`` is an advisory gate honoured by the per-edge hot loops:
+    when False they skip the ``phase_enter``/``phase_exit``/``bump``
+    calls entirely (two ``perf_counter`` reads per section are negligible
+    next to a retrospective search, but not next to a single hash-table
+    insert). The engine disables phase profiling by default and the
+    figure-reproduction experiments re-enable it — see
+    ``ContinuousQueryEngine(profile_phases=...)``.
     """
 
     phases: Dict[str, PhaseTimer] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    enabled: bool = True
     _stack: list = field(default_factory=list, repr=False)
 
     @contextmanager

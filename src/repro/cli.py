@@ -157,7 +157,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 0
 
-    engine = ContinuousQueryEngine(window=window)
+    # profile_phases: the CLI prints per-query phase reports below.
+    engine = ContinuousQueryEngine(window=window, profile_phases=True)
     engine.warmup(warmup)
     registered = [engine.register(query, strategy=args.strategy) for query in queries]
     shown = 0

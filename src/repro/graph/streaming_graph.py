@@ -8,12 +8,18 @@ order:
 2. **Type-indexed neighbourhood access** — the anchored subgraph
    isomorphism used by both the eager and lazy search only ever asks
    *"give me the edges of type t leaving/entering vertex v"*. Adjacency is
-   therefore a two-level dict ``vertex -> etype -> {edge_id: Edge}``; the
-   inner dict doubles as an insertion-ordered set with O(1) removal, which
-   window eviction needs.
+   therefore a two-level dict ``vertex -> etype code -> {edge_id: Edge}``;
+   the inner dict doubles as an insertion-ordered set with O(1) removal,
+   which window eviction needs.
 3. **Amortised O(1) eviction** — edges live in a FIFO deque in arrival
    order; because stream timestamps are non-decreasing, expired edges are
    always at the head.
+
+Edge and vertex types are interned through the shared
+:data:`~repro.graph.types.VOCABULARY` at ingest, so every per-edge index
+is keyed by dense ints; the string-typed public accessors translate once
+per call. Compiled match plans hold codes directly and use the ``*_code``
+accessors, paying no translation at all on the per-candidate hot path.
 
 Vertices are typed on first sight (``λV``); a vertex is dropped when its
 last incident edge is evicted, mirroring REMOVE-SUBGRAPH's rule that a
@@ -27,11 +33,13 @@ from collections import deque
 from typing import Dict, Iterable, Iterator, Optional
 
 from ..errors import EdgeNotFoundError, GraphError, VertexNotFoundError
-from .types import DEFAULT_VERTEX_TYPE, Edge, EdgeEvent, VertexId
+from .types import DEFAULT_VERTEX_TYPE, VOCABULARY, Edge, EdgeEvent, VertexId
 from .window import TimeWindow
 
-# vertex -> etype -> {edge_id: Edge}
-_AdjIndex = Dict[VertexId, Dict[str, Dict[int, Edge]]]
+# vertex -> etype code -> {edge_id: Edge}
+_AdjIndex = Dict[VertexId, Dict[int, Dict[int, Edge]]]
+
+_EMPTY: tuple = ()
 
 
 class StreamingGraph:
@@ -61,8 +69,9 @@ class StreamingGraph:
         self._arrival: deque[Edge] = deque()
         self._out: _AdjIndex = {}
         self._in: _AdjIndex = {}
-        self._by_type: Dict[str, Dict[int, Edge]] = {}
-        self._vertex_types: Dict[VertexId, str] = {}
+        self._by_type: Dict[int, Dict[int, Edge]] = {}
+        # vertex -> vtype code (λV, typed on first sight)
+        self._vertex_types: Dict[VertexId, int] = {}
         self._degrees: Dict[VertexId, int] = {}
         self._next_edge_id = 0
         self._total_inserted = 0
@@ -89,10 +98,11 @@ class StreamingGraph:
         stream position), so match fingerprints stay comparable across
         execution paths.
         """
-        if event.timestamp < self._last_timestamp:
+        timestamp = event.timestamp
+        if timestamp < self._last_timestamp:
             raise GraphError(
                 "out-of-order event: timestamp "
-                f"{event.timestamp} < last seen {self._last_timestamp}; "
+                f"{timestamp} < last seen {self._last_timestamp}; "
                 "sort the stream with iter_events_sorted() first"
             )
         if edge_id is not None:
@@ -102,34 +112,63 @@ class StreamingGraph:
                     f"{self._next_edge_id}); explicit ids must be increasing"
                 )
             self._next_edge_id = edge_id
-        self._last_timestamp = event.timestamp
-        self._window.advance(event.timestamp)
+        self._last_timestamp = timestamp
+        cutoff = self._window.advance(timestamp)
         if evict:
-            self.evict_expired()
+            arrival = self._arrival
+            if arrival and arrival[0].timestamp < cutoff:
+                self.evict_expired()
 
+        src = event.src
+        dst = event.dst
+        code = VOCABULARY.etype_code(event.etype)
         edge = Edge(
             edge_id=self._next_edge_id,
-            src=event.src,
-            dst=event.dst,
+            src=src,
+            dst=dst,
             etype=event.etype,
-            timestamp=event.timestamp,
+            timestamp=timestamp,
+            etype_code=code,
         )
-        self._next_edge_id += 1
+        eid = edge.edge_id
+        self._next_edge_id = eid + 1
         self._total_inserted += 1
-        self._edges[edge.edge_id] = edge
+        self._edges[eid] = edge
         self._arrival.append(edge)
-        self._touch_vertex(event.src, event.src_type)
-        self._touch_vertex(event.dst, event.dst_type)
-        self._out.setdefault(edge.src, {}).setdefault(edge.etype, {})[
-            edge.edge_id
-        ] = edge
-        self._in.setdefault(edge.dst, {}).setdefault(edge.etype, {})[
-            edge.edge_id
-        ] = edge
-        self._by_type.setdefault(edge.etype, {})[edge.edge_id] = edge
-        self._degrees[edge.src] += 1
-        if edge.dst != edge.src:
-            self._degrees[edge.dst] += 1
+        degrees = self._degrees
+        vertex_types = self._vertex_types
+        if src not in vertex_types:
+            vertex_types[src] = VOCABULARY.vtype_code(event.src_type)
+            degrees[src] = 0
+        if dst not in vertex_types:
+            vertex_types[dst] = VOCABULARY.vtype_code(event.dst_type)
+            degrees[dst] = 0
+        # First sight wins: re-typing an existing vertex is ignored, which
+        # matches how the paper's datasets type vertices once.
+        by_code = self._out.get(src)
+        if by_code is None:
+            by_code = self._out[src] = {}
+        bucket = by_code.get(code)
+        if bucket is None:
+            by_code[code] = {eid: edge}
+        else:
+            bucket[eid] = edge
+        by_code = self._in.get(dst)
+        if by_code is None:
+            by_code = self._in[dst] = {}
+        bucket = by_code.get(code)
+        if bucket is None:
+            by_code[code] = {eid: edge}
+        else:
+            bucket[eid] = edge
+        bucket = self._by_type.get(code)
+        if bucket is None:
+            self._by_type[code] = {eid: edge}
+        else:
+            bucket[eid] = edge
+        degrees[src] += 1
+        if dst != src:
+            degrees[dst] += 1
         return edge
 
     def add_edge(
@@ -170,45 +209,44 @@ class StreamingGraph:
         return evicted
 
     def _remove(self, edge: Edge) -> None:
-        del self._edges[edge.edge_id]
-        self._drop_adj(self._out, edge.src, edge.etype, edge.edge_id)
-        self._drop_adj(self._in, edge.dst, edge.etype, edge.edge_id)
-        bucket = self._by_type.get(edge.etype)
+        eid = edge.edge_id
+        src = edge.src
+        dst = edge.dst
+        code = edge.etype_code
+        del self._edges[eid]
+        by_code = self._out.get(src)
+        if by_code is not None:
+            bucket = by_code.get(code)
+            if bucket is not None:
+                bucket.pop(eid, None)
+                if not bucket:
+                    del by_code[code]
+        by_code = self._in.get(dst)
+        if by_code is not None:
+            bucket = by_code.get(code)
+            if bucket is not None:
+                bucket.pop(eid, None)
+                if not bucket:
+                    del by_code[code]
+        bucket = self._by_type.get(code)
         if bucket is not None:
-            bucket.pop(edge.edge_id, None)
+            bucket.pop(eid, None)
             if not bucket:
-                del self._by_type[edge.etype]
-        self._degrees[edge.src] -= 1
-        if edge.dst != edge.src:
-            self._degrees[edge.dst] -= 1
-        for vertex in {edge.src, edge.dst}:
-            if self._degrees.get(vertex) == 0:
-                del self._degrees[vertex]
-                del self._vertex_types[vertex]
-                self._out.pop(vertex, None)
-                self._in.pop(vertex, None)
+                del self._by_type[code]
+        degrees = self._degrees
+        degrees[src] -= 1
+        if dst != src:
+            degrees[dst] -= 1
+            if degrees[dst] == 0:
+                self._drop_vertex(dst)
+        if degrees[src] == 0:
+            self._drop_vertex(src)
 
-    @staticmethod
-    def _drop_adj(
-        index: _AdjIndex, vertex: VertexId, etype: str, edge_id: int
-    ) -> None:
-        by_type = index.get(vertex)
-        if by_type is None:
-            return
-        bucket = by_type.get(etype)
-        if bucket is None:
-            return
-        bucket.pop(edge_id, None)
-        if not bucket:
-            del by_type[etype]
-
-    def _touch_vertex(self, vertex: VertexId, vtype: str) -> None:
-        existing = self._vertex_types.get(vertex)
-        if existing is None:
-            self._vertex_types[vertex] = vtype
-            self._degrees[vertex] = 0
-        # First sight wins: re-typing an existing vertex is ignored, which
-        # matches how the paper's datasets type vertices once.
+    def _drop_vertex(self, vertex: VertexId) -> None:
+        del self._degrees[vertex]
+        del self._vertex_types[vertex]
+        self._out.pop(vertex, None)
+        self._in.pop(vertex, None)
 
     # ------------------------------------------------------------------
     # inspection
@@ -270,6 +308,13 @@ class StreamingGraph:
     def vertex_type(self, vertex: VertexId) -> str:
         """Return ``λV(vertex)``."""
         try:
+            return VOCABULARY.vtype_name(self._vertex_types[vertex])
+        except KeyError:
+            raise VertexNotFoundError(f"vertex {vertex!r} not in graph") from None
+
+    def vertex_type_code(self, vertex: VertexId) -> int:
+        """Interned ``λV(vertex)`` code (compiled-plan hot path)."""
+        try:
             return self._vertex_types[vertex]
         except KeyError:
             raise VertexNotFoundError(f"vertex {vertex!r} not in graph") from None
@@ -316,17 +361,40 @@ class StreamingGraph:
         """
         return self._adj_view(self._in, vertex, etype)
 
+    def out_edges_code(self, vertex: VertexId, code: int) -> Iterable[Edge]:
+        """:meth:`out_edges` keyed by an interned edge-type code.
+
+        The compiled match plans hold codes, so the per-candidate hot path
+        never touches a string.
+        """
+        by_code = self._out.get(vertex)
+        if by_code is None:
+            return _EMPTY
+        bucket = by_code.get(code)
+        return bucket.values() if bucket else _EMPTY
+
+    def in_edges_code(self, vertex: VertexId, code: int) -> Iterable[Edge]:
+        """:meth:`in_edges` keyed by an interned edge-type code."""
+        by_code = self._in.get(vertex)
+        if by_code is None:
+            return _EMPTY
+        bucket = by_code.get(code)
+        return bucket.values() if bucket else _EMPTY
+
     @staticmethod
     def _adj_view(
         index: _AdjIndex, vertex: VertexId, etype: Optional[str]
     ) -> Iterable[Edge]:
-        by_type = index.get(vertex)
-        if by_type is None:
-            return ()
+        by_code = index.get(vertex)
+        if by_code is None:
+            return _EMPTY
         if etype is None:
             return StreamingGraph._adj_iter(index, vertex, None)
-        bucket = by_type.get(etype)
-        return bucket.values() if bucket else ()
+        code = VOCABULARY.etype_code_if_known(etype)
+        if code is None:
+            return _EMPTY
+        bucket = by_code.get(code)
+        return bucket.values() if bucket else _EMPTY
 
     def incident_edges(
         self, vertex: VertexId, etype: Optional[str] = None
@@ -345,39 +413,52 @@ class StreamingGraph:
     def _adj_iter(
         index: _AdjIndex, vertex: VertexId, etype: Optional[str]
     ) -> Iterator[Edge]:
-        by_type = index.get(vertex)
-        if by_type is None:
+        by_code = index.get(vertex)
+        if by_code is None:
             return
         if etype is None:
-            for bucket in by_type.values():
+            for bucket in by_code.values():
                 yield from bucket.values()
         else:
-            bucket = by_type.get(etype)
+            code = VOCABULARY.etype_code_if_known(etype)
+            if code is None:
+                return
+            bucket = by_code.get(code)
             if bucket:
                 yield from bucket.values()
 
     def edges_of_type(self, etype: str) -> Iterator[Edge]:
         """All live edges of one type (insertion order)."""
-        bucket = self._by_type.get(etype)
+        code = VOCABULARY.etype_code_if_known(etype)
+        if code is None:
+            return
+        bucket = self._by_type.get(code)
         if bucket:
             yield from bucket.values()
 
     def count_of_type(self, etype: str) -> int:
         """Number of live edges of one type (O(1))."""
-        bucket = self._by_type.get(etype)
+        code = VOCABULARY.etype_code_if_known(etype)
+        if code is None:
+            return 0
+        bucket = self._by_type.get(code)
         return len(bucket) if bucket else 0
 
     def edge_types(self) -> Iterable[str]:
         """Distinct live edge types."""
-        return self._by_type.keys()
+        return [VOCABULARY.etype_name(code) for code in self._by_type]
 
     def out_types(self, vertex: VertexId) -> Iterable[str]:
         """Distinct edge types leaving ``vertex``."""
-        return self._out.get(vertex, {}).keys()
+        return [
+            VOCABULARY.etype_name(code) for code in self._out.get(vertex, _EMPTY)
+        ]
 
     def in_types(self, vertex: VertexId) -> Iterable[str]:
         """Distinct edge types entering ``vertex``."""
-        return self._in.get(vertex, {}).keys()
+        return [
+            VOCABULARY.etype_name(code) for code in self._in.get(vertex, _EMPTY)
+        ]
 
     def neighborhood(self, vertex: VertexId, hops: int) -> set[VertexId]:
         """Vertices reachable from ``vertex`` within ``hops`` undirected hops.
@@ -413,17 +494,20 @@ class StreamingGraph:
         copy = StreamingGraph()
         for edge in self._arrival:
             if edge.src in vertices and edge.dst in vertices:
+                code = edge.etype_code
                 copy._edges[edge.edge_id] = edge
                 copy._arrival.append(edge)
-                copy._touch_vertex(edge.src, self._vertex_types[edge.src])
-                copy._touch_vertex(edge.dst, self._vertex_types[edge.dst])
-                copy._out.setdefault(edge.src, {}).setdefault(edge.etype, {})[
+                for vertex in (edge.src, edge.dst):
+                    if vertex not in copy._vertex_types:
+                        copy._vertex_types[vertex] = self._vertex_types[vertex]
+                        copy._degrees[vertex] = 0
+                copy._out.setdefault(edge.src, {}).setdefault(code, {})[
                     edge.edge_id
                 ] = edge
-                copy._in.setdefault(edge.dst, {}).setdefault(edge.etype, {})[
+                copy._in.setdefault(edge.dst, {}).setdefault(code, {})[
                     edge.edge_id
                 ] = edge
-                copy._by_type.setdefault(edge.etype, {})[edge.edge_id] = edge
+                copy._by_type.setdefault(code, {})[edge.edge_id] = edge
                 copy._degrees[edge.src] += 1
                 if edge.dst != edge.src:
                     copy._degrees[edge.dst] += 1
@@ -435,4 +519,7 @@ class StreamingGraph:
     def snapshot_counts(self) -> dict[str, int]:
         """Live edge count per edge type (O(#types) off the ``_by_type``
         index — no vertex iteration)."""
-        return {etype: len(bucket) for etype, bucket in self._by_type.items()}
+        return {
+            VOCABULARY.etype_name(code): len(bucket)
+            for code, bucket in self._by_type.items()
+        }

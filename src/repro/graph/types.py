@@ -17,7 +17,7 @@ rely on value semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional
 
 #: Vertex identifiers may be ints (synthetic generators) or strings
 #: (IP addresses, RDF IRIs). Anything hashable works.
@@ -32,6 +32,75 @@ IN = "in"
 #: where every vertex is an IP address; the paper's netflow queries label
 #: every vertex ``ip``).
 DEFAULT_VERTEX_TYPE = "node"
+
+
+class Vocabulary:
+    """Process-wide intern pool mapping type labels to dense small ints.
+
+    Edge types (``λE``) and vertex types (``λV``) arrive as strings on
+    every stream event, but the hot path — adjacency lookups, compiled
+    match-plan comparisons, multi-query dispatch routing — only ever asks
+    *"is this type equal to that type"*. Interning each distinct label to
+    a dense int once (on first sight) turns those string hashes and
+    character compares into int-identity dict hits.
+
+    Codes are process-local: they are assigned in first-intern order and
+    never cross a process boundary (sharded workers intern independently;
+    records are merged by edge-id fingerprints, which carry no codes).
+    """
+
+    __slots__ = ("_etype_codes", "_etype_names", "_vtype_codes", "_vtype_names")
+
+    def __init__(self) -> None:
+        self._etype_codes: Dict[str, int] = {}
+        self._etype_names: List[str] = []
+        self._vtype_codes: Dict[str, int] = {}
+        self._vtype_names: List[str] = []
+
+    # -- edge types -----------------------------------------------------
+
+    def etype_code(self, name: str) -> int:
+        """Intern an edge-type label; returns its dense code."""
+        code = self._etype_codes.get(name)
+        if code is None:
+            code = len(self._etype_names)
+            self._etype_codes[name] = code
+            self._etype_names.append(name)
+        return code
+
+    def etype_code_if_known(self, name: str) -> Optional[int]:
+        """Code for a label already interned, or ``None`` (no interning)."""
+        return self._etype_codes.get(name)
+
+    def etype_name(self, code: int) -> str:
+        """Reverse lookup: the label an edge-type code was interned from."""
+        return self._etype_names[code]
+
+    # -- vertex types ---------------------------------------------------
+
+    def vtype_code(self, name: str) -> int:
+        """Intern a vertex-type label; returns its dense code."""
+        code = self._vtype_codes.get(name)
+        if code is None:
+            code = len(self._vtype_names)
+            self._vtype_codes[name] = code
+            self._vtype_names.append(name)
+        return code
+
+    def vtype_code_if_known(self, name: str) -> Optional[int]:
+        """Code for a label already interned, or ``None`` (no interning)."""
+        return self._vtype_codes.get(name)
+
+    def vtype_name(self, code: int) -> str:
+        """Reverse lookup: the label a vertex-type code was interned from."""
+        return self._vtype_names[code]
+
+
+#: The shared intern pool. Graph stores, compiled match plans and the
+#: engine's dispatch tables all intern through this single instance so a
+#: code computed at plan-compile time is directly comparable to the code
+#: stamped on an edge at ingest time.
+VOCABULARY = Vocabulary()
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,20 +139,83 @@ class EdgeEvent:
         )
 
 
-@dataclass(frozen=True, slots=True)
 class Edge:
     """An edge resident in the :class:`~repro.graph.StreamingGraph`.
 
     ``edge_id`` is assigned by the store in arrival order and is unique for
     the lifetime of the process (ids are never reused after eviction), so a
     match can safely hold on to edge ids as fingerprints.
+
+    ``etype_code`` is the :data:`VOCABULARY` interning of ``etype``,
+    stamped at ingest so the per-edge hot path compares ints instead of
+    strings. It is excluded from equality/hashing (codes are process-local
+    and purely derived; edges built by hand default to ``-1``).
+
+    Hand-written value class rather than a frozen dataclass: one Edge is
+    allocated per stream event, and the frozen-dataclass ``__init__``
+    (one guarded ``object.__setattr__`` per field) is measurable at that
+    rate. Treat instances as immutable — everything downstream (matches,
+    adjacency, fingerprints) assumes value semantics.
     """
 
-    edge_id: int
-    src: VertexId
-    dst: VertexId
-    etype: str
-    timestamp: float
+    __slots__ = ("edge_id", "src", "dst", "etype", "timestamp", "etype_code")
+
+    def __init__(
+        self,
+        edge_id: int,
+        src: VertexId,
+        dst: VertexId,
+        etype: str,
+        timestamp: float,
+        etype_code: int = -1,
+    ) -> None:
+        self.edge_id = edge_id
+        self.src = src
+        self.dst = dst
+        self.etype = etype
+        self.timestamp = timestamp
+        self.etype_code = etype_code
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return (
+            self.edge_id == other.edge_id
+            and self.src == other.src
+            and self.dst == other.dst
+            and self.etype == other.etype
+            and self.timestamp == other.timestamp
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.edge_id, self.src, self.dst, self.etype, self.timestamp))
+
+    def __repr__(self) -> str:
+        return (
+            f"Edge(edge_id={self.edge_id!r}, src={self.src!r}, "
+            f"dst={self.dst!r}, etype={self.etype!r}, "
+            f"timestamp={self.timestamp!r})"
+        )
+
+    def __getstate__(self):
+        return (
+            self.edge_id,
+            self.src,
+            self.dst,
+            self.etype,
+            self.timestamp,
+            self.etype_code,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.edge_id,
+            self.src,
+            self.dst,
+            self.etype,
+            self.timestamp,
+            self.etype_code,
+        ) = state
 
     def endpoints(self) -> tuple[VertexId, VertexId]:
         """Return ``(src, dst)``."""

@@ -24,6 +24,11 @@ class TimeWindow:
 
     width: float = math.inf
     _t_last: float = field(default=-math.inf, repr=False)
+    # cached ``t_last - width`` (always -inf for an infinite window) so the
+    # hot loops pay a plain attribute read instead of an isinf branch;
+    # maintained by :meth:`advance`. ``width`` must not be mutated after
+    # construction.
+    _cutoff: float = field(default=-math.inf, repr=False)
 
     def __post_init__(self) -> None:
         if self.width <= 0:
@@ -37,9 +42,7 @@ class TimeWindow:
     @property
     def cutoff(self) -> float:
         """Oldest timestamp still inside the window (``t_last - width``)."""
-        if math.isinf(self.width):
-            return -math.inf
-        return self._t_last - self.width
+        return self._cutoff
 
     def advance(self, timestamp: float) -> float:
         """Record a new stream timestamp and return the updated cutoff.
@@ -49,7 +52,9 @@ class TimeWindow:
         """
         if timestamp > self._t_last:
             self._t_last = timestamp
-        return self.cutoff
+            if not math.isinf(self.width):
+                self._cutoff = timestamp - self.width
+        return self._cutoff
 
     def is_live(self, timestamp: float) -> bool:
         """Return True if an edge with this timestamp is inside the window."""
@@ -64,4 +69,5 @@ class TimeWindow:
         """Return an independent window with the same width and clock."""
         clone = TimeWindow(self.width)
         clone._t_last = self._t_last
+        clone._cutoff = self._cutoff
         return clone

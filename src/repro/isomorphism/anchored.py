@@ -168,9 +168,17 @@ def _extend(
     if limit is not None and len(results) >= limit:
         return
     if len(assignment) == fragment.num_edges:
-        pairs = tuple(sorted(assignment.items()))
+        items = sorted(assignment.items())
         times = [edge.timestamp for edge in assignment.values()]
-        results.append(Match(pairs, dict(vertex_map), min(times), max(times)))
+        results.append(
+            Match(
+                tuple(qeid for qeid, _ in items),
+                tuple(edge for _, edge in items),
+                min(times),
+                max(times),
+                vertex_map=dict(vertex_map),
+            )
+        )
         return
 
     query_edge = _pick_next(fragment, assignment, vertex_map)

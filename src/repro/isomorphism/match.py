@@ -9,38 +9,112 @@ A :class:`Match` is a set of edge pairs — a mapping from *query* edges to
   vertices (subgraph *isomorphism*, not homomorphism);
 * **edge-injective** — distinct query edges map to distinct data edges.
 
-Matches are immutable and hashable by their *fingerprint* (the sorted
-``(query_edge_id, data_edge_id)`` pairs), which SJ-Tree nodes use to dedupe
-rediscoveries from the Lazy Search retrospective pass.
+Encoding
+--------
+A match is stored **flat**: a tuple of query edge ids sorted ascending
+(``qeids``, shared per fragment — every match of the same fragment points
+at the same tuple object) plus a parallel tuple of data edges. Everything
+else is derived:
+
+* the *fingerprint* (sorted ``(query_edge_id, data_edge_id)`` pairs, the
+  canonical identity SJ-Tree nodes dedupe on) is computed lazily and
+  cached;
+* the *vertex map* is materialized lazily from the fragment's
+  :class:`MatchShape` — per-edge matching and hash joins never build it;
+  only emission-time consumers (CLI printing, tests, the generic
+  :meth:`Match.join`) pay for the dict.
+
+:class:`MatchShape` is the per-fragment static layout: where each query
+vertex's data binding lives inside the flat edge tuple. :class:`JoinPlan`
+compiles the sibling hash-join of ``UPDATE-SJ-TREE`` against a pair of
+shapes so the hot join allocates exactly one output tuple and one Match.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..graph.types import Edge, VertexId
 from ..query.query_graph import QueryEdge
 
 
+class MatchShape:
+    """Static layout shared by every match covering one query-edge set.
+
+    ``qeids`` is the sorted tuple of query edge ids; slot ``i`` of a
+    match's edge tuple maps query edge ``qeids[i]``. ``role_sources``
+    records, for each distinct query vertex (*role*), the first slot whose
+    src/dst binds it — the positional recipe for materializing the vertex
+    map (and for extracting join keys) without building a dict.
+    """
+
+    __slots__ = ("qeids", "edge_roles", "role_sources")
+
+    def __init__(self, query_edges: Sequence[QueryEdge]) -> None:
+        ordered = sorted(query_edges, key=lambda e: e.edge_id)
+        self.qeids: Tuple[int, ...] = tuple(e.edge_id for e in ordered)
+        #: per slot: the (src_role, dst_role) query vertices of that edge
+        self.edge_roles: Tuple[Tuple[int, int], ...] = tuple(
+            (e.src, e.dst) for e in ordered
+        )
+        sources: List[Tuple[int, int, bool]] = []
+        seen: set[int] = set()
+        for slot, (src_role, dst_role) in enumerate(self.edge_roles):
+            if src_role not in seen:
+                seen.add(src_role)
+                sources.append((src_role, slot, True))
+            if dst_role not in seen:
+                seen.add(dst_role)
+                sources.append((dst_role, slot, False))
+        #: (role, slot, is_src) triples, one per distinct query vertex
+        self.role_sources: Tuple[Tuple[int, int, bool], ...] = tuple(sources)
+
+    def role_accessors(self) -> Dict[int, Tuple[int, bool]]:
+        """``role -> (slot, is_src)`` lookup (plan-compile helper)."""
+        return {role: (slot, is_src) for role, slot, is_src in self.role_sources}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MatchShape(qeids={self.qeids})"
+
+
+def shape_for_fragment(fragment) -> MatchShape:
+    """The (cached) :class:`MatchShape` of a query fragment.
+
+    Cached on the fragment itself; :meth:`QueryGraph.add_edge` invalidates
+    the cache, so builder-style mutation stays safe.
+    """
+    shape = getattr(fragment, "_match_shape", None)
+    if shape is None:
+        shape = MatchShape(fragment.edges)
+        fragment._match_shape = shape
+    return shape
+
+
 class Match:
     """An immutable (partial) match: query-edge → data-edge pairs."""
 
-    __slots__ = ("pairs", "vertex_map", "min_time", "max_time", "_fingerprint")
+    __slots__ = ("qeids", "edges", "min_time", "max_time", "_shape", "_vm", "_fp")
 
     def __init__(
         self,
-        pairs: Tuple[Tuple[int, Edge], ...],
-        vertex_map: Dict[int, VertexId],
+        qeids: Tuple[int, ...],
+        edges: Tuple[Edge, ...],
         min_time: float,
         max_time: float,
+        shape: Optional[MatchShape] = None,
+        vertex_map: Optional[Dict[int, VertexId]] = None,
     ) -> None:
-        # Trusted constructor: callers must pass pairs sorted by query edge
-        # id and a consistent vertex map. Use ``build`` for validated input.
-        self.pairs = pairs
-        self.vertex_map = vertex_map
+        # Trusted constructor: ``qeids`` must be sorted ascending with
+        # ``edges`` aligned slot-for-slot, and at least one of ``shape`` /
+        # ``vertex_map`` must describe the vertex bindings. Use ``build``
+        # for validated input.
+        self.qeids = qeids
+        self.edges = edges
         self.min_time = min_time
         self.max_time = max_time
-        self._fingerprint = tuple((qe, edge.edge_id) for qe, edge in pairs)
+        self._shape = shape
+        self._vm = vertex_map
+        self._fp: Optional[Tuple[Tuple[int, int], ...]] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -89,8 +163,14 @@ class Match:
                     return None
             min_time = min(min_time, data_edge.timestamp)
             max_time = max(max_time, data_edge.timestamp)
-        pairs = tuple(sorted(assignment.items()))
-        return cls(pairs, vertex_map, min_time, max_time)
+        items = sorted(assignment.items())
+        return cls(
+            tuple(qeid for qeid, _ in items),
+            tuple(edge for _, edge in items),
+            min_time,
+            max_time,
+            vertex_map=vertex_map,
+        )
 
     @classmethod
     def single(cls, qeid: int, query_edge: QueryEdge, data_edge: Edge) -> "Match":
@@ -100,10 +180,11 @@ class Match:
         else:
             vertex_map = {query_edge.src: data_edge.src, query_edge.dst: data_edge.dst}
         return cls(
-            ((qeid, data_edge),),
-            vertex_map,
+            (qeid,),
+            (data_edge,),
             data_edge.timestamp,
             data_edge.timestamp,
+            vertex_map=vertex_map,
         )
 
     # ------------------------------------------------------------------
@@ -111,13 +192,35 @@ class Match:
     # ------------------------------------------------------------------
 
     @property
+    def pairs(self) -> Tuple[Tuple[int, Edge], ...]:
+        """``(query_edge_id, data_edge)`` pairs sorted by query edge id."""
+        return tuple(zip(self.qeids, self.edges))
+
+    @property
+    def vertex_map(self) -> Dict[int, VertexId]:
+        """Induced query-vertex → data-vertex mapping (lazy, cached)."""
+        vm = self._vm
+        if vm is None:
+            edges = self.edges
+            vm = self._vm = {
+                role: (edges[slot].src if is_src else edges[slot].dst)
+                for role, slot, is_src in self._shape.role_sources  # type: ignore[union-attr]
+            }
+        return vm
+
+    @property
     def fingerprint(self) -> Tuple[Tuple[int, int], ...]:
         """Canonical identity: sorted ``(query_edge_id, data_edge_id)``."""
-        return self._fingerprint
+        fp = self._fp
+        if fp is None:
+            fp = self._fp = tuple(
+                (qeid, edge.edge_id) for qeid, edge in zip(self.qeids, self.edges)
+            )
+        return fp
 
     @property
     def num_edges(self) -> int:
-        return len(self.pairs)
+        return len(self.edges)
 
     @property
     def span(self) -> float:
@@ -126,24 +229,33 @@ class Match:
 
     def query_edge_ids(self) -> frozenset[int]:
         """The query edges covered by this (partial) match."""
-        return frozenset(qe for qe, _ in self.pairs)
+        return frozenset(self.qeids)
 
     def data_edges(self) -> Tuple[Edge, ...]:
         """The matched data edges."""
-        return tuple(edge for _, edge in self.pairs)
+        return self.edges
 
     def data_vertices(self) -> set[VertexId]:
         """Distinct data vertices touched by the match."""
-        return set(self.vertex_map.values())
+        vm = self._vm
+        if vm is not None:
+            return set(vm.values())
+        edges = self.edges
+        return {
+            edges[slot].src if is_src else edges[slot].dst
+            for _, slot, is_src in self._shape.role_sources  # type: ignore[union-attr]
+        }
 
     def key_for(self, cut_vertices: Sequence[int]) -> Tuple[VertexId, ...]:
         """Projection Π onto the cut subgraph: the join key (Property 4).
 
         ``cut_vertices`` are query vertex ids (the intersection of the two
         child subgraphs at the parent SJ-Tree node); the key is the tuple of
-        data vertices they map to.
+        data vertices they map to. The SJ-Tree hot path bypasses this via
+        the node's compiled key plan (same projection, positional).
         """
-        return tuple(self.vertex_map[qv] for qv in cut_vertices)
+        vm = self.vertex_map
+        return tuple(vm[qv] for qv in cut_vertices)
 
     # ------------------------------------------------------------------
     # join (Definition 3.1.3)
@@ -154,9 +266,13 @@ class Match:
 
         Conflicts: overlapping query edges, overlapping data edges,
         inconsistent or non-injective combined vertex mapping.
+
+        This is the generic (validating) join; the SJ-Tree sibling join
+        runs the compiled :class:`JoinPlan` instead, which skips the
+        checks the hash-key equality and tree structure already guarantee.
         """
         small, large = (
-            (self, other) if len(self.pairs) <= len(other.pairs) else (other, self)
+            (self, other) if len(self.edges) <= len(other.edges) else (other, self)
         )
         large_map = large.vertex_map
         claimed: Optional[set[VertexId]] = None
@@ -179,18 +295,19 @@ class Match:
             merged = dict(large_map)
 
         # Edge disjointness (query side and data side).
-        small_qeids = {qe for qe, _ in small.pairs}
-        small_data = {edge.edge_id for _, edge in small.pairs}
-        for qe, edge in large.pairs:
+        small_qeids = set(small.qeids)
+        small_data = {edge.edge_id for edge in small.edges}
+        for qe, edge in zip(large.qeids, large.edges):
             if qe in small_qeids or edge.edge_id in small_data:
                 return None
 
-        pairs = tuple(sorted(self.pairs + other.pairs))
+        items = sorted(zip(self.qeids + other.qeids, self.edges + other.edges))
         return Match(
-            pairs,
-            merged,
+            tuple(qeid for qeid, _ in items),
+            tuple(edge for _, edge in items),
             min(self.min_time, other.min_time),
             max(self.max_time, other.max_time),
+            vertex_map=merged,
         )
 
     # ------------------------------------------------------------------
@@ -200,16 +317,114 @@ class Match:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Match):
             return NotImplemented
-        return self._fingerprint == other._fingerprint
+        return self.fingerprint == other.fingerprint
 
     def __hash__(self) -> int:
-        return hash(self._fingerprint)
+        return hash(self.fingerprint)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mapping = ", ".join(
-            f"e{qe}->#{edge.edge_id}" for qe, edge in self.pairs
+            f"e{qe}->#{edge.edge_id}" for qe, edge in zip(self.qeids, self.edges)
         )
         return f"Match({mapping}, span={self.span:.3g})"
+
+
+class JoinPlan:
+    """Compiled sibling hash-join for one SJ-Tree parent node.
+
+    Precomputes, from the two child shapes and the output shape:
+
+    * ``take`` — for each output slot, which side/slot supplies the edge
+      (the positional merge of the two sorted qeid tuples);
+    * ``left_excl`` / ``right_excl`` — accessors for the query vertices
+      exclusive to each side. Shared roles need no checks: they are
+      exactly the parent's cut, and bucket-key equality already pinned
+      them to the same data vertices; each side is internally injective,
+      so only exclusive-left × exclusive-right collisions can break
+      injectivity. Query-edge disjointness holds by construction (the
+      children partition the parent's edges).
+
+    ``join`` therefore only verifies data-edge disjointness and exclusive
+    vertex injectivity — allocating one edge tuple and one Match on
+    success, nothing on failure.
+    """
+
+    __slots__ = ("shape", "qeids", "take", "left_excl", "right_excl")
+
+    def __init__(
+        self, left: MatchShape, right: MatchShape, out: MatchShape
+    ) -> None:
+        self.shape = out
+        self.qeids = out.qeids
+        left_pos = {qeid: slot for slot, qeid in enumerate(left.qeids)}
+        right_pos = {qeid: slot for slot, qeid in enumerate(right.qeids)}
+        self.take: Tuple[Tuple[bool, int], ...] = tuple(
+            (True, left_pos[qeid]) if qeid in left_pos else (False, right_pos[qeid])
+            for qeid in out.qeids
+        )
+        left_roles = left.role_accessors()
+        right_roles = right.role_accessors()
+        self.left_excl: Tuple[Tuple[int, bool], ...] = tuple(
+            acc for role, acc in left_roles.items() if role not in right_roles
+        )
+        self.right_excl: Tuple[Tuple[int, bool], ...] = tuple(
+            acc for role, acc in right_roles.items() if role not in left_roles
+        )
+
+    def join(self, left: Match, right: Match) -> Optional[Match]:
+        """Join a left-child match with a right-child match, or ``None``.
+
+        Precondition: both matches were stored/probed under the same
+        bucket key (the cut projection), which guarantees consistency on
+        all shared query vertices.
+        """
+        le = left.edges
+        re_ = right.edges
+        # Data-edge disjointness. Child edge sets are small; nested loops
+        # beat set construction until they are not.
+        if len(le) * len(re_) > 16:
+            lids = {e.edge_id for e in le}
+            for f in re_:
+                if f.edge_id in lids:
+                    return None
+        else:
+            for e in le:
+                eid = e.edge_id
+                for f in re_:
+                    if f.edge_id == eid:
+                        return None
+        # Vertex injectivity between side-exclusive roles.
+        right_excl = self.right_excl
+        for ls, lf in self.left_excl:
+            e = le[ls]
+            lv = e.src if lf else e.dst
+            for rs, rf in right_excl:
+                f = re_[rs]
+                if lv == (f.src if rf else f.dst):
+                    return None
+        edges = tuple(
+            le[slot] if from_left else re_[slot] for from_left, slot in self.take
+        )
+        lo = left.min_time
+        if right.min_time < lo:
+            lo = right.min_time
+        hi = left.max_time
+        if right.max_time > hi:
+            hi = right.max_time
+        return Match(self.qeids, edges, lo, hi, shape=self.shape)
+
+
+def compile_key_plan(
+    shape: MatchShape, key_vertices: Sequence[int]
+) -> Tuple[Tuple[int, bool], ...]:
+    """Positional accessors extracting the Π projection onto a cut.
+
+    For a match of ``shape``, ``tuple(edges[slot].src if is_src else
+    edges[slot].dst for slot, is_src in plan)`` equals
+    ``match.key_for(key_vertices)`` without materializing the vertex map.
+    """
+    accessors = shape.role_accessors()
+    return tuple(accessors[qv] for qv in key_vertices)
 
 
 def merge_all(matches: Iterable[Match]) -> Optional[Match]:

@@ -16,6 +16,14 @@ drop-in for ``find_anchored_matches``: same matches, same emission order
 (plans mirror ``_pick_next``'s deterministic edge-order policy), which the
 equivalence property tests pin down.
 
+Plans hold **interned type codes** (see
+:data:`~repro.graph.types.VOCABULARY`): the anchor filter and every
+adjacency scan compare the int stamped on the edge at ingest against the
+int burned in at compile time — no string hashing on the per-candidate
+path. Each plan also carries its fragment's
+:class:`~repro.isomorphism.match.MatchShape`, so emitted matches share
+one qeid tuple and defer the vertex map entirely.
+
 Plans are built at SJ-Tree construction time (see
 :meth:`repro.sjtree.node.SJTreeNode.match_plans`), so the per-edge hot
 path of the eager and lazy search touches no query-graph methods at all.
@@ -23,13 +31,13 @@ path of the eager and lazy search touches no query-graph methods at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..graph.streaming_graph import StreamingGraph
-from ..graph.types import Edge, VertexId
+from ..graph.types import VOCABULARY, Edge, VertexId
 from ..query.query_graph import QueryGraph
-from .match import Match
+from .match import Match, MatchShape, shape_for_fragment
 
 #: Step kinds. CLOSE = both endpoints already bound (existence check);
 #: EXTEND_OUT / EXTEND_IN = one endpoint bound, candidate edges drawn from
@@ -44,14 +52,21 @@ GLOBAL = 3
 
 @dataclass(frozen=True)
 class RoleCheck:
-    """Compiled λV constraint + binding for one query-vertex role."""
+    """Compiled λV constraint + binding for one query-vertex role.
+
+    ``vtype_code`` is the interned vertex-type code (``-1`` = wildcard).
+    """
 
     role: int
     vtype: Optional[str]
     binding: Optional[VertexId]
+    vtype_code: int = -1
 
     def ok(self, graph: StreamingGraph, data_vertex: VertexId) -> bool:
-        if self.vtype is not None and graph.vertex_type(data_vertex) != self.vtype:
+        if (
+            self.vtype_code >= 0
+            and graph.vertex_type_code(data_vertex) != self.vtype_code
+        ):
             return False
         return self.binding is None or self.binding == data_vertex
 
@@ -76,6 +91,7 @@ class PlanStep:
     src_check: Optional[RoleCheck] = None  # GLOBAL only
     dst_check: Optional[RoleCheck] = None  # GLOBAL only
     is_loop: bool = False
+    etype_code: int = -1
 
 
 @dataclass(frozen=True)
@@ -90,15 +106,24 @@ class MatchPlan:
     steps: Tuple[PlanStep, ...]
     #: ``(query_edge_id, slot)`` pairs sorted by query edge id, where slot
     #: 0 is the anchor and slot k is ``steps[k-1]`` — lets the executor
-    #: emit Match.pairs already sorted without a per-match sort.
+    #: emit the flat edge tuple already in qeid order without a per-match
+    #: sort.
     emit_order: Tuple[Tuple[int, int], ...]
+    etype_code: int = -1
+    #: fragment layout shared by every emitted match
+    shape: MatchShape = field(default=None, compare=False)  # type: ignore[assignment]
+    #: 1-edge fragment with wildcard/unbound endpoints: the anchor *is*
+    #: the match — the executor skips every check but the type/loop gate.
+    trivial: bool = False
 
 
 def _role_check(fragment: QueryGraph, role: int) -> RoleCheck:
+    vtype = fragment.vertex_type(role)
     return RoleCheck(
         role=role,
-        vtype=fragment.vertex_type(role),
+        vtype=vtype,
         binding=fragment.binding(role),
+        vtype_code=-1 if vtype is None else VOCABULARY.vtype_code(vtype),
     )
 
 
@@ -135,6 +160,7 @@ def compile_plan(fragment: QueryGraph, anchor_edge_id: int) -> MatchPlan:
 
         src_b = chosen.src in bound
         dst_b = chosen.dst in bound
+        code = VOCABULARY.etype_code(chosen.etype)
         if src_b and dst_b:
             steps.append(
                 PlanStep(
@@ -143,6 +169,7 @@ def compile_plan(fragment: QueryGraph, anchor_edge_id: int) -> MatchPlan:
                     etype=chosen.etype,
                     anchor_role=chosen.src,
                     other_role=chosen.dst,
+                    etype_code=code,
                 )
             )
         elif src_b:
@@ -154,6 +181,7 @@ def compile_plan(fragment: QueryGraph, anchor_edge_id: int) -> MatchPlan:
                     anchor_role=chosen.src,
                     other_role=chosen.dst,
                     new_check=_role_check(fragment, chosen.dst),
+                    etype_code=code,
                 )
             )
         elif dst_b:
@@ -165,6 +193,7 @@ def compile_plan(fragment: QueryGraph, anchor_edge_id: int) -> MatchPlan:
                     anchor_role=chosen.dst,
                     other_role=chosen.src,
                     new_check=_role_check(fragment, chosen.src),
+                    etype_code=code,
                 )
             )
         else:
@@ -178,20 +207,32 @@ def compile_plan(fragment: QueryGraph, anchor_edge_id: int) -> MatchPlan:
                     src_check=_role_check(fragment, chosen.src),
                     dst_check=_role_check(fragment, chosen.dst),
                     is_loop=chosen.src == chosen.dst,
+                    etype_code=code,
                 )
             )
         bound.add(chosen.src)
         bound.add(chosen.dst)
 
     emit_order = tuple(sorted((eid, slot) for eid, slot in slot_of.items()))
+    src_check = _role_check(fragment, anchor.src)
+    dst_check = _role_check(fragment, anchor.dst)
     return MatchPlan(
         anchor_edge_id=anchor_edge_id,
         etype=anchor.etype,
         is_loop=anchor.src == anchor.dst,
-        src_check=_role_check(fragment, anchor.src),
-        dst_check=_role_check(fragment, anchor.dst),
+        src_check=src_check,
+        dst_check=dst_check,
         steps=tuple(steps),
         emit_order=emit_order,
+        etype_code=VOCABULARY.etype_code(anchor.etype),
+        shape=shape_for_fragment(fragment),
+        trivial=(
+            not steps
+            and src_check.vtype_code < 0
+            and src_check.binding is None
+            and dst_check.vtype_code < 0
+            and dst_check.binding is None
+        ),
     )
 
 
@@ -219,7 +260,21 @@ def execute_plans(
     for the fragment the plans were compiled from.
     """
     results: List[Match] = []
+    anchor_code = anchor.etype_code
+    if anchor_code < 0:  # hand-built Edge (tests): intern on the fly
+        anchor_code = VOCABULARY.etype_code(anchor.etype)
+    anchor_is_loop = anchor.src == anchor.dst
     for plan in plans:
+        if anchor_code != plan.etype_code or anchor_is_loop != plan.is_loop:
+            continue
+        if plan.trivial:
+            # 1-edge wildcard fragment (the "Single" decomposition's usual
+            # leaves): the anchor is the whole match, unconditionally.
+            ts = anchor.timestamp
+            results.append(
+                Match(plan.shape.qeids, (anchor,), ts, ts, shape=plan.shape)
+            )
+            continue
         execute_plan(graph, plan, anchor, results, limit=limit)
         if limit is not None and len(results) >= limit:
             break
@@ -240,35 +295,17 @@ def execute_plan(
     loop_d = anchor.src == anchor.dst
     if plan.is_loop != loop_d:
         return
-    check = plan.src_check
-    if check.vtype is not None and graph.vertex_type(anchor.src) != check.vtype:
+    if not plan.src_check.ok(graph, anchor.src):
         return
-    if check.binding is not None and check.binding != anchor.src:
-        return
-    check = plan.dst_check
-    if check.vtype is not None and graph.vertex_type(anchor.dst) != check.vtype:
-        return
-    if check.binding is not None and check.binding != anchor.dst:
+    if not plan.dst_check.ok(graph, anchor.dst):
         return
 
+    shape = plan.shape
     if not plan.steps:
-        # 1-edge fragment (the "Single" decomposition's leaves): the anchor
-        # itself is the whole match — skip the backtracking machinery.
-        if plan.is_loop:
-            vertex_map = {plan.src_check.role: anchor.src}
-        else:
-            vertex_map = {
-                plan.src_check.role: anchor.src,
-                plan.dst_check.role: anchor.dst,
-            }
-        results.append(
-            Match(
-                ((plan.anchor_edge_id, anchor),),
-                vertex_map,
-                anchor.timestamp,
-                anchor.timestamp,
-            )
-        )
+        # 1-edge fragment whose endpoint checks passed: the anchor itself
+        # is the whole match — skip the backtracking machinery.
+        ts = anchor.timestamp
+        results.append(Match(shape.qeids, (anchor,), ts, ts, shape=shape))
         return
 
     if plan.is_loop:
@@ -295,8 +332,8 @@ def execute_plan(
     )
 
 
-def _emit(plan: MatchPlan, chosen: List[Edge], vertex_map, results) -> None:
-    pairs = tuple((eid, chosen[slot]) for eid, slot in plan.emit_order)
+def _emit(plan: MatchPlan, chosen: List[Edge], results) -> None:
+    edges = tuple(chosen[slot] for _, slot in plan.emit_order)
     lo = hi = chosen[0].timestamp
     for edge in chosen[1:]:
         ts = edge.timestamp
@@ -304,7 +341,8 @@ def _emit(plan: MatchPlan, chosen: List[Edge], vertex_map, results) -> None:
             lo = ts
         elif ts > hi:
             hi = ts
-    results.append(Match(pairs, dict(vertex_map), lo, hi))
+    shape = plan.shape
+    results.append(Match(shape.qeids, edges, lo, hi, shape=shape))
 
 
 def _run(
@@ -321,14 +359,16 @@ def _run(
     if limit is not None and len(results) >= limit:
         return
     if step_index == len(plan.steps):
-        _emit(plan, chosen, vertex_map, results)
+        _emit(plan, chosen, results)
         return
     step = plan.steps[step_index]
     slot = step_index + 1
 
     if step.kind == CLOSE:
         target = vertex_map[step.other_role]
-        for data_edge in graph.out_edges(vertex_map[step.anchor_role], step.etype):
+        for data_edge in graph.out_edges_code(
+            vertex_map[step.anchor_role], step.etype_code
+        ):
             if data_edge.dst != target or data_edge.edge_id in used_edges:
                 continue
             chosen[slot] = data_edge
@@ -346,9 +386,9 @@ def _run(
         check = step.new_check
         source = vertex_map[step.anchor_role]
         candidates = (
-            graph.out_edges(source, step.etype)
+            graph.out_edges_code(source, step.etype_code)
             if step.kind == EXTEND_OUT
-            else graph.in_edges(source, step.etype)
+            else graph.in_edges_code(source, step.etype_code)
         )
         for data_edge in candidates:
             new_vertex = (

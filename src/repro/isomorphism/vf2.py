@@ -340,13 +340,19 @@ class _VF2Matcher:
                 times = [e.timestamp for e in chosen]
                 lo, hi = min(times), max(times)
                 if hi - lo < width:
-                    pairs = tuple(
-                        sorted(
-                            (self.query.edges[i].edge_id, chosen[i])
-                            for i in range(len(chosen))
+                    items = sorted(
+                        (self.query.edges[i].edge_id, chosen[i])
+                        for i in range(len(chosen))
+                    )
+                    results.append(
+                        Match(
+                            tuple(qeid for qeid, _ in items),
+                            tuple(edge for _, edge in items),
+                            lo,
+                            hi,
+                            vertex_map=dict(core),
                         )
                     )
-                    results.append(Match(pairs, dict(core), lo, hi))
                 return
             for data_edge in candidates[index]:
                 if data_edge.edge_id in used_ids:

@@ -76,6 +76,8 @@ class QueryGraph:
         self._bindings: Dict[int, VertexId] = {}
         self._edges: list[QueryEdge] = []
         self._incident: Optional[Dict[int, Tuple[QueryEdge, ...]]] = None
+        # cached repro.isomorphism.match.MatchShape (invalidated on mutation)
+        self._match_shape = None
 
     # ------------------------------------------------------------------
     # construction
@@ -129,6 +131,7 @@ class QueryGraph:
         edge = QueryEdge(len(self._edges), src, dst, etype)
         self._edges.append(edge)
         self._incident = None
+        self._match_shape = None
         return edge
 
     @classmethod

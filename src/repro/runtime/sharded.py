@@ -137,23 +137,21 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
     result_queue.put((init.worker_id, "ready", None))
 
     position = {spec.name: spec.position for spec in init.specs}
-    process_event = engine.process_event
+    process_rows = engine.process_rows
     tagged: List[Tuple[int, int, object]] = []
     while True:
         message = task_queue.get()
         kind = message[0]
         if kind == "batch":
             try:
-                for row in message[1]:
-                    index = row[0]
-                    # Pinning edge_id to the global stream index makes the
-                    # worker's (filtered) graph assign the same edge ids as
-                    # the single-process graph — match fingerprints must be
-                    # byte-identical across execution paths.
-                    for record in process_event(
-                        EdgeEvent(*row[1:]), edge_id=index
-                    ):
-                        tagged.append((index, position[record.query_name], record))
+                # process_rows pins each edge_id to the global stream index,
+                # so the worker's (filtered) graph assigns the same edge ids
+                # as the single-process graph — match fingerprints must be
+                # byte-identical across execution paths. The returned
+                # (index, record) tags, extended with the query's global
+                # registration position, reconstruct exact emission order.
+                for index, record in process_rows(message[1]):
+                    tagged.append((index, position[record.query_name], record))
             except BaseException as exc:
                 result_queue.put((init.worker_id, "error", repr(exc)))
                 return

@@ -6,23 +6,25 @@ it with sibling matches and propagates upward. This is the paper's
 ``Single`` / ``Path`` configuration (depending on the decomposition used)
 — correct but potentially memory-hungry when a leaf primitive is frequent.
 
-Per-edge fast path: leaves are indexed by the edge types their fragments
-contain, so an incoming edge only visits leaves that can possibly anchor a
-match of it (a leaf with no query edge of the incoming type would fail
-every ``_seed`` attempt anyway), and each visited leaf is searched with
-its compiled :class:`~repro.isomorphism.plan.MatchPlan`s instead of the
-interpretive backtracker. ``compiled_plans=False`` restores the seed
-behaviour — full leaf scan through ``find_anchored_matches`` — which the
-equivalence tests and the throughput benchmark use as the reference path.
+Per-edge fast path: leaves are indexed by the *interned codes* of the edge
+types their fragments contain, so an incoming edge only visits leaves that
+can possibly anchor a match of it (a leaf with no query edge of the
+incoming type would fail every ``_seed`` attempt anyway), and each visited
+leaf is searched with its compiled
+:class:`~repro.isomorphism.plan.MatchPlan`s instead of the interpretive
+backtracker. ``compiled_plans=False`` restores the seed behaviour — full
+leaf scan through ``find_anchored_matches`` — which the equivalence tests
+and the throughput benchmark use as the reference path.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.profiling import ProfileCounters
 from ..graph.streaming_graph import StreamingGraph
-from ..graph.types import Edge
+from ..graph.types import VOCABULARY, Edge
 from ..graph.window import TimeWindow
 from ..isomorphism.anchored import find_anchored_matches
 from ..isomorphism.match import Match
@@ -34,18 +36,32 @@ from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
 
 def leaves_by_etype(
     leaves: List[SJTreeNode],
-) -> Dict[str, Tuple[SJTreeNode, ...]]:
-    """Index leaves by the edge types their fragments contain.
+) -> Dict[int, Tuple[SJTreeNode, ...]]:
+    """Index leaves by the interned codes of their fragments' edge types.
 
     A leaf appears under every type in its fragment's alphabet, preserving
     join order within each bucket, so iterating one bucket visits exactly
-    the leaves a full scan would have found matches in.
+    the leaves a full scan would have found matches in. Keys are
+    :data:`~repro.graph.types.VOCABULARY` codes — the per-edge lookup is
+    ``index.get(edge.etype_code)``, an int-keyed dict hit.
     """
-    index: Dict[str, List[SJTreeNode]] = {}
+    index: Dict[int, List[SJTreeNode]] = {}
     for leaf in leaves:
         for etype in leaf.fragment.etypes():
-            index.setdefault(etype, []).append(leaf)
-    return {etype: tuple(bucket) for etype, bucket in index.items()}
+            index.setdefault(VOCABULARY.etype_code(etype), []).append(leaf)
+    return {code: tuple(bucket) for code, bucket in index.items()}
+
+
+def disable_expiry_tracking(tree: SJTree, window: TimeWindow) -> None:
+    """Turn off match-table expiry bookkeeping for an infinite window.
+
+    Nothing can ever expire when ``tW = ∞``, so every insert's ring/slot
+    maintenance would be pure waste. Must run before any match is stored
+    (the algorithms call it at construction, when tables are empty).
+    """
+    if math.isinf(window.width):
+        for node in tree.nodes:
+            node.table.track_expiry = False
 
 
 class DynamicGraphSearch(SearchAlgorithm):
@@ -71,47 +87,64 @@ class DynamicGraphSearch(SearchAlgorithm):
         self._leaves_by_etype = leaves_by_etype(self._leaves)
         for leaf in self._leaves:  # hand-built trees may lack plans
             leaf.match_plans()
+        disable_expiry_tracking(tree, self.window)
 
     def process_edge(self, edge: Edge) -> List[Match]:
         results: List[Match] = []
         sink = results.append
+        profile = self.profile if self.profile.enabled else None
         if not self.compiled_plans:
-            return self._process_edge_legacy(edge, results, sink)
-        leaves = self._leaves_by_etype.get(edge.etype)
+            return self._process_edge_legacy(edge, results, sink, profile)
+        code = edge.etype_code
+        if code < 0:  # hand-built Edge (tests): intern on the fly
+            code = VOCABULARY.etype_code(edge.etype)
+        leaves = self._leaves_by_etype.get(code)
         if leaves is None:
             return results  # no leaf fragment contains this edge type
         graph = self.graph
         window = self.window
-        profile = self.profile
         insert = self.tree.insert_match
-        profile.phase_enter(PHASE_ISO)
+        if profile is not None:
+            profile.phase_enter(PHASE_ISO)
         for leaf in leaves:
             matches = execute_plans(graph, leaf.plans, edge)
             if not matches:
                 continue
-            profile.bump("leaf_matches", len(matches))
-            profile.phase_enter(PHASE_JOIN)
             node_id = leaf.node_id
-            for match in matches:
-                insert(node_id, match, window, sink)
+            if profile is not None:
+                profile.bump("leaf_matches", len(matches))
+                profile.phase_enter(PHASE_JOIN)
+                for match in matches:
+                    insert(node_id, match, window, sink)
+                profile.phase_exit()
+            else:
+                for match in matches:
+                    insert(node_id, match, window, sink)
+        if profile is not None:
             profile.phase_exit()
-        profile.phase_exit()
         return self._emit(results)
 
-    def _process_edge_legacy(self, edge: Edge, results, sink) -> List[Match]:
+    def _process_edge_legacy(self, edge: Edge, results, sink, profile) -> List[Match]:
         """The seed per-edge path: offer the edge to every leaf through the
         interpretive backtracker (benchmark/equivalence reference)."""
+        graph = self.graph
+        window = self.window
+        insert = self.tree.insert_match
         for leaf in self._leaves:
-            with self.profile.phase(PHASE_ISO):
-                matches = find_anchored_matches(self.graph, leaf.fragment, edge)
+            if profile is not None:
+                profile.phase_enter(PHASE_ISO)
+            matches = find_anchored_matches(graph, leaf.fragment, edge)
+            if profile is not None:
+                profile.phase_exit()
             if not matches:
                 continue
-            self.profile.bump("leaf_matches", len(matches))
-            with self.profile.phase(PHASE_JOIN):
-                for match in matches:
-                    self.tree.insert_match(
-                        leaf.node_id, match, self.window, sink
-                    )
+            if profile is not None:
+                profile.bump("leaf_matches", len(matches))
+                profile.phase_enter(PHASE_JOIN)
+            for match in matches:
+                insert(leaf.node_id, match, window, sink)
+            if profile is not None:
+                profile.phase_exit()
         return self._emit(results)
 
     def housekeeping(self) -> None:

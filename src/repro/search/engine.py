@@ -20,6 +20,7 @@ Example
 
 from __future__ import annotations
 
+import itertools
 import math
 import time
 from dataclasses import dataclass, field
@@ -28,7 +29,7 @@ from typing import Dict, Iterable, List, Optional
 from ..analysis.profiling import ProfileCounters
 from ..errors import QueryError, StrategyError
 from ..graph.streaming_graph import StreamingGraph
-from ..graph.types import EdgeEvent
+from ..graph.types import VOCABULARY, EdgeEvent
 from ..query.query_graph import QueryGraph
 from ..sjtree.builder import build_sj_tree
 from ..sjtree.tree import SJTree
@@ -112,6 +113,7 @@ class ContinuousQueryEngine:
         housekeeping_every: int = 2048,
         dispatch: bool = True,
         partial_sample_every: Optional[int] = None,
+        profile_phases: bool = False,
     ) -> None:
         self.graph = StreamingGraph(window)
         self.estimator = (
@@ -138,11 +140,17 @@ class ContinuousQueryEngine:
         #: seed behaviour (offer every edge to every query) — the
         #: equivalence tests compare the two paths record-for-record.
         self.dispatch = dispatch
-        # etype -> registered queries that can consume it (registration
-        # order), rebuilt on register/refresh. ``_route_default`` holds the
-        # queries that must see *every* edge (relevant_etypes() is None);
-        # it doubles as the route for edge types no query declares.
-        self._routes: Dict[str, List[RegisteredQuery]] = {}
+        #: when True, algorithms keep their per-edge iso/join phase timers
+        #: running (the §6.4.1 split). Off by default: two perf_counter
+        #: reads per phase per edge are measurable on the hot loop, and
+        #: only the figure-reproduction experiments read the split.
+        self.profile_phases = profile_phases
+        # interned etype code -> registered queries that can consume it
+        # (registration order), rebuilt on register/refresh.
+        # ``_route_default`` holds the queries that must see *every* edge
+        # (relevant_etypes() is None); it doubles as the route for edge
+        # types no query declares.
+        self._routes: Dict[int, List[RegisteredQuery]] = {}
         self._route_default: List[RegisteredQuery] = []
 
     # ------------------------------------------------------------------
@@ -188,6 +196,7 @@ class ContinuousQueryEngine:
             algorithm=self._build_algorithm(query, strategy, **options),
             decision=decision,
         )
+        registered.algorithm.profile.enabled = self.profile_phases
         if isinstance(registered.algorithm, (DynamicGraphSearch, LazySearch)):
             registered.tree = registered.algorithm.tree
         self.queries[query_name] = registered
@@ -195,11 +204,13 @@ class ContinuousQueryEngine:
         return registered
 
     def _rebuild_dispatch(self) -> None:
-        """Recompile the ``etype -> [registered query]`` dispatch index.
+        """Recompile the ``etype code -> [registered query]`` dispatch index.
 
-        Registration order is preserved within every route so record
-        emission order is identical with dispatch on or off (skipped
-        queries contribute no records).
+        Keys are :data:`~repro.graph.types.VOCABULARY` codes so the
+        per-edge lookup hashes an int (the code stamped on the edge at
+        ingest), not a string. Registration order is preserved within
+        every route so record emission order is identical with dispatch on
+        or off (skipped queries contribute no records).
         """
         alphabet: set[str] = set()
         etype_sets: Dict[str, Optional[frozenset]] = {}
@@ -213,7 +224,7 @@ class ContinuousQueryEngine:
                 alphabet |= etypes
         self._route_default = default
         self._routes = {
-            etype: [
+            VOCABULARY.etype_code(etype): [
                 registered
                 for registered in self.queries.values()
                 if (ets := etype_sets[registered.name]) is None or etype in ets
@@ -256,7 +267,7 @@ class ContinuousQueryEngine:
             self.estimator.observe(edge)
         records: List[MatchRecord] = []
         if self.dispatch:
-            targets = self._routes.get(edge.etype, self._route_default)
+            targets = self._routes.get(edge.etype_code, self._route_default)
         else:
             targets = self.queries.values()
         for registered in targets:
@@ -277,16 +288,99 @@ class ContinuousQueryEngine:
     def process_events(self, events: Iterable[EdgeEvent]) -> List[MatchRecord]:
         """Process a batch of stream events; return all completed matches.
 
-        The batch-ingest companion to :meth:`process_event`, used by the
-        chunked CLI path and the sharded runtime's serial fallback. Events
-        are still folded in one at a time — matching must observe the
-        graph exactly as of each edge's arrival — so this is a convenience
-        wrapper, not a semantic change.
+        The fused ``evict → route → match`` hot loop: semantically
+        identical to calling :meth:`process_event` per element (same clock
+        advancement, eviction points, housekeeping cadence and record
+        order — events are still folded in one at a time, because matching
+        must observe the graph exactly as of each edge's arrival), but
+        with the per-event attribute traffic hoisted out of the loop.
+        :meth:`run`, the chunked CLI ingest and the sharded runtime's
+        serial fallback all drive this path; :meth:`process_rows` is its
+        edge-id-pinned twin for sharded workers.
         """
         records: List[MatchRecord] = []
+        append = records.append
+        add_event = self.graph.add_event
+        routes = self._routes
+        default = self._route_default
+        dispatch = self.dispatch
+        all_queries = self.queries.values()
+        update_stats = self.update_statistics
+        observe = self.estimator.observe
+        housekeeping_every = self.housekeeping_every
+        since = self._edges_since_sweep
         for event in events:
-            records.extend(self.process_event(event))
+            edge = add_event(event)
+            if update_stats:
+                observe(edge)
+            targets = (
+                routes.get(edge.etype_code, default) if dispatch else all_queries
+            )
+            timestamp = edge.timestamp
+            for registered in targets:
+                matches = registered.algorithm.process_edge(edge)
+                if matches:
+                    name = registered.name
+                    strategy = registered.strategy
+                    for match in matches:
+                        append(MatchRecord(name, strategy, match, timestamp))
+            since += 1
+            if since >= housekeeping_every:
+                self._edges_since_sweep = since
+                self.sweep()
+                since = 0
+        self._edges_since_sweep = since
         return records
+
+    def process_rows(
+        self, rows: Iterable[tuple]
+    ) -> List[tuple[int, MatchRecord]]:
+        """Fused batch loop over pinned stream rows (the sharded workers).
+
+        ``rows`` are ``(edge_id, src, dst, etype, timestamp, src_type,
+        dst_type)`` tuples — the wire format of the sharded runtime, where
+        ``edge_id`` is the global stream position (see
+        :meth:`StreamingGraph.add_event` on id pinning). Returns
+        ``(edge_id, record)`` pairs so the coordinator can merge worker
+        outputs back into exact single-process emission order. Mirrors
+        :meth:`process_events` step for step.
+        """
+        tagged: List[tuple[int, MatchRecord]] = []
+        append = tagged.append
+        add_event = self.graph.add_event
+        routes = self._routes
+        default = self._route_default
+        dispatch = self.dispatch
+        all_queries = self.queries.values()
+        update_stats = self.update_statistics
+        observe = self.estimator.observe
+        housekeeping_every = self.housekeeping_every
+        since = self._edges_since_sweep
+        for row in rows:
+            pinned_id = row[0]
+            edge = add_event(EdgeEvent(*row[1:]), edge_id=pinned_id)
+            if update_stats:
+                observe(edge)
+            targets = (
+                routes.get(edge.etype_code, default) if dispatch else all_queries
+            )
+            timestamp = edge.timestamp
+            for registered in targets:
+                matches = registered.algorithm.process_edge(edge)
+                if matches:
+                    name = registered.name
+                    strategy = registered.strategy
+                    for match in matches:
+                        append(
+                            (pinned_id, MatchRecord(name, strategy, match, timestamp))
+                        )
+            since += 1
+            if since >= housekeeping_every:
+                self._edges_since_sweep = since
+                self.sweep()
+                since = 0
+        self._edges_since_sweep = since
+        return tagged
 
     def run(
         self,
@@ -302,19 +396,23 @@ class ContinuousQueryEngine:
         result = RunResult()
         sample_every = self.partial_sample_every
         started = time.perf_counter()
-        for event in events:
-            if limit is not None and result.edges_processed >= limit:
-                break
-            result.records.extend(self.process_event(event))
-            result.edges_processed += 1
-            if (
-                sample_every is not None
-                and result.edges_processed % sample_every == 0
-            ):
-                result.peak_partial_matches = max(
-                    result.peak_partial_matches, self.partial_match_count()
-                )
-        if sample_every is not None:
+        if sample_every is None:
+            # No sampling: take the fused batch loop.
+            if limit is not None:
+                events = itertools.islice(events, limit)
+            before = self.graph.total_edges_seen
+            result.records = self.process_events(events)
+            result.edges_processed = self.graph.total_edges_seen - before
+        else:
+            for event in events:
+                if limit is not None and result.edges_processed >= limit:
+                    break
+                result.records.extend(self.process_event(event))
+                result.edges_processed += 1
+                if result.edges_processed % sample_every == 0:
+                    result.peak_partial_matches = max(
+                        result.peak_partial_matches, self.partial_match_count()
+                    )
             result.peak_partial_matches = max(
                 result.peak_partial_matches, self.partial_match_count()
             )
@@ -353,6 +451,7 @@ class ContinuousQueryEngine:
             decision = choose_strategy(registered.query, self.estimator)
             strategy = decision.chosen
         replacement = self._build_algorithm(registered.query, strategy, **options)
+        replacement.profile.enabled = self.profile_phases
         report = migrate(self.graph, registered.algorithm, replacement, name)
 
         registered.algorithm = replacement

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 
 from ..analysis.profiling import ProfileCounters
 from ..graph.streaming_graph import StreamingGraph
-from ..graph.types import Edge
+from ..graph.types import VOCABULARY, Edge
 from ..graph.window import TimeWindow
 from ..isomorphism.anchored import (
     find_anchored_matches,
@@ -33,7 +33,7 @@ from ..sjtree.node import SJTreeNode
 from ..sjtree.tree import SJTree
 from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
 from .bitmap import ScanBitmap
-from .dynamic import leaves_by_etype
+from .dynamic import disable_expiry_tracking, leaves_by_etype
 
 
 class LazySearch(SearchAlgorithm):
@@ -88,6 +88,7 @@ class LazySearch(SearchAlgorithm):
         self._leaves_by_etype = leaves_by_etype(self._leaves)
         for leaf in self._leaves:  # hand-built trees may lack plans
             leaf.match_plans()
+        disable_expiry_tracking(tree, self.window)
 
     # ------------------------------------------------------------------
 
@@ -95,17 +96,21 @@ class LazySearch(SearchAlgorithm):
         results: List[Match] = []
         sink = results.append
         hook = self._make_hook(sink)
+        profile = self.profile if self.profile.enabled else None
         if not self.compiled_plans:
-            return self._process_edge_legacy(edge, results, sink, hook)
-        leaves = self._leaves_by_etype.get(edge.etype)
+            return self._process_edge_legacy(edge, results, sink, hook, profile)
+        code = edge.etype_code
+        if code < 0:  # hand-built Edge (tests): intern on the fly
+            code = VOCABULARY.etype_code(edge.etype)
+        leaves = self._leaves_by_etype.get(code)
         if leaves is None:
             return results  # no leaf fragment contains this edge type
         graph = self.graph
         window = self.window
-        profile = self.profile
         bitmap = self.bitmap
         insert = self.tree.insert_match
-        profile.phase_enter(PHASE_ISO)
+        if profile is not None:
+            profile.phase_enter(PHASE_ISO)
         for leaf in leaves:
             index = leaf.leaf_index or 0
             if index > 0 and not (
@@ -116,16 +121,23 @@ class LazySearch(SearchAlgorithm):
             matches = execute_plans(graph, leaf.plans, edge)
             if not matches:
                 continue
-            profile.bump("leaf_matches", len(matches))
-            profile.phase_enter(PHASE_JOIN)
             node_id = leaf.node_id
-            for match in matches:
-                insert(node_id, match, window, sink, hook)
+            if profile is not None:
+                profile.bump("leaf_matches", len(matches))
+                profile.phase_enter(PHASE_JOIN)
+                for match in matches:
+                    insert(node_id, match, window, sink, hook)
+                profile.phase_exit()
+            else:
+                for match in matches:
+                    insert(node_id, match, window, sink, hook)
+        if profile is not None:
             profile.phase_exit()
-        profile.phase_exit()
         return self._emit(results)
 
-    def _process_edge_legacy(self, edge: Edge, results, sink, hook) -> List[Match]:
+    def _process_edge_legacy(
+        self, edge: Edge, results, sink, hook, profile
+    ) -> List[Match]:
         """The seed per-edge path: bitmap-gated full leaf scan through the
         interpretive backtracker (benchmark/equivalence reference)."""
         for leaf in self._leaves:
@@ -135,16 +147,22 @@ class LazySearch(SearchAlgorithm):
                 or self.bitmap.enabled(edge.dst, index)
             ):
                 continue  # DISABLED(u, n) and DISABLED(v, n)
-            with self.profile.phase(PHASE_ISO):
-                matches = find_anchored_matches(self.graph, leaf.fragment, edge)
+            if profile is not None:
+                profile.phase_enter(PHASE_ISO)
+            matches = find_anchored_matches(self.graph, leaf.fragment, edge)
+            if profile is not None:
+                profile.phase_exit()
             if not matches:
                 continue
-            self.profile.bump("leaf_matches", len(matches))
-            with self.profile.phase(PHASE_JOIN):
-                for match in matches:
-                    self.tree.insert_match(
-                        leaf.node_id, match, self.window, sink, hook
-                    )
+            if profile is not None:
+                profile.bump("leaf_matches", len(matches))
+                profile.phase_enter(PHASE_JOIN)
+            for match in matches:
+                self.tree.insert_match(
+                    leaf.node_id, match, self.window, sink, hook
+                )
+            if profile is not None:
+                profile.phase_exit()
         return self._emit(results)
 
     # ------------------------------------------------------------------
@@ -164,19 +182,25 @@ class LazySearch(SearchAlgorithm):
         """Turn on leaf ``leaf_index`` for the match's vertices; on fresh
         enablement, retrospectively search the vertex neighbourhood."""
         leaf = self._leaves[leaf_index]
+        profile = self.profile if self.profile.enabled else None
         for vertex in match.data_vertices():
             if not self.bitmap.enable(vertex, leaf_index):
                 continue
-            self.profile.bump("enablements")
+            if profile is not None:
+                profile.bump("enablements")
             if not self.retrospective:
                 continue
-            with self.profile.phase(PHASE_ISO):
-                found = find_vertex_anchored_matches(
-                    self.graph, leaf.fragment, vertex
-                )
+            if profile is not None:
+                profile.phase_enter(PHASE_ISO)
+            found = find_vertex_anchored_matches(
+                self.graph, leaf.fragment, vertex
+            )
+            if profile is not None:
+                profile.phase_exit()
             if not found:
                 continue
-            self.profile.bump("retro_matches", len(found))
+            if profile is not None:
+                profile.bump("retro_matches", len(found))
             for retro in found:
                 self.tree.insert_match(
                     leaf.node_id, retro, self.window, sink, hook

@@ -6,61 +6,146 @@ subgraph* (Properties 3 and 4). The table supports:
 
 * O(1) insert with duplicate suppression (Lazy Search's retrospective pass
   may rediscover a match that the normal pass already stored);
-* O(1) bucket probe (the hash-join of ``UPDATE-SJ-TREE``);
+* O(1) bucket probe (the hash-join of ``UPDATE-SJ-TREE``) returning the
+  live bucket **without copying** — buckets are versioned copy-on-write:
+  a probed bucket snapshots itself only if it is actually mutated while a
+  probe's list reference may still be held (re-entrant inserts during the
+  join recursion are the only such mutation source);
 * lazy expiry of matches whose earliest edge has left the time window —
   once an edge is evicted from the graph no new join partner can contain
   it, and retrospective searches can no longer rediscover it, so keeping
   the partial match would only leak memory.
+
+Storage layout ("slab"): each bucket holds a plain list of matches in
+insertion order plus a parallel list of slots; every slot also sits in a
+global time-ordered ring (a deque in insertion order). Because stream
+timestamps are non-decreasing, match ``min_time`` is *near*-monotone in
+insertion order (bounded by one window width), so expiry is amortized
+O(1): pop the ring head while expired. An unexpired head can transiently
+shadow a later expired entry; such entries stay invisible to joins anyway
+(``UPDATE-SJ-TREE`` filters probed candidates by the cutoff) and are
+reclaimed as soon as the head passes. Removal tombstones the bucket slot
+(keeping probe order == insertion order, which record-identity across the
+sharded runtime relies on — workers expire at different stream positions)
+and compacts a bucket when tombstones reach half its length.
+
+When the graph window is infinite nothing can ever expire:
+``track_expiry=False`` skips the ring and slot bookkeeping entirely, so
+an insert is a set-add and a list-append.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..isomorphism.match import Match
+from ..isomorphism.match import (
+    JoinPlan,
+    Match,
+    MatchShape,
+    compile_key_plan,
+    shape_for_fragment,
+)
 from ..isomorphism.plan import MatchPlan, compile_fragment_plans
 from ..query.query_graph import QueryGraph
 
 JoinKey = Tuple  # tuple of data vertex ids (possibly empty)
 
+#: Shared empty probe result. Callers only iterate (or compare) it.
+_EMPTY_BUCKET: List[Match] = []
+
+
+class _Bucket:
+    """One hash bucket: matches in insertion order + expiry slots.
+
+    ``shared`` marks that the current ``matches`` list object may be held
+    by an in-flight probe; the next mutation replaces it with a copy
+    (copy-on-write) instead of mutating under the iterator. ``dead``
+    counts tombstones (``None`` entries left by expiry).
+    """
+
+    __slots__ = ("key", "matches", "slots", "shared", "dead")
+
+    def __init__(self, key: JoinKey) -> None:
+        self.key = key
+        self.matches: List[Optional[Match]] = []
+        self.slots: List[Optional[list]] = []
+        self.shared = False
+        self.dead = 0
+
 
 class MatchTable:
-    """Hash table of partial matches with expiry bookkeeping."""
+    """Hash table of partial matches with amortized-O(1) expiry."""
 
-    __slots__ = ("_buckets", "_seen", "_heap", "_entries", "_next_uid", "inserted_total")
+    __slots__ = (
+        "_buckets",
+        "_seen",
+        "_ring",
+        "_live",
+        "inserted_total",
+        "track_expiry",
+    )
 
-    def __init__(self) -> None:
-        self._buckets: Dict[JoinKey, Dict[int, Match]] = {}
-        self._seen: Dict[tuple, int] = {}
-        self._heap: List[Tuple[float, int]] = []
-        self._entries: Dict[int, Tuple[JoinKey, Match]] = {}
-        self._next_uid = 0
+    def __init__(self, track_expiry: bool = True) -> None:
+        self._buckets: Dict[JoinKey, _Bucket] = {}
+        # packed identities (data-edge-id tuples; qeids are constant per
+        # table) of live entries — the duplicate-suppression set
+        self._seen: set = set()
+        # slots [bucket, position, match] in insertion order; only
+        # maintained when track_expiry (disable *before* first insert)
+        self._ring: "deque[list]" = deque()
+        self._live = 0
         #: lifetime insert count (the space-complexity measure of §5.2 uses it)
         self.inserted_total = 0
+        #: False skips all expiry bookkeeping (infinite-window engines)
+        self.track_expiry = track_expiry
 
     def insert(self, key: JoinKey, match: Match) -> bool:
         """Store a match under ``key``; False if it is already present."""
-        fingerprint = match.fingerprint
-        if fingerprint in self._seen:
+        edges = match.edges
+        if len(edges) == 1:  # leaf tables dominate insert volume
+            ident = (edges[0].edge_id,)
+        else:
+            ident = tuple([edge.edge_id for edge in edges])
+        seen = self._seen
+        if ident in seen:
             return False
-        uid = self._next_uid
-        self._next_uid += 1
-        self._seen[fingerprint] = uid
-        self._entries[uid] = (key, match)
-        self._buckets.setdefault(key, {})[uid] = match
-        heapq.heappush(self._heap, (match.min_time, uid))
+        seen.add(ident)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(key)
+        elif bucket.shared:
+            bucket.matches = list(bucket.matches)
+            bucket.shared = False
+        matches = bucket.matches
+        if self.track_expiry:
+            slot = [bucket, len(matches), match]
+            bucket.slots.append(slot)
+            self._ring.append(slot)
+        matches.append(match)
+        self._live += 1
         self.inserted_total += 1
         return True
 
     def probe(self, key: JoinKey) -> List[Match]:
-        """All live matches stored under ``key`` (copy — join recursion may
-        insert into other tables while the caller iterates)."""
+        """All matches stored under ``key``, in insertion order.
+
+        Returns the live bucket list (zero-copy); the bucket is marked
+        shared so any mutation before the reference dies snapshots first.
+        Buckets carrying expiry tombstones are filtered into a fresh list
+        instead. May include entries older than the window cutoff that the
+        ring has not reclaimed yet — ``UPDATE-SJ-TREE`` filters candidates
+        by ``min_time`` anyway (and so must any other caller joining
+        against a finite window).
+        """
         bucket = self._buckets.get(key)
-        if not bucket:
-            return []
-        return list(bucket.values())
+        if bucket is None:
+            return _EMPTY_BUCKET
+        if bucket.dead:
+            return [m for m in bucket.matches if m is not None]
+        bucket.shared = True
+        return bucket.matches  # type: ignore[return-value]
 
     def expire(self, cutoff: float) -> int:
         """Drop matches whose ``min_time`` is strictly below ``cutoff``.
@@ -68,29 +153,67 @@ class MatchTable:
         The cutoff is the graph's edge-eviction cutoff (``t_last − tW``):
         a partial match is retained exactly as long as all its edges are
         still live, which Lazy Search's retrospective joins rely on.
+        Amortized O(1) per reclaimed entry (ring head pops); an expired
+        entry inserted *before* a still-live one is reclaimed once that
+        predecessor expires — until then it is skipped by the probe-time
+        cutoff filter, so it can never produce a join.
         """
+        if not self.track_expiry:
+            return 0
+        ring = self._ring
         dropped = 0
-        while self._heap and self._heap[0][0] < cutoff:
-            min_time, uid = heapq.heappop(self._heap)
-            entry = self._entries.pop(uid, None)
-            if entry is None:
-                continue  # already removed
-            key, match = entry
-            bucket = self._buckets.get(key)
-            if bucket is not None:
-                bucket.pop(uid, None)
-                if not bucket:
-                    del self._buckets[key]
-            self._seen.pop(match.fingerprint, None)
+        while ring:
+            slot = ring[0]
+            match = slot[2]
+            if match.min_time >= cutoff:
+                break
+            ring.popleft()
+            bucket = slot[0]
+            pos = slot[1]
+            if bucket.shared:
+                bucket.matches = list(bucket.matches)
+                bucket.shared = False
+            bucket.matches[pos] = None
+            bucket.slots[pos] = None
+            bucket.dead += 1
+            self._seen.discard(tuple([edge.edge_id for edge in match.edges]))
+            self._live -= 1
             dropped += 1
+            if bucket.dead * 2 >= len(bucket.matches):
+                self._compact(bucket)
         return dropped
 
+    def _compact(self, bucket: _Bucket) -> None:
+        """Squeeze tombstones out of a bucket (or drop it when empty).
+
+        Rebuilds the lists (so any probe still holding the old list is
+        naturally unaffected) preserving insertion order, and refreshes
+        the surviving slots' positions.
+        """
+        if bucket.dead == len(bucket.matches):
+            del self._buckets[bucket.key]
+            return
+        matches: List[Optional[Match]] = []
+        slots: List[Optional[list]] = []
+        for slot in bucket.slots:
+            if slot is None:
+                continue
+            slot[1] = len(matches)
+            matches.append(slot[2])
+            slots.append(slot)
+        bucket.matches = matches
+        bucket.slots = slots
+        bucket.shared = False
+        bucket.dead = 0
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._live
 
     def __iter__(self) -> Iterator[Match]:
-        for _, match in self._entries.values():
-            yield match
+        for bucket in self._buckets.values():
+            for match in bucket.matches:
+                if match is not None:
+                    yield match
 
     def num_buckets(self) -> int:
         return len(self._buckets)
@@ -105,6 +228,12 @@ class SJTreeNode:
     its children). ``cut_vertices`` is the intersection of the children's
     vertex sets (Property 4) — defined for internal nodes. A node's own
     matches are keyed by the *parent's* cut (``key_vertices``).
+
+    ``shape`` / ``key_plan`` / ``join_plan`` are the compiled positional
+    artefacts of the allocation-light pipeline: the flat layout of this
+    node's matches, the Π-projection extractor for ``key_vertices``, and
+    (internal nodes) the sibling join compiled against the children's
+    shapes. Populated at tree build; compiled lazily for hand-built trees.
     """
 
     node_id: int
@@ -124,12 +253,27 @@ class SJTreeNode:
     #: compiled anchored-match plans for the fragment (leaf hot path);
     #: populated at tree build, compiled on first use otherwise.
     plans: Optional[Tuple[MatchPlan, ...]] = None
+    shape: Optional[MatchShape] = None
+    key_plan: Optional[Tuple[Tuple[int, bool], ...]] = None
+    join_plan: Optional[JoinPlan] = None
 
     def match_plans(self) -> Tuple[MatchPlan, ...]:
         """Compiled anchored-match plans for this node's fragment."""
         if self.plans is None:
             self.plans = compile_fragment_plans(self.fragment)
         return self.plans
+
+    def match_shape(self) -> MatchShape:
+        """The flat layout of matches stored at this node."""
+        if self.shape is None:
+            self.shape = shape_for_fragment(self.fragment)
+        return self.shape
+
+    def compiled_key_plan(self) -> Tuple[Tuple[int, bool], ...]:
+        """Positional extractor for this node's join key projection."""
+        if self.key_plan is None:
+            self.key_plan = compile_key_plan(self.match_shape(), self.key_vertices)
+        return self.key_plan
 
     @property
     def is_leaf(self) -> bool:

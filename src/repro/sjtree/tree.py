@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import DecompositionError
 from ..graph.window import TimeWindow
-from ..isomorphism.match import Match
+from ..isomorphism.match import JoinPlan, Match
 from ..query.query_graph import QueryGraph
 from ..stats.selectivity import LeafSelectivity, expected_selectivity
 from .node import SJTreeNode
@@ -102,6 +102,20 @@ class SJTree:
             leaf.sibling = current.node_id
             leaf.key_vertices = cut
             current = parent
+
+        # Compile the positional hot-path artefacts now, off the streaming
+        # path: per-node match shapes and key extractors, and per internal
+        # node the sibling join against the children's shapes.
+        for node in nodes:
+            node.match_shape()
+            node.compiled_key_plan()
+        for node in nodes:
+            if node.left is not None:
+                node.join_plan = JoinPlan(
+                    nodes[node.left].shape,  # type: ignore[arg-type]
+                    nodes[node.right].shape,  # type: ignore[arg-type]
+                    node.shape,  # type: ignore[arg-type]
+                )
 
         return cls(
             query,
@@ -213,9 +227,15 @@ class SJTree:
         Returns True if the match was new at ``node_id`` (complete matches
         at the root always count as new — they are not stored).
 
+        The hash key is extracted by the node's compiled key plan
+        (positional — no vertex map), and the sibling join runs the
+        parent's compiled :class:`~repro.isomorphism.match.JoinPlan`,
+        which the bucket-key equality lets skip all shared-vertex
+        consistency checks.
+
         Expired sibling entries are *filtered* during the probe
         (``other.min_time >= cutoff``) rather than eagerly evicted: a full
-        ``sibling.table.expire()`` here would pay a heap-pop sweep on
+        ``sibling.table.expire()`` here would pay an expiry sweep on
         every insert, while the filter is one comparison per probed
         candidate. This is exact — the filter skips precisely the entries
         an eager expire would have removed (both use the same
@@ -227,7 +247,8 @@ class SJTree:
         on a finite window should call ``housekeeping()`` periodically,
         as the engine does).
         """
-        node = self.nodes[node_id]
+        nodes = self.nodes
+        node = nodes[node_id]
         if node.is_root:
             if window.fits(match.min_time, match.max_time):
                 self.complete_matches += 1
@@ -239,20 +260,45 @@ class SJTree:
         if match.min_time < cutoff:
             return False  # contains an edge the window already evicted
 
-        key = match.key_for(node.key_vertices)
+        key_plan = node.key_plan
+        if key_plan is None:  # hand-built tree: compile on first use
+            key_plan = node.compiled_key_plan()
+        edges = match.edges
+        if len(key_plan) == 1:  # 1-vertex cuts dominate small queries
+            slot, is_src = key_plan[0]
+            edge = edges[slot]
+            key = ((edge.src if is_src else edge.dst),)
+        else:
+            key = tuple(
+                [
+                    (edges[slot].src if is_src else edges[slot].dst)
+                    for slot, is_src in key_plan
+                ]
+            )
         if not node.table.insert(key, match):
             return False
 
-        sibling = self.nodes[node.sibling]  # type: ignore[index]
         parent_id = node.parent
+        parent = nodes[parent_id]  # type: ignore[index]
+        join_plan = parent.join_plan
+        if join_plan is None:  # hand-built tree: compile on first use
+            join_plan = parent.join_plan = JoinPlan(
+                nodes[parent.left].match_shape(),  # type: ignore[index]
+                nodes[parent.right].match_shape(),  # type: ignore[index]
+                parent.match_shape(),
+            )
+        sibling = nodes[node.sibling]  # type: ignore[index]
+        as_left = parent.left == node_id
+        join = join_plan.join
+        width = window.width
         for other in sibling.table.probe(key):
             if other.min_time < cutoff:
                 continue  # stale entry awaiting the housekeeping sweep
-            joined = match.join(other)
+            joined = join(match, other) if as_left else join(other, match)
             if joined is None:
                 continue
-            if not window.fits(joined.min_time, joined.max_time):
-                continue
+            if joined.max_time - joined.min_time >= width:
+                continue  # τ(g) must stay below tW (window.fits inlined)
             self.insert_match(parent_id, joined, window, sink, on_insert)  # type: ignore[arg-type]
 
         # The enablement hook runs *after* sibling probing: a retrospective
@@ -289,7 +335,7 @@ class SJTree:
     def reset_state(self) -> None:
         """Drop all partial matches (keeps the decomposition)."""
         for node in self.nodes:
-            node.table = type(node.table)()
+            node.table = type(node.table)(track_expiry=node.table.track_expiry)
         self.complete_matches = 0
 
     # ------------------------------------------------------------------

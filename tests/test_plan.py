@@ -160,6 +160,29 @@ class TestExecutorParity:
                 m.fingerprint for m in expected
             ]
 
+    def test_two_disconnected_same_type_edges_backtrack(self):
+        """Regression: the non-loop GLOBAL step must release its edge on
+        backtrack, or the second same-type disconnected step silently
+        loses the swapped assignment (e1->Y, e2->X)."""
+        graph = graph_from_tuples(
+            [
+                ("a", "b", "S", 0.0),
+                ("p", "q", "T", 1.0),
+                ("r", "s", "T", 2.0),
+            ]
+        )
+        fragment = QueryGraph.from_triples(
+            [(0, "S", 1), (2, "T", 3), (4, "T", 5)]
+        )
+        plans = compile_fragment_plans(fragment)
+        anchor = next(iter(graph.edges_of_type("S")))
+        expected = find_anchored_matches(graph, fragment, anchor)
+        got = execute_plans(graph, plans, anchor)
+        assert len(expected) == 2  # both T-edge assignments, both orders
+        assert [m.fingerprint for m in got] == [
+            m.fingerprint for m in expected
+        ]
+
     def test_limit_truncates_identically(self):
         graph = random_graph(random.Random(7), n_vertices=4, n_edges=30)
         fragment = QueryGraph.path(["A", "B"])
