@@ -13,7 +13,7 @@ large}; see :class:`repro.analysis.experiments.BenchScale`.
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.analysis.experiments import (
     BenchScale,
@@ -43,9 +43,13 @@ PROCESS_WINDOW = {"netflow": 8.0, "lsbench": 12.0, "nyt": 10.0}
 
 def _generator(name: str, events: int):
     if name == "netflow":
-        return NetflowGenerator(num_events=events, num_hosts=max(events // 8, 50), seed=13)
+        return NetflowGenerator(
+            num_events=events, num_hosts=max(events // 8, 50), seed=13
+        )
     if name == "lsbench":
-        return LSBenchGenerator(num_events=events, num_users=max(events // 10, 50), seed=13)
+        return LSBenchGenerator(
+            num_events=events, num_users=max(events // 10, 50), seed=13
+        )
     if name == "nyt":
         return NYTGenerator(num_events=events, seed=13)
     raise ValueError(f"unknown dataset {name!r}")
@@ -127,7 +131,8 @@ def fig9_report(title: str, results: List[GroupResult], x_label: str) -> str:
         others = {
             s: last.mean_projected_seconds(s)
             for s in strategies
-            if s != "VF2" and last.mean_projected_seconds(s) == last.mean_projected_seconds(s)
+            if s != "VF2"
+            and last.mean_projected_seconds(s) == last.mean_projected_seconds(s)
         }
         lines.append(speedup_summary("VF2", vf2, others))
     return "\n".join(lines)

@@ -19,7 +19,6 @@ wall-clock, with identical answers required.
 
 import time
 
-import pytest
 
 from repro.graph import StreamingGraph
 from repro.search import DynamicGraphSearch, LazySearch

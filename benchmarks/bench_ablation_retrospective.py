@@ -13,7 +13,6 @@ fix.
 
 import time
 
-import pytest
 
 from repro.graph import StreamingGraph
 from repro.search import DynamicGraphSearch, LazySearch
@@ -66,8 +65,10 @@ def test_retrospective_ablation(benchmark):
     print_banner(f"Ablation — retrospective search on {query.name}")
     rows = [
         ["eager (ground truth)", len(truth), "100.0%", f"{t_eager:.3f}"],
-        ["lazy + retrospective", len(with_retro), f"{recall(with_retro):.1%}", f"{t_with:.3f}"],
-        ["lazy, no retrospective", len(without), f"{recall(without):.1%}", f"{t_without:.3f}"],
+        ["lazy + retrospective", len(with_retro),
+         f"{recall(with_retro):.1%}", f"{t_with:.3f}"],
+        ["lazy, no retrospective", len(without),
+         f"{recall(without):.1%}", f"{t_without:.3f}"],
     ]
     print(ascii_table(["configuration", "matches", "recall", "seconds"], rows))
     benchmark.extra_info["recall_without_retro"] = round(recall(without), 3)

@@ -7,9 +7,8 @@ width on the netflow stream and reports, per width: completed matches
 runtime — the memory/recall trade-off a deployment would tune.
 """
 
-import pytest
 
-from _common import PROCESS_WINDOW, ascii_table, dataset, print_banner, query_group, run_query
+from _common import ascii_table, dataset, print_banner, query_group, run_query
 
 WIDTHS = [2.0, 4.0, 8.0, 16.0, float("inf")]
 

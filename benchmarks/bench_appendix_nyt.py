@@ -7,7 +7,6 @@ entity stream, so its natural 4-edge query class is the k-partite star
 strategies and check the same ordering claims as Fig. 9.
 """
 
-import pytest
 
 from _common import assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
 

@@ -10,7 +10,6 @@ implemented extension on the netflow substitute:
   count for order-of-magnitude agreement.
 """
 
-import pytest
 
 from repro.graph import StreamingGraph
 from repro.stats import BirthdayTriangleEstimator, count_triangles

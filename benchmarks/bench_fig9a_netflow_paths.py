@@ -13,9 +13,8 @@ The paper's qualitative claims checked here:
 * runtime grows with query size fastest for the non-lazy strategies.
 """
 
-import pytest
 
-from _common import SCALE, assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
+from _common import assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
 
 SIZES = [3, 4, 5]
 

@@ -7,7 +7,6 @@ the Lazy variants — checked below by comparing the largest-size runtime
 ratio (lazy vs eager).
 """
 
-import pytest
 
 from _common import SCALE, assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
 

@@ -4,7 +4,6 @@ Path queries of length 3/4/5 grown from the LSBench schema triples
 (§6.4.1), five strategies, same protocol as Fig. 9a.
 """
 
-import pytest
 
 from _common import assert_lazy_beats_vf2, fig9_report, fig9_sweep, print_banner
 

@@ -15,9 +15,15 @@ larger share of their time in isomorphism than their lazy counterparts
 bookkeeping behind. Both splits are printed for the record.
 """
 
-import pytest
 
-from _common import PROCESS_WINDOW, ascii_table, dataset, print_banner, query_group, run_query
+from _common import (
+    PROCESS_WINDOW,
+    ascii_table,
+    dataset,
+    print_banner,
+    query_group,
+    run_query,
+)
 
 STRATEGIES = ("Single", "SingleLazy", "Path", "PathLazy")
 

@@ -27,6 +27,7 @@ Quickstart
 """
 
 from .errors import (
+    CheckpointError,
     DecompositionError,
     EstimationError,
     GraphError,
@@ -67,6 +68,7 @@ from .stats import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
     "ContinuousQueryEngine",
     "DecompositionError",
     "DynamicGraphSearch",

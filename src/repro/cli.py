@@ -23,10 +23,10 @@ import argparse
 import itertools
 import math
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .analysis.reporting import ascii_table
 from .datasets import (
     LSBenchGenerator,
     NetflowGenerator,
@@ -37,6 +37,8 @@ from .datasets import (
     split_stream,
     write_stream,
 )
+from .errors import CheckpointError
+from .persistence import manifest as ckpt_manifest
 from .query.parser import parse_query
 from .query.query_graph import QueryGraph
 from .runtime import ShardedEngine
@@ -111,6 +113,165 @@ def _print_match(record, shown: int, max_print: int) -> None:
         print(f"match @t={record.completed_at:.4f}: {mapping}")
 
 
+def _segment_size(
+    limit: Optional[int], processed: int, every: Optional[int]
+) -> Optional[int]:
+    """Events to take before the next checkpoint cut (``None`` = rest)."""
+    remaining = None if limit is None else max(limit - processed, 0)
+    if every is None:
+        return remaining
+    return every if remaining is None else min(every, remaining)
+
+
+def _drive_single(
+    engine: ContinuousQueryEngine,
+    events,
+    args: argparse.Namespace,
+    *,
+    cursor_base: int,
+    start_sequence: int,
+) -> int:
+    """Chunked single-process processing with optional rolling checkpoints.
+
+    Returns the number of events processed. Checkpoints land exactly
+    every ``--checkpoint-every`` events (segment boundaries cut the batch
+    chunks), plus a final one at end of stream, so a ``resume`` replays
+    nothing that a completed checkpoint already covers.
+    """
+    shown = 0
+    processed = 0
+    sequence = start_sequence
+    while True:
+        take = _segment_size(args.limit, processed, args.checkpoint_every)
+        count = 0
+        for chunk in chunk_events(
+            itertools.islice(events, take), args.batch_size
+        ):
+            for record in engine.process_events(chunk):
+                _print_match(record, shown, args.max_print)
+                shown += 1
+            count += len(chunk)
+        processed += count
+        if args.checkpoint_dir is not None and (
+            count or sequence == start_sequence
+        ):
+            sequence += 1
+            ckpt_manifest.write_single_checkpoint(
+                args.checkpoint_dir,
+                engine,
+                sequence=sequence,
+                cursor=cursor_base + processed,
+                batch_size=args.batch_size,
+            )
+        if (
+            take is None
+            or count < take
+            or (args.limit is not None and processed >= args.limit)
+        ):
+            break  # stream exhausted or --limit reached
+    return processed
+
+
+def _drive_sharded(
+    engine: ShardedEngine,
+    events,
+    args: argparse.Namespace,
+    *,
+    cursor_base: int,
+) -> tuple[int, int]:
+    """Segmented sharded processing with optional rolling checkpoints.
+
+    Returns ``(events_processed, records_emitted)``. Each segment is one
+    coordinator :meth:`~repro.runtime.ShardedEngine.run` (which collects
+    all worker records, making the following checkpoint a clean cut).
+    """
+    shown = 0
+    processed = 0
+    records = 0
+    first = True
+    while True:
+        take = _segment_size(args.limit, processed, args.checkpoint_every)
+        segment = events if take is None else itertools.islice(events, take)
+        result = engine.run(segment)
+        for record in result.records:
+            _print_match(record, shown, args.max_print)
+            shown += 1
+        records += len(result.records)
+        processed += result.edges_processed
+        if args.checkpoint_dir is not None and (
+            result.edges_processed or first
+        ):
+            engine.checkpoint(
+                args.checkpoint_dir, cursor=cursor_base + processed
+            )
+        first = False
+        if (
+            take is None
+            or result.edges_processed < take
+            or (args.limit is not None and processed >= args.limit)
+        ):
+            break
+    return processed, records
+
+
+def _validate_run_options(args: argparse.Namespace) -> None:
+    if args.batch_size < 1:
+        raise ValueError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.limit is not None and args.limit < 0:
+        raise ValueError(f"--limit must be >= 0, got {args.limit}")
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            raise ValueError(
+                f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+            )
+        if args.checkpoint_dir is None:
+            raise ValueError("--checkpoint-every requires --checkpoint-dir")
+
+
+def _run_sharded_and_describe(
+    engine: ShardedEngine, events, args: argparse.Namespace, *, cursor_base: int
+) -> tuple[int, int, float]:
+    """Drive a sharded engine, print its describe() block, close it.
+
+    Shared by ``run --workers N`` and ``resume``; returns
+    ``(events_processed, records_emitted, elapsed_seconds)`` for the
+    caller's closing summary line.
+    """
+    started = time.perf_counter()
+    try:
+        processed, records = _drive_sharded(
+            engine, events, args, cursor_base=cursor_base
+        )
+        elapsed = time.perf_counter() - started
+        print()
+        print(engine.describe())
+    finally:
+        engine.close()
+    return processed, records, elapsed
+
+
+def _print_sharded_summary(
+    records: int, processed: int, elapsed: float, suffix: str
+) -> None:
+    print()
+    print(f"{records} matches over {processed} edges in {elapsed:.3f}s ({suffix})")
+
+
+def _print_single_summary(engine: ContinuousQueryEngine) -> None:
+    print()
+    print(engine.describe())
+    registered = list(engine.queries.values())
+    for reg in registered:
+        if reg.decision is not None:
+            print(reg.decision.explain())
+    print()
+    print("profile:")
+    for reg in registered:
+        if len(registered) > 1:
+            print(f"[{reg.name}]")
+        print(reg.profile.report())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if not 0.0 <= args.warmup_fraction <= 1.0:
         raise ValueError(
@@ -118,8 +279,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if args.workers < 1:
         raise ValueError(f"--workers must be >= 1, got {args.workers}")
-    if args.batch_size < 1:
-        raise ValueError(f"--batch-size must be >= 1, got {args.batch_size}")
+    _validate_run_options(args)
     queries = _load_queries(args.query)
     window = math.inf if args.window is None else args.window
     # Two-pass ingest: one cheap line-count pass sizes the warmup prefix,
@@ -136,47 +296,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         engine.warmup(warmup)
         specs = [engine.register(query, strategy=args.strategy) for query in queries]
-        try:
-            # the coordinator batches per worker itself; feed it the
-            # remaining events straight off the parse iterator
-            result = engine.run(events)
-            for shown, record in enumerate(result.records):
-                _print_match(record, shown, args.max_print)
-            print()
-            print(engine.describe())
-        finally:
-            engine.close()
+        # the coordinator batches per worker itself; feed it the
+        # remaining events straight off the parse iterator
+        processed, records, elapsed = _run_sharded_and_describe(
+            engine, events, args, cursor_base=warm_n
+        )
         for spec in specs:
             if spec.decision is not None:
                 print(spec.decision.explain())
-        print()
-        print(
-            f"{len(result.records)} matches over {result.edges_processed} "
-            f"edges in {result.elapsed_seconds:.3f}s "
-            f"({args.workers} workers, batch={args.batch_size})"
+        _print_sharded_summary(
+            records,
+            processed,
+            elapsed,
+            f"{args.workers} workers, batch={args.batch_size}",
         )
         return 0
 
     # profile_phases: the CLI prints per-query phase reports below.
     engine = ContinuousQueryEngine(window=window, profile_phases=True)
     engine.warmup(warmup)
-    registered = [engine.register(query, strategy=args.strategy) for query in queries]
-    shown = 0
-    for chunk in chunk_events(events, args.batch_size):
-        for record in engine.process_events(chunk):
-            _print_match(record, shown, args.max_print)
-            shown += 1
-    print()
-    print(engine.describe())
-    for reg in registered:
-        if reg.decision is not None:
-            print(reg.decision.explain())
-    print()
-    print("profile:")
-    for reg in registered:
-        if len(registered) > 1:
-            print(f"[{reg.name}]")
-        print(reg.profile.report())
+    for query in queries:
+        engine.register(query, strategy=args.strategy)
+    _drive_single(engine, events, args, cursor_base=warm_n, start_sequence=0)
+    _print_single_summary(engine)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    _validate_run_options(args)
+    queries = _load_queries(args.query)
+    manifest = ckpt_manifest.read_manifest(args.checkpoint_dir)
+    cursor = manifest["cursor"]
+    events = read_stream(args.stream)
+    skipped = sum(1 for _ in itertools.islice(events, cursor))
+    if skipped < cursor:
+        raise CheckpointError(
+            f"stream {args.stream} has only {skipped} events but the "
+            f"checkpoint cursor is at {cursor}; wrong --stream file?"
+        )
+
+    if manifest["mode"] == ckpt_manifest.MODE_SHARDED:
+        engine = ShardedEngine.resume(args.checkpoint_dir, queries)
+        processed, records, elapsed = _run_sharded_and_describe(
+            engine, events, args, cursor_base=cursor
+        )
+        _print_sharded_summary(
+            records,
+            processed,
+            elapsed,
+            f"resumed at event {cursor}, {engine.workers} workers",
+        )
+        return 0
+
+    single, _ = ckpt_manifest.load_single_checkpoint(args.checkpoint_dir, queries)
+    processed = _drive_single(
+        single,
+        events,
+        args,
+        cursor_base=cursor,
+        start_sequence=manifest["sequence"],
+    )
+    _print_single_summary(single)
+    print(f"(resumed at event {cursor}; processed {processed} more)")
     return 0
 
 
@@ -205,7 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec = sub.add_parser("decompose", help="build and print an SJ-Tree")
     p_dec.add_argument("--stream", required=True)
     p_dec.add_argument("--query", required=True)
-    p_dec.add_argument("--strategy", choices=("single", "path", "mixed"), default="path")
+    p_dec.add_argument(
+        "--strategy", choices=("single", "path", "mixed"), default="path"
+    )
     p_dec.add_argument("--warmup-fraction", type=float, default=0.25)
     p_dec.add_argument("--out", default=None)
     p_dec.set_defaults(func=_cmd_decompose)
@@ -234,8 +417,63 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="events per ingest chunk / per worker batch",
     )
+    _add_durability_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="continue a checkpointed run from its last completed cut",
+        description=(
+            "Restore engine state from --checkpoint-dir (written by "
+            "'run --checkpoint-dir'), skip the stream up to the saved "
+            "cursor and continue processing — emitting exactly the "
+            "records the uninterrupted run would have emitted after the "
+            "cut. Pass the same --query files the run was started with."
+        ),
+    )
+    p_resume.add_argument("--stream", required=True)
+    p_resume.add_argument(
+        "--query",
+        required=True,
+        action="append",
+        help="query file; must match the checkpointed query set",
+    )
+    p_resume.add_argument("--max-print", type=int, default=20)
+    p_resume.add_argument(
+        "--batch-size",
+        type=int,
+        default=512,
+        help="events per ingest chunk (single-process resume)",
+    )
+    _add_durability_arguments(p_resume, require_dir=True)
+    p_resume.set_defaults(func=_cmd_resume)
     return parser
+
+
+def _add_durability_arguments(
+    parser: argparse.ArgumentParser, require_dir: bool = False
+) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        required=require_dir,
+        help=(
+            "directory for rolling engine checkpoints (written at least "
+            "once at end of stream; see --checkpoint-every)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="checkpoint every N processed events (requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="stop after N events (post-warmup; resume continues later)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

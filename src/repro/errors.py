@@ -45,6 +45,15 @@ class SerializationError(ReproError):
     """Raised when an SJ-Tree ASCII file cannot be read back."""
 
 
+class CheckpointError(ReproError):
+    """Raised when an engine snapshot cannot be written or restored.
+
+    Covers unreadable/truncated snapshot files, unsupported snapshot
+    versions, and restores attempted against a query set that does not
+    match the one the snapshot was taken with.
+    """
+
+
 class StrategyError(ReproError):
     """Raised when an unknown search strategy name is requested."""
 

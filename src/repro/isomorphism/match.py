@@ -202,9 +202,10 @@ class Match:
         vm = self._vm
         if vm is None:
             edges = self.edges
+            sources = self._shape.role_sources  # type: ignore[union-attr]
             vm = self._vm = {
                 role: (edges[slot].src if is_src else edges[slot].dst)
-                for role, slot, is_src in self._shape.role_sources  # type: ignore[union-attr]
+                for role, slot, is_src in sources
             }
         return vm
 

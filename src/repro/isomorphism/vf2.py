@@ -116,7 +116,10 @@ class _VF2Matcher:
             return
         core: Dict[int, VertexId] = {}
         used: set[VertexId] = set()
-        for qv, dv in ((query_edge.src, data_edge.src), (query_edge.dst, data_edge.dst)):
+        for qv, dv in (
+            (query_edge.src, data_edge.src),
+            (query_edge.dst, data_edge.dst),
+        ):
             if qv in core:
                 if core[qv] != dv:
                     return

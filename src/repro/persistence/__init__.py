@@ -1,0 +1,60 @@
+"""Durable engine state — checkpoint/restore for long-running streams.
+
+Two layers:
+
+* :mod:`repro.persistence.snapshot` — versioned, compact binary
+  snapshots of one :class:`~repro.search.engine.ContinuousQueryEngine`'s
+  full live state (vocabulary, graph window, SJ-Tree match tables,
+  bitmap/baseline state, selectivity statistics, stream cursor), built
+  on the codec in :mod:`repro.persistence.binary`.
+* :mod:`repro.persistence.manifest` — rolling checkpoint *directories*:
+  per-shard snapshot files plus an atomically-replaced ``manifest.json``
+  that the CLI ``resume`` subcommand and
+  :meth:`~repro.runtime.sharded.ShardedEngine.resume` read back.
+
+The user-facing entry points are
+:meth:`ContinuousQueryEngine.checkpoint` / ``.restore`` and
+:meth:`ShardedEngine.checkpoint` / ``.resume``; everything here is the
+mechanism behind them.
+"""
+
+from .binary import BinaryReader, BinaryWriter
+from .manifest import (
+    MANIFEST_NAME,
+    MODE_SHARDED,
+    MODE_SINGLE,
+    load_single_checkpoint,
+    read_manifest,
+    shard_filename,
+    window_from_json,
+    window_to_json,
+    write_manifest,
+    write_single_checkpoint,
+)
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    engine_from_bytes,
+    engine_to_bytes,
+    load_engine,
+    save_engine,
+)
+
+__all__ = [
+    "BinaryReader",
+    "BinaryWriter",
+    "MANIFEST_NAME",
+    "MODE_SHARDED",
+    "MODE_SINGLE",
+    "SNAPSHOT_VERSION",
+    "engine_from_bytes",
+    "engine_to_bytes",
+    "load_engine",
+    "load_single_checkpoint",
+    "read_manifest",
+    "save_engine",
+    "shard_filename",
+    "window_from_json",
+    "window_to_json",
+    "write_manifest",
+    "write_single_checkpoint",
+]

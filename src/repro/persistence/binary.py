@@ -1,0 +1,191 @@
+"""Low-level binary codec for engine snapshots.
+
+A snapshot is a flat byte string assembled from a handful of primitives:
+
+* **varint** — unsigned LEB128; dense small ints (codes, counts, edge
+  ids) cost one byte each, which is what makes the format compact.
+* **zigzag varint** — signed ints (vertex ids from synthetic generators
+  may be negative).
+* **f64** — IEEE-754 doubles via :mod:`struct`; timestamps and window
+  widths round-trip bit-exactly (including ``inf``).
+* **str** — varint byte length + UTF-8.
+* **value** — a one-byte-tagged union over ``None`` / bool / int / float
+  / str / bytes, used where a field is heterogeneous (vertex ids, query
+  options, the stream cursor).
+
+The reader raises :class:`~repro.errors.CheckpointError` on truncation
+or malformed data — never a bare ``struct.error`` or ``IndexError`` — so
+callers surface one exception type for "this snapshot is unusable".
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Union
+
+from ..errors import CheckpointError
+
+_F64 = struct.Struct("<d")
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+
+#: Types the tagged ``value`` encoding accepts (vertex ids, options, ...).
+Value = Union[None, bool, int, float, str, bytes]
+
+
+class BinaryWriter:
+    """Append-only snapshot assembler."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def write_bytes_raw(self, data: bytes) -> None:
+        """Append bytes verbatim (magic headers)."""
+        self._buf += data
+
+    def write_u8(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise CheckpointError(f"u8 out of range: {value}")
+        self._buf.append(value)
+
+    def write_varint(self, value: int) -> None:
+        """Unsigned LEB128 (arbitrary-precision)."""
+        if value < 0:
+            raise CheckpointError(f"varint must be non-negative, got {value}")
+        buf = self._buf
+        while value >= 0x80:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def write_int(self, value: int) -> None:
+        """Signed integer (zigzag + LEB128, arbitrary precision)."""
+        self.write_varint((value << 1) if value >= 0 else ((-value << 1) - 1))
+
+    def write_f64(self, value: float) -> None:
+        self._buf += _F64.pack(value)
+
+    def write_str(self, value: str) -> None:
+        data = value.encode("utf-8")
+        self.write_varint(len(data))
+        self._buf += data
+
+    def write_value(self, value: Value) -> None:
+        """Tagged heterogeneous scalar (vertex ids, options, cursor)."""
+        if value is None:
+            self.write_u8(_TAG_NONE)
+        elif value is True:
+            self.write_u8(_TAG_TRUE)
+        elif value is False:
+            self.write_u8(_TAG_FALSE)
+        elif isinstance(value, int):
+            self.write_u8(_TAG_INT)
+            self.write_int(value)
+        elif isinstance(value, float):
+            self.write_u8(_TAG_FLOAT)
+            self.write_f64(value)
+        elif isinstance(value, str):
+            self.write_u8(_TAG_STR)
+            self.write_str(value)
+        elif isinstance(value, bytes):
+            self.write_u8(_TAG_BYTES)
+            self.write_varint(len(value))
+            self._buf += value
+        else:
+            raise CheckpointError(
+                f"cannot serialize value of type {type(value).__name__!r}; "
+                "snapshots support None, bool, int, float, str and bytes"
+            )
+
+
+class BinaryReader:
+    """Snapshot cursor; every decode error becomes a CheckpointError."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def _take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise CheckpointError(
+                f"truncated snapshot: wanted {count} bytes at offset "
+                f"{self._pos}, only {len(self._data) - self._pos} left"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def read_bytes_raw(self, count: int) -> bytes:
+        return self._take(count)
+
+    def read_u8(self) -> int:
+        return self._take(1)[0]
+
+    def read_varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.read_u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 10_000:  # corrupt continuation bits, not real data
+                raise CheckpointError("malformed varint in snapshot")
+
+    def read_int(self) -> int:
+        raw = self.read_varint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def read_f64(self) -> float:
+        return _F64.unpack(self._take(8))[0]
+
+    def read_str(self) -> str:
+        length = self.read_varint()
+        try:
+            return self._take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CheckpointError(f"malformed string in snapshot: {exc}") from exc
+
+    def read_value(self) -> Value:
+        tag = self.read_u8()
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_FALSE:
+            return False
+        if tag == _TAG_INT:
+            return self.read_int()
+        if tag == _TAG_FLOAT:
+            return self.read_f64()
+        if tag == _TAG_STR:
+            return self.read_str()
+        if tag == _TAG_BYTES:
+            return bytes(self._take(self.read_varint()))
+        raise CheckpointError(f"unknown value tag {tag} in snapshot")
+
+    def expect_end(self, context: Optional[str] = None) -> None:
+        if not self.at_end():
+            where = f" after {context}" if context else ""
+            raise CheckpointError(
+                f"snapshot has {len(self._data) - self._pos} trailing "
+                f"bytes{where}; file is corrupt or from a newer version"
+            )

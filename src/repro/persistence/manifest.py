@@ -1,0 +1,241 @@
+"""Checkpoint directories: rolling snapshots plus a coordinator manifest.
+
+A checkpoint *directory* is what the CLI (and the sharded runtime) roll
+forward as a stream is processed:
+
+* one binary engine snapshot per shard, named
+  ``ckpt-<sequence>-shard-<worker_id>.bin`` (a single-process run is
+  "shard 0" of a one-shard layout);
+* ``manifest.json`` — small, human-readable coordinator metadata: the
+  stream cursor, the shard → snapshot-file map, the query placement and
+  the runtime configuration needed to resume with an identical layout.
+
+Writes are crash-safe in the usual rename dance: snapshot files for the
+*new* sequence are written first, then the manifest is atomically
+replaced, then stale snapshot files from older sequences are pruned. A
+crash at any point leaves the directory resumable from the manifest's
+sequence (the worst case is a few orphaned ``ckpt-*`` files, which the
+next successful checkpoint removes).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import CheckpointError
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "repro-graph-checkpoint"
+MANIFEST_VERSION = 1
+
+#: Checkpoint directory modes: one in-process engine vs a sharded layout.
+MODE_SINGLE = "single"
+MODE_SHARDED = "sharded"
+
+
+def shard_filename(sequence: int, worker_id: int) -> str:
+    """Snapshot file name for one shard of one checkpoint sequence."""
+    return f"ckpt-{sequence:06d}-shard-{worker_id}.bin"
+
+
+def window_to_json(width: float) -> Optional[float]:
+    """JSON has no ``inf``; an unbounded window is stored as ``null``."""
+    return None if math.isinf(width) else width
+
+
+def window_from_json(value: Optional[float]) -> float:
+    return math.inf if value is None else float(value)
+
+
+def write_manifest(directory: Union[str, Path], manifest: Dict) -> None:
+    """Atomically publish ``manifest`` and prune snapshots it orphans."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = dict(manifest)
+    manifest.setdefault("format", MANIFEST_FORMAT)
+    manifest.setdefault("version", MANIFEST_VERSION)
+    target = root / MANIFEST_NAME
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, target)
+    _prune(root, {shard["file"] for shard in manifest.get("shards", ())})
+
+
+def _prune(root: Path, keep: set) -> None:
+    # Stale snapshots from older sequences, plus any *.tmp left by a
+    # crash between write and rename (their embedded sequence numbers
+    # never recur, so nothing else would ever clean them up).
+    stale = [p for p in root.glob("ckpt-*.bin") if p.name not in keep]
+    stale.extend(root.glob("*.tmp"))
+    for path in stale:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # best effort; a stale file never wins over the manifest
+
+
+def read_manifest(directory: Union[str, Path]) -> Dict:
+    """Load and validate ``manifest.json`` from a checkpoint directory."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(
+            f"no checkpoint manifest at {path}: {exc}"
+        ) from exc
+    try:
+        manifest = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+        raise CheckpointError(
+            f"{path} is not a {MANIFEST_FORMAT!r} manifest"
+        )
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint manifest version {version!r}; this "
+            f"build reads version {MANIFEST_VERSION}"
+        )
+    for key in ("mode", "sequence", "cursor", "shards", "queries"):
+        if key not in manifest:
+            raise CheckpointError(
+                f"checkpoint manifest {path} is missing the {key!r} field"
+            )
+    return manifest
+
+
+def write_single_checkpoint(
+    directory: Union[str, Path],
+    engine,
+    *,
+    sequence: int,
+    cursor: int,
+    batch_size: Optional[int] = None,
+) -> Dict:
+    """Checkpoint one in-process engine as a ``single``-mode directory.
+
+    The engine snapshot is written first, then the manifest is atomically
+    replaced — the same crash-safety dance as the sharded coordinator.
+    Returns the manifest.
+    """
+    from ..sjtree.serialize import edge_signature
+    from .snapshot import save_engine
+
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    filename = shard_filename(sequence, 0)
+    save_engine(engine, root / filename, cursor=cursor)
+    manifest = {
+        "mode": MODE_SINGLE,
+        "sequence": sequence,
+        "cursor": cursor,
+        "events_streamed": engine.graph.total_edges_seen,
+        "window": window_to_json(engine.graph.window.width),
+        "workers": 1,
+        "batch_size": batch_size,
+        "partitioner": None,
+        "queries": [
+            {
+                "position": position,
+                "name": registered.name,
+                "strategy": registered.strategy,
+                "signature": edge_signature(registered.query),
+            }
+            for position, registered in enumerate(engine.queries.values())
+        ],
+        "shards": [
+            {
+                "worker_id": 0,
+                "file": filename,
+                "positions": list(range(len(engine.queries))),
+            }
+        ],
+    }
+    write_manifest(root, manifest)
+    return manifest
+
+
+def load_single_checkpoint(directory: Union[str, Path], queries):
+    """Restore a ``single``-mode checkpoint; returns ``(engine, manifest)``.
+
+    ``queries`` are matched by name and validated structurally, exactly
+    as in :meth:`ContinuousQueryEngine.restore`.
+    """
+    from .snapshot import load_engine
+
+    root = Path(directory)
+    manifest = read_manifest(root)
+    if manifest["mode"] != MODE_SINGLE:
+        raise CheckpointError(
+            f"checkpoint at {root} was written by a {manifest['mode']!r}-"
+            "mode run; resume it with ShardedEngine.resume / the CLI"
+        )
+    ordered = match_queries(manifest, queries)
+    engine, _ = load_engine(root / manifest["shards"][0]["file"], ordered)
+    return engine, manifest
+
+
+def query_entries(specs) -> List[Dict]:
+    """Manifest ``queries`` section from an iterable of objects carrying
+    ``position`` / ``name`` / ``strategy`` / ``query`` (:class:`QuerySpec`
+    shaped); the edge signature pins the structural identity."""
+    from ..sjtree.serialize import edge_signature
+
+    return [
+        {
+            "position": spec.position,
+            "name": spec.name,
+            "strategy": spec.strategy,
+            "signature": edge_signature(spec.query),
+        }
+        for spec in specs
+    ]
+
+
+def match_queries(manifest: Dict, queries) -> List:
+    """Order caller-provided query graphs by manifest position.
+
+    Validates name coverage and edge signatures; raises
+    :class:`CheckpointError` on any mismatch so a resume against the
+    wrong query files fails loudly before touching worker state.
+    """
+    from ..sjtree.serialize import edge_signature
+
+    by_name = {}
+    for query in queries:
+        if not query.name:
+            raise CheckpointError(
+                "every query passed to resume must carry a name "
+                "(checkpoint state is matched to queries by name)"
+            )
+        if query.name in by_name:
+            raise CheckpointError(f"duplicate query name {query.name!r}")
+        by_name[query.name] = query
+    entries = sorted(manifest["queries"], key=lambda entry: entry["position"])
+    ordered = []
+    for entry in entries:
+        query = by_name.pop(entry["name"], None)
+        if query is None:
+            raise CheckpointError(
+                f"checkpoint contains query {entry['name']!r} but it was "
+                "not provided for resume"
+            )
+        actual = edge_signature(query)
+        if actual != entry["signature"]:
+            raise CheckpointError(
+                f"query {entry['name']!r} does not match the checkpoint: "
+                f"checkpoint has edges {entry['signature']!r}, provided "
+                f"query has {actual!r}"
+            )
+        ordered.append(query)
+    if by_name:
+        raise CheckpointError(
+            f"queries {sorted(by_name)} were provided for resume but are "
+            "not in the checkpoint; the query set must match exactly"
+        )
+    return ordered

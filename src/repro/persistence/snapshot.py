@@ -1,0 +1,634 @@
+"""Versioned binary snapshots of live :class:`ContinuousQueryEngine` state.
+
+This is the engine-level half of the durability subsystem (the directory
+/ manifest layer lives in :mod:`repro.persistence.manifest`). A snapshot
+captures everything a restarted process needs to continue a stream and
+emit **exactly** the records an uninterrupted engine would have emitted:
+
+* the interned :class:`~repro.graph.types.Vocabulary` slice the engine
+  uses (snapshot-local codes; restore re-interns through the live
+  process-wide pool, so snapshots are portable across processes),
+* the :class:`~repro.graph.StreamingGraph` window — live edges in
+  arrival order with their pinned ids, vertex types, the window clock
+  and the lifetime counters,
+* per registered query: name, resolved strategy, reconstruction options,
+  the exact SJ-Tree leaf partition (extending
+  :mod:`repro.sjtree.serialize`'s query-shape identity check to live
+  state), and every node's slab :class:`~repro.sjtree.node.MatchTable`
+  content in insertion order (flat data-edge-id tuples — the compact
+  positional encoding round-trips naturally),
+* Lazy Search's enablement bitmap rows and the baselines' dedup /
+  period state,
+* the warmed selectivity estimator (1-edge histogram + 2-edge path
+  counter), and
+* an optional stream ``cursor`` (events consumed from the source) so a
+  resume knows where to pick the stream back up.
+
+What is deliberately *not* captured: profile timers (they restart from
+zero) and ``StrategyDecision`` explanations (registration-time
+artefacts). A custom ``map_edge`` estimator hook cannot be serialized —
+restored engines use :func:`~repro.stats.paths.default_edge_map`.
+
+Consistency note: entries whose ``min_time`` fell below the window
+cutoff but which lazy expiry has not reclaimed yet are skipped at save
+time. They are invisible to joins (probe-time cutoff filtering) and can
+never be rediscovered (their edges left the graph), so dropping them
+changes no future emission — it only means a restored engine starts with
+the housekeeping sweep effectively "caught up".
+
+All structural failures raise :class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CheckpointError
+from ..graph.types import VOCABULARY, EdgeEvent
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+from ..search.baseline import (
+    IncIsoMatchSearch,
+    PeriodicVF2Search,
+    VF2PerEdgeSearch,
+)
+from ..search.dynamic import DynamicGraphSearch
+from ..search.engine import ContinuousQueryEngine, RegisteredQuery
+from ..search.lazy import LazySearch
+from ..sjtree.serialize import edge_signature
+from ..sjtree.tree import SJTree, leaf_partition_of
+from ..stats.selectivity import LeafSelectivity
+from .binary import BinaryReader, BinaryWriter
+
+SNAPSHOT_MAGIC = b"RGSNAP"
+SNAPSHOT_VERSION = 1
+
+_KIND_TREE = 0  # DynamicGraphSearch (eager)
+_KIND_TREE_LAZY = 1  # LazySearch (tree + bitmap)
+_KIND_VF2 = 2  # VF2PerEdgeSearch (stateless)
+_KIND_SEEN = 3  # IncIsoMatchSearch (dedup set)
+_KIND_PERIODIC = 4  # PeriodicVF2Search (dedup set + counter)
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+
+def engine_to_bytes(
+    engine: ContinuousQueryEngine, *, cursor: Optional[int] = None
+) -> bytes:
+    """Serialize the full live state of ``engine`` (see module docstring)."""
+    writer = BinaryWriter()
+    writer.write_bytes_raw(SNAPSHOT_MAGIC)
+    writer.write_varint(SNAPSHOT_VERSION)
+    writer.write_value(cursor)
+
+    # Snapshot-local vocabulary: only the types this engine's state
+    # references, coded by first-appearance order during the dump.
+    etype_codes = _Interner()
+    vtype_codes = _Interner()
+
+    body = BinaryWriter()
+    _dump_engine_config(body, engine)
+    _dump_graph(body, engine, etype_codes, vtype_codes)
+    _dump_estimator(body, engine)
+    _dump_queries(body, engine)
+
+    writer.write_varint(len(etype_codes.names))
+    for name in etype_codes.names:
+        writer.write_str(name)
+    writer.write_varint(len(vtype_codes.names))
+    for name in vtype_codes.names:
+        writer.write_str(name)
+    writer.write_bytes_raw(body.getvalue())
+    return writer.getvalue()
+
+
+def save_engine(
+    engine: ContinuousQueryEngine,
+    path: Union[str, Path],
+    *,
+    cursor: Optional[int] = None,
+) -> None:
+    """Write :func:`engine_to_bytes` to ``path`` atomically.
+
+    I/O failures surface as :class:`CheckpointError` (the engine itself
+    is untouched — a caller may retry once the disk recovers).
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    data = engine_to_bytes(engine, cursor=cursor)
+    try:
+        tmp.write_bytes(data)
+        tmp.replace(target)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write snapshot {target}: {exc}"
+        ) from exc
+
+
+class _Interner:
+    """First-appearance string → dense snapshot-local code."""
+
+    __slots__ = ("codes", "names")
+
+    def __init__(self) -> None:
+        self.codes: Dict[str, int] = {}
+        self.names: List[str] = []
+
+    def code(self, name: str) -> int:
+        code = self.codes.get(name)
+        if code is None:
+            code = len(self.names)
+            self.codes[name] = code
+            self.names.append(name)
+        return code
+
+
+def _dump_engine_config(w: BinaryWriter, engine: ContinuousQueryEngine) -> None:
+    w.write_f64(engine.graph.window.width)
+    w.write_varint(engine.housekeeping_every)
+    w.write_u8(1 if engine.dispatch else 0)
+    w.write_value(engine.partial_sample_every)
+    w.write_u8(1 if engine.profile_phases else 0)
+    w.write_u8(1 if engine.update_statistics else 0)
+    w.write_varint(engine._edges_since_sweep)
+
+
+def _dump_graph(
+    w: BinaryWriter,
+    engine: ContinuousQueryEngine,
+    etypes: _Interner,
+    vtypes: _Interner,
+) -> None:
+    graph = engine.graph
+    live = list(graph.edges())  # arrival order == ascending edge id
+    w.write_varint(len(live))
+    for edge in live:
+        w.write_varint(edge.edge_id)
+        w.write_value(edge.src)
+        w.write_value(edge.dst)
+        w.write_varint(etypes.code(edge.etype))
+        w.write_f64(edge.timestamp)
+    vertex_types = graph._vertex_types
+    w.write_varint(len(vertex_types))
+    for vertex, vtype_code in vertex_types.items():
+        w.write_value(vertex)
+        w.write_varint(vtypes.code(VOCABULARY.vtype_name(vtype_code)))
+    w.write_varint(graph._next_edge_id)
+    w.write_varint(graph.total_edges_seen)
+    w.write_varint(graph.evicted_edges)
+    w.write_f64(graph._last_timestamp)
+    w.write_f64(graph.window.t_last)
+
+
+def _dump_estimator(w: BinaryWriter, engine: ContinuousQueryEngine) -> None:
+    estimator = engine.estimator
+    w.write_varint(estimator.events_observed)
+    histogram = estimator.edge_histogram.as_dict()
+    w.write_varint(len(histogram))
+    for etype, count in histogram.items():
+        w.write_str(etype)
+        w.write_varint(count)
+    counter = estimator.path_counter
+    per_vertex = counter._per_vertex
+    w.write_varint(len(per_vertex))
+    for vertex, tokens in per_vertex.items():
+        w.write_value(vertex)
+        w.write_varint(len(tokens))
+        for (direction, label), count in tokens.items():
+            w.write_str(direction)
+            w.write_str(label)
+            w.write_varint(count)
+    paths = counter._paths
+    w.write_varint(len(paths))
+    for (token_a, token_b), count in paths.items():
+        w.write_str(token_a[0])
+        w.write_str(token_a[1])
+        w.write_str(token_b[0])
+        w.write_str(token_b[1])
+        w.write_varint(count)
+
+
+def _dump_queries(w: BinaryWriter, engine: ContinuousQueryEngine) -> None:
+    cutoff = engine.graph.window.cutoff
+    w.write_varint(len(engine.queries))
+    for registered in engine.queries.values():
+        w.write_str(registered.name)
+        w.write_str(registered.strategy)
+        w.write_str(edge_signature(registered.query))
+        algorithm = registered.algorithm
+        options = _algorithm_options(algorithm)
+        w.write_varint(len(options))
+        for key, value in options.items():
+            w.write_str(key)
+            w.write_value(value)
+        w.write_varint(algorithm.matches_emitted)
+        if isinstance(algorithm, LazySearch):
+            w.write_u8(_KIND_TREE_LAZY)
+            _dump_tree_state(w, algorithm.tree, cutoff)
+            rows = algorithm.bitmap._rows
+            w.write_varint(len(rows))
+            for vertex, mask in rows.items():
+                w.write_value(vertex)
+                w.write_varint(mask)
+        elif isinstance(algorithm, DynamicGraphSearch):
+            w.write_u8(_KIND_TREE)
+            _dump_tree_state(w, algorithm.tree, cutoff)
+        elif isinstance(algorithm, VF2PerEdgeSearch):
+            w.write_u8(_KIND_VF2)
+        elif isinstance(algorithm, IncIsoMatchSearch):
+            w.write_u8(_KIND_SEEN)
+            _dump_seen(w, algorithm._seen)
+        elif isinstance(algorithm, PeriodicVF2Search):
+            w.write_u8(_KIND_PERIODIC)
+            _dump_seen(w, algorithm._seen)
+            w.write_varint(algorithm._since_last)
+        else:
+            raise CheckpointError(
+                f"query {registered.name!r} uses strategy "
+                f"{registered.strategy!r} ({type(algorithm).__name__}), "
+                "which does not support checkpointing"
+            )
+
+
+def _algorithm_options(algorithm) -> Dict[str, object]:
+    """Constructor kwargs needed to rebuild ``algorithm`` identically.
+
+    Derived from live attributes rather than remembered at registration,
+    so hand-constructed algorithms snapshot correctly too.
+    """
+    if isinstance(algorithm, LazySearch):
+        return {
+            "retrospective": algorithm.retrospective,
+            "compiled_plans": algorithm.compiled_plans,
+        }
+    if isinstance(algorithm, DynamicGraphSearch):
+        return {"compiled_plans": algorithm.compiled_plans}
+    if isinstance(algorithm, PeriodicVF2Search):
+        return {"period": algorithm.period}
+    return {}
+
+
+def _dump_tree_state(w: BinaryWriter, tree: SJTree, cutoff: float) -> None:
+    partition = leaf_partition_of(tree)
+    w.write_varint(len(partition))
+    for edge_ids in partition:
+        w.write_varint(len(edge_ids))
+        for edge_id in edge_ids:
+            w.write_varint(edge_id)
+    for leaf in tree.leaves():
+        w.write_str(leaf.leaf_label)
+        w.write_value(leaf.leaf_selectivity)
+    w.write_varint(tree.complete_matches)
+    w.write_varint(len(tree.nodes))
+    for node in tree.nodes:
+        w.write_varint(node.table.inserted_total)
+        live = [
+            match
+            for match in _matches_in_insertion_order(node.table)
+            if match.min_time >= cutoff
+        ]
+        w.write_varint(len(live))
+        for match in live:
+            for edge in match.edges:
+                w.write_varint(edge.edge_id)
+
+
+def _matches_in_insertion_order(table):
+    """Live matches of one MatchTable, oldest insertion first.
+
+    With expiry tracking, the time ring *is* the global insertion order.
+    Without it (infinite windows) only per-bucket order is observable
+    (probes are per bucket, nothing ever expires), so bucket-creation
+    order interleaving is a faithful stand-in.
+    """
+    if table.track_expiry:
+        return [slot[2] for slot in table._ring]
+    return list(table)
+
+
+def _dump_seen(w: BinaryWriter, seen) -> None:
+    # Fingerprints are tuples of (query_edge_id, data_edge_id) pairs.
+    # Sorted for determinism — set identity is order-free.
+    fingerprints = sorted(seen)
+    w.write_varint(len(fingerprints))
+    for fingerprint in fingerprints:
+        w.write_varint(len(fingerprint))
+        for qeid, data_eid in fingerprint:
+            w.write_varint(qeid)
+            w.write_varint(data_eid)
+
+
+# ---------------------------------------------------------------------------
+# restore
+# ---------------------------------------------------------------------------
+
+
+def engine_from_bytes(
+    data: bytes, queries: Sequence[QueryGraph]
+) -> Tuple[ContinuousQueryEngine, Optional[int]]:
+    """Rebuild an engine from :func:`engine_to_bytes` output.
+
+    ``queries`` must contain exactly the query graphs the snapshot was
+    taken with (matched by name, validated structurally by edge
+    signature); order is free. Returns ``(engine, cursor)``.
+    """
+    r = BinaryReader(data)
+    magic = r.read_bytes_raw(len(SNAPSHOT_MAGIC))
+    if magic != SNAPSHOT_MAGIC:
+        raise CheckpointError(
+            "not an engine snapshot (bad magic header); expected a file "
+            "written by ContinuousQueryEngine.checkpoint()"
+        )
+    version = r.read_varint()
+    if version != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"unsupported snapshot version {version}; this build reads "
+            f"version {SNAPSHOT_VERSION} — re-create the checkpoint with "
+            "the running version"
+        )
+    cursor = r.read_value()
+    if cursor is not None and not isinstance(cursor, int):
+        raise CheckpointError(f"malformed stream cursor {cursor!r}")
+
+    etype_names = [r.read_str() for _ in range(r.read_varint())]
+    vtype_names = [r.read_str() for _ in range(r.read_varint())]
+
+    engine = _load_engine_config(r)
+    _load_graph(r, engine, etype_names, vtype_names)
+    _load_estimator(r, engine)
+    _load_queries(r, engine, queries)
+    r.expect_end("query state")
+    return engine, cursor
+
+
+def load_engine(
+    path: Union[str, Path], queries: Sequence[QueryGraph]
+) -> Tuple[ContinuousQueryEngine, Optional[int]]:
+    """Read a snapshot file back; see :func:`engine_from_bytes`."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read snapshot {path}: {exc}") from exc
+    return engine_from_bytes(data, queries)
+
+
+def _load_engine_config(r: BinaryReader) -> ContinuousQueryEngine:
+    width = r.read_f64()
+    housekeeping_every = r.read_varint()
+    dispatch = bool(r.read_u8())
+    partial_sample_every = r.read_value()
+    profile_phases = bool(r.read_u8())
+    update_statistics = bool(r.read_u8())
+    edges_since_sweep = r.read_varint()
+    engine = ContinuousQueryEngine(
+        window=width,
+        housekeeping_every=housekeeping_every,
+        dispatch=dispatch,
+        partial_sample_every=partial_sample_every,
+        profile_phases=profile_phases,
+    )
+    engine.update_statistics = update_statistics
+    engine._edges_since_sweep = edges_since_sweep
+    return engine
+
+
+def _load_graph(
+    r: BinaryReader,
+    engine: ContinuousQueryEngine,
+    etype_names: List[str],
+    vtype_names: List[str],
+) -> None:
+    graph = engine.graph
+    edges = [
+        (r.read_varint(), r.read_value(), r.read_value(), r.read_varint(),
+         r.read_f64())
+        for _ in range(r.read_varint())
+    ]
+    vertex_types: Dict[object, str] = {}
+    for _ in range(r.read_varint()):
+        vertex = r.read_value()
+        vertex_types[vertex] = _name(vtype_names, r.read_varint(), "vertex type")
+    # Replay the live window in arrival order with pinned ids. Vertex
+    # types come from the saved λV map (first sight during the replay is
+    # first sight of a *live* edge, which is exactly what λV holds for
+    # every live vertex). No replayed edge can be evicted: all live edges
+    # sit at or above the final cutoff, which the intermediate cutoffs
+    # never exceed.
+    for edge_id, src, dst, etype_code, timestamp in edges:
+        try:
+            src_type = vertex_types[src]
+            dst_type = vertex_types[dst]
+        except KeyError as exc:
+            raise CheckpointError(
+                f"snapshot edge {edge_id} references vertex {exc.args[0]!r} "
+                "with no recorded type; file is corrupt"
+            ) from exc
+        event = EdgeEvent(
+            src=src,
+            dst=dst,
+            etype=_name(etype_names, etype_code, "edge type"),
+            timestamp=timestamp,
+            src_type=src_type,
+            dst_type=dst_type,
+        )
+        graph.add_event(event, evict=False, edge_id=edge_id)
+    graph._next_edge_id = r.read_varint()
+    graph._total_inserted = r.read_varint()
+    graph._evicted_count = r.read_varint()
+    graph._last_timestamp = r.read_f64()
+    graph.window.advance(r.read_f64())
+
+
+def _name(names: List[str], code: int, what: str) -> str:
+    try:
+        return names[code]
+    except IndexError:
+        raise CheckpointError(
+            f"snapshot references {what} code {code} outside its own "
+            f"vocabulary ({len(names)} entries); file is corrupt"
+        ) from None
+
+
+def _load_estimator(r: BinaryReader, engine: ContinuousQueryEngine) -> None:
+    estimator = engine.estimator
+    estimator._events_observed = r.read_varint()
+    histogram = estimator.edge_histogram
+    for _ in range(r.read_varint()):
+        histogram.add(r.read_str(), r.read_varint())
+    counter = estimator.path_counter
+    total = 0
+    for _ in range(r.read_varint()):
+        vertex = r.read_value()
+        tokens = counter._per_vertex.setdefault(vertex, Counter())
+        for _ in range(r.read_varint()):
+            token = (r.read_str(), r.read_str())
+            tokens[token] += r.read_varint()
+    for _ in range(r.read_varint()):
+        token_a = (r.read_str(), r.read_str())
+        token_b = (r.read_str(), r.read_str())
+        count = r.read_varint()
+        counter._paths[(token_a, token_b)] = count
+        total += count
+    counter._total = total
+
+
+def _load_queries(
+    r: BinaryReader,
+    engine: ContinuousQueryEngine,
+    queries: Sequence[QueryGraph],
+) -> None:
+    by_name: Dict[str, QueryGraph] = {}
+    for query in queries:
+        if not query.name:
+            raise CheckpointError(
+                "every query passed to restore() must carry a name "
+                "(snapshot state is matched to queries by name)"
+            )
+        if query.name in by_name:
+            raise CheckpointError(f"duplicate query name {query.name!r}")
+        by_name[query.name] = query
+
+    count = r.read_varint()
+    matched: set = set()
+    for _ in range(count):
+        name = r.read_str()
+        strategy = r.read_str()
+        signature = r.read_str()
+        options = {r.read_str(): r.read_value() for _ in range(r.read_varint())}
+        matches_emitted = r.read_varint()
+        query = by_name.get(name)
+        if query is None:
+            raise CheckpointError(
+                f"snapshot contains query {name!r} but it was not passed "
+                f"to restore(); provided: {sorted(by_name)}"
+            )
+        actual = edge_signature(query)
+        if actual != signature:
+            raise CheckpointError(
+                f"query {name!r} does not match the snapshot: snapshot "
+                f"has edges {signature!r}, provided query has {actual!r}"
+            )
+        matched.add(name)
+        algorithm = _load_algorithm(r, engine, query, strategy, options)
+        algorithm.matches_emitted = matches_emitted
+        algorithm.profile.enabled = engine.profile_phases
+        registered = RegisteredQuery(
+            name=name,
+            query=query,
+            strategy=strategy,
+            algorithm=algorithm,
+            tree=getattr(algorithm, "tree", None),
+        )
+        engine.queries[name] = registered
+    extra = set(by_name) - matched
+    if extra:
+        raise CheckpointError(
+            f"queries {sorted(extra)} were passed to restore() but are "
+            "not in the snapshot; the query set must match exactly"
+        )
+    engine._rebuild_dispatch()
+
+
+def _load_algorithm(
+    r: BinaryReader,
+    engine: ContinuousQueryEngine,
+    query: QueryGraph,
+    strategy: str,
+    options: Dict[str, object],
+):
+    kind = r.read_u8()
+    graph = engine.graph
+    window = graph.window
+    if kind in (_KIND_TREE, _KIND_TREE_LAZY):
+        tree = _load_tree(r, graph, query)
+        cls = LazySearch if kind == _KIND_TREE_LAZY else DynamicGraphSearch
+        algorithm = cls(graph, tree, window, name=strategy, **options)
+        _load_tables(r, tree, graph)
+        if kind == _KIND_TREE_LAZY:
+            rows = {r.read_value(): r.read_varint() for _ in range(r.read_varint())}
+            algorithm.bitmap._rows = rows
+        return algorithm
+    if kind == _KIND_VF2:
+        return VF2PerEdgeSearch(graph, query, window, **options)
+    if kind == _KIND_SEEN:
+        algorithm = IncIsoMatchSearch(graph, query, window, **options)
+        algorithm._seen = _load_seen(r)
+        return algorithm
+    if kind == _KIND_PERIODIC:
+        algorithm = PeriodicVF2Search(graph, query, window, **options)
+        algorithm._seen = _load_seen(r)
+        algorithm._since_last = r.read_varint()
+        return algorithm
+    raise CheckpointError(f"unknown algorithm state kind {kind} in snapshot")
+
+
+def _load_tree(r: BinaryReader, graph, query: QueryGraph) -> SJTree:
+    partition = [
+        tuple(r.read_varint() for _ in range(r.read_varint()))
+        for _ in range(r.read_varint())
+    ]
+    meta = [
+        LeafSelectivity(
+            description=r.read_str(),
+            selectivity=_leaf_selectivity(r.read_value()),
+            num_edges=len(edge_ids),
+        )
+        for edge_ids in partition
+    ]
+    tree = SJTree.from_leaf_partition(query, partition, meta)
+    tree.complete_matches = r.read_varint()
+    return tree
+
+
+def _leaf_selectivity(value) -> float:
+    # LeafSelectivity wants a float; "unknown" was stored as None and the
+    # convention elsewhere (serialize.loads) maps it to 1.0.
+    return 1.0 if value is None else float(value)
+
+
+def _load_tables(r: BinaryReader, tree: SJTree, graph) -> None:
+    node_count = r.read_varint()
+    if node_count != len(tree.nodes):
+        raise CheckpointError(
+            f"snapshot has state for {node_count} SJ-Tree nodes but the "
+            f"rebuilt tree has {len(tree.nodes)}; file is corrupt"
+        )
+    for node in tree.nodes:
+        inserted_total = r.read_varint()
+        shape = node.match_shape()
+        qeids = shape.qeids
+        width = len(qeids)
+        key_plan = node.compiled_key_plan()
+        table = node.table
+        for _ in range(r.read_varint()):
+            edge_ids = [r.read_varint() for _ in range(width)]
+            try:
+                edges = tuple(graph.edge_by_id(eid) for eid in edge_ids)
+            except Exception as exc:
+                raise CheckpointError(
+                    f"snapshot match references edge ids {edge_ids} not in "
+                    f"the restored window: {exc}"
+                ) from exc
+            stamps = [edge.timestamp for edge in edges]
+            match = Match(qeids, edges, min(stamps), max(stamps), shape=shape)
+            key = tuple(
+                edges[slot].src if is_src else edges[slot].dst
+                for slot, is_src in key_plan
+            )
+            table.insert(key, match)
+        table.inserted_total = inserted_total
+
+
+def _load_seen(r: BinaryReader) -> set:
+    seen = set()
+    for _ in range(r.read_varint()):
+        pairs = tuple(
+            (r.read_varint(), r.read_varint()) for _ in range(r.read_varint())
+        )
+        seen.add(pairs)
+    return seen

@@ -54,6 +54,7 @@ import multiprocessing
 import queue as queue_module
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import QueryError
@@ -110,27 +111,38 @@ class WorkerStats:
 
 @dataclass(frozen=True)
 class _WorkerInit:
-    """Pickled once per worker at spawn time."""
+    """Pickled once per worker at spawn time.
+
+    ``restore_path`` switches the worker from cold registration to
+    restoring its engine (queries, graph window, partial-match state)
+    from a checkpoint snapshot written by a previous incarnation.
+    """
 
     worker_id: int
     window: float
     housekeeping_every: int
     estimator: SelectivityEstimator
     specs: Tuple[QuerySpec, ...]
+    restore_path: Optional[str] = None
 
 
 def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
     """Subprocess entry point: one engine, one query shard, batch loop."""
     try:
-        engine = ContinuousQueryEngine(
-            window=init.window,
-            estimator=init.estimator,
-            housekeeping_every=init.housekeeping_every,
-        )
-        for spec in init.specs:
-            engine.register(
-                spec.query, strategy=spec.strategy, name=spec.name, **spec.options
+        if init.restore_path is not None:
+            engine = ContinuousQueryEngine.restore(
+                init.restore_path, [spec.query for spec in init.specs]
             )
+        else:
+            engine = ContinuousQueryEngine(
+                window=init.window,
+                estimator=init.estimator,
+                housekeeping_every=init.housekeeping_every,
+            )
+            for spec in init.specs:
+                engine.register(
+                    spec.query, strategy=spec.strategy, name=spec.name, **spec.options
+                )
     except BaseException as exc:  # surfaced by the coordinator's gather
         result_queue.put((init.worker_id, "error", repr(exc)))
         return
@@ -164,6 +176,21 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
                 )
             )
             tagged = []
+        elif kind == "checkpoint":
+            # Queue order guarantees every batch streamed before the
+            # checkpoint request has been folded in; the coordinator
+            # collects before checkpointing, so ``tagged`` is empty and
+            # the snapshot is a clean between-events cut. A failed write
+            # must NOT kill the worker — its in-memory window state is
+            # exactly what the caller will want to snapshot again once
+            # the disk recovers — so the failure rides back in the reply
+            # payload and the worker keeps processing.
+            try:
+                engine.checkpoint(message[1])
+            except Exception as exc:
+                result_queue.put((init.worker_id, "checkpoint", str(exc)))
+            else:
+                result_queue.put((init.worker_id, "checkpoint", None))
         elif kind == "describe":
             result_queue.put((init.worker_id, "describe", engine.describe()))
         elif kind == "close":
@@ -245,6 +272,12 @@ class ShardedEngine:
         # Global stream position across run() calls — doubles as the edge
         # id every worker graph assigns (matching the single-process ids).
         self._events_streamed = 0
+        # Rolling-checkpoint sequence (monotone across checkpoint() calls)
+        # and, when this engine was built by resume(), the frozen shard
+        # layout + per-shard snapshot files start() must restore from.
+        self._checkpoint_seq = 0
+        self._restore_shards: Optional[List[ShardPlan]] = None
+        self._restore_files: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # registration (mirrors ContinuousQueryEngine)
@@ -362,17 +395,27 @@ class ShardedEngine:
                 "ShardedEngine cannot be restarted after close(); "
                 "create a new engine"
             )
-        self._shards = self.plan()
+        restoring = self._restore_shards is not None
+        self._shards = self._restore_shards if restoring else self.plan()
         if self.workers == 1 or len(self._shards) <= 1:
-            engine = ContinuousQueryEngine(
-                window=self.window,
-                estimator=self.estimator,
-                housekeeping_every=self.housekeeping_every,
-            )
-            for spec in self.specs:
-                engine.register(
-                    spec.query, strategy=spec.strategy, name=spec.name, **spec.options
+            if restoring:
+                engine = ContinuousQueryEngine.restore(
+                    self._restore_files[self._shards[0].worker_id],
+                    [spec.query for spec in self.specs],
                 )
+            else:
+                engine = ContinuousQueryEngine(
+                    window=self.window,
+                    estimator=self.estimator,
+                    housekeeping_every=self.housekeeping_every,
+                )
+                for spec in self.specs:
+                    engine.register(
+                        spec.query,
+                        strategy=spec.strategy,
+                        name=spec.name,
+                        **spec.options,
+                    )
             self._serial_engine = engine
             self._started = True
             return
@@ -391,6 +434,7 @@ class ShardedEngine:
                 housekeeping_every=self.housekeeping_every,
                 estimator=self.estimator,
                 specs=tuple(self.specs[position] for position in shard.positions),
+                restore_path=self._restore_files.get(shard.worker_id),
             )
             task_queue = ctx.Queue(maxsize=_TASK_QUEUE_DEPTH)
             proc = ctx.Process(
@@ -547,6 +591,157 @@ class ShardedEngine:
         return result
 
     # ------------------------------------------------------------------
+    # durability (rolling per-shard checkpoints + coordinator manifest)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, directory, *, cursor: Optional[int] = None) -> dict:
+        """Write a rolling checkpoint of every shard plus a manifest.
+
+        Each worker snapshots its full engine state (see
+        :meth:`ContinuousQueryEngine.checkpoint`) into the checkpoint
+        directory; the coordinator then atomically publishes
+        ``manifest.json`` recording the global stream position, the shard
+        layout and the per-shard snapshot files, and prunes snapshots
+        from older sequences. Call between :meth:`run` invocations — a
+        completed ``run()`` has collected all worker records, so the cut
+        is clean. ``cursor`` is the caller's source-stream position (for
+        the CLI: absolute events consumed, warmup included); it defaults
+        to the coordinator's internal event count. Returns the manifest.
+        """
+        from ..errors import CheckpointError
+        from ..persistence import manifest as manifest_mod
+
+        if not self._started or self._finished:
+            raise CheckpointError(
+                "checkpoint requires a started (and not closed) engine; "
+                "call run() or start() first"
+            )
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        sequence = self._checkpoint_seq + 1
+        events_streamed = self._events_streamed
+        shards_entry = []
+        if self._serial_engine is not None:
+            events_streamed = self._serial_engine.graph.total_edges_seen
+            worker_id = self._shards[0].worker_id if self._shards else 0
+            filename = manifest_mod.shard_filename(sequence, worker_id)
+            self._serial_engine.checkpoint(root / filename)
+            shards_entry.append(
+                {
+                    "worker_id": worker_id,
+                    "file": filename,
+                    "positions": [spec.position for spec in self.specs],
+                }
+            )
+        else:
+            for slot, shard in enumerate(self._shards):
+                filename = manifest_mod.shard_filename(sequence, shard.worker_id)
+                self._put(slot, ("checkpoint", str(root / filename)))
+                shards_entry.append(
+                    {
+                        "worker_id": shard.worker_id,
+                        "file": filename,
+                        "positions": list(shard.positions),
+                    }
+                )
+            replies = self._gather("checkpoint")
+            failures = {
+                worker_id: message
+                for worker_id, message in replies.items()
+                if message is not None
+            }
+            if failures:
+                details = "; ".join(
+                    f"worker {worker_id}: {message}"
+                    for worker_id, message in sorted(failures.items())
+                )
+                raise CheckpointError(
+                    f"checkpoint to {root} failed ({details}); worker "
+                    "state is intact — fix the directory and retry"
+                )
+        manifest = {
+            "mode": manifest_mod.MODE_SHARDED,
+            "sequence": sequence,
+            "cursor": events_streamed if cursor is None else cursor,
+            "events_streamed": events_streamed,
+            "window": manifest_mod.window_to_json(self.window),
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "partitioner": self.partitioner,
+            "queries": manifest_mod.query_entries(self.specs),
+            "shards": shards_entry,
+        }
+        manifest_mod.write_manifest(root, manifest)
+        self._checkpoint_seq = sequence
+        return manifest
+
+    @classmethod
+    def resume(
+        cls,
+        directory,
+        queries: Iterable[QueryGraph],
+        mp_context=None,
+    ) -> "ShardedEngine":
+        """Rebuild a started engine from a :meth:`checkpoint` directory.
+
+        ``queries`` must be the checkpoint's query set (matched by name,
+        validated by edge signature — mismatches raise
+        :class:`~repro.errors.CheckpointError`). The shard layout, worker
+        count, strategies and batch size are taken from the manifest, and
+        every worker restores its graph window and partial-match state
+        from its shard snapshot, so the next :meth:`run` call continues
+        the stream with emissions identical to a never-stopped engine.
+        The returned engine is already started; registration and warmup
+        are closed (exactly as after a normal :meth:`start`).
+        """
+        from ..errors import CheckpointError
+        from ..persistence import manifest as manifest_mod
+
+        root = Path(directory)
+        manifest = manifest_mod.read_manifest(root)
+        if manifest["mode"] != manifest_mod.MODE_SHARDED:
+            raise CheckpointError(
+                f"checkpoint at {root} was written by a "
+                f"{manifest['mode']!r}-mode run; resume it with the same "
+                "front door (ContinuousQueryEngine.restore / the CLI)"
+            )
+        ordered = manifest_mod.match_queries(manifest, queries)
+        entries = sorted(manifest["queries"], key=lambda e: e["position"])
+        engine = cls(
+            window=manifest_mod.window_from_json(manifest["window"]),
+            workers=manifest["workers"],
+            batch_size=manifest["batch_size"],
+            partitioner=manifest["partitioner"],
+            mp_context=mp_context,
+        )
+        engine.specs = [
+            QuerySpec(
+                position=entry["position"],
+                name=entry["name"],
+                query=query,
+                strategy=entry["strategy"],
+                options={},
+            )
+            for entry, query in zip(entries, ordered)
+        ]
+        engine._events_streamed = manifest["events_streamed"]
+        engine._checkpoint_seq = manifest["sequence"]
+        shards = sorted(manifest["shards"], key=lambda e: e["worker_id"])
+        engine._restore_shards = [
+            ShardPlan(
+                worker_id=entry["worker_id"],
+                positions=tuple(entry["positions"]),
+                cost=0.0,
+            )
+            for entry in shards
+        ]
+        engine._restore_files = {
+            entry["worker_id"]: str(root / entry["file"]) for entry in shards
+        }
+        engine.start()
+        return engine
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
@@ -621,9 +816,14 @@ class ShardedEngine:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    missing = [
+                        s.worker_id
+                        for s in self._shards
+                        if s.worker_id not in replies
+                    ]
                     raise RuntimeError(
                         f"timed out waiting for {kind!r} from workers "
-                        f"{[s.worker_id for s in self._shards if s.worker_id not in replies]}"
+                        f"{missing}"
                     )
                 poll = min(remaining, poll)
             try:

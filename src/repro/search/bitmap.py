@@ -56,7 +56,9 @@ class ScanBitmap:
         self._rows[vertex] = row | bit
         return True
 
-    def enable_all(self, vertices: Iterable[VertexId], leaf_index: int) -> list[VertexId]:
+    def enable_all(
+        self, vertices: Iterable[VertexId], leaf_index: int
+    ) -> list[VertexId]:
         """Enable a leaf for many vertices; return the freshly enabled ones."""
         return [v for v in vertices if self.enable(v, leaf_index)]
 

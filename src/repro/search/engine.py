@@ -426,6 +426,44 @@ class ContinuousQueryEngine:
             registered.algorithm.housekeeping()
 
     # ------------------------------------------------------------------
+    # durability (checkpoint / restore — repro.persistence)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path, *, cursor: Optional[int] = None) -> None:
+        """Write a versioned binary snapshot of the full engine state.
+
+        Captures the graph window, every query's SJ-Tree/bitmap/baseline
+        state, the selectivity statistics and (optionally) a stream
+        ``cursor`` — the number of source events consumed so far, which
+        :meth:`restore` hands back so a resume knows where to continue
+        reading. The write is atomic (tmp file + rename), so a crash
+        mid-checkpoint never corrupts the previous snapshot at ``path``.
+        """
+        from ..persistence.snapshot import save_engine
+
+        save_engine(self, path, cursor=cursor)
+
+    @classmethod
+    def restore(
+        cls, path, queries: Iterable[QueryGraph]
+    ) -> "ContinuousQueryEngine":
+        """Rebuild an engine from a :meth:`checkpoint` snapshot.
+
+        ``queries`` must be the same query graphs the snapshot was taken
+        with (matched by name, validated by edge signature — a
+        mismatched query set raises
+        :class:`~repro.errors.CheckpointError`, never a cryptic
+        traceback). The restored engine continues the stream with
+        emissions identical to an engine that was never stopped; use
+        :func:`repro.persistence.load_engine` instead when the saved
+        stream cursor is needed alongside the engine.
+        """
+        from ..persistence.snapshot import load_engine
+
+        engine, _ = load_engine(path, list(queries))
+        return engine
+
+    # ------------------------------------------------------------------
     # adaptation (§7 future work, implemented — see repro.search.adaptive)
     # ------------------------------------------------------------------
 
@@ -519,9 +557,10 @@ class ContinuousQueryEngine:
             emitted = registered.algorithm.matches_emitted
             fan_in = routes[registered.name]
             routed = "*" if fan_in is None else str(fan_in)
+            partial = registered.algorithm.partial_match_count()
             lines.append(
                 f"  {registered.name}: strategy={registered.strategy} "
-                f"matches={emitted} partial={registered.algorithm.partial_match_count()} "
+                f"matches={emitted} partial={partial} "
                 f"routes={routed}"
             )
             if registered.decision is not None:

@@ -27,7 +27,13 @@ from .tree import SJTree
 _HEADER = "SJTREE v1"
 
 
-def _edge_signature(query: QueryGraph) -> str:
+def edge_signature(query: QueryGraph) -> str:
+    """Canonical one-line identity of a query's edge structure.
+
+    Shared by the decomposition loader below and the live-state snapshots
+    of :mod:`repro.persistence`: both must refuse to apply persisted state
+    to a structurally different query.
+    """
     return " ".join(
         f"e{e.edge_id}:v{e.src}-{e.etype}->v{e.dst}"
         for e in sorted(query.edges, key=lambda e: e.edge_id)
@@ -37,7 +43,7 @@ def _edge_signature(query: QueryGraph) -> str:
 def dumps(tree: SJTree) -> str:
     """Serialize a tree's decomposition (not its runtime match state)."""
     lines = [_HEADER, f"query {tree.query.name or '<anonymous>'}"]
-    lines.append(f"edges {_edge_signature(tree.query)}")
+    lines.append(f"edges {edge_signature(tree.query)}")
     for leaf in tree.leaves():
         ids = ",".join(str(i) for i in sorted(leaf.edge_ids))
         selectivity = (
@@ -65,7 +71,7 @@ def loads(text: str, query: QueryGraph) -> SJTree:
             continue
         if parts[0] == "edges":
             recorded = line.split(" ", 1)[1].strip()
-            actual = _edge_signature(query)
+            actual = edge_signature(query)
             if recorded != actual:
                 raise SerializationError(
                     "decomposition was built for a different query: "

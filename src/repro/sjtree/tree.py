@@ -299,7 +299,9 @@ class SJTree:
                 continue
             if joined.max_time - joined.min_time >= width:
                 continue  # τ(g) must stay below tW (window.fits inlined)
-            self.insert_match(parent_id, joined, window, sink, on_insert)  # type: ignore[arg-type]
+            self.insert_match(  # type: ignore[arg-type]
+                parent_id, joined, window, sink, on_insert
+            )
 
         # The enablement hook runs *after* sibling probing: a retrospective
         # insertion triggered by the hook probes this node's table (where

@@ -49,7 +49,9 @@ def make_signature(token_a: Token, token_b: Token) -> PathSignature:
     return (token_a, token_b) if token_a <= token_b else (token_b, token_a)
 
 
-def edge_token(edge: Edge, centre: VertexId, map_edge: EdgeMapFn = default_edge_map) -> Token:
+def edge_token(
+    edge: Edge, centre: VertexId, map_edge: EdgeMapFn = default_edge_map
+) -> Token:
     """Token of ``edge`` as seen from ``centre``."""
     return (edge.direction_from(centre), map_edge(edge, centre))
 

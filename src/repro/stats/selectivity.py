@@ -92,7 +92,9 @@ class SelectivityDistribution:
     counts: tuple[int, ...]
 
     @classmethod
-    def from_items(cls, items: Iterable[tuple[object, int]]) -> "SelectivityDistribution":
+    def from_items(
+        cls, items: Iterable[tuple[object, int]]
+    ) -> "SelectivityDistribution":
         ordered = sorted(items, key=lambda kv: (kv[1], str(kv[0])))
         return cls(
             labels=tuple(str(k) for k, _ in ordered),

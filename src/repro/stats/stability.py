@@ -61,7 +61,8 @@ class Snapshot:
 
     def order(self) -> list[Hashable]:
         """Keys ordered ascending by count (the selectivity order)."""
-        return [k for k, _ in sorted(self.counts.items(), key=lambda kv: (kv[1], str(kv[0])))]
+        ordered = sorted(self.counts.items(), key=lambda kv: (kv[1], str(kv[0])))
+        return [k for k, _ in ordered]
 
 
 @dataclass

@@ -74,7 +74,9 @@ def count_triangles(graph: "StreamingGraph") -> Counter:
             adj_v = neighbours.get(v, {})
             # iterate the smaller neighbourhood
             small, large, first, second = (
-                (adj_u, adj_v, u, v) if len(adj_u) <= len(adj_v) else (adj_v, adj_u, v, u)
+                (adj_u, adj_v, u, v)
+                if len(adj_u) <= len(adj_v)
+                else (adj_v, adj_u, v, u)
             )
             for w, edges_first in small.items():
                 if key(w) <= key(v) or w == u or w == v:

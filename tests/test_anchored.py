@@ -1,6 +1,5 @@
 """Unit tests for edge- and vertex-anchored subgraph search."""
 
-import pytest
 
 from repro.isomorphism import find_anchored_matches, find_vertex_anchored_matches
 from repro.query import QueryGraph

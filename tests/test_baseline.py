@@ -1,6 +1,5 @@
 """Unit tests for the selectivity-agnostic baselines."""
 
-import math
 
 import pytest
 

@@ -237,3 +237,114 @@ class TestRunSharded:
         out = capsys.readouterr().out
         assert "sharded engine" in out
         assert "matches over" in out
+
+
+def _matches(out):
+    return [line for line in out.splitlines() if line.startswith("match ")]
+
+
+class TestCheckpointResume:
+    """run --checkpoint-dir ... / resume end-to-end (the durability CLI)."""
+
+    def _run(self, stream_file, query_files, *extra):
+        argv = ["run", "--stream", str(stream_file), "--strategy", "Single",
+                "--window", "40", "--max-print", "100000"]
+        for query_file in query_files:
+            argv += ["--query", str(query_file)]
+        return main(argv + list(extra))
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_kill_resume_equals_uninterrupted(
+        self, stream_file, query_file, second_query_file, tmp_path, capsys,
+        workers,
+    ):
+        query_files = [query_file, second_query_file]
+        worker_args = () if workers == 1 else (
+            "--workers", str(workers), "--batch-size", "128",
+        )
+        assert self._run(stream_file, query_files, *worker_args) == 0
+        full = _matches(capsys.readouterr().out)
+        assert full, "stream must produce matches to be meaningful"
+
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self._run(
+                stream_file, query_files, *worker_args,
+                "--limit", "600",
+                "--checkpoint-dir", str(ckpt),
+                "--checkpoint-every", "250",
+            )
+            == 0
+        )
+        before = _matches(capsys.readouterr().out)
+        assert (ckpt / "manifest.json").exists()
+
+        code = main(
+            [
+                "resume",
+                "--stream", str(stream_file),
+                "--query", str(query_file),
+                "--query", str(second_query_file),
+                "--checkpoint-dir", str(ckpt),
+                "--max-print", "100000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        after = _matches(out)
+        assert "resumed at event" in out
+        assert before + after == full
+
+    def test_resume_with_wrong_query_set_fails_loudly(
+        self, stream_file, query_file, second_query_file, tmp_path, capsys
+    ):
+        from repro.errors import CheckpointError
+
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self._run(
+                stream_file, [query_file, second_query_file],
+                "--limit", "300", "--checkpoint-dir", str(ckpt),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with pytest.raises(CheckpointError, match="query"):
+            main(
+                [
+                    "resume",
+                    "--stream", str(stream_file),
+                    "--query", str(query_file),
+                    "--checkpoint-dir", str(ckpt),
+                ]
+            )
+
+    def test_resume_with_short_stream_fails_loudly(
+        self, stream_file, query_file, tmp_path, capsys
+    ):
+        from repro.errors import CheckpointError
+
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self._run(
+                stream_file, [query_file],
+                "--limit", "500", "--checkpoint-dir", str(ckpt),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        short = tmp_path / "short.tsv"
+        short.write_text("# timestamp\tsrc\tsrc_type\tetype\tdst\tdst_type\n")
+        with pytest.raises(CheckpointError, match="cursor"):
+            main(
+                [
+                    "resume",
+                    "--stream", str(short),
+                    "--query", str(query_file),
+                    "--checkpoint-dir", str(ckpt),
+                ]
+            )
+
+    def test_checkpoint_every_requires_dir(self, stream_file, query_file):
+        with pytest.raises(ValueError, match="--checkpoint-dir"):
+            self._run(stream_file, [query_file], "--checkpoint-every", "100")

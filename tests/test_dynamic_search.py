@@ -2,9 +2,8 @@
 
 import math
 
-import pytest
 
-from repro.graph import EdgeEvent, StreamingGraph
+from repro.graph import StreamingGraph
 from repro.query import QueryGraph
 from repro.search import DynamicGraphSearch
 from repro.sjtree import build_sj_tree

@@ -71,9 +71,9 @@ class TestQueryHelpers:
         est = warm_estimator()
         query = QueryGraph.path(["TCP", "ICMP"])
         leaves = est.single_edge_leaves(query)
-        assert [l.description for l in leaves] == ["TCP", "ICMP"]
+        assert [leaf.description for leaf in leaves] == ["TCP", "ICMP"]
         assert leaves[0].selectivity == pytest.approx(0.75)
-        assert all(l.num_edges == 1 for l in leaves)
+        assert all(leaf.num_edges == 1 for leaf in leaves)
 
     def test_unseen_query_paths(self):
         est = warm_estimator()

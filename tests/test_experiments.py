@@ -1,6 +1,5 @@
 """Unit tests for the shared experiment harness."""
 
-import math
 
 import pytest
 

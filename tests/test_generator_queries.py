@@ -6,7 +6,6 @@ from repro.datasets import LSBenchGenerator, NetflowGenerator
 from repro.errors import QueryError
 from repro.query.generator import (
     QueryGenerator,
-    SchemaTriple,
     filter_valid,
     sample_by_expected_selectivity,
 )

@@ -67,7 +67,11 @@ class TestSpan:
         assert span([make_edge(ts=5.0)]) == 0.0
 
     def test_interval(self):
-        edges = [make_edge(ts=2.0), make_edge(ts=9.5, edge_id=1), make_edge(ts=4.0, edge_id=2)]
+        edges = [
+            make_edge(ts=2.0),
+            make_edge(ts=9.5, edge_id=1),
+            make_edge(ts=4.0, edge_id=2),
+        ]
         assert span(edges) == pytest.approx(7.5)
 
 

@@ -7,7 +7,6 @@ decompositions, §2.2); and the package-level doctest.
 """
 
 import doctest
-import math
 
 import pytest
 
@@ -17,7 +16,7 @@ from repro.datasets import NetflowGenerator, interleave_at, split_stream
 from repro.graph import EdgeEvent
 from repro.isomorphism import find_isomorphisms
 from repro.query import insider_infiltration
-from repro.search import DynamicGraphSearch, LazySearch
+from repro.search import DynamicGraphSearch
 from repro.sjtree import build_sj_tree, dumps, loads
 from repro.stats import SelectivityEstimator
 
@@ -161,7 +160,7 @@ class TestPathLazyDegradation:
         query = QueryGraph.path(["T", "U"], name="q")
         registered = engine.register(query, strategy="PathLazy")
         # the T~U signature was never observed: 1-edge leaves only
-        assert all(len(l.edge_ids) == 1 for l in registered.tree.leaves())
+        assert all(len(leaf.edge_ids) == 1 for leaf in registered.tree.leaves())
         records = []
         for event in stream:
             records.extend(engine.process_event(event))

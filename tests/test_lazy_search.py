@@ -8,7 +8,7 @@ from repro.graph import StreamingGraph
 from repro.query import QueryGraph
 from repro.search import LazySearch
 from repro.sjtree import SJTree, build_sj_tree
-from repro.stats import LeafSelectivity, SelectivityEstimator
+from repro.stats import SelectivityEstimator
 
 from .util import events_from_tuples, fingerprints
 
@@ -27,7 +27,9 @@ def make_lazy(query, window=math.inf, strategy="single", retrospective=True):
     estimator.observe_events(events_from_tuples(stats_rows()))
     graph = StreamingGraph(window)
     tree = build_sj_tree(query, estimator, strategy)
-    return graph, LazySearch(graph, tree, name="SingleLazy", retrospective=retrospective)
+    return graph, LazySearch(
+        graph, tree, name="SingleLazy", retrospective=retrospective
+    )
 
 
 class TestLeafGating:

@@ -1,0 +1,459 @@
+"""Durability ground truth: checkpoint/restore must be invisible.
+
+The keystone is kill/resume equivalence — a run checkpointed at any cut
+point and resumed in a *fresh* engine (and, for the sharded runtime,
+fresh worker processes) must emit records byte-identical to a run that
+was never interrupted. Alongside it: binary codec round-trips, snapshot
+versioning/corruption errors (always a clear
+:class:`~repro.errors.CheckpointError`, never a stray traceback), and
+query-set validation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import CheckpointError, ContinuousQueryEngine, ShardedEngine
+from repro.analysis.experiments import mixed_etype_workload
+from repro.persistence import load_engine, read_manifest, write_manifest
+from repro.persistence.binary import BinaryReader, BinaryWriter
+from repro.persistence.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    engine_from_bytes,
+    engine_to_bytes,
+)
+from repro.query.query_graph import QueryGraph
+
+CUT_POINTS = (100, 350, 600)
+
+#: strategy mix cycled over registered queries — covers the eager and
+#: lazy SJ-Tree paths plus both stateful baselines.
+STRATEGY_CYCLE = ("Single", "SingleLazy", "VF2", "PeriodicVF2")
+
+
+def identities(records):
+    return [
+        (r.query_name, r.strategy, r.match.fingerprint, r.completed_at)
+        for r in records
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    events, queries = mixed_etype_workload(
+        700, num_queries=10, num_etypes=24, seed=11, population=48
+    )
+    for i, query in enumerate(queries):
+        query.name = f"q{i}"
+    return events, queries
+
+
+def _options(i):
+    return {"period": 37} if STRATEGY_CYCLE[i % 4] == "PeriodicVF2" else {}
+
+
+def _single_engine(events, queries, width):
+    engine = ContinuousQueryEngine(window=width, housekeeping_every=5)
+    engine.warmup(events)
+    for i, query in enumerate(queries):
+        engine.register(
+            query,
+            strategy=STRATEGY_CYCLE[i % 4],
+            name=query.name,
+            **_options(i),
+        )
+    return engine
+
+
+def _sharded_engine(events, queries, width, workers):
+    engine = ShardedEngine(
+        window=width, workers=workers, batch_size=64, housekeeping_every=5
+    )
+    engine.warmup(events)
+    for i, query in enumerate(queries):
+        engine.register(
+            query,
+            strategy=STRATEGY_CYCLE[i % 4],
+            name=query.name,
+            **_options(i),
+        )
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# kill/resume equivalence (the acceptance bar)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("width", [30.0, math.inf], ids=["window-30", "window-inf"])
+def test_single_process_kill_resume_equivalence(tmp_path, workload, width):
+    """Checkpoint + restore at three cut points == uninterrupted run."""
+    events, queries = workload
+    full = identities(_single_engine(events, queries, width).run(events).records)
+    assert full, "workload must produce matches to be meaningful"
+    for cut in CUT_POINTS:
+        path = tmp_path / f"cut-{cut}.bin"
+        first = _single_engine(events, queries, width)
+        before = identities(first.run(events[:cut]).records)
+        first.checkpoint(path, cursor=cut)
+        del first  # the "kill": nothing survives but the snapshot file
+        restored = ContinuousQueryEngine.restore(path, queries)
+        after = identities(restored.run(events[cut:]).records)
+        assert before + after == full, f"cut at {cut} diverged"
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sharded_kill_resume_equivalence(tmp_path, workload, workers):
+    """Per-shard checkpoints + coordinator manifest survive worker death.
+
+    With ``workers=2`` the resumed state is rebuilt inside *fresh worker
+    processes*, which is the rolling-restart scenario the subsystem
+    exists for.
+    """
+    events, queries = workload
+    base = _single_engine(events, queries, 30.0)
+    full = identities(base.run(events).records)
+    assert full
+    for cut in CUT_POINTS:
+        directory = tmp_path / f"w{workers}-cut-{cut}"
+        first = _sharded_engine(events, queries, 30.0, workers)
+        before = identities(first.run(events[:cut]).records)
+        first.checkpoint(directory, cursor=cut)
+        first.close()
+        resumed = ShardedEngine.resume(directory, queries)
+        try:
+            after = identities(resumed.run(events[cut:]).records)
+        finally:
+            resumed.close()
+        assert before + after == full, f"workers={workers} cut={cut} diverged"
+
+
+def test_checkpoint_between_runs_is_repeatable(tmp_path, workload):
+    """A restored engine can itself be checkpointed and restored again."""
+    events, queries = workload
+    full = identities(_single_engine(events, queries, 30.0).run(events).records)
+    engine = _single_engine(events, queries, 30.0)
+    records = identities(engine.run(events[:200]).records)
+    for start, stop in ((200, 400), (400, len(events))):
+        path = tmp_path / f"gen-{start}.bin"
+        engine.checkpoint(path)
+        engine = ContinuousQueryEngine.restore(path, queries)
+        records += identities(engine.run(events[start:stop]).records)
+    assert records == full
+
+
+# ---------------------------------------------------------------------------
+# restored internals
+# ---------------------------------------------------------------------------
+
+
+def test_restore_preserves_statistics_and_counters(tmp_path, workload):
+    events, queries = workload
+    engine = _single_engine(events, queries, 30.0)
+    engine.run(events[:400])
+    path = tmp_path / "state.bin"
+    engine.checkpoint(path, cursor=400)
+    restored, cursor = load_engine(path, queries)
+    assert cursor == 400
+    assert restored.graph.total_edges_seen == engine.graph.total_edges_seen
+    assert restored.graph.num_edges == engine.graph.num_edges
+    assert restored.graph.evicted_edges == engine.graph.evicted_edges
+    assert restored.estimator.events_observed == engine.estimator.events_observed
+    assert (
+        restored.estimator.edge_histogram.as_dict()
+        == engine.estimator.edge_histogram.as_dict()
+    )
+    assert (
+        restored.estimator.path_counter.as_counter()
+        == engine.estimator.path_counter.as_counter()
+    )
+    cutoff = engine.graph.window.cutoff
+    for name, registered in engine.queries.items():
+        twin = restored.queries[name]
+        assert twin.strategy == registered.strategy
+        assert (
+            twin.algorithm.matches_emitted == registered.algorithm.matches_emitted
+        )
+        if registered.tree is None:
+            assert (
+                twin.algorithm.partial_match_count()
+                == registered.algorithm.partial_match_count()
+            )
+        else:
+            # The live table may still hold expired entries shadowed
+            # behind an unexpired ring head; the snapshot drops them
+            # (they can never influence output), so the restored count
+            # is exactly the genuinely-live slice.
+            for node, twin_node in zip(registered.tree.nodes, twin.tree.nodes):
+                expected = sum(
+                    1 for match in node.table if match.min_time >= cutoff
+                )
+                assert len(twin_node.table) == expected
+                assert (
+                    twin_node.table.inserted_total == node.table.inserted_total
+                )
+
+
+def test_snapshot_skips_unreclaimed_stale_matches(workload):
+    """Entries below the window cutoff are not carried into the snapshot
+    (they are invisible to joins and can never be rediscovered)."""
+    events, queries = workload
+    engine = _single_engine(events, queries, 30.0)
+    engine.run(events[:500])
+    data = engine_to_bytes(engine)
+    restored, _ = engine_from_bytes(data, queries)
+    cutoff = engine.graph.window.cutoff
+    for registered in restored.queries.values():
+        tree = registered.tree
+        if tree is None:
+            continue
+        for node in tree.nodes:
+            for match in node.table:
+                assert match.min_time >= cutoff
+
+
+# ---------------------------------------------------------------------------
+# versioning / corruption / query-set validation
+# ---------------------------------------------------------------------------
+
+
+def _tiny_engine():
+    engine = ContinuousQueryEngine(window=10.0)
+    engine.warmup(
+        [e for e in mixed_etype_workload(50, num_queries=1, seed=1)[0]]
+    )
+    query = QueryGraph.path(["T0", "T1"], name="q0")
+    engine.register(query, strategy="Single", name="q0")
+    return engine, [query]
+
+
+def test_unknown_snapshot_version_raises_checkpoint_error():
+    engine, queries = _tiny_engine()
+    data = bytearray(engine_to_bytes(engine))
+    offset = len(SNAPSHOT_MAGIC)
+    assert data[offset] == SNAPSHOT_VERSION  # single varint byte today
+    data[offset] = SNAPSHOT_VERSION + 9
+    with pytest.raises(CheckpointError, match="unsupported snapshot version"):
+        engine_from_bytes(bytes(data), queries)
+
+
+def test_bad_magic_raises_checkpoint_error():
+    engine, queries = _tiny_engine()
+    data = b"NOTASNAP" + engine_to_bytes(engine)[8:]
+    with pytest.raises(CheckpointError, match="bad magic"):
+        engine_from_bytes(data, queries)
+
+
+def test_truncated_snapshot_raises_checkpoint_error():
+    engine, queries = _tiny_engine()
+    data = engine_to_bytes(engine)
+    with pytest.raises(CheckpointError):
+        engine_from_bytes(data[: len(data) // 2], queries)
+
+
+def test_trailing_garbage_raises_checkpoint_error():
+    engine, queries = _tiny_engine()
+    data = engine_to_bytes(engine) + b"\x00\x01\x02"
+    with pytest.raises(CheckpointError, match="trailing"):
+        engine_from_bytes(data, queries)
+
+
+def test_mismatched_query_structure_raises_checkpoint_error():
+    engine, _ = _tiny_engine()
+    data = engine_to_bytes(engine)
+    different = QueryGraph.path(["T0", "T9"], name="q0")  # same name, new shape
+    with pytest.raises(CheckpointError, match="does not match the snapshot"):
+        engine_from_bytes(data, [different])
+
+
+def test_missing_query_raises_checkpoint_error():
+    engine, _ = _tiny_engine()
+    data = engine_to_bytes(engine)
+    with pytest.raises(CheckpointError, match="not passed to restore"):
+        engine_from_bytes(data, [QueryGraph.path(["T0", "T1"], name="other")])
+
+
+def test_extra_query_raises_checkpoint_error():
+    engine, queries = _tiny_engine()
+    data = engine_to_bytes(engine)
+    extra = QueryGraph.path(["T2", "T3"], name="extra")
+    with pytest.raises(CheckpointError, match="must match exactly"):
+        engine_from_bytes(data, queries + [extra])
+
+
+def test_unnamed_query_raises_checkpoint_error():
+    engine, _ = _tiny_engine()
+    data = engine_to_bytes(engine)
+    with pytest.raises(CheckpointError, match="carry a name"):
+        engine_from_bytes(data, [QueryGraph.path(["T0", "T1"])])
+
+
+def test_missing_manifest_raises_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+        read_manifest(tmp_path)
+
+
+def test_corrupt_manifest_raises_checkpoint_error(tmp_path):
+    (tmp_path / "manifest.json").write_text("{not json", encoding="utf-8")
+    with pytest.raises(CheckpointError, match="corrupt checkpoint manifest"):
+        read_manifest(tmp_path)
+
+
+def test_manifest_version_gate(tmp_path):
+    write_manifest(
+        tmp_path,
+        {
+            "mode": "single",
+            "sequence": 1,
+            "cursor": 0,
+            "shards": [],
+            "queries": [],
+        },
+    )
+    manifest = read_manifest(tmp_path)
+    manifest["version"] = 99
+    import json
+
+    (tmp_path / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(CheckpointError, match="unsupported checkpoint manifest"):
+        read_manifest(tmp_path)
+
+
+def test_sharded_resume_validates_queries(tmp_path, workload):
+    events, queries = workload
+    engine = _sharded_engine(events, queries, 30.0, 2)
+    engine.run(events[:200])
+    engine.checkpoint(tmp_path / "ck")
+    engine.close()
+    wrong = [q.copy(name=q.name) for q in queries]
+    wrong[0] = QueryGraph.path(["T0", "T9"], name=queries[0].name)
+    with pytest.raises(CheckpointError, match="does not match the checkpoint"):
+        ShardedEngine.resume(tmp_path / "ck", wrong)
+    with pytest.raises(CheckpointError, match="not provided for resume"):
+        ShardedEngine.resume(tmp_path / "ck", queries[1:])
+
+
+def test_checkpoint_requires_started_sharded_engine(tmp_path):
+    engine = ShardedEngine(window=10.0)
+    with pytest.raises(CheckpointError, match="started"):
+        engine.checkpoint(tmp_path / "ck")
+
+
+def test_failed_worker_checkpoint_does_not_kill_the_engine(tmp_path, workload):
+    """A transient snapshot-write failure raises CheckpointError and leaves
+    every worker (and its in-memory stream state) alive and retryable."""
+    events, queries = workload
+    directory = tmp_path / "ck"
+    directory.mkdir()
+    # The first checkpoint() call will use sequence 1; squatting a
+    # directory on shard 0's snapshot path makes the worker's write fail.
+    blocker = directory / "ckpt-000001-shard-0.bin.tmp"
+    blocker.mkdir()
+    engine = _sharded_engine(events, queries, 30.0, 2)
+    try:
+        before = identities(engine.run(events[:300]).records)
+        with pytest.raises(CheckpointError, match="worker"):
+            engine.checkpoint(directory)
+        blocker.rmdir()
+        engine.checkpoint(directory)  # same engine, retry succeeds
+        after = identities(engine.run(events[300:]).records)
+    finally:
+        engine.close()
+    full = identities(_single_engine(events, queries, 30.0).run(events).records)
+    assert before + after == full
+    resumed = ShardedEngine.resume(directory, queries)
+    resumed.close()
+
+
+def test_failed_single_checkpoint_raises_checkpoint_error(tmp_path, workload):
+    events, queries = workload
+    engine = _single_engine(events, queries, 30.0)
+    engine.run(events[:100])
+    target = tmp_path / "snap.bin"
+    (tmp_path / "snap.bin.tmp").mkdir()  # write lands on a directory
+    with pytest.raises(CheckpointError, match="cannot write snapshot"):
+        engine.checkpoint(target)
+
+
+def test_prune_removes_orphaned_tmp_files(tmp_path, workload):
+    """*.tmp leftovers from a crash mid-write are cleaned by the next
+    successful checkpoint (their sequence numbers never recur)."""
+    events, queries = workload
+    directory = tmp_path / "ck"
+    directory.mkdir()
+    orphan = directory / "ckpt-000000-shard-9.bin.tmp"
+    orphan.write_bytes(b"half a snapshot")
+    stale = directory / "ckpt-000000-shard-9.bin"
+    stale.write_bytes(b"an old sequence")
+    engine = _sharded_engine(events, queries, 30.0, 1)
+    try:
+        engine.run(events[:100])
+        engine.checkpoint(directory)
+    finally:
+        engine.close()
+    assert not orphan.exists()
+    assert not stale.exists()
+    assert (directory / "manifest.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# binary codec
+# ---------------------------------------------------------------------------
+
+
+def test_binary_round_trip_scalars():
+    writer = BinaryWriter()
+    values = [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        1,
+        2**70,
+        -(2**70),
+        3.5,
+        math.inf,
+        -0.0,
+        "",
+        "héllo\tworld",
+        b"\x00\xffbytes",
+    ]
+    for value in values:
+        writer.write_value(value)
+    writer.write_varint(0)
+    writer.write_varint(300)
+    writer.write_int(-300)
+    writer.write_f64(1e-300)
+    writer.write_str("αβγ")
+    reader = BinaryReader(writer.getvalue())
+    assert [reader.read_value() for _ in values] == values
+    assert reader.read_varint() == 0
+    assert reader.read_varint() == 300
+    assert reader.read_int() == -300
+    assert reader.read_f64() == 1e-300
+    assert reader.read_str() == "αβγ"
+    assert reader.at_end()
+    reader.expect_end()
+
+
+def test_binary_reader_truncation():
+    writer = BinaryWriter()
+    writer.write_str("hello")
+    data = writer.getvalue()
+    reader = BinaryReader(data[:-2])
+    with pytest.raises(CheckpointError, match="truncated"):
+        reader.read_str()
+
+
+def test_binary_unknown_tag():
+    with pytest.raises(CheckpointError, match="unknown value tag"):
+        BinaryReader(b"\x63").read_value()
+
+
+def test_binary_rejects_unsupported_types():
+    with pytest.raises(CheckpointError, match="cannot serialize"):
+        BinaryWriter().write_value(object())

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-from repro.graph import StreamingGraph
 from repro.isomorphism import find_anchored_matches
 from repro.isomorphism.plan import (
     CLOSE,

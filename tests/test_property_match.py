@@ -111,7 +111,10 @@ ESTIMATOR = rich_estimator()
 
 class TestBuilderProperties:
     @settings(max_examples=60, deadline=None)
-    @given(query=random_queries(), strategy=st.sampled_from(["single", "path", "mixed"]))
+    @given(
+        query=random_queries(),
+        strategy=st.sampled_from(["single", "path", "mixed"]),
+    )
     def test_leaves_partition_the_query(self, query, strategy):
         tree = build_sj_tree(query, ESTIMATOR, strategy)
         covered = sorted(q for leaf in leaf_partition_of(tree) for q in leaf)

@@ -53,7 +53,12 @@ class TestSeriesTable:
         assert "Lazy" in text and "VF2" in text
         lines = text.splitlines()
         assert any("0.500" in line for line in lines)
-        assert any("-" == cell.strip() for line in lines for cell in line.split("  ") if cell)
+        assert any(
+            "-" == cell.strip()
+            for line in lines
+            for cell in line.split("  ")
+            if cell
+        )
 
 
 class TestLogHistogram:
@@ -61,7 +66,10 @@ class TestLogHistogram:
         import re
 
         text = log_histogram([1e-5, 1e-5, 1e-1, 10.0], bins=6, lo=-6, hi=2)
-        counts = [int(re.search(r"\)\s+(\d+)", line).group(1)) for line in text.splitlines()]
+        counts = [
+            int(re.search(r"\)\s+(\d+)", line).group(1))
+            for line in text.splitlines()
+        ]
         assert sum(counts) == 4
 
     def test_zero_values_clamp_to_floor(self):

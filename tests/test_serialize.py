@@ -31,8 +31,8 @@ class TestRoundTrip:
         assert rebuilt.expected_selectivity() == pytest.approx(
             tree.expected_selectivity()
         )
-        assert [l.leaf_label for l in rebuilt.leaves()] == [
-            l.leaf_label for l in tree.leaves()
+        assert [leaf.leaf_label for leaf in rebuilt.leaves()] == [
+            leaf.leaf_label for leaf in tree.leaves()
         ]
 
     def test_save_load_file(self, tree, query, tmp_path):

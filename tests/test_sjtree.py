@@ -239,7 +239,10 @@ class TestInsertAndJoin:
     def test_on_insert_hook_fires_per_node(self, tree, query):
         window = TimeWindow()
         events = []
-        hook = lambda node, match: events.append(node.node_id)
+
+        def hook(node, match):
+            events.append(node.node_id)
+
         parts = [
             match_for(query, {0: edge(1, "a", "b")}),
             match_for(query, {1: edge(2, "b", "c")}),

@@ -59,7 +59,9 @@ class TestDistributionTracker:
 
 class TestRankCorrelation:
     def test_identical_rankings(self):
-        assert rank_correlation({"a": 1, "b": 5}, {"a": 2, "b": 9}) == pytest.approx(1.0)
+        assert rank_correlation(
+            {"a": 1, "b": 5}, {"a": 2, "b": 9}
+        ) == pytest.approx(1.0)
 
     def test_reversed_rankings(self):
         tau = rank_correlation({"a": 1, "b": 5}, {"a": 5, "b": 1})

@@ -8,9 +8,7 @@
   strategies (the >95% claim, relaxed for Python constant factors).
 """
 
-import math
 
-import pytest
 
 from repro.graph import StreamingGraph
 from repro.query import QueryGraph

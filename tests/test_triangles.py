@@ -124,7 +124,9 @@ class TestBirthdayEstimator:
         vertices = [f"v{i}" for i in range(16)]
         pairs = list(it.combinations(vertices, 2))
         random.Random(3).shuffle(pairs)
-        est = BirthdayTriangleEstimator(edge_reservoir=500, wedge_reservoir=4000, seed=4)
+        est = BirthdayTriangleEstimator(
+            edge_reservoir=500, wedge_reservoir=4000, seed=4
+        )
         for u, v in pairs:
             est.observe(u, v)
         exact = 16 * 15 * 14 / 6  # C(16,3) = 560
