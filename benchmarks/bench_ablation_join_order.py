@@ -84,9 +84,7 @@ def test_join_order_ablation(benchmark):
             "anti-greedy order (lazy)": _run(
                 worst_partition, worst_meta, query, stream, lazy=True
             ),
-            "selectivity order (eager)": _run(
-                ordered, meta, query, stream, lazy=False
-            ),
+            "selectivity order (eager)": _run(ordered, meta, query, stream, lazy=False),
         }
 
     outcome = benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0)

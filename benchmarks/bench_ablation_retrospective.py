@@ -63,6 +63,7 @@ def test_retrospective_ablation(benchmark):
         return len(found & truth) / len(truth) if truth else 1.0
 
     print_banner(f"Ablation — retrospective search on {query.name}")
+    # fmt: off
     rows = [
         ["eager (ground truth)", len(truth), "100.0%", f"{t_eager:.3f}"],
         ["lazy + retrospective", len(with_retro),
@@ -70,6 +71,7 @@ def test_retrospective_ablation(benchmark):
         ["lazy, no retrospective", len(without),
          f"{recall(without):.1%}", f"{t_without:.3f}"],
     ]
+    # fmt: on
     print(ascii_table(["configuration", "matches", "recall", "seconds"], rows))
     benchmark.extra_info["recall_without_retro"] = round(recall(without), 3)
 

@@ -21,9 +21,7 @@ def test_window_ablation(benchmark):
 
     def run_all():
         return {
-            width: run_query(
-                warmup, stream, query, "SingleLazy", window=width
-            )
+            width: run_query(warmup, stream, query, "SingleLazy", window=width)
             for width in WIDTHS
         }
 
@@ -45,6 +43,4 @@ def test_window_ablation(benchmark):
     assert matches == sorted(matches), "matches must grow with window width"
     partials = [outcome[width].peak_partial_matches for width in WIDTHS]
     assert partials[0] <= partials[-1], "state must grow with window width"
-    benchmark.extra_info["matches_by_width"] = dict(
-        zip(map(str, WIDTHS), matches)
-    )
+    benchmark.extra_info["matches_by_width"] = dict(zip(map(str, WIDTHS), matches))

@@ -32,15 +32,10 @@ def _xi_values(name: str, kind: str, count: int, seed: int = 21):
         qgen = QueryGenerator(triples=generator.schema_triples(), seed=seed)
         raw = qgen.generate_group("spath", QUERY_EDGES, count * 6)
     else:
-        qgen = QueryGenerator(
-            etypes=generator.etypes(), vertex_type="ip", seed=seed
-        )
+        qgen = QueryGenerator(etypes=generator.etypes(), vertex_type="ip", seed=seed)
         raw = qgen.generate_group("path", QUERY_EDGES, count * 6)
     valid = filter_valid(raw, estimator)[:count]
-    return [
-        choose_strategy(query, estimator).relative_selectivity
-        for query in valid
-    ]
+    return [choose_strategy(query, estimator).relative_selectivity for query in valid]
 
 
 CONFIG = {

@@ -61,8 +61,10 @@ def test_fig7_uniqueness_ordering_matches_paper():
         _, counts = _count(name)
         uniques[name] = len(counts)
     print_banner("Fig. 7 — unique 2-edge path signatures per dataset")
-    print(ascii_table(
-        ["dataset", "repro", "paper"],
-        [[n, uniques[n], PAPER_UNIQUE[n]] for n in uniques],
-    ))
+    print(
+        ascii_table(
+            ["dataset", "repro", "paper"],
+            [[n, uniques[n], PAPER_UNIQUE[n]] for n in uniques],
+        )
+    )
     assert uniques["nyt"] < uniques["netflow"] < uniques["lsbench"]

@@ -29,9 +29,7 @@ STRATEGIES = ("Single", "SingleLazy", "Path", "PathLazy")
 
 
 def _split(strategy, warmup, stream, query):
-    stats = run_query(
-        warmup, stream, query, strategy, window=PROCESS_WINDOW["netflow"]
-    )
+    stats = run_query(warmup, stream, query, strategy, window=PROCESS_WINDOW["netflow"])
     iso = stats.profile.seconds("iso")
     join = stats.profile.seconds("join")
     return iso, join
@@ -54,13 +52,9 @@ def test_profile_time_split(benchmark):
     for strategy, (iso, join) in splits.items():
         total = iso + join
         shares[strategy] = iso / total if total else 0.0
-        rows.append(
-            [strategy, f"{iso:.3f}", f"{join:.3f}", f"{shares[strategy]:.1%}"]
-        )
+        rows.append([strategy, f"{iso:.3f}", f"{join:.3f}", f"{shares[strategy]:.1%}"])
     print(ascii_table(["strategy", "iso s", "join s", "iso share"], rows))
-    benchmark.extra_info["iso_shares"] = {
-        s: round(v, 3) for s, v in shares.items()
-    }
+    benchmark.extra_info["iso_shares"] = {s: round(v, 3) for s, v in shares.items()}
 
     # On this randomly drawn, match-dense probe query the absolute iso
     # seconds are near-identical across strategies (once the hub vertices

@@ -39,9 +39,7 @@ def test_selectivity_order_stability(benchmark, name):
     )
     from repro.stats import rank_correlation
 
-    taus = [
-        rank_correlation(a, b) for a, b in zip(snapshots, snapshots[1:])
-    ]
+    taus = [rank_correlation(a, b) for a, b in zip(snapshots, snapshots[1:])]
     print_banner(f"§6.3 — {name}: 2-edge selectivity order stability")
     rows = [[f"i{i}->i{i+1}", f"{tau:.3f}"] for i, tau in enumerate(taus)]
     print(ascii_table(["interval pair", "kendall tau"], rows))

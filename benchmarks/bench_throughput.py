@@ -36,6 +36,12 @@ the sweep: a comma list of worker counts (default ``1,2,4``) or
 ``0``/``none``/``skip`` to skip it entirely — single-CPU sandboxes can
 opt out of measuring the (necessarily <1x) multiprocessing overhead.
 
+A fourth section, ``shard_migration``, kills a 2-worker run mid-stream,
+re-cuts its checkpoint for workers ∈ {1, 3} and resumes — asserting the
+concatenated records equal the single-process reference and recording
+the migrate/resume wall time (what a live ``rebalance`` costs). Skipped
+together with the worker sweep.
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_throughput.py``) or
 under pytest. Scale via ``REPRO_BENCH_SCALE`` ∈ {smoke, small, medium,
 large}.
@@ -47,7 +53,9 @@ import json
 import math
 import os
 import resource
+import shutil
 import sys
+import tempfile
 import time
 import tracemalloc
 from pathlib import Path
@@ -79,6 +87,12 @@ WINDOW = 40.0
 DEFAULT_WORKER_COUNTS = (1, 2, 4)
 WORKER_BATCH = 256
 WORKER_REPEATS = 3
+
+#: the ``shard_migration`` section: checkpoint at N workers mid-stream,
+#: re-cut the checkpoint for each target M and resume — record identity
+#: asserted against the single-process reference, wall time recorded.
+MIGRATION_SOURCE_WORKERS = 2
+MIGRATION_TARGETS = (1, 3)
 
 #: CI-guarded floor for the machine-independent seed/fast speedup ratio.
 SPEEDUP_FLOOR = 4.0
@@ -147,9 +161,7 @@ def run_engine(
         for event in stream:
             records.extend(engine.process_event(event))
     t3 = time.perf_counter()
-    identities = [
-        (r.query_name, r.match.fingerprint, r.completed_at) for r in records
-    ]
+    identities = [(r.query_name, r.match.fingerprint, r.completed_at) for r in records]
     timings = {
         "elapsed_seconds": t3 - t2,
         "phases": {
@@ -203,9 +215,7 @@ def run_sharded(
     workers: int,
 ) -> Tuple[float, list]:
     """One sharded run; startup/registration excluded from the timing."""
-    engine = ShardedEngine(
-        window=WINDOW, workers=workers, batch_size=WORKER_BATCH
-    )
+    engine = ShardedEngine(window=WINDOW, workers=workers, batch_size=WORKER_BATCH)
     engine.warmup(warmup)
     for query in queries:
         engine.register(query, strategy="Single", name=query.name)
@@ -259,6 +269,79 @@ def sweep_workers(
     return result
 
 
+def measure_migration(
+    stream: List[EdgeEvent],
+    warmup: List[EdgeEvent],
+    queries: List[QueryGraph],
+    reference: list,
+) -> dict:
+    """Mid-stream N→M checkpoint migration: identity + wall time.
+
+    A :data:`MIGRATION_SOURCE_WORKERS`-worker run is killed halfway
+    through the stream (checkpoint + close), the checkpoint directory is
+    re-cut for each target worker count, and a fresh engine resumes the
+    remainder. The concatenated records must equal the uninterrupted
+    single-process reference — the same bar ``tests/test_migration.py``
+    enforces — and the artefact records what a live rebalance costs
+    (snapshot split/merge/compose plus worker respawn) at this scale.
+    """
+    from repro.persistence.migrate import migrate_checkpoint
+
+    cut = len(stream) // 2
+    targets = {}
+    for target in MIGRATION_TARGETS:
+        root = Path(tempfile.mkdtemp(prefix="repro-bench-migrate-"))
+        try:
+            directory = root / "ck"
+            engine = ShardedEngine(
+                window=WINDOW,
+                workers=MIGRATION_SOURCE_WORKERS,
+                batch_size=WORKER_BATCH,
+            )
+            engine.warmup(warmup)
+            for query in queries:
+                engine.register(query, strategy="Single", name=query.name)
+            try:
+                first = engine.run(stream[:cut])
+                engine.checkpoint(directory, cursor=cut)
+            finally:
+                engine.close()
+            identities = [
+                (r.query_name, r.match.fingerprint, r.completed_at)
+                for r in first.records
+            ]
+            t0 = time.perf_counter()
+            migrate_checkpoint(directory, queries, workers=target)
+            t1 = time.perf_counter()
+            resumed = ShardedEngine.resume(directory, queries)
+            t2 = time.perf_counter()
+            try:
+                rest = resumed.run(stream[cut:])
+            finally:
+                resumed.close()
+            identities += [
+                (r.query_name, r.match.fingerprint, r.completed_at)
+                for r in rest.records
+            ]
+            assert identities == reference, (
+                f"{MIGRATION_SOURCE_WORKERS}->{target} migration diverged "
+                f"from the single-process engine: {len(identities)} vs "
+                f"{len(reference)} records"
+            )
+            targets[str(target)] = {
+                "migrate_seconds": round(t1 - t0, 4),
+                "resume_seconds": round(t2 - t1, 4),
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "source_workers": MIGRATION_SOURCE_WORKERS,
+        "cut_event": cut,
+        "record_identity": "asserted",
+        "targets": targets,
+    }
+
+
 def run(write: bool = True) -> dict:
     scale = BenchScale.from_env()
     events = scale.stream_events
@@ -280,15 +363,16 @@ def run(write: bool = True) -> dict:
 
     counts = worker_counts_from_env()
     if counts is None:
-        worker_scaling = {
+        skipped = {
             "skipped": True,
             "reason": "REPRO_BENCH_WORKERS disabled the sweep",
             "cpu_count": os.cpu_count(),
         }
+        worker_scaling = skipped
+        shard_migration = dict(skipped)
     else:
-        worker_scaling = sweep_workers(
-            stream, warmup, queries, fast_records, counts
-        )
+        worker_scaling = sweep_workers(stream, warmup, queries, fast_records, counts)
+        shard_migration = measure_migration(stream, warmup, queries, fast_records)
 
     n = len(stream)
     seed_elapsed = seed_timing["elapsed_seconds"]
@@ -329,6 +413,7 @@ def run(write: bool = True) -> dict:
             ),
         },
         "worker_scaling": worker_scaling,
+        "shard_migration": shard_migration,
     }
     if write:
         ARTEFACT.write_text(json.dumps(result, indent=2) + "\n")
@@ -390,3 +475,16 @@ if __name__ == "__main__":
         ratio = scaling.get("speedup_workers4_over_1")
         suffix = f"   (4w/1w: {ratio:.2f}x)" if ratio is not None else ""
         print(f"worker scaling ({scaling['cpu_count']} CPUs): {per_worker}{suffix}")
+    migration = outcome["shard_migration"]
+    if migration.get("skipped"):
+        print("shard migration: skipped (REPRO_BENCH_WORKERS)")
+    else:
+        per_target = "   ".join(
+            f"2->{target}: migrate {entry['migrate_seconds']*1000:.0f}ms"
+            f" + resume {entry['resume_seconds']*1000:.0f}ms"
+            for target, entry in migration["targets"].items()
+        )
+        print(
+            f"shard migration (cut @{migration['cut_event']}, "
+            f"records identical): {per_target}"
+        )

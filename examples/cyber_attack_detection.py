@@ -29,9 +29,7 @@ def benign_background(num_events: int, seed: int) -> list[EdgeEvent]:
     """Backbone noise plus *benign* uses of the attack edge types, so the
     warmup statistics know RDP/HTTP/LARGE_MSG exist (as rare types)."""
     rng = random.Random(seed)
-    base = NetflowGenerator(
-        num_events=num_events, num_hosts=800, seed=seed
-    ).generate()
+    base = NetflowGenerator(num_events=num_events, num_hosts=800, seed=seed).generate()
     noisy: list[EdgeEvent] = []
     for event in base:
         noisy.append(event)

@@ -49,9 +49,7 @@ def run(strategy: str, warmup, live) -> None:
         f"partial-match inserts={lifetime}"
     )
     if registered.tree is not None:
-        order = " -> ".join(
-            leaf.leaf_label for leaf in registered.tree.leaves()
-        )
+        order = " -> ".join(leaf.leaf_label for leaf in registered.tree.leaves())
         print(f"              join order: {order}")
 
 

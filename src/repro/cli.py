@@ -15,6 +15,13 @@ to register several continuous queries over the same stream;
 ``--workers N`` (N > 1) executes them on the query-sharded parallel
 runtime (:mod:`repro.runtime`), and ``--batch-size`` sizes both the
 chunked stream reader and the per-worker ingest batches.
+
+Durability and shard-layout migration: ``run --checkpoint-dir`` rolls
+checkpoints, ``resume`` continues one — at the recorded layout or, with
+``--workers M``, at any other worker count (checkpoints are
+layout-independent) — ``rebalance`` re-cuts a checkpoint directory
+offline, and ``run --rebalance-every N`` re-cuts the live shard layout
+from current statistics every N events.
 """
 
 from __future__ import annotations
@@ -144,17 +151,13 @@ def _drive_single(
     while True:
         take = _segment_size(args.limit, processed, args.checkpoint_every)
         count = 0
-        for chunk in chunk_events(
-            itertools.islice(events, take), args.batch_size
-        ):
+        for chunk in chunk_events(itertools.islice(events, take), args.batch_size):
             for record in engine.process_events(chunk):
                 _print_match(record, shown, args.max_print)
                 shown += 1
             count += len(chunk)
         processed += count
-        if args.checkpoint_dir is not None and (
-            count or sequence == start_sequence
-        ):
+        if args.checkpoint_dir is not None and (count or sequence == start_sequence):
             sequence += 1
             ckpt_manifest.write_single_checkpoint(
                 args.checkpoint_dir,
@@ -183,14 +186,36 @@ def _drive_sharded(
 
     Returns ``(events_processed, records_emitted)``. Each segment is one
     coordinator :meth:`~repro.runtime.ShardedEngine.run` (which collects
-    all worker records, making the following checkpoint a clean cut).
+    all worker records, making the following checkpoint — or shard
+    rebalance — a clean cut). Segments are cut at whichever of
+    ``--checkpoint-every`` / ``--rebalance-every`` / ``--limit`` lands
+    first; checkpoints still fall exactly every ``--checkpoint-every``
+    processed events (plus one at end of stream), no matter how the
+    rebalance cadence slices the segments.
     """
     shown = 0
     processed = 0
     records = 0
+    since_checkpoint = 0
+    since_rebalance = 0
     first = True
+    rebalance_every = getattr(args, "rebalance_every", None)
     while True:
-        take = _segment_size(args.limit, processed, args.checkpoint_every)
+        # Next cut: whichever of the checkpoint cadence, rebalance cadence
+        # and --limit lands first. Both cadences count from their *last*
+        # cut, not from the segment start — a rebalance mid-interval must
+        # not push the next checkpoint out (see the cadence test).
+        take = None
+        if args.checkpoint_every is not None:
+            take = args.checkpoint_every - since_checkpoint
+        if rebalance_every is not None:
+            until_rebalance = rebalance_every - since_rebalance
+            take = until_rebalance if take is None else min(take, until_rebalance)
+        remaining = None if args.limit is None else max(args.limit - processed, 0)
+        if take is None:
+            take = remaining
+        elif remaining is not None:
+            take = min(take, remaining)
         segment = events if take is None else itertools.islice(events, take)
         result = engine.run(segment)
         for record in result.records:
@@ -198,19 +223,28 @@ def _drive_sharded(
             shown += 1
         records += len(result.records)
         processed += result.edges_processed
-        if args.checkpoint_dir is not None and (
-            result.edges_processed or first
-        ):
-            engine.checkpoint(
-                args.checkpoint_dir, cursor=cursor_base + processed
-            )
-        first = False
-        if (
+        since_checkpoint += result.edges_processed
+        since_rebalance += result.edges_processed
+        ending = (
             take is None
             or result.edges_processed < take
             or (args.limit is not None and processed >= args.limit)
+        )
+        checkpoint_due = (
+            args.checkpoint_every is not None
+            and since_checkpoint >= args.checkpoint_every
+        )
+        if args.checkpoint_dir is not None and (
+            checkpoint_due or (ending and (since_checkpoint or first))
         ):
+            engine.checkpoint(args.checkpoint_dir, cursor=cursor_base + processed)
+            since_checkpoint = 0
+        first = False
+        if ending:
             break
+        if rebalance_every is not None and since_rebalance >= rebalance_every:
+            engine.rebalance(cursor=cursor_base + processed)
+            since_rebalance = 0
     return processed, records
 
 
@@ -226,6 +260,15 @@ def _validate_run_options(args: argparse.Namespace) -> None:
             )
         if args.checkpoint_dir is None:
             raise ValueError("--checkpoint-every requires --checkpoint-dir")
+    rebalance_every = getattr(args, "rebalance_every", None)
+    if rebalance_every is not None:
+        if rebalance_every < 1:
+            raise ValueError(f"--rebalance-every must be >= 1, got {rebalance_every}")
+        if getattr(args, "workers", 1) < 2:
+            raise ValueError(
+                "--rebalance-every applies to the sharded runtime; "
+                "pass --workers >= 2"
+            )
 
 
 def _run_sharded_and_describe(
@@ -335,8 +378,17 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             f"checkpoint cursor is at {cursor}; wrong --stream file?"
         )
 
-    if manifest["mode"] == ckpt_manifest.MODE_SHARDED:
-        engine = ShardedEngine.resume(args.checkpoint_dir, queries)
+    migrating = args.workers is not None or args.partitioner is not None
+    if manifest["mode"] == ckpt_manifest.MODE_SHARDED or migrating:
+        # Checkpoints are layout-independent: --workers resumes at any
+        # M >= 1 (the directory is re-cut in place first), including a
+        # single-mode checkpoint migrated onto the sharded runtime.
+        engine = ShardedEngine.resume(
+            args.checkpoint_dir,
+            queries,
+            workers=args.workers,
+            partitioner=args.partitioner,
+        )
         processed, records, elapsed = _run_sharded_and_describe(
             engine, events, args, cursor_base=cursor
         )
@@ -358,6 +410,39 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     )
     _print_single_summary(single)
     print(f"(resumed at event {cursor}; processed {processed} more)")
+    return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    """Re-cut a checkpoint directory for a new worker count, offline."""
+    from .persistence.migrate import migrate_checkpoint
+
+    if args.workers is not None and args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    queries = _load_queries(args.query)
+    manifest = ckpt_manifest.read_manifest(args.checkpoint_dir)
+    workers = args.workers if args.workers is not None else manifest["workers"]
+    new_manifest = migrate_checkpoint(
+        args.checkpoint_dir,
+        queries,
+        workers=workers,
+        partitioner=args.partitioner,
+        out=args.out,
+    )
+    where = args.out if args.out is not None else args.checkpoint_dir
+    print(
+        f"rebalanced checkpoint {args.checkpoint_dir} "
+        f"({manifest['workers']} -> {new_manifest['workers']} workers, "
+        f"partitioner={new_manifest['partitioner']}) into {where}"
+    )
+    names = {entry["position"]: entry["name"] for entry in new_manifest["queries"]}
+    for shard in new_manifest["shards"]:
+        placed = ", ".join(names[p] for p in shard["positions"])
+        print(f"  shard {shard['worker_id']}: queries=[{placed}]")
+    print(
+        f"resume with: repro-graph resume --checkpoint-dir {where} "
+        "--stream ... --query ..."
+    )
     return 0
 
 
@@ -417,6 +502,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="events per ingest chunk / per worker batch",
     )
+    p_run.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=None,
+        help=(
+            "re-cut the shard layout every N processed events from live "
+            "statistics (sharded runtime; requires --workers >= 2)"
+        ),
+    )
     _add_durability_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -445,8 +539,67 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="events per ingest chunk (single-process resume)",
     )
+    p_resume.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "resume at a different worker count (any M >= 1; the "
+            "checkpoint is re-cut in place before resuming)"
+        ),
+    )
+    p_resume.add_argument(
+        "--partitioner",
+        choices=("cost", "round-robin"),
+        default=None,
+        help="repartition policy when re-cutting the shard layout",
+    )
     _add_durability_arguments(p_resume, require_dir=True)
     p_resume.set_defaults(func=_cmd_resume)
+
+    p_reb = sub.add_parser(
+        "rebalance",
+        help="re-cut a checkpoint directory for a new worker count",
+        description=(
+            "Split the per-shard snapshots of --checkpoint-dir into "
+            "per-query state slices, repartition the queries over "
+            "--workers shards using the statistics the checkpoint "
+            "carries (warmup estimator + live window mix), and write "
+            "the re-cut snapshots and manifest back (or into --out). "
+            "The result is a normal checkpoint directory; resuming it "
+            "emits exactly the records the original run would have."
+        ),
+    )
+    p_reb.add_argument(
+        "--checkpoint-dir", required=True, help="checkpoint directory to re-cut"
+    )
+    p_reb.add_argument(
+        "--query",
+        required=True,
+        action="append",
+        help="query file; must match the checkpointed query set",
+    )
+    p_reb.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="target worker count (default: keep the checkpoint's count)",
+    )
+    p_reb.add_argument(
+        "--partitioner",
+        choices=("cost", "round-robin"),
+        default=None,
+        help="repartition policy (default: the checkpoint's policy)",
+    )
+    p_reb.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "write the re-cut checkpoint here instead of rewriting "
+            "--checkpoint-dir in place"
+        ),
+    )
+    p_reb.set_defaults(func=_cmd_rebalance)
     return parser
 
 

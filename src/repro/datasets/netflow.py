@@ -124,9 +124,7 @@ class NetflowGenerator(StreamGenerator):
             # weights — affinity shapes who-talks-what, not the overall mix
             chooser = self._profile_choosers.get(src_profile)
             if chooser is None:
-                chooser = WeightedChooser(
-                    [(p, self._weights[p]) for p in src_profile]
-                )
+                chooser = WeightedChooser([(p, self._weights[p]) for p in src_profile])
                 self._profile_choosers[src_profile] = chooser
             protocol = chooser.choose(rng)
             dst = self._hosts.sample_excluding(rng, src)
@@ -144,9 +142,7 @@ class NetflowGenerator(StreamGenerator):
             )
 
     def schema_triples(self) -> List[SchemaTriple]:
-        return [
-            SchemaTriple(IP, protocol, IP) for protocol in self._protocols.labels
-        ]
+        return [SchemaTriple(IP, protocol, IP) for protocol in self._protocols.labels]
 
     def etypes(self) -> List[str]:
         return list(self._protocols.labels)

@@ -72,9 +72,7 @@ class NYTGenerator(StreamGenerator):
         self.config: NYTConfig = config
         self._mention = WeightedChooser(list(DEFAULT_MENTION_WEIGHTS))
         self._entity_type = dict(MENTION_TYPES)
-        self._entities = ZipfSampler(
-            config.num_entities_per_type, config.zipf_exponent
-        )
+        self._entities = ZipfSampler(config.num_entities_per_type, config.zipf_exponent)
 
     def events(self) -> Iterator[EdgeEvent]:
         config = self.config

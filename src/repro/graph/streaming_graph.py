@@ -181,9 +181,7 @@ class StreamingGraph:
         dst_type: str = DEFAULT_VERTEX_TYPE,
     ) -> Edge:
         """Convenience wrapper building the :class:`EdgeEvent` inline."""
-        return self.add_event(
-            EdgeEvent(src, dst, etype, timestamp, src_type, dst_type)
-        )
+        return self.add_event(EdgeEvent(src, dst, etype, timestamp, src_type, dst_type))
 
     def add_events(
         self, events: Iterable[EdgeEvent], *, evict: bool = True
@@ -352,9 +350,7 @@ class StreamingGraph:
         """
         return self._adj_view(self._out, vertex, etype)
 
-    def in_edges(
-        self, vertex: VertexId, etype: Optional[str] = None
-    ) -> Iterable[Edge]:
+    def in_edges(self, vertex: VertexId, etype: Optional[str] = None) -> Iterable[Edge]:
         """Edges entering ``vertex``, optionally restricted to one type.
 
         Same view semantics as :meth:`out_edges`.
@@ -450,15 +446,11 @@ class StreamingGraph:
 
     def out_types(self, vertex: VertexId) -> Iterable[str]:
         """Distinct edge types leaving ``vertex``."""
-        return [
-            VOCABULARY.etype_name(code) for code in self._out.get(vertex, _EMPTY)
-        ]
+        return [VOCABULARY.etype_name(code) for code in self._out.get(vertex, _EMPTY)]
 
     def in_types(self, vertex: VertexId) -> Iterable[str]:
         """Distinct edge types entering ``vertex``."""
-        return [
-            VOCABULARY.etype_name(code) for code in self._in.get(vertex, _EMPTY)
-        ]
+        return [VOCABULARY.etype_name(code) for code in self._in.get(vertex, _EMPTY)]
 
     def neighborhood(self, vertex: VertexId, hops: int) -> set[VertexId]:
         """Vertices reachable from ``vertex`` within ``hops`` undirected hops.

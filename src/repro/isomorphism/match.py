@@ -247,6 +247,29 @@ class Match:
             for _, slot, is_src in self._shape.role_sources  # type: ignore[union-attr]
         }
 
+    def data_vertices_ordered(self) -> tuple:
+        """Distinct data vertices in deterministic query-role order.
+
+        Set iteration order is hash-seed dependent, so two *processes*
+        can walk :meth:`data_vertices` differently even on identical
+        input. Anything whose observable behaviour depends on the walk
+        order — Lazy Search's enablement/backfill pass inserts
+        retrospective matches in vertex order, which fixes probe and
+        hence emission order — must use this instead, or kill/resume
+        across processes would not be record-identical.
+        """
+        vm = self._vm
+        ordered: dict = {}
+        if vm is not None:
+            for role in sorted(vm):
+                ordered.setdefault(vm[role], None)
+        else:
+            edges = self.edges
+            sources = self._shape.role_sources  # type: ignore[union-attr]
+            for _, slot, is_src in sources:
+                ordered.setdefault(edges[slot].src if is_src else edges[slot].dst, None)
+        return tuple(ordered)
+
     def key_for(self, cut_vertices: Sequence[int]) -> Tuple[VertexId, ...]:
         """Projection Π onto the cut subgraph: the join key (Property 4).
 
@@ -352,9 +375,7 @@ class JoinPlan:
 
     __slots__ = ("shape", "qeids", "take", "left_excl", "right_excl")
 
-    def __init__(
-        self, left: MatchShape, right: MatchShape, out: MatchShape
-    ) -> None:
+    def __init__(self, left: MatchShape, right: MatchShape, out: MatchShape) -> None:
         self.shape = out
         self.qeids = out.qeids
         left_pos = {qeid: slot for slot, qeid in enumerate(left.qeids)}

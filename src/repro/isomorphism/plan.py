@@ -271,9 +271,7 @@ def execute_plans(
             # 1-edge wildcard fragment (the "Single" decomposition's usual
             # leaves): the anchor is the whole match, unconditionally.
             ts = anchor.timestamp
-            results.append(
-                Match(plan.shape.qeids, (anchor,), ts, ts, shape=plan.shape)
-            )
+            results.append(Match(plan.shape.qeids, (anchor,), ts, ts, shape=plan.shape))
             continue
         execute_plan(graph, plan, anchor, results, limit=limit)
         if limit is not None and len(results) >= limit:
@@ -374,8 +372,15 @@ def _run(
             chosen[slot] = data_edge
             used_edges.add(data_edge.edge_id)
             _run(
-                graph, plan, slot, chosen, vertex_map,
-                used_edges, used_vertices, results, limit,
+                graph,
+                plan,
+                slot,
+                chosen,
+                vertex_map,
+                used_edges,
+                used_vertices,
+                results,
+                limit,
             )
             used_edges.discard(data_edge.edge_id)
             if limit is not None and len(results) >= limit:
@@ -391,9 +396,7 @@ def _run(
             else graph.in_edges_code(source, step.etype_code)
         )
         for data_edge in candidates:
-            new_vertex = (
-                data_edge.dst if step.kind == EXTEND_OUT else data_edge.src
-            )
+            new_vertex = data_edge.dst if step.kind == EXTEND_OUT else data_edge.src
             if new_vertex in used_vertices or data_edge.edge_id in used_edges:
                 continue
             if not check.ok(graph, new_vertex):
@@ -403,8 +406,15 @@ def _run(
             used_vertices.add(new_vertex)
             vertex_map[step.other_role] = new_vertex
             _run(
-                graph, plan, slot, chosen, vertex_map,
-                used_edges, used_vertices, results, limit,
+                graph,
+                plan,
+                slot,
+                chosen,
+                vertex_map,
+                used_edges,
+                used_vertices,
+                results,
+                limit,
             )
             del vertex_map[step.other_role]
             used_vertices.discard(new_vertex)
@@ -431,8 +441,15 @@ def _run(
             used_vertices.add(data_edge.src)
             vertex_map[step.anchor_role] = data_edge.src
             _run(
-                graph, plan, slot, chosen, vertex_map,
-                used_edges, used_vertices, results, limit,
+                graph,
+                plan,
+                slot,
+                chosen,
+                vertex_map,
+                used_edges,
+                used_vertices,
+                results,
+                limit,
             )
             del vertex_map[step.anchor_role]
             used_vertices.discard(data_edge.src)
@@ -451,8 +468,15 @@ def _run(
             vertex_map[step.anchor_role] = data_edge.src
             vertex_map[step.other_role] = data_edge.dst
             _run(
-                graph, plan, slot, chosen, vertex_map,
-                used_edges, used_vertices, results, limit,
+                graph,
+                plan,
+                slot,
+                chosen,
+                vertex_map,
+                used_edges,
+                used_vertices,
+                results,
+                limit,
             )
             del vertex_map[step.other_role]
             del vertex_map[step.anchor_role]

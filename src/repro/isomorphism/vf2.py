@@ -293,11 +293,7 @@ class _VF2Matcher:
                     return False
             elif qd == qv and qs in core and qs != qv:
                 source = core[qs]
-                have = sum(
-                    1
-                    for e in self.graph.in_edges(dv, etype)
-                    if e.src == source
-                )
+                have = sum(1 for e in self.graph.in_edges(dv, etype) if e.src == source)
                 if have < needed:
                     return False
         return True
@@ -317,10 +313,7 @@ class _VF2Matcher:
         for edge in self.query.edges:
             if forced is not None and edge.edge_id == forced[0]:
                 data_edge = forced[1]
-                if (
-                    data_edge.src != core[edge.src]
-                    or data_edge.dst != core[edge.dst]
-                ):
+                if data_edge.src != core[edge.src] or data_edge.dst != core[edge.dst]:
                     return
                 candidates.append([data_edge])
                 continue

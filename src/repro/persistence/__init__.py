@@ -24,6 +24,7 @@ from .manifest import (
     MODE_SHARDED,
     MODE_SINGLE,
     load_single_checkpoint,
+    query_shard_index,
     read_manifest,
     shard_filename,
     window_from_json,
@@ -31,12 +32,18 @@ from .manifest import (
     write_manifest,
     write_single_checkpoint,
 )
+from .migrate import migrate_checkpoint
 from .snapshot import (
     SNAPSHOT_VERSION,
+    SnapshotSlices,
+    compose_snapshot,
     engine_from_bytes,
     engine_to_bytes,
+    engine_to_slices,
     load_engine,
+    merge_shard_slices,
     save_engine,
+    split_snapshot,
 )
 
 __all__ = [
@@ -46,13 +53,20 @@ __all__ = [
     "MODE_SHARDED",
     "MODE_SINGLE",
     "SNAPSHOT_VERSION",
+    "SnapshotSlices",
+    "compose_snapshot",
     "engine_from_bytes",
     "engine_to_bytes",
+    "engine_to_slices",
     "load_engine",
     "load_single_checkpoint",
+    "merge_shard_slices",
+    "migrate_checkpoint",
+    "query_shard_index",
     "read_manifest",
     "save_engine",
     "shard_filename",
+    "split_snapshot",
     "window_from_json",
     "window_to_json",
     "write_manifest",

@@ -30,7 +30,13 @@ from ..errors import CheckpointError
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = "repro-graph-checkpoint"
-MANIFEST_VERSION = 1
+#: Version 2 adds the per-query slice index: every ``queries`` entry
+#: carries the ``shard`` (worker id) whose snapshot file holds that
+#: query's state slice, so shard-layout migration can locate each slice
+#: without decoding snapshots. Version-1 directories (PR 4) stay
+#: readable — the same mapping is derived from ``shards[*].positions``.
+MANIFEST_VERSION = 2
+READABLE_MANIFEST_VERSIONS = (1, 2)
 
 #: Checkpoint directory modes: one in-process engine vs a sharded layout.
 MODE_SINGLE = "single"
@@ -84,22 +90,18 @@ def read_manifest(directory: Union[str, Path]) -> Dict:
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
-        raise CheckpointError(
-            f"no checkpoint manifest at {path}: {exc}"
-        ) from exc
+        raise CheckpointError(f"no checkpoint manifest at {path}: {exc}") from exc
     try:
         manifest = json.loads(text)
     except ValueError as exc:
         raise CheckpointError(f"corrupt checkpoint manifest {path}: {exc}") from exc
     if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
-        raise CheckpointError(
-            f"{path} is not a {MANIFEST_FORMAT!r} manifest"
-        )
+        raise CheckpointError(f"{path} is not a {MANIFEST_FORMAT!r} manifest")
     version = manifest.get("version")
-    if version != MANIFEST_VERSION:
+    if version not in READABLE_MANIFEST_VERSIONS:
         raise CheckpointError(
             f"unsupported checkpoint manifest version {version!r}; this "
-            f"build reads version {MANIFEST_VERSION}"
+            f"build reads versions {READABLE_MANIFEST_VERSIONS}"
         )
     for key in ("mode", "sequence", "cursor", "shards", "queries"):
         if key not in manifest:
@@ -145,6 +147,7 @@ def write_single_checkpoint(
                 "name": registered.name,
                 "strategy": registered.strategy,
                 "signature": edge_signature(registered.query),
+                "shard": 0,
             }
             for position, registered in enumerate(engine.queries.values())
         ],
@@ -183,7 +186,9 @@ def load_single_checkpoint(directory: Union[str, Path], queries):
 def query_entries(specs) -> List[Dict]:
     """Manifest ``queries`` section from an iterable of objects carrying
     ``position`` / ``name`` / ``strategy`` / ``query`` (:class:`QuerySpec`
-    shaped); the edge signature pins the structural identity."""
+    shaped); the edge signature pins the structural identity. The
+    version-2 per-query slice index (``shard``) is stamped by
+    :func:`sharded_manifest`."""
     from ..sjtree.serialize import edge_signature
 
     return [
@@ -195,6 +200,68 @@ def query_entries(specs) -> List[Dict]:
         }
         for spec in specs
     ]
+
+
+def sharded_manifest(
+    *,
+    sequence: int,
+    cursor: int,
+    events_streamed: int,
+    window: Optional[float],
+    workers: int,
+    batch_size: Optional[int],
+    partitioner: Optional[str],
+    queries: List[Dict],
+    shards: List[Dict],
+) -> Dict:
+    """Assemble a ``sharded``-mode manifest dict.
+
+    The single construction site for both writers
+    (:meth:`ShardedEngine.checkpoint` and
+    :func:`~repro.persistence.migrate.migrate_checkpoint`), so the key
+    set cannot drift between a rolling checkpoint and a migrated one.
+    Every ``queries`` entry gets its version-2 ``shard`` slice index
+    stamped from the ``shards`` placement.
+    """
+    shard_of = {
+        position: entry["worker_id"]
+        for entry in shards
+        for position in entry["positions"]
+    }
+    return {
+        "mode": MODE_SHARDED,
+        "sequence": sequence,
+        "cursor": cursor,
+        "events_streamed": events_streamed,
+        "window": window,
+        "workers": workers,
+        "batch_size": batch_size,
+        "partitioner": partitioner,
+        "queries": [
+            {**entry, "shard": shard_of.get(entry["position"], 0)}
+            for entry in queries
+        ],
+        "shards": shards,
+    }
+
+
+def query_shard_index(manifest: Dict) -> Dict[str, int]:
+    """Per-query slice index: query name → worker id holding its slice.
+
+    Version-2 manifests record it directly on each query entry; for
+    version-1 directories the same mapping is derived from the shards'
+    ``positions`` lists, so migration works on old checkpoints too.
+    """
+    by_position = {entry["position"]: entry["name"] for entry in manifest["queries"]}
+    index: Dict[str, int] = {}
+    for shard in manifest["shards"]:
+        for position in shard["positions"]:
+            name = by_position.get(position)
+            if name is not None:
+                index[name] = shard["worker_id"]
+    for entry in manifest["queries"]:
+        index.setdefault(entry["name"], entry.get("shard", 0))
+    return index
 
 
 def match_queries(manifest: Dict, queries) -> List:

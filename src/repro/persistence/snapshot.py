@@ -24,6 +24,21 @@ emit **exactly** the records an uninterrupted engine would have emitted:
 * an optional stream ``cursor`` (events consumed from the source) so a
   resume knows where to pick the stream back up.
 
+Format version 2 (the current writer) makes snapshots
+**layout-independent**: the engine-wide sections (config, graph window,
+estimator) and every query's state are stored as length-prefixed slices,
+so :func:`split_snapshot` can take a set of per-shard snapshots apart
+and :func:`merge_shard_slices` / :func:`compose_snapshot` can recombine
+the *per-query* slices into snapshots for a completely different shard
+layout — the mechanism behind
+:meth:`~repro.runtime.sharded.ShardedEngine.resume` with a new worker
+count and :meth:`~repro.runtime.sharded.ShardedEngine.rebalance`. The
+key property making that sound is that a query slice references graph
+state only through pinned global edge ids, never through snapshot-local
+vocabulary codes. Version-1 snapshots (PR 4) are still readable, both by
+:func:`engine_from_bytes` and — via a restore-and-redump pass — by
+:func:`split_snapshot`.
+
 What is deliberately *not* captured: profile timers (they restart from
 zero) and ``StrategyDecision`` explanations (registration-time
 artefacts). A custom ``map_edge`` estimator hook cannot be serialized —
@@ -42,6 +57,7 @@ All structural failures raise :class:`~repro.errors.CheckpointError`.
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -59,17 +75,71 @@ from ..search.engine import ContinuousQueryEngine, RegisteredQuery
 from ..search.lazy import LazySearch
 from ..sjtree.serialize import edge_signature
 from ..sjtree.tree import SJTree, leaf_partition_of
+from ..stats.estimator import SelectivityEstimator
 from ..stats.selectivity import LeafSelectivity
 from .binary import BinaryReader, BinaryWriter
 
 SNAPSHOT_MAGIC = b"RGSNAP"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+#: Versions :func:`engine_from_bytes` can read. Version 1 (PR 4) stored
+#: the same state inline without section length prefixes.
+READABLE_VERSIONS = (1, 2)
 
 _KIND_TREE = 0  # DynamicGraphSearch (eager)
 _KIND_TREE_LAZY = 1  # LazySearch (tree + bitmap)
 _KIND_VF2 = 2  # VF2PerEdgeSearch (stateless)
 _KIND_SEEN = 3  # IncIsoMatchSearch (dedup set)
 _KIND_PERIODIC = 4  # PeriodicVF2Search (dedup set + counter)
+
+
+# ---------------------------------------------------------------------------
+# parsed slice model (the unit of shard-layout migration)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineConfig:
+    """Engine construction knobs carried by a snapshot."""
+
+    width: float
+    housekeeping_every: int
+    dispatch: bool
+    partial_sample_every: Optional[int]
+    profile_phases: bool
+    update_statistics: bool
+    edges_since_sweep: int
+
+
+@dataclass
+class GraphState:
+    """Decoded graph-window section: plain strings, no snapshot codes."""
+
+    #: ``(edge_id, src, dst, etype, timestamp)`` in arrival order
+    #: (ascending pinned edge id == global stream position).
+    edges: List[Tuple[int, object, object, str, float]]
+    vertex_types: Dict[object, str]
+    next_edge_id: int
+    total_inserted: int
+    evicted: int
+    last_timestamp: float
+    t_last: float
+
+
+@dataclass
+class SnapshotSlices:
+    """One snapshot taken apart into recombinable slices.
+
+    ``estimator`` and the per-query ``queries`` values are kept as raw
+    section bytes: both encodings are self-contained (strings and global
+    edge ids only — no snapshot-local vocabulary codes), so they can be
+    copied verbatim into a snapshot for a different shard layout.
+    """
+
+    cursor: Optional[int]
+    config: EngineConfig
+    graph: GraphState
+    estimator: bytes
+    queries: Dict[str, bytes] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -81,29 +151,80 @@ def engine_to_bytes(
     engine: ContinuousQueryEngine, *, cursor: Optional[int] = None
 ) -> bytes:
     """Serialize the full live state of ``engine`` (see module docstring)."""
+    return compose_snapshot(engine_to_slices(engine, cursor=cursor))
+
+
+def engine_to_slices(
+    engine: ContinuousQueryEngine, *, cursor: Optional[int] = None
+) -> SnapshotSlices:
+    """Extract the slice decomposition of ``engine``'s live state."""
+    graph = engine.graph
+    estimator = BinaryWriter()
+    _dump_estimator(estimator, engine.estimator)
+    cutoff = graph.window.cutoff
+    queries: Dict[str, bytes] = {}
+    for registered in engine.queries.values():
+        blob = BinaryWriter()
+        _dump_query_state(blob, registered, cutoff)
+        queries[registered.name] = blob.getvalue()
+    return SnapshotSlices(
+        cursor=cursor,
+        config=EngineConfig(
+            width=graph.window.width,
+            housekeeping_every=engine.housekeeping_every,
+            dispatch=engine.dispatch,
+            partial_sample_every=engine.partial_sample_every,
+            profile_phases=engine.profile_phases,
+            update_statistics=engine.update_statistics,
+            edges_since_sweep=engine._edges_since_sweep,
+        ),
+        graph=GraphState(
+            edges=[
+                (edge.edge_id, edge.src, edge.dst, edge.etype, edge.timestamp)
+                for edge in graph.edges()  # arrival order == ascending id
+            ],
+            vertex_types={
+                vertex: VOCABULARY.vtype_name(code)
+                for vertex, code in graph._vertex_types.items()
+            },
+            next_edge_id=graph._next_edge_id,
+            total_inserted=graph.total_edges_seen,
+            evicted=graph.evicted_edges,
+            last_timestamp=graph._last_timestamp,
+            t_last=graph.window.t_last,
+        ),
+        estimator=estimator.getvalue(),
+        queries=queries,
+    )
+
+
+def compose_snapshot(slices: SnapshotSlices) -> bytes:
+    """Assemble version-:data:`SNAPSHOT_VERSION` snapshot bytes from slices."""
+    etype_codes = _Interner()
+    vtype_codes = _Interner()
+    config = BinaryWriter()
+    _dump_engine_config(config, slices.config)
+    graph = BinaryWriter()
+    _dump_graph_state(graph, slices.graph, etype_codes, vtype_codes)
+
     writer = BinaryWriter()
     writer.write_bytes_raw(SNAPSHOT_MAGIC)
     writer.write_varint(SNAPSHOT_VERSION)
-    writer.write_value(cursor)
-
-    # Snapshot-local vocabulary: only the types this engine's state
-    # references, coded by first-appearance order during the dump.
-    etype_codes = _Interner()
-    vtype_codes = _Interner()
-
-    body = BinaryWriter()
-    _dump_engine_config(body, engine)
-    _dump_graph(body, engine, etype_codes, vtype_codes)
-    _dump_estimator(body, engine)
-    _dump_queries(body, engine)
-
+    writer.write_value(slices.cursor)
     writer.write_varint(len(etype_codes.names))
     for name in etype_codes.names:
         writer.write_str(name)
     writer.write_varint(len(vtype_codes.names))
     for name in vtype_codes.names:
         writer.write_str(name)
-    writer.write_bytes_raw(body.getvalue())
+    for section in (config.getvalue(), graph.getvalue(), slices.estimator):
+        writer.write_varint(len(section))
+        writer.write_bytes_raw(section)
+    writer.write_varint(len(slices.queries))
+    for name, blob in slices.queries.items():
+        writer.write_str(name)
+        writer.write_varint(len(blob))
+        writer.write_bytes_raw(blob)
     return writer.getvalue()
 
 
@@ -118,16 +239,18 @@ def save_engine(
     I/O failures surface as :class:`CheckpointError` (the engine itself
     is untouched — a caller may retry once the disk recovers).
     """
+    write_snapshot_bytes(engine_to_bytes(engine, cursor=cursor), path)
+
+
+def write_snapshot_bytes(data: bytes, path: Union[str, Path]) -> None:
+    """Atomically (tmp + rename) publish snapshot ``data`` at ``path``."""
     target = Path(path)
     tmp = target.with_name(target.name + ".tmp")
-    data = engine_to_bytes(engine, cursor=cursor)
     try:
         tmp.write_bytes(data)
         tmp.replace(target)
     except OSError as exc:
-        raise CheckpointError(
-            f"cannot write snapshot {target}: {exc}"
-        ) from exc
+        raise CheckpointError(f"cannot write snapshot {target}: {exc}") from exc
 
 
 class _Interner:
@@ -148,45 +271,41 @@ class _Interner:
         return code
 
 
-def _dump_engine_config(w: BinaryWriter, engine: ContinuousQueryEngine) -> None:
-    w.write_f64(engine.graph.window.width)
-    w.write_varint(engine.housekeeping_every)
-    w.write_u8(1 if engine.dispatch else 0)
-    w.write_value(engine.partial_sample_every)
-    w.write_u8(1 if engine.profile_phases else 0)
-    w.write_u8(1 if engine.update_statistics else 0)
-    w.write_varint(engine._edges_since_sweep)
+def _dump_engine_config(w: BinaryWriter, config: EngineConfig) -> None:
+    w.write_f64(config.width)
+    w.write_varint(config.housekeeping_every)
+    w.write_u8(1 if config.dispatch else 0)
+    w.write_value(config.partial_sample_every)
+    w.write_u8(1 if config.profile_phases else 0)
+    w.write_u8(1 if config.update_statistics else 0)
+    w.write_varint(config.edges_since_sweep)
 
 
-def _dump_graph(
+def _dump_graph_state(
     w: BinaryWriter,
-    engine: ContinuousQueryEngine,
+    state: GraphState,
     etypes: _Interner,
     vtypes: _Interner,
 ) -> None:
-    graph = engine.graph
-    live = list(graph.edges())  # arrival order == ascending edge id
-    w.write_varint(len(live))
-    for edge in live:
-        w.write_varint(edge.edge_id)
-        w.write_value(edge.src)
-        w.write_value(edge.dst)
-        w.write_varint(etypes.code(edge.etype))
-        w.write_f64(edge.timestamp)
-    vertex_types = graph._vertex_types
-    w.write_varint(len(vertex_types))
-    for vertex, vtype_code in vertex_types.items():
+    w.write_varint(len(state.edges))
+    for edge_id, src, dst, etype, timestamp in state.edges:
+        w.write_varint(edge_id)
+        w.write_value(src)
+        w.write_value(dst)
+        w.write_varint(etypes.code(etype))
+        w.write_f64(timestamp)
+    w.write_varint(len(state.vertex_types))
+    for vertex, vtype in state.vertex_types.items():
         w.write_value(vertex)
-        w.write_varint(vtypes.code(VOCABULARY.vtype_name(vtype_code)))
-    w.write_varint(graph._next_edge_id)
-    w.write_varint(graph.total_edges_seen)
-    w.write_varint(graph.evicted_edges)
-    w.write_f64(graph._last_timestamp)
-    w.write_f64(graph.window.t_last)
+        w.write_varint(vtypes.code(vtype))
+    w.write_varint(state.next_edge_id)
+    w.write_varint(state.total_inserted)
+    w.write_varint(state.evicted)
+    w.write_f64(state.last_timestamp)
+    w.write_f64(state.t_last)
 
 
-def _dump_estimator(w: BinaryWriter, engine: ContinuousQueryEngine) -> None:
-    estimator = engine.estimator
+def _dump_estimator(w: BinaryWriter, estimator: SelectivityEstimator) -> None:
     w.write_varint(estimator.events_observed)
     histogram = estimator.edge_histogram.as_dict()
     w.write_varint(len(histogram))
@@ -213,46 +332,45 @@ def _dump_estimator(w: BinaryWriter, engine: ContinuousQueryEngine) -> None:
         w.write_varint(count)
 
 
-def _dump_queries(w: BinaryWriter, engine: ContinuousQueryEngine) -> None:
-    cutoff = engine.graph.window.cutoff
-    w.write_varint(len(engine.queries))
-    for registered in engine.queries.values():
-        w.write_str(registered.name)
-        w.write_str(registered.strategy)
-        w.write_str(edge_signature(registered.query))
-        algorithm = registered.algorithm
-        options = _algorithm_options(algorithm)
-        w.write_varint(len(options))
-        for key, value in options.items():
-            w.write_str(key)
-            w.write_value(value)
-        w.write_varint(algorithm.matches_emitted)
-        if isinstance(algorithm, LazySearch):
-            w.write_u8(_KIND_TREE_LAZY)
-            _dump_tree_state(w, algorithm.tree, cutoff)
-            rows = algorithm.bitmap._rows
-            w.write_varint(len(rows))
-            for vertex, mask in rows.items():
-                w.write_value(vertex)
-                w.write_varint(mask)
-        elif isinstance(algorithm, DynamicGraphSearch):
-            w.write_u8(_KIND_TREE)
-            _dump_tree_state(w, algorithm.tree, cutoff)
-        elif isinstance(algorithm, VF2PerEdgeSearch):
-            w.write_u8(_KIND_VF2)
-        elif isinstance(algorithm, IncIsoMatchSearch):
-            w.write_u8(_KIND_SEEN)
-            _dump_seen(w, algorithm._seen)
-        elif isinstance(algorithm, PeriodicVF2Search):
-            w.write_u8(_KIND_PERIODIC)
-            _dump_seen(w, algorithm._seen)
-            w.write_varint(algorithm._since_last)
-        else:
-            raise CheckpointError(
-                f"query {registered.name!r} uses strategy "
-                f"{registered.strategy!r} ({type(algorithm).__name__}), "
-                "which does not support checkpointing"
-            )
+def _dump_query_state(
+    w: BinaryWriter, registered: RegisteredQuery, cutoff: float
+) -> None:
+    """One query's self-contained state blob (no snapshot-local codes)."""
+    w.write_str(registered.strategy)
+    w.write_str(edge_signature(registered.query))
+    algorithm = registered.algorithm
+    options = _algorithm_options(algorithm)
+    w.write_varint(len(options))
+    for key, value in options.items():
+        w.write_str(key)
+        w.write_value(value)
+    w.write_varint(algorithm.matches_emitted)
+    if isinstance(algorithm, LazySearch):
+        w.write_u8(_KIND_TREE_LAZY)
+        _dump_tree_state(w, algorithm.tree, cutoff)
+        rows = algorithm.bitmap._rows
+        w.write_varint(len(rows))
+        for vertex, mask in rows.items():
+            w.write_value(vertex)
+            w.write_varint(mask)
+    elif isinstance(algorithm, DynamicGraphSearch):
+        w.write_u8(_KIND_TREE)
+        _dump_tree_state(w, algorithm.tree, cutoff)
+    elif isinstance(algorithm, VF2PerEdgeSearch):
+        w.write_u8(_KIND_VF2)
+    elif isinstance(algorithm, IncIsoMatchSearch):
+        w.write_u8(_KIND_SEEN)
+        _dump_seen(w, algorithm._seen)
+    elif isinstance(algorithm, PeriodicVF2Search):
+        w.write_u8(_KIND_PERIODIC)
+        _dump_seen(w, algorithm._seen)
+        w.write_varint(algorithm._since_last)
+    else:
+        raise CheckpointError(
+            f"query {registered.name!r} uses strategy "
+            f"{registered.strategy!r} ({type(algorithm).__name__}), "
+            "which does not support checkpointing"
+        )
 
 
 def _algorithm_options(algorithm) -> Dict[str, object]:
@@ -338,30 +456,42 @@ def engine_from_bytes(
     signature); order is free. Returns ``(engine, cursor)``.
     """
     r = BinaryReader(data)
-    magic = r.read_bytes_raw(len(SNAPSHOT_MAGIC))
-    if magic != SNAPSHOT_MAGIC:
-        raise CheckpointError(
-            "not an engine snapshot (bad magic header); expected a file "
-            "written by ContinuousQueryEngine.checkpoint()"
-        )
-    version = r.read_varint()
-    if version != SNAPSHOT_VERSION:
-        raise CheckpointError(
-            f"unsupported snapshot version {version}; this build reads "
-            f"version {SNAPSHOT_VERSION} — re-create the checkpoint with "
-            "the running version"
-        )
-    cursor = r.read_value()
-    if cursor is not None and not isinstance(cursor, int):
-        raise CheckpointError(f"malformed stream cursor {cursor!r}")
+    version, cursor, etype_names, vtype_names = _read_header(r)
+    by_name = _queries_by_name(queries)
+    matched: set = set()
 
-    etype_names = [r.read_str() for _ in range(r.read_varint())]
-    vtype_names = [r.read_str() for _ in range(r.read_varint())]
+    if version == 1:
+        engine = _engine_from_config(_read_engine_config(r))
+        _apply_graph_state(engine, _read_graph_state(r, etype_names, vtype_names))
+        _load_estimator(r, engine.estimator)
+        for _ in range(r.read_varint()):
+            name = r.read_str()
+            _restore_query(r, engine, by_name, matched, name)
+    else:
+        engine = _engine_from_config(
+            _read_engine_config(_section_reader(r, "engine config"))
+        )
+        graph_section = _section_reader(r, "graph window")
+        _apply_graph_state(
+            engine, _read_graph_state(graph_section, etype_names, vtype_names)
+        )
+        graph_section.expect_end("graph window")
+        estimator_section = _section_reader(r, "estimator")
+        _load_estimator(estimator_section, engine.estimator)
+        estimator_section.expect_end("estimator state")
+        for _ in range(r.read_varint()):
+            name = r.read_str()
+            blob = _section_reader(r, f"query {name!r}")
+            _restore_query(blob, engine, by_name, matched, name)
+            blob.expect_end(f"query {name!r} state")
 
-    engine = _load_engine_config(r)
-    _load_graph(r, engine, etype_names, vtype_names)
-    _load_estimator(r, engine)
-    _load_queries(r, engine, queries)
+    extra = set(by_name) - matched
+    if extra:
+        raise CheckpointError(
+            f"queries {sorted(extra)} were passed to restore() but are "
+            "not in the snapshot; the query set must match exactly"
+        )
+    engine._rebuild_dispatch()
     r.expect_end("query state")
     return engine, cursor
 
@@ -370,59 +500,132 @@ def load_engine(
     path: Union[str, Path], queries: Sequence[QueryGraph]
 ) -> Tuple[ContinuousQueryEngine, Optional[int]]:
     """Read a snapshot file back; see :func:`engine_from_bytes`."""
+    return engine_from_bytes(read_snapshot_bytes(path), queries)
+
+
+def read_snapshot_bytes(path: Union[str, Path]) -> bytes:
+    """Read a snapshot file, surfacing I/O failures as CheckpointError."""
     try:
-        data = Path(path).read_bytes()
+        return Path(path).read_bytes()
     except OSError as exc:
         raise CheckpointError(f"cannot read snapshot {path}: {exc}") from exc
-    return engine_from_bytes(data, queries)
 
 
-def _load_engine_config(r: BinaryReader) -> ContinuousQueryEngine:
-    width = r.read_f64()
-    housekeeping_every = r.read_varint()
-    dispatch = bool(r.read_u8())
-    partial_sample_every = r.read_value()
-    profile_phases = bool(r.read_u8())
-    update_statistics = bool(r.read_u8())
-    edges_since_sweep = r.read_varint()
-    engine = ContinuousQueryEngine(
-        window=width,
-        housekeeping_every=housekeeping_every,
-        dispatch=dispatch,
-        partial_sample_every=partial_sample_every,
-        profile_phases=profile_phases,
+def _read_header(
+    r: BinaryReader,
+) -> Tuple[int, Optional[int], List[str], List[str]]:
+    magic = r.read_bytes_raw(len(SNAPSHOT_MAGIC))
+    if magic != SNAPSHOT_MAGIC:
+        raise CheckpointError(
+            "not an engine snapshot (bad magic header); expected a file "
+            "written by ContinuousQueryEngine.checkpoint()"
+        )
+    version = r.read_varint()
+    if version not in READABLE_VERSIONS:
+        raise CheckpointError(
+            f"unsupported snapshot version {version}; this build reads "
+            f"versions {READABLE_VERSIONS} — re-create the checkpoint "
+            "with the running version"
+        )
+    cursor = r.read_value()
+    if cursor is not None and not isinstance(cursor, int):
+        raise CheckpointError(f"malformed stream cursor {cursor!r}")
+    etype_names = [r.read_str() for _ in range(r.read_varint())]
+    vtype_names = [r.read_str() for _ in range(r.read_varint())]
+    return version, cursor, etype_names, vtype_names
+
+
+def _section_reader(r: BinaryReader, what: str) -> BinaryReader:
+    """Cut one length-prefixed section out of a version-2 snapshot."""
+    length = r.read_varint()
+    try:
+        return BinaryReader(r.read_bytes_raw(length))
+    except CheckpointError:
+        raise CheckpointError(
+            f"truncated snapshot: {what} section of {length} bytes "
+            "extends past end of file"
+        ) from None
+
+
+def _queries_by_name(queries: Sequence[QueryGraph]) -> Dict[str, QueryGraph]:
+    by_name: Dict[str, QueryGraph] = {}
+    for query in queries:
+        if not query.name:
+            raise CheckpointError(
+                "every query passed to restore() must carry a name "
+                "(snapshot state is matched to queries by name)"
+            )
+        if query.name in by_name:
+            raise CheckpointError(f"duplicate query name {query.name!r}")
+        by_name[query.name] = query
+    return by_name
+
+
+def _read_engine_config(r: BinaryReader) -> EngineConfig:
+    return EngineConfig(
+        width=r.read_f64(),
+        housekeeping_every=r.read_varint(),
+        dispatch=bool(r.read_u8()),
+        partial_sample_every=r.read_value(),
+        profile_phases=bool(r.read_u8()),
+        update_statistics=bool(r.read_u8()),
+        edges_since_sweep=r.read_varint(),
     )
-    engine.update_statistics = update_statistics
-    engine._edges_since_sweep = edges_since_sweep
+
+
+def _engine_from_config(config: EngineConfig) -> ContinuousQueryEngine:
+    engine = ContinuousQueryEngine(
+        window=config.width,
+        housekeeping_every=config.housekeeping_every,
+        dispatch=config.dispatch,
+        partial_sample_every=config.partial_sample_every,
+        profile_phases=config.profile_phases,
+    )
+    engine.update_statistics = config.update_statistics
+    engine._edges_since_sweep = config.edges_since_sweep
     return engine
 
 
-def _load_graph(
-    r: BinaryReader,
-    engine: ContinuousQueryEngine,
-    etype_names: List[str],
-    vtype_names: List[str],
-) -> None:
-    graph = engine.graph
+def _read_graph_state(
+    r: BinaryReader, etype_names: List[str], vtype_names: List[str]
+) -> GraphState:
     edges = [
-        (r.read_varint(), r.read_value(), r.read_value(), r.read_varint(),
-         r.read_f64())
+        (
+            r.read_varint(),
+            r.read_value(),
+            r.read_value(),
+            _name(etype_names, r.read_varint(), "edge type"),
+            r.read_f64(),
+        )
         for _ in range(r.read_varint())
     ]
     vertex_types: Dict[object, str] = {}
     for _ in range(r.read_varint()):
         vertex = r.read_value()
         vertex_types[vertex] = _name(vtype_names, r.read_varint(), "vertex type")
+    return GraphState(
+        edges=edges,
+        vertex_types=vertex_types,
+        next_edge_id=r.read_varint(),
+        total_inserted=r.read_varint(),
+        evicted=r.read_varint(),
+        last_timestamp=r.read_f64(),
+        t_last=r.read_f64(),
+    )
+
+
+def _apply_graph_state(engine: ContinuousQueryEngine, state: GraphState) -> None:
+    graph = engine.graph
     # Replay the live window in arrival order with pinned ids. Vertex
     # types come from the saved λV map (first sight during the replay is
     # first sight of a *live* edge, which is exactly what λV holds for
     # every live vertex). No replayed edge can be evicted: all live edges
     # sit at or above the final cutoff, which the intermediate cutoffs
     # never exceed.
-    for edge_id, src, dst, etype_code, timestamp in edges:
+    for edge_id, src, dst, etype, timestamp in state.edges:
         try:
-            src_type = vertex_types[src]
-            dst_type = vertex_types[dst]
+            src_type = state.vertex_types[src]
+            dst_type = state.vertex_types[dst]
         except KeyError as exc:
             raise CheckpointError(
                 f"snapshot edge {edge_id} references vertex {exc.args[0]!r} "
@@ -431,17 +634,17 @@ def _load_graph(
         event = EdgeEvent(
             src=src,
             dst=dst,
-            etype=_name(etype_names, etype_code, "edge type"),
+            etype=etype,
             timestamp=timestamp,
             src_type=src_type,
             dst_type=dst_type,
         )
         graph.add_event(event, evict=False, edge_id=edge_id)
-    graph._next_edge_id = r.read_varint()
-    graph._total_inserted = r.read_varint()
-    graph._evicted_count = r.read_varint()
-    graph._last_timestamp = r.read_f64()
-    graph.window.advance(r.read_f64())
+    graph._next_edge_id = state.next_edge_id
+    graph._total_inserted = state.total_inserted
+    graph._evicted_count = state.evicted
+    graph._last_timestamp = state.last_timestamp
+    graph.window.advance(state.t_last)
 
 
 def _name(names: List[str], code: int, what: str) -> str:
@@ -454,8 +657,7 @@ def _name(names: List[str], code: int, what: str) -> str:
         ) from None
 
 
-def _load_estimator(r: BinaryReader, engine: ContinuousQueryEngine) -> None:
-    estimator = engine.estimator
+def _load_estimator(r: BinaryReader, estimator: SelectivityEstimator) -> None:
     estimator._events_observed = r.read_varint()
     histogram = estimator.edge_histogram
     for _ in range(r.read_varint()):
@@ -477,61 +679,56 @@ def _load_estimator(r: BinaryReader, engine: ContinuousQueryEngine) -> None:
     counter._total = total
 
 
-def _load_queries(
+def estimator_from_section(data: bytes) -> SelectivityEstimator:
+    """Decode one raw estimator slice into a fresh estimator.
+
+    Used by shard-layout migration to repartition from the statistics a
+    checkpoint actually carries, without rebuilding a whole engine.
+    """
+    estimator = SelectivityEstimator()
+    r = BinaryReader(data)
+    _load_estimator(r, estimator)
+    r.expect_end("estimator state")
+    return estimator
+
+
+def _restore_query(
     r: BinaryReader,
     engine: ContinuousQueryEngine,
-    queries: Sequence[QueryGraph],
-) -> None:
-    by_name: Dict[str, QueryGraph] = {}
-    for query in queries:
-        if not query.name:
-            raise CheckpointError(
-                "every query passed to restore() must carry a name "
-                "(snapshot state is matched to queries by name)"
-            )
-        if query.name in by_name:
-            raise CheckpointError(f"duplicate query name {query.name!r}")
-        by_name[query.name] = query
-
-    count = r.read_varint()
-    matched: set = set()
-    for _ in range(count):
-        name = r.read_str()
-        strategy = r.read_str()
-        signature = r.read_str()
-        options = {r.read_str(): r.read_value() for _ in range(r.read_varint())}
-        matches_emitted = r.read_varint()
-        query = by_name.get(name)
-        if query is None:
-            raise CheckpointError(
-                f"snapshot contains query {name!r} but it was not passed "
-                f"to restore(); provided: {sorted(by_name)}"
-            )
-        actual = edge_signature(query)
-        if actual != signature:
-            raise CheckpointError(
-                f"query {name!r} does not match the snapshot: snapshot "
-                f"has edges {signature!r}, provided query has {actual!r}"
-            )
-        matched.add(name)
-        algorithm = _load_algorithm(r, engine, query, strategy, options)
-        algorithm.matches_emitted = matches_emitted
-        algorithm.profile.enabled = engine.profile_phases
-        registered = RegisteredQuery(
-            name=name,
-            query=query,
-            strategy=strategy,
-            algorithm=algorithm,
-            tree=getattr(algorithm, "tree", None),
-        )
-        engine.queries[name] = registered
-    extra = set(by_name) - matched
-    if extra:
+    by_name: Dict[str, QueryGraph],
+    matched: set,
+    name: str,
+) -> RegisteredQuery:
+    """Parse one query-state blob and register it on ``engine``."""
+    strategy = r.read_str()
+    signature = r.read_str()
+    options = {r.read_str(): r.read_value() for _ in range(r.read_varint())}
+    matches_emitted = r.read_varint()
+    query = by_name.get(name)
+    if query is None:
         raise CheckpointError(
-            f"queries {sorted(extra)} were passed to restore() but are "
-            "not in the snapshot; the query set must match exactly"
+            f"snapshot contains query {name!r} but it was not passed "
+            f"to restore(); provided: {sorted(by_name)}"
         )
-    engine._rebuild_dispatch()
+    actual = edge_signature(query)
+    if actual != signature:
+        raise CheckpointError(
+            f"query {name!r} does not match the snapshot: snapshot "
+            f"has edges {signature!r}, provided query has {actual!r}"
+        )
+    matched.add(name)
+    algorithm = _load_algorithm(r, engine, query, strategy, options)
+    algorithm.matches_emitted = matches_emitted
+    algorithm.profile.enabled = engine.profile_phases
+    registered = RegisteredQuery(
+        name=name,
+        query=query,
+        strategy=strategy,
+        algorithm=algorithm,
+        tree=getattr(algorithm, "tree", None),
+    )
+    engine.queries[name] = registered
+    return registered
 
 
 def _load_algorithm(
@@ -632,3 +829,139 @@ def _load_seen(r: BinaryReader) -> set:
         )
         seen.add(pairs)
     return seen
+
+
+# ---------------------------------------------------------------------------
+# shard-layout migration primitives (split / merge)
+# ---------------------------------------------------------------------------
+
+
+def split_snapshot(
+    data: bytes, queries: Optional[Sequence[QueryGraph]] = None
+) -> SnapshotSlices:
+    """Take one snapshot apart into :class:`SnapshotSlices`.
+
+    Version-2 snapshots split by pure byte slicing (the sections are
+    length-prefixed). Version-1 snapshots carry the same state inline
+    with no lengths, so they are split by restoring the engine and
+    re-dumping its slices — which requires ``queries`` (the exact query
+    set of *this* snapshot, e.g. the owning shard's slice of the
+    manifest's query list).
+    """
+    r = BinaryReader(data)
+    version, cursor, etype_names, vtype_names = _read_header(r)
+    if version == 1:
+        if queries is None:
+            raise CheckpointError(
+                "splitting a version-1 snapshot requires its query set "
+                "(version 1 predates the sliced layout)"
+            )
+        engine, cursor = engine_from_bytes(data, queries)
+        return engine_to_slices(engine, cursor=cursor)
+    config_section = _section_reader(r, "engine config")
+    config = _read_engine_config(config_section)
+    config_section.expect_end("engine config")
+    graph_section = _section_reader(r, "graph window")
+    graph = _read_graph_state(graph_section, etype_names, vtype_names)
+    graph_section.expect_end("graph window")
+    estimator = _section_reader(r, "estimator")._data
+    blobs: Dict[str, bytes] = {}
+    for _ in range(r.read_varint()):
+        name = r.read_str()
+        blobs[name] = _section_reader(r, f"query {name!r}")._data
+    r.expect_end("query state")
+    return SnapshotSlices(
+        cursor=cursor,
+        config=config,
+        graph=graph,
+        estimator=estimator,
+        queries=blobs,
+    )
+
+
+def merge_shard_slices(
+    parts: Sequence[SnapshotSlices],
+    names: Sequence[str],
+    owner: Dict[str, int],
+    *,
+    alphabet,
+    next_edge_id: int,
+    cursor: Optional[int],
+) -> SnapshotSlices:
+    """Recombine per-query slices from ``parts`` into one new shard.
+
+    ``names`` are the query names placed on the new shard, in global
+    registration order; ``owner`` maps each name to the index in
+    ``parts`` whose snapshot holds its state. ``alphabet`` is the new
+    shard's combined edge-type alphabet (``None`` = the shard must see
+    every edge) and decides which live edges the merged graph window
+    keeps — exactly the edges the coordinator will route to this shard
+    from now on. ``next_edge_id`` must be the global stream position
+    (manifest ``events_streamed``) so a serial resume keeps numbering
+    edges like the uninterrupted single-process run.
+
+    Correctness: a query slice references graph state only through
+    global edge ids, and every id it references is a live edge of the
+    query's own alphabet — present in its source shard's window, hence
+    in the union, hence kept by any alphabet that contains the query.
+    The window clock is the most advanced clock across ``parts``; edges
+    a lagging shard still held below that cutoff are replayed but
+    evicted before the next probe, matching the uninterrupted run.
+
+    Lifetime counters cannot be reconstructed exactly for a *filtered*
+    layout that never existed (evicted-edge history per edge type is not
+    recorded), so a filtered merged shard restarts them at the live
+    window; an unfiltered shard keeps the exact global figures. Either
+    way they are reporting-only — no emission depends on them.
+    """
+    if not parts:
+        raise CheckpointError("cannot merge an empty set of snapshot slices")
+    union: Dict[int, Tuple[int, object, object, str, float]] = {}
+    vertex_types: Dict[object, str] = {}
+    for part in parts:
+        union.update(
+            (edge[0], edge)
+            for edge in part.graph.edges
+            if alphabet is None or edge[3] in alphabet
+        )
+        for vertex, vtype in part.graph.vertex_types.items():
+            vertex_types.setdefault(vertex, vtype)
+    edges = [union[edge_id] for edge_id in sorted(union)]
+    endpoints = {edge[1] for edge in edges} | {edge[2] for edge in edges}
+    if alphabet is None:
+        total = max(part.graph.total_inserted for part in parts)
+        evicted = total - len(edges)
+    else:
+        total = len(edges)
+        evicted = 0
+    graph = GraphState(
+        edges=edges,
+        vertex_types={
+            vertex: vtype
+            for vertex, vtype in vertex_types.items()
+            if vertex in endpoints
+        },
+        next_edge_id=max([next_edge_id] + [part.graph.next_edge_id for part in parts]),
+        total_inserted=total,
+        evicted=evicted,
+        last_timestamp=max(part.graph.last_timestamp for part in parts),
+        t_last=max(part.graph.t_last for part in parts),
+    )
+    blobs: Dict[str, bytes] = {}
+    for name in names:
+        part = parts[owner[name]]
+        blob = part.queries.get(name)
+        if blob is None:
+            raise CheckpointError(
+                f"query {name!r} is missing from the shard snapshot that "
+                "the checkpoint manifest places it on; checkpoint is "
+                "inconsistent"
+            )
+        blobs[name] = blob
+    return SnapshotSlices(
+        cursor=cursor,
+        config=replace(parts[0].config, edges_since_sweep=0),
+        graph=graph,
+        estimator=parts[0].estimator,
+        queries=blobs,
+    )

@@ -153,9 +153,7 @@ class QueryGenerator:
         vertex_types = {0: first.src_type, 1: first.dst_type}
         for _ in range(num_edges - 1):
             grown = False
-            for vertex in self.rng.sample(
-                list(vertex_types), k=len(vertex_types)
-            ):
+            for vertex in self.rng.sample(list(vertex_types), k=len(vertex_types)):
                 vtype = vertex_types[vertex]
                 outward = self._by_src.get(vtype, [])
                 inward = self._by_dst.get(vtype, [])

@@ -232,9 +232,7 @@ class QueryGraph:
             seen.setdefault(edge.etype, None)
         return list(seen)
 
-    def vertex_ok(
-        self, vertex: int, data_vertex: VertexId, data_vtype: str
-    ) -> bool:
+    def vertex_ok(self, vertex: int, data_vertex: VertexId, data_vtype: str) -> bool:
         """True if ``data_vertex`` (of type ``data_vtype``) may play the role
         of query vertex ``vertex`` — the λV constraint plus any binding."""
         required = self._vertex_types.get(vertex)

@@ -92,6 +92,14 @@ def greedy_balanced(costs: Sequence[float], workers: int) -> List[ShardPlan]:
     n_shards = min(workers, len(costs))
     if n_shards == 0:
         return []
+    if not any(costs):
+        # All-zero costs (a cold or irrelevant estimator fed through a
+        # caller that skipped the floor) collapse the LPT heap: every
+        # placement leaves shard 0 the lightest at load 0.0, so the tie
+        # break piles *every* query onto worker 0 and the other shards
+        # spawn empty. No cost signal means no basis for balancing —
+        # stripe by position instead.
+        return round_robin(len(costs), workers)
     order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
     heap: List[Tuple[float, int]] = [(0.0, wid) for wid in range(n_shards)]
     members: List[List[int]] = [[] for _ in range(n_shards)]

@@ -52,6 +52,8 @@ import itertools
 import math
 import multiprocessing
 import queue as queue_module
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -341,9 +343,7 @@ class ShardedEngine:
         """Partition registered queries into shards (no side effects)."""
         if self.partitioner == "round-robin":
             return round_robin(len(self.specs), self.workers)
-        costs = [
-            estimate_query_cost(spec.query, self.estimator) for spec in self.specs
-        ]
+        costs = [estimate_query_cost(spec.query, self.estimator) for spec in self.specs]
         return greedy_balanced(costs, self.workers)
 
     def shard_alphabet(self, shard: ShardPlan) -> Optional[FrozenSet[str]]:
@@ -370,9 +370,7 @@ class ShardedEngine:
         for slots in routes.values():
             slots.extend(default)
         self._default_route = tuple(default)
-        self._routes = {
-            etype: tuple(sorted(slots)) for etype, slots in routes.items()
-        }
+        self._routes = {etype: tuple(sorted(slots)) for etype, slots in routes.items()}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -423,9 +421,7 @@ class ShardedEngine:
         ctx = self._mp_context
         if ctx is None:
             methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
         self._result_queue = ctx.Queue()
         for shard in self._shards:
             init = _WorkerInit(
@@ -459,13 +455,21 @@ class ShardedEngine:
         """
         if self._started:
             self._finished = True
-        for task_queue in self._task_queues:
-            try:
-                # non-blocking: a dead worker leaves a full queue behind,
-                # and close() must never hang — terminate() is the backstop
-                task_queue.put_nowait(("close",))
-            except (ValueError, OSError, queue_module.Full):
-                pass
+        self._shutdown_workers()
+        self._serial_engine = None
+        self._started = False
+
+    def _shutdown_workers(self) -> None:
+        """Stop worker processes and drop the queues (engine flags untouched).
+
+        Shared by :meth:`close` and :meth:`rebalance` (which respawns a
+        new layout afterwards). The shutdown message is delivered through
+        :meth:`_post_poison_pill`, which cannot lose the pill to a full
+        task queue; ``terminate()`` stays as the backstop for a worker
+        that is wedged rather than merely backlogged.
+        """
+        for slot in range(len(self._task_queues)):
+            self._post_poison_pill(slot)
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():
@@ -480,8 +484,40 @@ class ShardedEngine:
         self._procs = []
         self._task_queues = []
         self._result_queue = None
-        self._serial_engine = None
-        self._started = False
+
+    def _post_poison_pill(self, slot: int, deadline_seconds: float = 5.0) -> None:
+        """Deliver ``("close",)`` to one worker without ever blocking.
+
+        ``put_nowait`` on a task queue at capacity raises ``Full``;
+        silently swallowing that (the pre-fix behaviour) dropped the
+        close message, leaving a healthy-but-backlogged worker waiting
+        on its queue until the join timeout killed it. Instead, make
+        room by draining queued messages ourselves — the engine is
+        shutting down, so unprocessed batches can no longer contribute
+        records a caller could collect — until the pill lands or the
+        worker is observed dead.
+        """
+        task_queue = self._task_queues[slot]
+        proc = self._procs[slot] if slot < len(self._procs) else None
+        deadline = time.monotonic() + deadline_seconds
+        while True:
+            try:
+                task_queue.put_nowait(("close",))
+                return
+            except (ValueError, OSError):
+                return  # queue already closed/broken; terminate() backstop
+            except queue_module.Full:
+                pass
+            if proc is not None and not proc.is_alive():
+                return  # dead worker; nothing left to deliver to
+            if time.monotonic() >= deadline:
+                return  # wedged queue; terminate() backstop
+            try:
+                task_queue.get_nowait()
+            except queue_module.Empty:
+                time.sleep(0.005)  # the worker drained it first; retry
+            except (ValueError, OSError):
+                return
 
     def __enter__(self) -> "ShardedEngine":
         self.start()
@@ -511,6 +547,11 @@ class ShardedEngine:
         self.start()
         if self._serial_engine is not None:
             result = self._serial_engine.run(events, limit=limit)
+            # Track the global stream position here too: after a shard-
+            # layout migration onto workers=1 the serial graph's lifetime
+            # counters are window-renormalized, so the engine's own count
+            # is the only exact cursor source for the next checkpoint.
+            self._events_streamed += result.edges_processed
             self.last_worker_stats = [
                 WorkerStats(
                     worker_id=0,
@@ -622,7 +663,6 @@ class ShardedEngine:
         events_streamed = self._events_streamed
         shards_entry = []
         if self._serial_engine is not None:
-            events_streamed = self._serial_engine.graph.total_edges_seen
             worker_id = self._shards[0].worker_id if self._shards else 0
             filename = manifest_mod.shard_filename(sequence, worker_id)
             self._serial_engine.checkpoint(root / filename)
@@ -659,18 +699,17 @@ class ShardedEngine:
                     f"checkpoint to {root} failed ({details}); worker "
                     "state is intact — fix the directory and retry"
                 )
-        manifest = {
-            "mode": manifest_mod.MODE_SHARDED,
-            "sequence": sequence,
-            "cursor": events_streamed if cursor is None else cursor,
-            "events_streamed": events_streamed,
-            "window": manifest_mod.window_to_json(self.window),
-            "workers": self.workers,
-            "batch_size": self.batch_size,
-            "partitioner": self.partitioner,
-            "queries": manifest_mod.query_entries(self.specs),
-            "shards": shards_entry,
-        }
+        manifest = manifest_mod.sharded_manifest(
+            sequence=sequence,
+            cursor=events_streamed if cursor is None else cursor,
+            events_streamed=events_streamed,
+            window=manifest_mod.window_to_json(self.window),
+            workers=self.workers,
+            batch_size=self.batch_size,
+            partitioner=self.partitioner,
+            queries=manifest_mod.query_entries(self.specs),
+            shards=shards_entry,
+        )
         manifest_mod.write_manifest(root, manifest)
         self._checkpoint_seq = sequence
         return manifest
@@ -681,29 +720,60 @@ class ShardedEngine:
         directory,
         queries: Iterable[QueryGraph],
         mp_context=None,
+        *,
+        workers: Optional[int] = None,
+        partitioner: Optional[str] = None,
     ) -> "ShardedEngine":
         """Rebuild a started engine from a :meth:`checkpoint` directory.
 
         ``queries`` must be the checkpoint's query set (matched by name,
         validated by edge signature — mismatches raise
-        :class:`~repro.errors.CheckpointError`). The shard layout, worker
-        count, strategies and batch size are taken from the manifest, and
-        every worker restores its graph window and partial-match state
-        from its shard snapshot, so the next :meth:`run` call continues
-        the stream with emissions identical to a never-stopped engine.
+        :class:`~repro.errors.CheckpointError`). By default the shard
+        layout, worker count, strategies and batch size are taken from
+        the manifest, and every worker restores its graph window and
+        partial-match state from its shard snapshot, so the next
+        :meth:`run` call continues the stream with emissions identical
+        to a never-stopped engine.
+
+        Checkpoints are **layout-independent**: pass ``workers`` (any
+        ``M >= 1``, including ``M=1`` for an in-process continuation of
+        a multi-worker run) and/or ``partitioner`` to resume a
+        checkpoint taken at a *different* worker count — the directory
+        is first re-cut in place by
+        :func:`~repro.persistence.migrate.migrate_checkpoint`
+        (per-query state slices recombined into the new layout,
+        repartitioned from the statistics the checkpoint carries), then
+        resumed normally. Emissions stay byte-identical to the
+        uninterrupted run regardless of the N→M choice. A ``single``-
+        mode checkpoint directory (CLI ``run --workers 1``) is accepted
+        whenever a layout is requested explicitly.
+
         The returned engine is already started; registration and warmup
         are closed (exactly as after a normal :meth:`start`).
         """
         from ..errors import CheckpointError
         from ..persistence import manifest as manifest_mod
+        from ..persistence.migrate import migrate_checkpoint
 
+        queries = list(queries)
         root = Path(directory)
         manifest = manifest_mod.read_manifest(root)
+        if workers is not None or partitioner is not None:
+            target = workers if workers is not None else manifest["workers"]
+            if (
+                partitioner is not None
+                or target != manifest["workers"]
+                or manifest["mode"] != manifest_mod.MODE_SHARDED
+            ):
+                manifest = migrate_checkpoint(
+                    root, queries, workers=target, partitioner=partitioner
+                )
         if manifest["mode"] != manifest_mod.MODE_SHARDED:
             raise CheckpointError(
                 f"checkpoint at {root} was written by a "
                 f"{manifest['mode']!r}-mode run; resume it with the same "
-                "front door (ContinuousQueryEngine.restore / the CLI)"
+                "front door (ContinuousQueryEngine.restore / the CLI), or "
+                "pass workers= to migrate it onto the sharded runtime"
             )
         ordered = manifest_mod.match_queries(manifest, queries)
         entries = sorted(manifest["queries"], key=lambda e: e["position"])
@@ -740,6 +810,99 @@ class ShardedEngine:
         }
         engine.start()
         return engine
+
+    def rebalance(
+        self,
+        workers: Optional[int] = None,
+        partitioner: Optional[str] = None,
+        directory=None,
+        *,
+        cursor: Optional[int] = None,
+    ) -> dict:
+        """Re-cut the live engine onto a new shard layout, in place.
+
+        Long-running deployments drift: per-query selectivity — and with
+        it per-shard load — changes as the stream's edge-type mix moves,
+        and a layout pinned at launch stops being balanced. ``rebalance``
+        runs an online checkpoint → repartition → resume cycle on this
+        engine: every worker snapshots its state into ``directory`` (a
+        throwaway temp directory by default),
+        :func:`~repro.persistence.migrate.migrate_checkpoint` re-cuts
+        the checkpoint for ``workers`` shards (default: the current
+        count) using the *live* statistics it carries — the warmed
+        estimator plus the current window mix, not the launch-time
+        estimate — and fresh workers are spawned from the new layout.
+        The engine keeps its identity, registration order and global
+        stream position, so the next :meth:`run` continues with
+        emissions byte-identical to a never-rebalanced engine.
+
+        Call between :meth:`run` invocations (a completed run has
+        collected all worker records, making the cut clean). ``cursor``
+        is the caller's source-stream position, as for
+        :meth:`checkpoint`. Returns the new checkpoint manifest; when
+        ``directory`` is given the checkpoint is left on disk as a
+        normal resumable directory, otherwise the temp directory is
+        removed once the new workers are up.
+        """
+        from ..errors import CheckpointError
+        from ..persistence import manifest as manifest_mod
+        from ..persistence.migrate import migrate_checkpoint
+
+        if not self._started or self._finished:
+            raise CheckpointError(
+                "rebalance requires a started (and not closed) engine; "
+                "call run() or start() first"
+            )
+        keep = directory is not None
+        root = (
+            Path(directory)
+            if keep
+            else Path(tempfile.mkdtemp(prefix="repro-rebalance-"))
+        )
+        # Until the old workers are stopped, any failure leaves the engine
+        # running on its current layout (the temp directory may leak, which
+        # beats losing state).
+        self.checkpoint(root, cursor=cursor)
+        manifest = migrate_checkpoint(
+            root,
+            [spec.query for spec in self.specs],
+            workers=workers if workers is not None else self.workers,
+            partitioner=partitioner,
+        )
+        self._shutdown_workers()
+        self._serial_engine = None
+        self._started = False
+        self.workers = manifest["workers"]
+        self.partitioner = manifest["partitioner"]
+        self.batch_size = manifest["batch_size"]
+        self._events_streamed = manifest["events_streamed"]
+        self._checkpoint_seq = manifest["sequence"]
+        shards = sorted(manifest["shards"], key=lambda e: e["worker_id"])
+        self._restore_shards = [
+            ShardPlan(
+                worker_id=entry["worker_id"],
+                positions=tuple(entry["positions"]),
+                cost=0.0,
+            )
+            for entry in shards
+        ]
+        self._restore_files = {
+            entry["worker_id"]: str(root / entry["file"]) for entry in shards
+        }
+        try:
+            self.start()
+        except BaseException as exc:
+            # Past this point the old workers are gone — the re-cut
+            # checkpoint is the ONLY copy of the stream state, so it must
+            # never be deleted on failure; point the caller at it instead.
+            raise CheckpointError(
+                "rebalance failed while restarting workers; the engine "
+                f"state is preserved in the checkpoint at {root} — "
+                "recover it with ShardedEngine.resume(directory, queries)"
+            ) from exc
+        if not keep:
+            shutil.rmtree(root, ignore_errors=True)
+        return manifest
 
     # ------------------------------------------------------------------
     # introspection
@@ -798,9 +961,7 @@ class ShardedEngine:
                         f"(exitcode={proc.exitcode})"
                     ) from None
 
-    def _gather(
-        self, kind: str, timeout: Optional[float] = None
-    ) -> Dict[int, object]:
+    def _gather(self, kind: str, timeout: Optional[float] = None) -> Dict[int, object]:
         """Collect one ``kind`` reply from every worker, surfacing failures.
 
         With ``timeout=None`` (the collect/describe path) this waits as
@@ -827,9 +988,7 @@ class ShardedEngine:
                     )
                 poll = min(remaining, poll)
             try:
-                worker_id, got_kind, payload = self._result_queue.get(
-                    timeout=poll
-                )
+                worker_id, got_kind, payload = self._result_queue.get(timeout=poll)
             except queue_module.Empty:
                 self._ensure_workers_alive(replies)
                 continue

@@ -59,9 +59,7 @@ class SearchAlgorithm(abc.ABC):
         """Fold one new data edge in; return newly completed matches."""
 
     @classmethod
-    def static_relevant_etypes(
-        cls, query: QueryGraph
-    ) -> Optional[FrozenSet[str]]:
+    def static_relevant_etypes(cls, query: QueryGraph) -> Optional[FrozenSet[str]]:
         """Edge types an instance of ``cls`` for ``query`` would consume.
 
         Classmethod so shard planning can compute alphabets *before* any

@@ -241,9 +241,7 @@ class ContinuousQueryEngine:
             flavour = "single" if strategy.startswith("Single") else "path"
             tree = build_sj_tree(query, self.estimator, flavour)
             if strategy.endswith("Lazy"):
-                return LazySearch(
-                    self.graph, tree, window, name=strategy, **options
-                )
+                return LazySearch(self.graph, tree, window, name=strategy, **options)
             return DynamicGraphSearch(
                 self.graph, tree, window, name=strategy, **options
             )
@@ -332,9 +330,7 @@ class ContinuousQueryEngine:
         self._edges_since_sweep = since
         return records
 
-    def process_rows(
-        self, rows: Iterable[tuple]
-    ) -> List[tuple[int, MatchRecord]]:
+    def process_rows(self, rows: Iterable[tuple]) -> List[tuple[int, MatchRecord]]:
         """Fused batch loop over pinned stream rows (the sharded workers).
 
         ``rows`` are ``(edge_id, src, dst, etype, timestamp, src_type,
@@ -444,9 +440,7 @@ class ContinuousQueryEngine:
         save_engine(self, path, cursor=cursor)
 
     @classmethod
-    def restore(
-        cls, path, queries: Iterable[QueryGraph]
-    ) -> "ContinuousQueryEngine":
+    def restore(cls, path, queries: Iterable[QueryGraph]) -> "ContinuousQueryEngine":
         """Rebuild an engine from a :meth:`checkpoint` snapshot.
 
         ``queries`` must be the same query graphs the snapshot was taken

@@ -158,9 +158,7 @@ class LazySearch(SearchAlgorithm):
                 profile.bump("leaf_matches", len(matches))
                 profile.phase_enter(PHASE_JOIN)
             for match in matches:
-                self.tree.insert_match(
-                    leaf.node_id, match, self.window, sink, hook
-                )
+                self.tree.insert_match(leaf.node_id, match, self.window, sink, hook)
             if profile is not None:
                 profile.phase_exit()
         return self._emit(results)
@@ -176,14 +174,16 @@ class LazySearch(SearchAlgorithm):
 
         return on_insert
 
-    def _enable_and_backfill(
-        self, leaf_index: int, match: Match, sink, hook
-    ) -> None:
+    def _enable_and_backfill(self, leaf_index: int, match: Match, sink, hook) -> None:
         """Turn on leaf ``leaf_index`` for the match's vertices; on fresh
         enablement, retrospectively search the vertex neighbourhood."""
         leaf = self._leaves[leaf_index]
         profile = self.profile if self.profile.enabled else None
-        for vertex in match.data_vertices():
+        # deterministic vertex order: retro matches are *inserted* per
+        # vertex, so set-iteration (hash-seed-dependent) order here would
+        # make emission order differ across processes — breaking
+        # kill/resume and shard-migration record identity.
+        for vertex in match.data_vertices_ordered():
             if not self.bitmap.enable(vertex, leaf_index):
                 continue
             if profile is not None:
@@ -192,9 +192,7 @@ class LazySearch(SearchAlgorithm):
                 continue
             if profile is not None:
                 profile.phase_enter(PHASE_ISO)
-            found = find_vertex_anchored_matches(
-                self.graph, leaf.fragment, vertex
-            )
+            found = find_vertex_anchored_matches(self.graph, leaf.fragment, vertex)
             if profile is not None:
                 profile.phase_exit()
             if not found:
@@ -202,9 +200,7 @@ class LazySearch(SearchAlgorithm):
             if profile is not None:
                 profile.bump("retro_matches", len(found))
             for retro in found:
-                self.tree.insert_match(
-                    leaf.node_id, retro, self.window, sink, hook
-                )
+                self.tree.insert_match(leaf.node_id, retro, self.window, sink, hook)
 
     # ------------------------------------------------------------------
 

@@ -62,9 +62,7 @@ def make_catalogue(
 
     signatures = sorted(set(query_path_signatures(query)))
     path_prims = [
-        PathPrimitive(
-            selectivity=estimator.path_selectivity(sig), signature=sig
-        )
+        PathPrimitive(selectivity=estimator.path_selectivity(sig), signature=sig)
         for sig in signatures
         if estimator.path_seen(sig)
     ]

@@ -100,9 +100,7 @@ class PathPrimitive(Primitive):
         frontier: Optional[Set[int]],
     ) -> Optional[Sequence[int]]:
         for centre in sorted(query.vertices()):
-            incident = [
-                e for e in query.incident(centre) if e.edge_id in remaining
-            ]
+            incident = [e for e in query.incident(centre) if e.edge_id in remaining]
             for i, edge_a in enumerate(incident):
                 token_a = (edge_a.direction_from(centre), edge_a.etype)
                 for edge_b in incident[i + 1 :]:

@@ -100,9 +100,7 @@ class SelectivityEstimator:
 
     def edge_distribution(self) -> SelectivityDistribution:
         """1-edge selectivity distribution (ascending by frequency)."""
-        return SelectivityDistribution.from_items(
-            self.edge_histogram.as_dict().items()
-        )
+        return SelectivityDistribution.from_items(self.edge_histogram.as_dict().items())
 
     def path_distribution(self) -> SelectivityDistribution:
         """2-edge path selectivity distribution (ascending by frequency)."""

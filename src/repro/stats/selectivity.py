@@ -40,9 +40,7 @@ class LeafSelectivity:
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.selectivity <= 1.0):
-            raise ValueError(
-                f"selectivity must lie in [0, 1], got {self.selectivity}"
-            )
+            raise ValueError(f"selectivity must lie in [0, 1], got {self.selectivity}")
 
 
 def expected_selectivity(leaves: Iterable[LeafSelectivity]) -> float:

@@ -135,9 +135,7 @@ def rank_stability(snapshots: Sequence[Snapshot]) -> list[float]:
     ]
 
 
-def order_agreement(
-    snapshots: Sequence[Snapshot], *, ignore_below: int = 0
-) -> float:
+def order_agreement(snapshots: Sequence[Snapshot], *, ignore_below: int = 0) -> float:
     """Fraction of consecutive snapshot pairs whose *top-frequency ordering*
     agrees exactly, ignoring keys with fewer than ``ignore_below``
     occurrences (the paper reports stability "except with fluctuations for

@@ -124,9 +124,7 @@ class TestRefresh:
         first = engine.queries["q"].strategy
         # drift: flood the stream with U edges so selectivities change
         for i in range(300):
-            engine.process_event(
-                EdgeEvent(f"u{i}", f"u{i+1}", "U", 200.0 + i)
-            )
+            engine.process_event(EdgeEvent(f"u{i}", f"u{i+1}", "U", 200.0 + i))
         report = engine.refresh_query("q", strategy="auto")
         assert report.old_strategy in ("SingleLazy", "PathLazy", first)
         assert engine.queries["q"].strategy == report.new_strategy

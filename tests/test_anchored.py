@@ -112,9 +112,7 @@ class TestTwoEdgeFragments:
 
 class TestTriangleAndLoops:
     def test_triangle_fragment(self):
-        graph = graph_from_tuples(
-            [("a", "b", "T"), ("b", "c", "T"), ("c", "a", "T")]
-        )
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T"), ("c", "a", "T")])
         triangle = QueryGraph.from_triples([(0, "T", 1), (1, "T", 2), (2, "T", 0)])
         for anchor in range(3):
             got = fingerprints(
@@ -147,17 +145,13 @@ class TestLimit:
         rows = [("a", f"b{i}", "T") for i in range(10)]
         graph = graph_from_tuples(rows)
         query = QueryGraph.path(["T"])
-        matches = find_anchored_matches(
-            graph, query, graph.edge_by_id(0), limit=1
-        )
+        matches = find_anchored_matches(graph, query, graph.edge_by_id(0), limit=1)
         assert len(matches) == 1
 
 
 class TestVertexAnchored:
     def test_finds_all_matches_touching_vertex(self):
-        graph = graph_from_tuples(
-            [("a", "b", "T"), ("b", "c", "U"), ("x", "b", "T")]
-        )
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "U"), ("x", "b", "T")])
         query = QueryGraph.path(["T", "U"])
         got = fingerprints(find_vertex_anchored_matches(graph, query, "b"))
         assert got == {((0, 0), (1, 1)), ((0, 2), (1, 1))}

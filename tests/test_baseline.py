@@ -65,9 +65,7 @@ class TestIncIsoMatch:
         graph = StreamingGraph()
         query = QueryGraph.path(["T"])
         search = IncIsoMatchSearch(graph, query)
-        found = feed(
-            search, graph, [("a", "b", "T", 1.0), ("a", "c", "T", 2.0)]
-        )
+        found = feed(search, graph, [("a", "b", "T", 1.0), ("a", "c", "T", 2.0)])
         assert len(found) == 2
         assert search.partial_match_count() == 2  # dedup set size
 

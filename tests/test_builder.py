@@ -90,9 +90,7 @@ class TestDecompose:
             assert covered == [0, 1, 2, 3]
             assert len(meta) == len(leaves)
 
-    def test_single_decomposition_order_follows_selectivity(
-        self, estimator, query
-    ):
+    def test_single_decomposition_order_follows_selectivity(self, estimator, query):
         catalogue = make_catalogue(query, estimator, "single")
         leaves, meta = decompose(query, catalogue)
         assert all(len(leaf) == 1 for leaf in leaves)

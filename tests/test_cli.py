@@ -122,9 +122,7 @@ class TestRun:
             out = capsys.readouterr().out
             for line in out.splitlines():
                 if "matches=" in line:
-                    counts[strategy] = int(
-                        line.split("matches=")[1].split()[0]
-                    )
+                    counts[strategy] = int(line.split("matches=")[1].split()[0])
         assert counts["SingleLazy"] == counts["VF2"]
 
 
@@ -141,17 +139,24 @@ def _match_counts(out):
 class TestRunSharded:
     """generate -> run end-to-end through the parallel runtime flags."""
 
-    def test_multi_query_serial_run(self, stream_file, query_file,
-                                    second_query_file, capsys):
+    def test_multi_query_serial_run(
+        self, stream_file, query_file, second_query_file, capsys
+    ):
         code = main(
             [
                 "run",
-                "--stream", str(stream_file),
-                "--query", str(query_file),
-                "--query", str(second_query_file),
-                "--strategy", "Single",
-                "--batch-size", "100",
-                "--max-print", "0",
+                "--stream",
+                str(stream_file),
+                "--query",
+                str(query_file),
+                "--query",
+                str(second_query_file),
+                "--strategy",
+                "Single",
+                "--batch-size",
+                "100",
+                "--max-print",
+                "0",
             ]
         )
         assert code == 0
@@ -160,15 +165,21 @@ class TestRunSharded:
         assert set(counts) == {"query", "udp"}
         assert "profile:" in out and "[query]" in out and "[udp]" in out
 
-    def test_workers_flag_matches_serial_output(self, stream_file, query_file,
-                                                second_query_file, capsys):
+    def test_workers_flag_matches_serial_output(
+        self, stream_file, query_file, second_query_file, capsys
+    ):
         base = [
             "run",
-            "--stream", str(stream_file),
-            "--query", str(query_file),
-            "--query", str(second_query_file),
-            "--strategy", "Single",
-            "--max-print", "0",
+            "--stream",
+            str(stream_file),
+            "--query",
+            str(query_file),
+            "--query",
+            str(second_query_file),
+            "--strategy",
+            "Single",
+            "--max-print",
+            "0",
         ]
         assert main(base) == 0
         serial_counts = _match_counts(capsys.readouterr().out)
@@ -186,25 +197,34 @@ class TestRunSharded:
             main(
                 [
                     "run",
-                    "--stream", str(stream_file),
-                    "--query", str(query_file),
-                    "--warmup-fraction", "1.5",
+                    "--stream",
+                    str(stream_file),
+                    "--query",
+                    str(query_file),
+                    "--warmup-fraction",
+                    "1.5",
                 ]
             )
 
-    def test_same_stem_query_files_get_unique_names(self, stream_file,
-                                                    tmp_path, capsys):
+    def test_same_stem_query_files_get_unique_names(
+        self, stream_file, tmp_path, capsys
+    ):
         for sub in ("a", "b"):
             (tmp_path / sub).mkdir()
             (tmp_path / sub / "q.txt").write_text("v1:ip -TCP-> v2:ip\n")
         code = main(
             [
                 "run",
-                "--stream", str(stream_file),
-                "--query", str(tmp_path / "a" / "q.txt"),
-                "--query", str(tmp_path / "b" / "q.txt"),
-                "--strategy", "Single",
-                "--max-print", "0",
+                "--stream",
+                str(stream_file),
+                "--query",
+                str(tmp_path / "a" / "q.txt"),
+                "--query",
+                str(tmp_path / "b" / "q.txt"),
+                "--strategy",
+                "Single",
+                "--max-print",
+                "0",
             ]
         )
         assert code == 0
@@ -219,18 +239,25 @@ class TestRunSharded:
         with pytest.raises(ValueError, match="--batch-size"):
             main(base + ["--batch-size", "0"])
 
-    def test_workers_with_single_query_stays_in_process(self, stream_file,
-                                                        query_file, capsys):
+    def test_workers_with_single_query_stays_in_process(
+        self, stream_file, query_file, capsys
+    ):
         # one query -> one shard -> serial fallback, but flags still accepted
         code = main(
             [
                 "run",
-                "--stream", str(stream_file),
-                "--query", str(query_file),
-                "--strategy", "SingleLazy",
-                "--workers", "4",
-                "--batch-size", "32",
-                "--max-print", "2",
+                "--stream",
+                str(stream_file),
+                "--query",
+                str(query_file),
+                "--strategy",
+                "SingleLazy",
+                "--workers",
+                "4",
+                "--batch-size",
+                "32",
+                "--max-print",
+                "2",
             ]
         )
         assert code == 0
@@ -243,24 +270,45 @@ def _matches(out):
     return [line for line in out.splitlines() if line.startswith("match ")]
 
 
+def _run_cli(stream_file, query_files, *extra):
+    argv = [
+        "run",
+        "--stream",
+        str(stream_file),
+        "--strategy",
+        "Single",
+        "--window",
+        "40",
+        "--max-print",
+        "100000",
+    ]
+    for query_file in query_files:
+        argv += ["--query", str(query_file)]
+    return main(argv + list(extra))
+
+
 class TestCheckpointResume:
     """run --checkpoint-dir ... / resume end-to-end (the durability CLI)."""
 
     def _run(self, stream_file, query_files, *extra):
-        argv = ["run", "--stream", str(stream_file), "--strategy", "Single",
-                "--window", "40", "--max-print", "100000"]
-        for query_file in query_files:
-            argv += ["--query", str(query_file)]
-        return main(argv + list(extra))
+        return _run_cli(stream_file, query_files, *extra)
 
     @pytest.mark.parametrize("workers", [1, 2])
     def test_kill_resume_equals_uninterrupted(
-        self, stream_file, query_file, second_query_file, tmp_path, capsys,
+        self,
+        stream_file,
+        query_file,
+        second_query_file,
+        tmp_path,
+        capsys,
         workers,
     ):
         query_files = [query_file, second_query_file]
         worker_args = () if workers == 1 else (
-            "--workers", str(workers), "--batch-size", "128",
+            "--workers",
+            str(workers),
+            "--batch-size",
+            "128",
         )
         assert self._run(stream_file, query_files, *worker_args) == 0
         full = _matches(capsys.readouterr().out)
@@ -269,10 +317,15 @@ class TestCheckpointResume:
         ckpt = tmp_path / "ckpt"
         assert (
             self._run(
-                stream_file, query_files, *worker_args,
-                "--limit", "600",
-                "--checkpoint-dir", str(ckpt),
-                "--checkpoint-every", "250",
+                stream_file,
+                query_files,
+                *worker_args,
+                "--limit",
+                "600",
+                "--checkpoint-dir",
+                str(ckpt),
+                "--checkpoint-every",
+                "250",
             )
             == 0
         )
@@ -282,11 +335,16 @@ class TestCheckpointResume:
         code = main(
             [
                 "resume",
-                "--stream", str(stream_file),
-                "--query", str(query_file),
-                "--query", str(second_query_file),
-                "--checkpoint-dir", str(ckpt),
-                "--max-print", "100000",
+                "--stream",
+                str(stream_file),
+                "--query",
+                str(query_file),
+                "--query",
+                str(second_query_file),
+                "--checkpoint-dir",
+                str(ckpt),
+                "--max-print",
+                "100000",
             ]
         )
         assert code == 0
@@ -303,8 +361,12 @@ class TestCheckpointResume:
         ckpt = tmp_path / "ckpt"
         assert (
             self._run(
-                stream_file, [query_file, second_query_file],
-                "--limit", "300", "--checkpoint-dir", str(ckpt),
+                stream_file,
+                [query_file, second_query_file],
+                "--limit",
+                "300",
+                "--checkpoint-dir",
+                str(ckpt),
             )
             == 0
         )
@@ -313,9 +375,12 @@ class TestCheckpointResume:
             main(
                 [
                     "resume",
-                    "--stream", str(stream_file),
-                    "--query", str(query_file),
-                    "--checkpoint-dir", str(ckpt),
+                    "--stream",
+                    str(stream_file),
+                    "--query",
+                    str(query_file),
+                    "--checkpoint-dir",
+                    str(ckpt),
                 ]
             )
 
@@ -327,8 +392,12 @@ class TestCheckpointResume:
         ckpt = tmp_path / "ckpt"
         assert (
             self._run(
-                stream_file, [query_file],
-                "--limit", "500", "--checkpoint-dir", str(ckpt),
+                stream_file,
+                [query_file],
+                "--limit",
+                "500",
+                "--checkpoint-dir",
+                str(ckpt),
             )
             == 0
         )
@@ -339,12 +408,388 @@ class TestCheckpointResume:
             main(
                 [
                     "resume",
-                    "--stream", str(short),
-                    "--query", str(query_file),
-                    "--checkpoint-dir", str(ckpt),
+                    "--stream",
+                    str(short),
+                    "--query",
+                    str(query_file),
+                    "--checkpoint-dir",
+                    str(ckpt),
                 ]
             )
 
     def test_checkpoint_every_requires_dir(self, stream_file, query_file):
         with pytest.raises(ValueError, match="--checkpoint-dir"):
             self._run(stream_file, [query_file], "--checkpoint-every", "100")
+
+
+class TestCheckpointBoundaries:
+    """Pin the --limit x --checkpoint-every cut-boundary behaviour.
+
+    The stream fixture has 1500 events; the default warmup fraction
+    (0.25) consumes 375, leaving 1125 post-warmup events. Intended
+    behaviour at the boundaries: when --limit lands exactly on a
+    checkpoint cut, the cut's checkpoint is the final one (no empty
+    double-checkpoint afterwards); when the stream ends exactly on a
+    cut, likewise — and the last checkpoint always covers every
+    processed event, so a resume replays nothing and skips nothing.
+    """
+
+    WARMUP = 375  # 25% of the 1500-event stream fixture
+
+    def _run(self, stream_file, query_files, *extra):
+        return _run_cli(stream_file, query_files, *extra)
+
+    def _manifest(self, ckpt):
+        import json
+
+        return json.loads((ckpt / "manifest.json").read_text())
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_limit_on_cut_checkpoints_exactly_once_per_segment(
+        self,
+        stream_file,
+        query_file,
+        second_query_file,
+        tmp_path,
+        capsys,
+        workers,
+    ):
+        query_files = [query_file, second_query_file]
+        worker_args = () if workers == 1 else (
+            "--workers",
+            str(workers),
+            "--batch-size",
+            "128",
+        )
+        assert self._run(stream_file, query_files, *worker_args) == 0
+        full = _matches(capsys.readouterr().out)
+
+        ckpt = tmp_path / "ckpt"
+        # --limit 800 == 2 x 400: the limit lands exactly on the second
+        # cut. Exactly two checkpoints must exist (no empty third), and
+        # the cursor must sit at warmup + limit.
+        assert (
+            self._run(
+                stream_file,
+                query_files,
+                *worker_args,
+                "--limit",
+                "800",
+                "--checkpoint-every",
+                "400",
+                "--checkpoint-dir",
+                str(ckpt),
+            )
+            == 0
+        )
+        before = _matches(capsys.readouterr().out)
+        manifest = self._manifest(ckpt)
+        assert manifest["sequence"] == 2
+        assert manifest["cursor"] == self.WARMUP + 800
+
+        code = main(
+            [
+                "resume",
+                "--stream",
+                str(stream_file),
+                "--query",
+                str(query_file),
+                "--query",
+                str(second_query_file),
+                "--checkpoint-dir",
+                str(ckpt),
+                "--max-print",
+                "100000",
+            ]
+        )
+        assert code == 0
+        after = _matches(capsys.readouterr().out)
+        assert before + after == full
+
+    def test_stream_end_on_cut_skips_empty_final_checkpoint(
+        self, stream_file, query_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        # 1125 post-warmup events == 3 x 375: the stream ends exactly on
+        # the third cut, which must also be the final checkpoint.
+        assert (
+            self._run(
+                stream_file,
+                [query_file],
+                "--checkpoint-every",
+                "375",
+                "--checkpoint-dir",
+                str(ckpt),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        manifest = self._manifest(ckpt)
+        assert manifest["sequence"] == 3
+        assert manifest["cursor"] == 1500
+
+    def test_limit_zero_still_writes_one_checkpoint(
+        self, stream_file, query_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self._run(
+                stream_file,
+                [query_file],
+                "--limit",
+                "0",
+                "--checkpoint-dir",
+                str(ckpt),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        manifest = self._manifest(ckpt)
+        assert manifest["sequence"] == 1
+        assert manifest["cursor"] == self.WARMUP
+
+
+class TestShardMigrationCLI:
+    """resume --workers M, the rebalance subcommand and --rebalance-every."""
+
+    def _run(self, stream_file, query_files, *extra):
+        return _run_cli(stream_file, query_files, *extra)
+
+    def _full(self, stream_file, query_files, capsys):
+        worker_args = ("--workers", "2", "--batch-size", "128")
+        assert self._run(stream_file, query_files, *worker_args) == 0
+        full = _matches(capsys.readouterr().out)
+        assert full
+        return full
+
+    def _checkpointed(self, stream_file, query_files, ckpt, capsys):
+        worker_args = ("--workers", "2", "--batch-size", "128")
+        assert (
+            self._run(
+                stream_file,
+                query_files,
+                *worker_args,
+                "--limit",
+                "600",
+                "--checkpoint-every",
+                "300",
+                "--checkpoint-dir",
+                str(ckpt),
+            )
+            == 0
+        )
+        return _matches(capsys.readouterr().out)
+
+    def _resume(self, stream_file, query_files, ckpt, capsys, *extra):
+        argv = [
+            "resume",
+            "--stream",
+            str(stream_file),
+            "--checkpoint-dir",
+            str(ckpt),
+            "--max-print",
+            "100000",
+        ]
+        for query_file in query_files:
+            argv += ["--query", str(query_file)]
+        assert main(argv + list(extra)) == 0
+        return _matches(capsys.readouterr().out)
+
+    @pytest.mark.parametrize("target", ["1", "3"])
+    def test_resume_at_other_worker_count(
+        self,
+        stream_file,
+        query_file,
+        second_query_file,
+        tmp_path,
+        capsys,
+        target,
+    ):
+        query_files = [query_file, second_query_file]
+        full = self._full(stream_file, query_files, capsys)
+        ckpt = tmp_path / "ckpt"
+        before = self._checkpointed(stream_file, query_files, ckpt, capsys)
+        after = self._resume(
+            stream_file, query_files, ckpt, capsys, "--workers", target
+        )
+        assert before + after == full
+
+    def test_rebalance_subcommand_roundtrip(
+        self, stream_file, query_file, second_query_file, tmp_path, capsys
+    ):
+        query_files = [query_file, second_query_file]
+        full = self._full(stream_file, query_files, capsys)
+        ckpt = tmp_path / "ckpt"
+        out = tmp_path / "recut"
+        before = self._checkpointed(stream_file, query_files, ckpt, capsys)
+        code = main(
+            [
+                "rebalance",
+                "--checkpoint-dir",
+                str(ckpt),
+                "--query",
+                str(query_file),
+                "--query",
+                str(second_query_file),
+                "--workers",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "2 -> 1 workers" in printed
+        assert "shard 0" in printed
+        after = self._resume(stream_file, query_files, out, capsys)
+        assert before + after == full
+
+    def test_run_with_rebalance_every_matches_plain_run(
+        self, stream_file, query_file, second_query_file, capsys
+    ):
+        query_files = [query_file, second_query_file]
+        full = self._full(stream_file, query_files, capsys)
+        assert (
+            self._run(
+                stream_file,
+                query_files,
+                "--workers",
+                "2",
+                "--batch-size",
+                "128",
+                "--rebalance-every",
+                "400",
+            )
+            == 0
+        )
+        rebalanced = _matches(capsys.readouterr().out)
+        assert rebalanced == full
+
+    def test_rebalance_with_checkpoints_stays_record_identical(
+        self, stream_file, query_file, second_query_file, tmp_path, capsys
+    ):
+        # --rebalance-every 200 is deliberately not a multiple of
+        # --checkpoint-every 300; the interleaved cuts must neither skew
+        # the records nor leave a stale final checkpoint.
+        query_files = [query_file, second_query_file]
+        full = self._full(stream_file, query_files, capsys)
+        ckpt = tmp_path / "ckpt"
+        assert (
+            self._run(
+                stream_file,
+                query_files,
+                "--workers",
+                "2",
+                "--batch-size",
+                "128",
+                "--rebalance-every",
+                "200",
+                "--limit",
+                "900",
+                "--checkpoint-every",
+                "300",
+                "--checkpoint-dir",
+                str(ckpt),
+            )
+            == 0
+        )
+        before = _matches(capsys.readouterr().out)
+        import json
+
+        manifest = json.loads((ckpt / "manifest.json").read_text())
+        assert manifest["cursor"] == 375 + 900
+        after = self._resume(stream_file, query_files, ckpt, capsys)
+        assert before + after == full
+
+    def test_rebalance_every_requires_workers(self, stream_file, query_file):
+        with pytest.raises(ValueError, match="--workers"):
+            self._run(stream_file, [query_file], "--rebalance-every", "100")
+        with pytest.raises(ValueError, match="--rebalance-every"):
+            self._run(
+                stream_file,
+                [query_file],
+                "--workers",
+                "2",
+                "--rebalance-every",
+                "0",
+            )
+
+
+class _RecordingEngine:
+    """Fake ShardedEngine logging the driver's run/checkpoint/rebalance cuts."""
+
+    def __init__(self):
+        self.checkpoints = []
+        self.rebalances = []
+        self.processed = 0
+
+    def run(self, segment):
+        from repro.search.engine import RunResult
+
+        result = RunResult()
+        result.edges_processed = sum(1 for _ in segment)
+        self.processed += result.edges_processed
+        return result
+
+    def checkpoint(self, directory, cursor=None):
+        self.checkpoints.append(cursor)
+
+    def rebalance(self, cursor=None):
+        self.rebalances.append(cursor)
+
+
+class TestShardedDriverCadence:
+    """Pin _drive_sharded's cut schedule independently of real workers.
+
+    Regression: ``take`` was computed as the full ``--checkpoint-every``
+    rather than the distance to the *next* checkpoint, so a rebalance cut
+    mid-interval pushed every later checkpoint out (with every=10,
+    rebalance=7 the checkpoints drifted to 14/28/42...).
+    """
+
+    def _drive(self, events, **options):
+        import argparse
+
+        from repro.cli import _drive_sharded
+
+        defaults = {
+            "limit": None,
+            "checkpoint_every": None,
+            "checkpoint_dir": None,
+            "rebalance_every": None,
+            "max_print": 0,
+        }
+        defaults.update(options)
+        args = argparse.Namespace(**defaults)
+        engine = _RecordingEngine()
+        processed, _ = _drive_sharded(engine, iter(events), args, cursor_base=0)
+        return engine, processed
+
+    def test_rebalance_cuts_do_not_drift_checkpoints(self):
+        engine, processed = self._drive(
+            range(50),
+            checkpoint_every=10,
+            checkpoint_dir="unused",
+            rebalance_every=7,
+        )
+        assert processed == 50
+        assert engine.checkpoints == [10, 20, 30, 40, 50]
+        assert engine.rebalances == [7, 14, 21, 28, 35, 42, 49]
+
+    def test_limit_on_cut_checkpoints_once(self):
+        engine, processed = self._drive(
+            range(100),
+            limit=40,
+            checkpoint_every=20,
+            checkpoint_dir="unused",
+        )
+        assert processed == 40
+        assert engine.checkpoints == [20, 40]
+
+    def test_rebalance_skipped_once_stream_is_known_exhausted(self):
+        # the stream ends mid-interval: the short final segment proves
+        # exhaustion, and no pointless re-cut happens before shutdown
+        engine, processed = self._drive(range(25), rebalance_every=10)
+        assert processed == 25
+        assert engine.rebalances == [10, 20]
+        assert engine.checkpoints == []

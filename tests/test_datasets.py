@@ -121,9 +121,7 @@ class TestNetflow:
         with pytest.raises(ValueError):
             NetflowGenerator(num_events=10, profile_min=3, profile_max=2)
         with pytest.raises(TypeError):
-            NetflowGenerator(
-                NetflowGenerator(num_events=1).config, num_events=2
-            )
+            NetflowGenerator(NetflowGenerator(num_events=1).config, num_events=2)
 
     def test_host_profiles_are_deterministic_and_bounded(self):
         gen = NetflowGenerator(num_events=1, seed=4)

@@ -71,10 +71,7 @@ def ground_truth(events, query, window_width):
     for event in events:
         graph.add_event(event)
     window = TimeWindow(window_width)
-    return {
-        m.fingerprint
-        for m in find_isomorphisms(graph, query, window=window)
-    }
+    return {m.fingerprint for m in find_isomorphisms(graph, query, window=window)}
 
 
 @settings(max_examples=40, deadline=None)
@@ -196,10 +193,7 @@ def test_dispatch_engine_is_record_identical(
         records = []
         for event in events:
             records.extend(engine.process_event(event))
-        return [
-            (r.query_name, r.match.fingerprint, r.completed_at)
-            for r in records
-        ]
+        return [(r.query_name, r.match.fingerprint, r.completed_at) for r in records]
 
     assert run(dispatch=True) == run(dispatch=False)
 
@@ -221,10 +215,7 @@ def test_dispatch_exact_for_baselines_too(events, query_list):
         records = []
         for event in events:
             records.extend(engine.process_event(event))
-        return [
-            (r.query_name, r.match.fingerprint, r.completed_at)
-            for r in records
-        ]
+        return [(r.query_name, r.match.fingerprint, r.completed_at) for r in records]
 
     assert run(dispatch=True) == run(dispatch=False)
 

@@ -131,17 +131,13 @@ class TestGroups:
 
 class TestValidityFilter:
     def test_filter_drops_unseen_paths(self, netflow_estimator):
-        gen = QueryGenerator(
-            etypes=["TCP", "UDP", "NOSUCH"], vertex_type="ip", seed=9
-        )
+        gen = QueryGenerator(etypes= ["TCP", "UDP", "NOSUCH"], vertex_type="ip", seed=9)
         queries = [gen.path_query(3) for _ in range(30)]
         valid = filter_valid(queries, netflow_estimator)
         for query in valid:
             assert not netflow_estimator.unseen_query_paths(query)
         # queries using the NOSUCH type must have been dropped
-        assert all(
-            "NOSUCH" not in [e.etype for e in q.edges] for q in valid
-        )
+        assert all("NOSUCH" not in [e.etype for e in q.edges] for q in valid)
 
     def test_all_valid_pass_through(self, netflow_estimator):
         gen = QueryGenerator(etypes=["TCP", "UDP"], vertex_type="ip", seed=10)
@@ -171,9 +167,7 @@ class TestExpectedSelectivitySampling:
         assert sample_by_expected_selectivity([], netflow_estimator, 5) == []
         gen = QueryGenerator(etypes=["TCP"], vertex_type="ip", seed=13)
         assert (
-            sample_by_expected_selectivity(
-                [gen.path_query(2)], netflow_estimator, 0
-            )
+            sample_by_expected_selectivity([gen.path_query(2)], netflow_estimator, 0)
             == []
         )
 

@@ -134,9 +134,7 @@ class TestAttackScenario:
     def test_detection_is_immediate(self):
         """The match must be reported at its completing edge's timestamp."""
         engine = ContinuousQueryEngine()
-        engine.warmup(
-            events_from_tuples([("x", "y", "RDP"), ("y", "z", "RDP")])
-        )
+        engine.warmup(events_from_tuples([("x", "y", "RDP"), ("y", "z", "RDP")]))
         engine.register(insider_infiltration(hops=2, vtype=None), strategy="Single")
         engine.process_event(EdgeEvent("a", "b", "RDP", 10.0))
         records = engine.process_event(EdgeEvent("b", "c", "RDP", 20.0))
@@ -152,9 +150,7 @@ class TestPathLazyDegradation:
         warmup = events_from_tuples(
             [("a", "b", "T"), ("c", "d", "U")] * 5  # T and U never chain
         )
-        stream = events_from_tuples(
-            [("p", "q", "T", 100.0), ("q", "r", "U", 101.0)]
-        )
+        stream = events_from_tuples([("p", "q", "T", 100.0), ("q", "r", "U", 101.0)])
         engine = ContinuousQueryEngine()
         engine.warmup(warmup)
         query = QueryGraph.path(["T", "U"], name="q")

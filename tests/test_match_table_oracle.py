@@ -109,9 +109,7 @@ def make_match(edge_id: int, ts: float, key_seed: int) -> Match:
 
 def filtered(probe_result, cutoff: float):
     """A probe as UPDATE-SJ-TREE consumes it: cutoff-filtered, in order."""
-    return [
-        m.fingerprint for m in probe_result if m.min_time >= cutoff
-    ]
+    return [m.fingerprint for m in probe_result if m.min_time >= cutoff]
 
 
 def drive(seed: int, monotone: bool, steps: int = 400):
@@ -237,9 +235,7 @@ class TestSlabDetails:
         from repro.analysis.experiments import mixed_etype_queries
 
         engine = ContinuousQueryEngine(window=math.inf)
-        engine.warmup(
-            mixed_etype_workload(200, num_queries=1)[0]
-        )
+        engine.warmup(mixed_etype_workload(200, num_queries=1)[0])
         query = mixed_etype_queries(1)[0]
         registered = engine.register(query, strategy="Single")
         assert all(
@@ -249,10 +245,7 @@ class TestSlabDetails:
         finite = ContinuousQueryEngine(window=10.0)
         finite.warmup(mixed_etype_workload(200, num_queries=1)[0])
         registered = finite.register(query, strategy="Single")
-        assert all(
-            node.table.track_expiry
-            for node in registered.algorithm.tree.nodes
-        )
+        assert all(node.table.track_expiry for node in registered.algorithm.tree.nodes)
 
 
 # ---------------------------------------------------------------------------
@@ -263,17 +256,13 @@ class TestSlabDetails:
 def run_mixed(fast: bool, strategy: str, window: float, events: int = 2500):
     stream, queries = mixed_etype_workload(events)
     warm_n = events // 5
-    engine = ContinuousQueryEngine(
-        window=window, dispatch=fast, housekeeping_every=64
-    )
+    engine = ContinuousQueryEngine(window=window, dispatch=fast, housekeeping_every=64)
     engine.warmup(stream[:warm_n])
     for query in queries:
         options = {} if fast else {"compiled_plans": False}
         engine.register(query, strategy=strategy, name=query.name, **options)
     records = engine.process_events(stream[warm_n:])
-    return [
-        (r.query_name, r.match.fingerprint, r.completed_at) for r in records
-    ]
+    return [(r.query_name, r.match.fingerprint, r.completed_at) for r in records]
 
 
 @pytest.mark.parametrize("strategy", ["Single", "SingleLazy"])

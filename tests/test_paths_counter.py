@@ -41,9 +41,7 @@ class TestBatchAlgorithm5:
 
     def test_same_type_pairs_use_binomial(self):
         # three U edges leaving b: C(3,2) = 3 paths centred at b
-        graph = graph_from_tuples(
-            [("b", "c", "U"), ("b", "d", "U"), ("b", "e", "U")]
-        )
+        graph = graph_from_tuples([("b", "c", "U"), ("b", "d", "U"), ("b", "e", "U")])
         counts = count_two_edge_paths(graph)
         assert counts[sig(OUT, "U", OUT, "U")] == 3
 

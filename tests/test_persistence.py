@@ -174,9 +174,7 @@ def test_restore_preserves_statistics_and_counters(tmp_path, workload):
     for name, registered in engine.queries.items():
         twin = restored.queries[name]
         assert twin.strategy == registered.strategy
-        assert (
-            twin.algorithm.matches_emitted == registered.algorithm.matches_emitted
-        )
+        assert (twin.algorithm.matches_emitted == registered.algorithm.matches_emitted)
         if registered.tree is None:
             assert (
                 twin.algorithm.partial_match_count()
@@ -188,13 +186,9 @@ def test_restore_preserves_statistics_and_counters(tmp_path, workload):
             # (they can never influence output), so the restored count
             # is exactly the genuinely-live slice.
             for node, twin_node in zip(registered.tree.nodes, twin.tree.nodes):
-                expected = sum(
-                    1 for match in node.table if match.min_time >= cutoff
-                )
+                expected = sum(1 for match in node.table if match.min_time >= cutoff)
                 assert len(twin_node.table) == expected
-                assert (
-                    twin_node.table.inserted_total == node.table.inserted_total
-                )
+                assert (twin_node.table.inserted_total == node.table.inserted_total)
 
 
 def test_snapshot_skips_unreclaimed_stale_matches(workload):
@@ -222,9 +216,7 @@ def test_snapshot_skips_unreclaimed_stale_matches(workload):
 
 def _tiny_engine():
     engine = ContinuousQueryEngine(window=10.0)
-    engine.warmup(
-        [e for e in mixed_etype_workload(50, num_queries=1, seed=1)[0]]
-    )
+    engine.warmup([e for e in mixed_etype_workload(50, num_queries=1, seed=1)[0]])
     query = QueryGraph.path(["T0", "T1"], name="q0")
     engine.register(query, strategy="Single", name="q0")
     return engine, [query]

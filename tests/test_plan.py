@@ -58,9 +58,7 @@ class TestCompile:
     def test_both_endpoints_bound_preferred_over_extension(self):
         # anchor = parallel edge pair: second parallel edge must CLOSE
         # before the dangling extension, mirroring _pick_next's priority
-        query = QueryGraph.from_triples(
-            [(0, "A", 1), (0, "B", 1), (1, "C", 2)]
-        )
+        query = QueryGraph.from_triples([(0, "A", 1), (0, "B", 1), (1, "C", 2)])
         plan = compile_plan(query, 0)
         assert [(s.kind, s.edge_id) for s in plan.steps] == [
             (CLOSE, 1),
@@ -155,9 +153,7 @@ class TestExecutorParity:
         for anchor in graph.edges():
             expected = find_anchored_matches(graph, fragment, anchor)
             got = execute_plans(graph, plans, anchor)
-            assert [m.fingerprint for m in got] == [
-                m.fingerprint for m in expected
-            ]
+            assert [m.fingerprint for m in got] == [m.fingerprint for m in expected]
 
     def test_two_disconnected_same_type_edges_backtrack(self):
         """Regression: the non-loop GLOBAL step must release its edge on
@@ -170,17 +166,13 @@ class TestExecutorParity:
                 ("r", "s", "T", 2.0),
             ]
         )
-        fragment = QueryGraph.from_triples(
-            [(0, "S", 1), (2, "T", 3), (4, "T", 5)]
-        )
+        fragment = QueryGraph.from_triples([(0, "S", 1), (2, "T", 3), (4, "T", 5)])
         plans = compile_fragment_plans(fragment)
         anchor = next(iter(graph.edges_of_type("S")))
         expected = find_anchored_matches(graph, fragment, anchor)
         got = execute_plans(graph, plans, anchor)
         assert len(expected) == 2  # both T-edge assignments, both orders
-        assert [m.fingerprint for m in got] == [
-            m.fingerprint for m in expected
-        ]
+        assert [m.fingerprint for m in got] == [m.fingerprint for m in expected]
 
     def test_limit_truncates_identically(self):
         graph = random_graph(random.Random(7), n_vertices=4, n_edges=30)
@@ -188,13 +180,9 @@ class TestExecutorParity:
         plans = compile_fragment_plans(fragment)
         for anchor in graph.edges():
             for limit in (1, 2, 5):
-                expected = find_anchored_matches(
-                    graph, fragment, anchor, limit=limit
-                )
+                expected = find_anchored_matches(graph, fragment, anchor, limit=limit)
                 got = execute_plans(graph, plans, anchor, limit=limit)
-                assert [m.fingerprint for m in got] == [
-                    m.fingerprint for m in expected
-                ]
+                assert [m.fingerprint for m in got] == [m.fingerprint for m in expected]
 
     def test_typed_and_bound_vertices(self):
         rows = [
@@ -211,9 +199,7 @@ class TestExecutorParity:
         for anchor in graph.edges():
             expected = find_anchored_matches(graph, query, anchor)
             got = execute_plans(graph, plans, anchor)
-            assert [m.fingerprint for m in got] == [
-                m.fingerprint for m in expected
-            ]
+            assert [m.fingerprint for m in got] == [m.fingerprint for m in expected]
         all_found = [
             m
             for anchor in graph.edges()

@@ -47,17 +47,13 @@ class TestEdgePrimitive:
 class TestPathPrimitive:
     def test_finds_centre_pair(self):
         query = path_query()
-        prim = PathPrimitive(
-            selectivity=0.01, signature=sig(IN, "ESP", OUT, "TCP")
-        )
+        prim = PathPrimitive(selectivity=0.01, signature=sig(IN, "ESP", OUT, "TCP"))
         remaining = {e.edge_id for e in query.edges}
         assert prim.find_instance(query, remaining, None) == (0, 1)
 
     def test_wrong_direction_not_found(self):
         query = path_query()
-        prim = PathPrimitive(
-            selectivity=0.01, signature=sig(OUT, "ESP", OUT, "TCP")
-        )
+        prim = PathPrimitive(selectivity=0.01, signature=sig(OUT, "ESP", OUT, "TCP"))
         remaining = {e.edge_id for e in query.edges}
         assert prim.find_instance(query, remaining, None) is None
 
@@ -68,9 +64,7 @@ class TestPathPrimitive:
 
     def test_frontier_constraint(self):
         query = path_query()
-        prim = PathPrimitive(
-            selectivity=0.01, signature=sig(IN, "ICMP", OUT, "GRE")
-        )
+        prim = PathPrimitive(selectivity=0.01, signature=sig(IN, "ICMP", OUT, "GRE"))
         remaining = {e.edge_id for e in query.edges}
         assert prim.find_instance(query, remaining, {0}) is None
         assert prim.find_instance(query, remaining, {3}) == (2, 3)

@@ -21,14 +21,17 @@ def path_matches(draw):
     cut = draw(st.integers(min_value=1, max_value=length - 1))
     vertices = [f"d{i}" for i in range(length + 1)]
     edges = [
-        Edge(edge_id=i, src=vertices[i], dst=vertices[i + 1], etype="T",
-             timestamp=float(draw(st.integers(0, 20))))
+        Edge(
+            edge_id=i,
+            src=vertices[i],
+            dst=vertices[i + 1],
+            etype="T",
+            timestamp=float(draw(st.integers(0, 20))),
+        )
         for i in range(length)
     ]
     left = Match.build(query.edges_by_id(), {i: edges[i] for i in range(cut)})
-    right = Match.build(
-        query.edges_by_id(), {i: edges[i] for i in range(cut, length)}
-    )
+    right = Match.build(query.edges_by_id(), {i: edges[i] for i in range(cut, length)})
     return query, left, right
 
 
@@ -64,9 +67,7 @@ class TestJoinAlgebra:
     def test_fingerprint_identity(self, data):
         query, left, right = data
         joined = left.join(right)
-        rebuilt = Match.build(
-            query.edges_by_id(), dict(joined.pairs)
-        )
+        rebuilt = Match.build(query.edges_by_id(), dict(joined.pairs))
         assert rebuilt == joined
         assert hash(rebuilt) == hash(joined)
 
@@ -122,15 +123,11 @@ class TestBuilderProperties:
 
     @settings(max_examples=60, deadline=None)
     @given(query=random_queries(), strategy=st.sampled_from(["single", "path"]))
-    def test_internal_cuts_are_nonempty_for_connected_queries(
-        self, query, strategy
-    ):
+    def test_internal_cuts_are_nonempty_for_connected_queries(self, query, strategy):
         tree = build_sj_tree(query, ESTIMATOR, strategy)
         for node in tree.nodes:
             if not node.is_leaf:
-                assert node.cut_vertices, (
-                    f"empty cut in {tree.describe()}"
-                )
+                assert node.cut_vertices, (f"empty cut in {tree.describe()}")
 
     @settings(max_examples=60, deadline=None)
     @given(query=random_queries())

@@ -1,6 +1,9 @@
 """Unit tests for the parallel runtime: partitioning and coordination."""
 
 import math
+import multiprocessing
+import queue as queue_module
+import time
 
 import pytest
 
@@ -70,6 +73,22 @@ class TestGreedyBalanced:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             greedy_balanced([1.0], workers=0)
+
+    def test_all_zero_costs_fall_back_to_round_robin(self):
+        # Regression: with every cost exactly 0.0 the LPT heap always
+        # found shard 0 lightest (tie on load 0.0, lowest worker id
+        # wins), so all six queries piled onto worker 0 and the other
+        # shards spawned empty. Zero signal must mean round-robin.
+        shards = greedy_balanced([0.0] * 6, workers=3)
+        assert shards == round_robin(6, workers=3)
+        assert [shard.positions for shard in shards] == [
+            (0, 3),
+            (1, 4),
+            (2, 5),
+        ]
+        # ... and an empty/overprovisioned zero-cost set stays sane too
+        assert greedy_balanced([], workers=3) == []
+        assert len(greedy_balanced([0.0], workers=4)) == 1
 
 
 class TestRoundRobin:
@@ -247,6 +266,60 @@ class TestShardedEngineAPI:
             engine.close()
 
 
+def _slow_worker_main(init, task_queue, result_queue):
+    """A worker that drains its queue slowly but honours the poison pill.
+
+    Stands in for a healthy-but-backlogged worker: with the task queue
+    filled to capacity, the old ``close()`` lost its ``("close",)``
+    message to ``queue.Full`` and the worker only died via the
+    ``terminate()`` backstop (non-zero exit code, after the full join
+    timeout). The fixed poison-pill path must reach this loop.
+    """
+    import time as time_module
+
+    result_queue.put((init.worker_id, "ready", None))
+    while True:
+        message = task_queue.get()
+        if message[0] == "close":
+            return
+        time_module.sleep(0.25)
+
+
+class TestCloseUnderFullQueue:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="monkeypatching the worker entry point requires fork",
+    )
+    def test_close_joins_all_workers_gracefully(self, monkeypatch, warm_events):
+        import repro.runtime.sharded as sharded_mod
+
+        monkeypatch.setattr(sharded_mod, "_worker_main", _slow_worker_main)
+        engine = ShardedEngine(window=math.inf, workers=2, batch_size=4)
+        engine.warmup(warm_events)
+        register_two(engine)
+        engine.start()
+        procs = list(engine._procs)
+        assert len(procs) == 2, "test needs real worker processes"
+        # Fill every bounded task queue to capacity while the workers
+        # crawl: close() must still deliver its pill and join cleanly.
+        for task_queue in engine._task_queues:
+            while True:
+                try:
+                    task_queue.put_nowait(("noop",))
+                except queue_module.Full:
+                    break
+        started = time.monotonic()
+        engine.close()
+        elapsed = time.monotonic() - started
+        for proc in procs:
+            assert not proc.is_alive(), "close() left a worker running"
+            assert proc.exitcode == 0, (
+                "worker was terminated instead of receiving the close "
+                f"message (exitcode={proc.exitcode})"
+            )
+        assert elapsed < 4.0, f"close() took {elapsed:.1f}s under a full queue"
+
+
 class TestGraphBatchIngest:
     def test_add_events_matches_add_event(self):
         from repro.graph.streaming_graph import StreamingGraph
@@ -258,9 +331,7 @@ class TestGraphBatchIngest:
         batch = StreamingGraph(window=4.0)
         edges = batch.add_events(events)
         assert len(edges) == len(events)
-        assert [e.edge_id for e in batch.edges()] == [
-            e.edge_id for e in one.edges()
-        ]
+        assert [e.edge_id for e in batch.edges()] == [e.edge_id for e in one.edges()]
         assert batch.snapshot_counts() == one.snapshot_counts()
 
     def test_pinned_edge_ids(self):

@@ -63,9 +63,7 @@ class TestAccessors:
         assert not graph.has_edge_id(1)
 
     def test_typed_adjacency(self):
-        graph = graph_from_tuples(
-            [("a", "b", "T"), ("a", "c", "U"), ("d", "a", "T")]
-        )
+        graph = graph_from_tuples([("a", "b", "T"), ("a", "c", "U"), ("d", "a", "T")])
         assert {e.dst for e in graph.out_edges("a")} == {"b", "c"}
         assert {e.dst for e in graph.out_edges("a", "T")} == {"b"}
         assert {e.src for e in graph.in_edges("a", "T")} == {"d"}
@@ -161,9 +159,7 @@ class TestNeighborhood:
 
 class TestInducedCopy:
     def test_preserves_edge_ids(self):
-        graph = graph_from_tuples(
-            [("a", "b", "T"), ("b", "c", "T"), ("c", "d", "T")]
-        )
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T"), ("c", "d", "T")])
         sub = graph.induced_copy({"a", "b", "c"})
         assert sorted(e.edge_id for e in sub.edges()) == [0, 1]
         assert sub.num_vertices == 3

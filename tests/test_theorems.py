@@ -57,9 +57,7 @@ class TestTheorem2SpaceOrdering:
     def test_rare_first_stores_fewer_partials_lazy(self):
         rare_first, found_a = run_with_tree([(0,), (1,)], lazy=True)
         common_first, found_b = run_with_tree([(1,), (0,)], lazy=True)
-        assert {m.fingerprint for m in found_a} == {
-            m.fingerprint for m in found_b
-        }
+        assert {m.fingerprint for m in found_a} == {m.fingerprint for m in found_b}
         assert (
             rare_first.tree.lifetime_inserts()
             < common_first.tree.lifetime_inserts()

@@ -17,9 +17,7 @@ from .util import graph_from_tuples
 def brute_force_triangle_count(rows):
     """Count triangles as unordered triples of distinct edges over three
     distinct vertices where each pair of edges shares a vertex."""
-    edges = [
-        (i, row[0], row[1]) for i, row in enumerate(rows) if row[0] != row[1]
-    ]
+    edges = [(i, row[0], row[1]) for i, row in enumerate(rows) if row[0] != row[1]]
     count = 0
     for (i1, a1, b1), (i2, a2, b2), (i3, a3, b3) in itertools.combinations(edges, 3):
         vertices = {a1, b1, a2, b2, a3, b3}
@@ -63,8 +61,14 @@ class TestExactCounting:
 
     def test_signatures_distinguish_types(self):
         graph = graph_from_tuples(
-            [("a", "b", "T"), ("b", "c", "T"), ("c", "a", "T"),
-             ("x", "y", "U"), ("y", "z", "U"), ("z", "x", "U")]
+            [
+                ("a", "b", "T"),
+                ("b", "c", "T"),
+                ("c", "a", "T"),
+                ("x", "y", "U"),
+                ("y", "z", "U"),
+                ("z", "x", "U"),
+            ]
         )
         counts = count_triangles(graph)
         assert len(counts) == 2
@@ -72,9 +76,7 @@ class TestExactCounting:
 
     def test_k4_has_four_triangles(self):
         vertices = ["a", "b", "c", "d"]
-        rows = [
-            (u, v, "T") for u, v in itertools.combinations(vertices, 2)
-        ]
+        rows = [(u, v, "T") for u, v in itertools.combinations(vertices, 2)]
         graph = graph_from_tuples(rows)
         assert total_triangles(graph) == 4
 

@@ -22,9 +22,7 @@ class TestBasics:
         assert find_isomorphisms(graph, QueryGraph()) == []
 
     def test_path_query(self):
-        graph = graph_from_tuples(
-            [("a", "b", "T"), ("b", "c", "U"), ("b", "d", "U")]
-        )
+        graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "U"), ("b", "d", "U")])
         query = QueryGraph.path(["T", "U"])
         assert count_isomorphisms(graph, query) == 2
 
@@ -113,18 +111,14 @@ class TestRequireEdge:
         # anchor can seed at several query edges of the same type
         graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "T")])
         query = QueryGraph.path(["T", "T"])
-        matches = find_isomorphisms(
-            graph, query, require_edge=graph.edge_by_id(0)
-        )
+        matches = find_isomorphisms(graph, query, require_edge=graph.edge_by_id(0))
         assert len(matches) == len(set(fingerprints(matches))) == 1
 
     def test_incompatible_anchor(self):
         graph = graph_from_tuples([("a", "b", "T"), ("b", "c", "U")])
         query = QueryGraph.path(["T", "U"])
         wrong_type = graph.edge_by_id(1)
-        got = find_isomorphisms(
-            graph, QueryGraph.path(["X"]), require_edge=wrong_type
-        )
+        got = find_isomorphisms(graph, QueryGraph.path(["X"]), require_edge=wrong_type)
         assert got == []
 
 
