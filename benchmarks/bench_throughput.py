@@ -15,8 +15,14 @@ Both runs must emit the *identical* record stream (asserted here and in
 ``tests/test_equivalence_property.py``); results are written to
 ``BENCH_throughput.json`` at the repo root so the performance trajectory
 is tracked across PRs. The ``speedup`` ratio (seed/fast elapsed) is
-machine-independent and guarded in CI: a drop below 4x at smoke scale
+machine-independent and guarded in CI: a drop below 8x at smoke scale
 fails the build.
+
+Timing methodology: each path is run :data:`ENGINE_REPEATS` times on a
+fresh engine (best elapsed kept, record identity asserted per repeat),
+the garbage collector is disabled around the timed stream section of
+*both* paths, and the fast path pre-compiles its dispatch programs
+(``warm_kernels``) inside the untimed register phase.
 
 Each path also records:
 
@@ -26,6 +32,12 @@ Each path also records:
   of the same workload, so the throughput numbers never pay the tracer;
 * a top-level ``memory.ru_maxrss_kb`` — the OS peak-RSS high-water mark
   for the whole benchmark process (monotone; recorded once at the end).
+
+A ``kernels`` section breaks the fast configuration down by pipeline
+stage — chunk evict/ingest/dispatch from ``engine.kernel_profile`` plus
+the paper's anchor(iso)/join split summed across the registered
+queries — and records which columnar backend (numpy or the pure-Python
+fallback) encoded the chunks.
 
 A third section, ``worker_scaling``, sweeps the query-sharded parallel
 runtime (:class:`repro.runtime.ShardedEngine`) on the same workload —
@@ -49,6 +61,7 @@ large}.
 
 from __future__ import annotations
 
+import gc
 import json
 import math
 import os
@@ -69,6 +82,7 @@ from repro.analysis.experiments import (
     mixed_etype_queries,
     mixed_etype_stream,
 )
+from repro.graph.columnar import backend_name
 from repro.graph.types import EdgeEvent
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -94,8 +108,19 @@ WORKER_REPEATS = 3
 MIGRATION_SOURCE_WORKERS = 2
 MIGRATION_TARGETS = (1, 3)
 
+#: timed engine runs per path — fresh engine each repeat, best elapsed
+#: kept, record identity asserted across every repeat (same best-of-N
+#: convention as the worker sweep). Five repeats because the fast path's
+#: whole timed section is ~10ms at smoke scale, well inside scheduler
+#: noise on a shared sandbox.
+ENGINE_REPEATS = 5
+
 #: CI-guarded floor for the machine-independent seed/fast speedup ratio.
-SPEEDUP_FLOOR = 4.0
+#: Raised from 4x after the columnar batch-kernel PR: the fused chunk
+#: loop + trivial-leaf insert kernels measure ~11x at smoke scale
+#: (interleaved best-of-5, GC off), so 8x holds the same proportional
+#: slack for runner jitter the old 4x floor held against ~6.5x measured.
+SPEEDUP_FLOOR = 8.0
 
 
 def worker_counts_from_env() -> Optional[Tuple[int, ...]]:
@@ -130,7 +155,7 @@ def make_queries() -> List[QueryGraph]:
     return mixed_etype_queries(NUM_QUERIES, NUM_ETYPES)
 
 
-def run_engine(
+def _run_engine_once(
     stream: List[EdgeEvent],
     warmup: List[EdgeEvent],
     queries: List[QueryGraph],
@@ -142,7 +167,12 @@ def run_engine(
     The seed path reproduces the seed engine's execution shape end to
     end — per-event API, no dispatch, interpretive matcher, phase timers
     on — while the fast path takes the modern defaults and the fused
-    batch loop.
+    batch loop. The fast path warms the dispatch-program LUT inside the
+    register phase (``warm_kernels``), so the timed stream section pays
+    no one-time compilation. The collector is disabled around the timed
+    stream section for *both* paths (pytest-benchmark's convention): GC
+    pauses are workload-independent noise worth ~2µs/edge here, and
+    paying them in one path but not the other would skew the ratio.
     """
     t0 = time.perf_counter()
     engine = ContinuousQueryEngine(
@@ -153,14 +183,24 @@ def run_engine(
     for query in queries:
         options = {} if fast else {"compiled_plans": False}
         engine.register(query, strategy="Single", name=query.name, **options)
-    t2 = time.perf_counter()
     if fast:
-        records = engine.process_events(stream)
-    else:
-        records = []
-        for event in stream:
-            records.extend(engine.process_event(event))
+        engine.warm_kernels()
+    gc.collect()  # start the timed section from a clean heap
+    t2 = time.perf_counter()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        if fast:
+            records = engine.process_events(stream)
+        else:
+            records = []
+            for event in stream:
+                records.extend(engine.process_event(event))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     t3 = time.perf_counter()
+    gc.collect()
     identities = [(r.query_name, r.match.fingerprint, r.completed_at) for r in records]
     timings = {
         "elapsed_seconds": t3 - t2,
@@ -171,6 +211,46 @@ def run_engine(
         },
     }
     return timings, identities
+
+
+def run_engine_pair(
+    stream: List[EdgeEvent],
+    warmup: List[EdgeEvent],
+    queries: List[QueryGraph],
+) -> Tuple[Tuple[dict, list], Tuple[dict, list]]:
+    """Best-of-:data:`ENGINE_REPEATS` timing for both paths, interleaved.
+
+    Each repeat builds a fresh engine per path and replays the identical
+    workload; the minimum elapsed per path is reported (the minimum is
+    the least-noise estimate of the code's cost) and every repeat's
+    record stream must be identical. The paths alternate fast/seed
+    within each repeat — on a shared sandbox the whole machine's speed
+    drifts over seconds, so timing the two paths in separate blocks
+    would let that drift masquerade as a speedup change; interleaving
+    makes both minima sample the same noise epochs and stabilises the
+    CI-guarded ratio.
+    """
+    best = {True: None, False: None}
+    reference = {True: None, False: None}
+    for _ in range(ENGINE_REPEATS):
+        for fast in (True, False):
+            timings, identities = _run_engine_once(
+                stream, warmup, queries, fast=fast
+            )
+            if reference[fast] is None:
+                reference[fast] = identities
+            else:
+                assert identities == reference[fast], (
+                    f"{'fast' if fast else 'seed'} path is nondeterministic: "
+                    f"{len(identities)} vs {len(reference[fast])} records "
+                    "across repeats"
+                )
+            prior = best[fast]
+            if prior is None or timings["elapsed_seconds"] < prior["elapsed_seconds"]:
+                best[fast] = timings
+    for timing in best.values():
+        timing["repeats"] = ENGINE_REPEATS
+    return (best[False], reference[False]), (best[True], reference[True])
 
 
 def measure_memory(
@@ -206,6 +286,59 @@ def measure_memory(
     tracemalloc.stop()
     del records
     return {"peak_traced_bytes": peak, "overhead_bytes": current}
+
+
+def measure_kernels(
+    stream: List[EdgeEvent],
+    warmup: List[EdgeEvent],
+    queries: List[QueryGraph],
+) -> dict:
+    """Per-stage kernel timings from a separate profiled replay.
+
+    Runs the fast configuration once more with ``profile_phases=True``:
+    the chunk loop books whole-chunk evict/ingest/dispatch stage times
+    into ``engine.kernel_profile`` (chunk-aware ``phase_add`` credits),
+    and the per-query algorithms attribute anchored-isomorphism vs
+    SJ-Tree join time per edge. Profiling routes handlers through the
+    per-edge path (that is the attribution contract), so these seconds
+    describe *where* time goes, not the fused loop's absolute speed —
+    the timed sections above are the throughput claim.
+    """
+    engine = ContinuousQueryEngine(window=WINDOW, dispatch=True, profile_phases=True)
+    engine.warmup(warmup)
+    for query in queries:
+        engine.register(query, strategy="Single", name=query.name)
+    engine.warm_kernels()
+    engine.process_events(stream)
+    stages = {
+        name: {
+            "seconds": round(timer.seconds, 4),
+            "credited_edges": timer.calls,
+        }
+        for name, timer in sorted(engine.kernel_profile.phases.items())
+    }
+    match_phases: dict = {}
+    for registered in engine.queries.values():
+        for name, timer in registered.algorithm.profile.phases.items():
+            # the paper's split: "iso" is anchored subgraph isomorphism
+            # around the new edge, "join" is SJ-Tree maintenance
+            label = "anchor" if name == "iso" else name
+            entry = match_phases.setdefault(label, {"seconds": 0.0, "calls": 0})
+            entry["seconds"] += timer.seconds
+            entry["calls"] += timer.calls
+    for entry in match_phases.values():
+        entry["seconds"] = round(entry["seconds"], 4)
+    return {
+        "backend": backend_name(),
+        "chunk_size": engine.chunk_size,
+        "chunks_processed": engine._chunks_processed,
+        "stages": stages,
+        "match_phases": match_phases,
+        "note": (
+            "separate profiled replay; per-edge attribution disables the "
+            "fused kernels, so stage seconds are a breakdown, not a rate"
+        ),
+    }
 
 
 def run_sharded(
@@ -350,8 +483,9 @@ def run(write: bool = True) -> dict:
     warmup, stream = full[:warm_n], full[warm_n:]
     queries = make_queries()
 
-    seed_timing, seed_records = run_engine(stream, warmup, queries, fast=False)
-    fast_timing, fast_records = run_engine(stream, warmup, queries, fast=True)
+    (seed_timing, seed_records), (fast_timing, fast_records) = run_engine_pair(
+        stream, warmup, queries
+    )
 
     assert fast_records == seed_records, (
         "fast path diverged from seed path: "
@@ -360,6 +494,7 @@ def run(write: bool = True) -> dict:
 
     seed_memory = measure_memory(stream, warmup, queries, fast=False)
     fast_memory = measure_memory(stream, warmup, queries, fast=True)
+    kernels = measure_kernels(stream, warmup, queries)
 
     counts = worker_counts_from_env()
     if counts is None:
@@ -388,6 +523,15 @@ def run(write: bool = True) -> dict:
             "window": WINDOW,
             "strategy": "Single",
         },
+        "methodology": {
+            "engine_repeats": ENGINE_REPEATS,
+            "timing": (
+                "best elapsed over interleaved fast/seed repeats, "
+                "identity asserted per run"
+            ),
+            "gc_disabled_in_timed_stream": True,
+            "kernels_warmed_before_timing": True,
+        },
         "matches": len(fast_records),
         "seed_path": {
             "elapsed_seconds": round(seed_elapsed, 4),
@@ -402,6 +546,7 @@ def run(write: bool = True) -> dict:
             "memory": fast_memory,
         },
         "speedup": round(seed_elapsed / fast_elapsed, 2),
+        "kernels": kernels,
         "memory": {
             # process-wide peak RSS (KiB on Linux); monotone over the
             # whole benchmark, so it caps every path measured above
@@ -456,7 +601,8 @@ if __name__ == "__main__":
     print(
         f"\nseed path: {outcome['seed_path']['edges_per_sec']:.0f} edges/s   "
         f"fast path: {outcome['fast_path']['edges_per_sec']:.0f} edges/s   "
-        f"speedup: {outcome['speedup']:.2f}x"
+        f"speedup: {outcome['speedup']:.2f}x   "
+        f"(chunk backend: {outcome['kernels']['backend']})"
     )
     print(
         "peak traced memory: "

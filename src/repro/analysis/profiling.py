@@ -88,6 +88,21 @@ class ProfileCounters:
         if self._stack:
             self._stack[-1][1] = end
 
+    def phase_add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Credit already-measured time to a phase (chunk-aware bump).
+
+        The batched engine loop times a whole chunk's stage (evict /
+        ingest / dispatch) with two ``perf_counter`` reads and attributes
+        it here with ``calls`` set to the chunk's edge count — per-edge
+        ``phase_enter``/``phase_exit`` pairs inside a chunk would either
+        cost two clock reads per edge or mis-attribute the whole chunk to
+        one call. Does not interact with the enter/exit stack: the time
+        was measured outside any open phase.
+        """
+        timer = self.phases.setdefault(name, PhaseTimer())
+        timer.seconds += seconds
+        timer.calls += calls
+
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a scalar counter."""
         self.counters[name] = self.counters.get(name, 0) + amount

@@ -1,0 +1,251 @@
+"""Columnar chunk encoding for batched ingest — the batch-kernel substrate.
+
+The engine's hot loop processes the stream chunk-at-a-time (see
+``ContinuousQueryEngine.process_events``): each chunk of events is encoded
+*once* into parallel columns — interned edge-type codes, float64
+timestamps, and (rows mode) pinned edge ids — that the per-chunk kernels
+share:
+
+* the **monotonicity kernel** (:meth:`EdgeChunk.presorted`) validates the
+  whole chunk's timestamp order against the graph clock in one vectorized
+  pass, replacing the per-edge comparison in ``StreamingGraph.add_event``
+  (a chunk that fails is replayed through the exact per-event path so the
+  ``GraphError`` raises at the same element with the same prefix state);
+* the **dispatch kernel** resolves ``etype code -> [(query, handler)]``
+  routing once per *distinct* code per chunk
+  (:meth:`EdgeChunk.distinct_codes` + the engine's program LUT), so the
+  per-edge step is a dense-list load instead of a dict lookup;
+* the eviction/ingest loop reads the timestamp column directly.
+
+Vertex ids stay object columns (:attr:`EdgeChunk.srcs` /
+:attr:`EdgeChunk.dsts`, built lazily): they are arbitrary hashables
+(strings, ints), and every consumer — adjacency insertion, bitmap gates,
+match keys — needs the objects themselves, so there is no int encoding to
+vectorize over without a global vertex interner (future work).
+
+Backend selection
+-----------------
+numpy is **optional**. When importable (and not disabled via the
+``REPRO_NO_NUMPY=1`` environment variable, which CI exercises), the
+timestamp/code kernels run vectorized; otherwise they fall back to pure
+Python over ``array``/list buffers with identical results.
+:func:`set_backend` force-switches at runtime so the equivalence tests can
+exercise both paths in one process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Sequence
+
+from .types import VOCABULARY, EdgeEvent
+
+#: numpy module when importable, else None — resolved once at import.
+_NUMPY = None
+if not os.environ.get("REPRO_NO_NUMPY"):
+    try:  # pragma: no cover - exercised via both CI legs
+        import numpy as _NUMPY  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover
+        _NUMPY = None
+
+#: the active kernel backend module (numpy or None = pure Python).
+_active = _NUMPY
+
+#: chunks smaller than this skip numpy even when available: buffer
+#: construction overhead beats the vectorization win on tiny batches.
+MIN_VECTOR_CHUNK = 32
+
+
+def backend_name() -> str:
+    """``"numpy"`` or ``"python"`` — which kernel backend is active."""
+    return "numpy" if _active is not None else "python"
+
+
+def using_numpy() -> bool:
+    """True when the vectorized kernels are active."""
+    return _active is not None
+
+
+def set_backend(name: str) -> str:
+    """Force the kernel backend (``"numpy"``/``"python"``/``"auto"``).
+
+    Test hook: the batched-vs-serial equivalence suite runs both backends
+    in one process. ``"auto"`` restores import-time selection (numpy when
+    importable and ``REPRO_NO_NUMPY`` unset). Raises :class:`RuntimeError`
+    when numpy is requested but unavailable. Returns the backend now
+    active.
+    """
+    global _active
+    if name == "python":
+        _active = None
+    elif name == "numpy":
+        if _NUMPY is None:
+            raise RuntimeError(
+                "numpy backend requested but numpy is not importable "
+                "(or REPRO_NO_NUMPY disabled it at import time)"
+            )
+        _active = _NUMPY
+    elif name == "auto":
+        _active = _NUMPY
+    else:
+        raise ValueError(f"unknown kernel backend {name!r}")
+    return backend_name()
+
+
+class EdgeChunk:
+    """One batch of stream elements, encoded as parallel columns.
+
+    Built once per chunk by the engine and shared by every kernel. Two
+    source layouts:
+
+    * :meth:`from_events` — a list of :class:`EdgeEvent` (the
+      ``process_events`` path);
+    * :meth:`from_rows` — a list of ``(edge_id, src, dst, etype,
+      timestamp, src_type, dst_type)`` wire tuples (the sharded workers'
+      ``process_rows`` path); ``edge_ids`` carries the pinned ids.
+
+    ``codes`` interns every edge type through the shared
+    :data:`~repro.graph.types.VOCABULARY` at encode time, so by the time
+    the dispatch kernel runs, the vocabulary covers the whole chunk.
+    """
+
+    __slots__ = (
+        "events",
+        "rows",
+        "codes",
+        "times",
+        "edge_ids",
+        "n",
+        "full_rows",
+        "_srcs",
+        "_dsts",
+        "_times_buf",
+    )
+
+    def __init__(self) -> None:
+        self.events: Optional[Sequence[EdgeEvent]] = None
+        self.rows: Optional[Sequence[tuple]] = None
+        self.codes: List[int] = []
+        self.times: List[float] = []
+        self.edge_ids: Optional[List[int]] = None
+        self.n = 0
+        #: rows mode: True when every row carries the full 7-field wire
+        #: format (the batched loop indexes positionally; short rows fall
+        #: back to the per-event path, which applies EdgeEvent defaults).
+        self.full_rows = True
+        self._srcs: Optional[list] = None
+        self._dsts: Optional[list] = None
+        self._times_buf = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Sequence[EdgeEvent]) -> "EdgeChunk":
+        """Encode a batch of stream events."""
+        chunk = cls()
+        chunk.events = events
+        codes_map = VOCABULARY._etype_codes
+        try:
+            # steady state: every etype already interned — plain dict
+            # lookups in a listcomp beat the method call per event
+            chunk.codes = [codes_map[event.etype] for event in events]
+        except KeyError:
+            ecode = VOCABULARY.etype_code
+            chunk.codes = [ecode(event.etype) for event in events]
+        chunk.times = [event.timestamp for event in events]
+        chunk.n = len(chunk.codes)
+        return chunk
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple]) -> "EdgeChunk":
+        """Encode a batch of pinned wire rows (sharded-worker format)."""
+        chunk = cls()
+        chunk.rows = rows
+        codes_map = VOCABULARY._etype_codes
+        try:
+            chunk.codes = [codes_map[row[3]] for row in rows]
+        except KeyError:
+            ecode = VOCABULARY.etype_code
+            chunk.codes = [ecode(row[3]) for row in rows]
+        chunk.times = [row[4] for row in rows]
+        chunk.edge_ids = [row[0] for row in rows]
+        chunk.n = len(chunk.codes)
+        chunk.full_rows = all(len(row) == 7 for row in rows)
+        return chunk
+
+    # ------------------------------------------------------------------
+    # object columns (lazy — only stat/test kernels read them)
+    # ------------------------------------------------------------------
+
+    @property
+    def srcs(self) -> list:
+        """Source-vertex object column."""
+        if self._srcs is None:
+            if self.events is not None:
+                self._srcs = [event.src for event in self.events]
+            else:
+                self._srcs = [row[1] for row in self.rows or ()]
+        return self._srcs
+
+    @property
+    def dsts(self) -> list:
+        """Destination-vertex object column."""
+        if self._dsts is None:
+            if self.events is not None:
+                self._dsts = [event.dst for event in self.events]
+            else:
+                self._dsts = [row[2] for row in self.rows or ()]
+        return self._dsts
+
+    def _times_f64(self):
+        """The timestamp column as a dense float64 buffer (numpy only)."""
+        if self._times_buf is None:
+            self._times_buf = _active.fromiter(
+                self.times, dtype=_active.float64, count=self.n
+            )
+        return self._times_buf
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+
+    def presorted(self, last_timestamp: float) -> bool:
+        """Whole-chunk timestamp-monotonicity check against the graph clock.
+
+        True iff feeding the chunk per-event would never raise the
+        out-of-order :class:`~repro.errors.GraphError` — i.e. the first
+        timestamp is ``>= last_timestamp`` and the column is
+        non-decreasing. Vectorized under numpy; pure-Python loop
+        otherwise.
+        """
+        times = self.times
+        if not times:
+            return True
+        if times[0] < last_timestamp:
+            return False
+        if _active is not None and self.n >= MIN_VECTOR_CHUNK:
+            buf = self._times_f64()
+            return bool((buf[1:] >= buf[:-1]).all())
+        prev = last_timestamp
+        for timestamp in times:
+            if timestamp < prev:
+                return False
+            prev = timestamp
+        return True
+
+    def distinct_codes(self) -> Iterator[int]:
+        """The distinct interned etype codes present in the chunk.
+
+        The dispatch kernel resolves routing once per value yielded here
+        instead of once per edge. numpy path: a vectorized ``unique`` over
+        the code column; fallback: a set sweep.
+        """
+        if _active is not None and self.n >= MIN_VECTOR_CHUNK:
+            buf = _active.fromiter(self.codes, dtype=_active.int64, count=self.n)
+            return iter(_active.unique(buf).tolist())
+        return iter(set(self.codes))
+
+    def __len__(self) -> int:
+        return self.n

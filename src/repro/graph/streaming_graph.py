@@ -8,12 +8,17 @@ order:
 2. **Type-indexed neighbourhood access** — the anchored subgraph
    isomorphism used by both the eager and lazy search only ever asks
    *"give me the edges of type t leaving/entering vertex v"*. Adjacency is
-   therefore a two-level dict ``vertex -> etype code -> {edge_id: Edge}``;
-   the inner dict doubles as an insertion-ordered set with O(1) removal,
-   which window eviction needs.
+   therefore a two-level index ``vertex -> etype code -> segment``, where
+   each segment is an append-only arrival-ordered ring
+   (:class:`collections.deque` — contiguous 64-slot blocks, O(1) append
+   and pop-front, dense C-level iteration with no hash-bucket hopping on
+   the compiled-plan scan path).
 3. **Amortised O(1) eviction** — edges live in a FIFO deque in arrival
    order; because stream timestamps are non-decreasing, expired edges are
-   always at the head.
+   always at the head. Eviction is the *only* removal path, and it always
+   removes each segment's front element (arrival order within a segment
+   equals global arrival order), so segments never need keyed deletion —
+   the invariant that lets them be rings instead of dicts.
 
 Edge and vertex types are interned through the shared
 :data:`~repro.graph.types.VOCABULARY` at ingest, so every per-edge index
@@ -36,8 +41,8 @@ from ..errors import EdgeNotFoundError, GraphError, VertexNotFoundError
 from .types import DEFAULT_VERTEX_TYPE, VOCABULARY, Edge, EdgeEvent, VertexId
 from .window import TimeWindow
 
-# vertex -> etype code -> {edge_id: Edge}
-_AdjIndex = Dict[VertexId, Dict[int, Dict[int, Edge]]]
+# vertex -> etype code -> arrival-ordered edge segment
+_AdjIndex = Dict[VertexId, Dict[int, "deque[Edge]"]]
 
 _EMPTY: tuple = ()
 
@@ -69,7 +74,7 @@ class StreamingGraph:
         self._arrival: deque[Edge] = deque()
         self._out: _AdjIndex = {}
         self._in: _AdjIndex = {}
-        self._by_type: Dict[int, Dict[int, Edge]] = {}
+        self._by_type: Dict[int, deque[Edge]] = {}
         # vertex -> vtype code (λV, typed on first sight)
         self._vertex_types: Dict[VertexId, int] = {}
         self._degrees: Dict[VertexId, int] = {}
@@ -105,6 +110,40 @@ class StreamingGraph:
                 f"{timestamp} < last seen {self._last_timestamp}; "
                 "sort the stream with iter_events_sorted() first"
             )
+        return self.add_prepared(
+            event.src,
+            event.dst,
+            event.etype,
+            VOCABULARY.etype_code(event.etype),
+            timestamp,
+            event.src_type,
+            event.dst_type,
+            edge_id=edge_id,
+            evict=evict,
+        )
+
+    def add_prepared(
+        self,
+        src: VertexId,
+        dst: VertexId,
+        etype: str,
+        code: int,
+        timestamp: float,
+        src_type: str,
+        dst_type: str,
+        *,
+        edge_id: Optional[int] = None,
+        evict: bool = True,
+    ) -> Edge:
+        """Insert a pre-validated, pre-interned edge (the batch hot path).
+
+        The chunked engine loop interns etype codes and validates
+        timestamp monotonicity once per chunk (see
+        :class:`~repro.graph.columnar.EdgeChunk`), so this entry point
+        skips both. Callers **must** guarantee ``timestamp`` does not go
+        backwards and ``code == VOCABULARY.etype_code(etype)`` — use
+        :meth:`add_event` otherwise.
+        """
         if edge_id is not None:
             if edge_id < self._next_edge_id:
                 raise GraphError(
@@ -119,14 +158,11 @@ class StreamingGraph:
             if arrival and arrival[0].timestamp < cutoff:
                 self.evict_expired()
 
-        src = event.src
-        dst = event.dst
-        code = VOCABULARY.etype_code(event.etype)
         edge = Edge(
             edge_id=self._next_edge_id,
             src=src,
             dst=dst,
-            etype=event.etype,
+            etype=etype,
             timestamp=timestamp,
             etype_code=code,
         )
@@ -138,34 +174,34 @@ class StreamingGraph:
         degrees = self._degrees
         vertex_types = self._vertex_types
         if src not in vertex_types:
-            vertex_types[src] = VOCABULARY.vtype_code(event.src_type)
+            vertex_types[src] = VOCABULARY.vtype_code(src_type)
             degrees[src] = 0
         if dst not in vertex_types:
-            vertex_types[dst] = VOCABULARY.vtype_code(event.dst_type)
+            vertex_types[dst] = VOCABULARY.vtype_code(dst_type)
             degrees[dst] = 0
         # First sight wins: re-typing an existing vertex is ignored, which
         # matches how the paper's datasets type vertices once.
         by_code = self._out.get(src)
         if by_code is None:
             by_code = self._out[src] = {}
-        bucket = by_code.get(code)
-        if bucket is None:
-            by_code[code] = {eid: edge}
+        segment = by_code.get(code)
+        if segment is None:
+            by_code[code] = deque((edge,))
         else:
-            bucket[eid] = edge
+            segment.append(edge)
         by_code = self._in.get(dst)
         if by_code is None:
             by_code = self._in[dst] = {}
-        bucket = by_code.get(code)
-        if bucket is None:
-            by_code[code] = {eid: edge}
+        segment = by_code.get(code)
+        if segment is None:
+            by_code[code] = deque((edge,))
         else:
-            bucket[eid] = edge
-        bucket = self._by_type.get(code)
-        if bucket is None:
-            self._by_type[code] = {eid: edge}
+            segment.append(edge)
+        segment = self._by_type.get(code)
+        if segment is None:
+            self._by_type[code] = deque((edge,))
         else:
-            bucket[eid] = edge
+            segment.append(edge)
         degrees[src] += 1
         if dst != src:
             degrees[dst] += 1
@@ -206,31 +242,43 @@ class StreamingGraph:
         self._evicted_count += evicted
         return evicted
 
+    def maybe_evict(self) -> int:
+        """Evict iff the oldest live edge has left the window (O(1) probe).
+
+        The head check :meth:`add_event` performs before every insert,
+        exposed so the engine's instrumented chunk loop can time eviction
+        separately from insertion (it then inserts with ``evict=False``).
+        """
+        arrival = self._arrival
+        if arrival and arrival[0].timestamp < self._window.cutoff:
+            return self.evict_expired()
+        return 0
+
     def _remove(self, edge: Edge) -> None:
-        eid = edge.edge_id
+        # Only eviction calls this, in arrival order — the edge is still
+        # live, so it sits at the *front* of all three of its segments
+        # (every earlier segment member was already evicted) and both its
+        # endpoints still have live-degree entries. Segments are deleted
+        # the moment they empty, so the lookups below cannot miss. The
+        # engine's chunk kernel inlines this body; keep them in sync.
         src = edge.src
         dst = edge.dst
         code = edge.etype_code
-        del self._edges[eid]
-        by_code = self._out.get(src)
-        if by_code is not None:
-            bucket = by_code.get(code)
-            if bucket is not None:
-                bucket.pop(eid, None)
-                if not bucket:
-                    del by_code[code]
-        by_code = self._in.get(dst)
-        if by_code is not None:
-            bucket = by_code.get(code)
-            if bucket is not None:
-                bucket.pop(eid, None)
-                if not bucket:
-                    del by_code[code]
-        bucket = self._by_type.get(code)
-        if bucket is not None:
-            bucket.pop(eid, None)
-            if not bucket:
-                del self._by_type[code]
+        del self._edges[edge.edge_id]
+        by_code = self._out[src]
+        segment = by_code[code]
+        segment.popleft()
+        if not segment:
+            del by_code[code]
+        by_code = self._in[dst]
+        segment = by_code[code]
+        segment.popleft()
+        if not segment:
+            del by_code[code]
+        segment = self._by_type[code]
+        segment.popleft()
+        if not segment:
+            del self._by_type[code]
         degrees = self._degrees
         degrees[src] -= 1
         if dst != src:
@@ -254,6 +302,16 @@ class StreamingGraph:
     def window(self) -> TimeWindow:
         """The shared :class:`TimeWindow` policy object."""
         return self._window
+
+    @property
+    def last_timestamp(self) -> float:
+        """Newest timestamp ingested so far (``-inf`` when empty).
+
+        The chunked engine validates a whole chunk's monotonicity against
+        this clock in one pass (see :meth:`EdgeChunk.presorted`) before
+        taking the :meth:`add_prepared` fast path.
+        """
+        return self._last_timestamp
 
     @property
     def num_vertices(self) -> int:
@@ -344,9 +402,9 @@ class StreamingGraph:
     ) -> Iterable[Edge]:
         """Edges leaving ``vertex``, optionally restricted to one type.
 
-        With an ``etype`` this returns the live dict-values view of the
-        adjacency bucket — no generator frames or copies on the matchers'
-        hot path. Callers must not mutate the graph while iterating.
+        With an ``etype`` this returns the live arrival-ordered adjacency
+        segment — no generator frames or copies on the matchers' hot
+        path. Callers must not mutate the graph while iterating.
         """
         return self._adj_view(self._out, vertex, etype)
 
@@ -366,16 +424,16 @@ class StreamingGraph:
         by_code = self._out.get(vertex)
         if by_code is None:
             return _EMPTY
-        bucket = by_code.get(code)
-        return bucket.values() if bucket else _EMPTY
+        segment = by_code.get(code)
+        return segment if segment is not None else _EMPTY
 
     def in_edges_code(self, vertex: VertexId, code: int) -> Iterable[Edge]:
         """:meth:`in_edges` keyed by an interned edge-type code."""
         by_code = self._in.get(vertex)
         if by_code is None:
             return _EMPTY
-        bucket = by_code.get(code)
-        return bucket.values() if bucket else _EMPTY
+        segment = by_code.get(code)
+        return segment if segment is not None else _EMPTY
 
     @staticmethod
     def _adj_view(
@@ -389,8 +447,8 @@ class StreamingGraph:
         code = VOCABULARY.etype_code_if_known(etype)
         if code is None:
             return _EMPTY
-        bucket = by_code.get(code)
-        return bucket.values() if bucket else _EMPTY
+        segment = by_code.get(code)
+        return segment if segment is not None else _EMPTY
 
     def incident_edges(
         self, vertex: VertexId, etype: Optional[str] = None
@@ -413,32 +471,32 @@ class StreamingGraph:
         if by_code is None:
             return
         if etype is None:
-            for bucket in by_code.values():
-                yield from bucket.values()
+            for segment in by_code.values():
+                yield from segment
         else:
             code = VOCABULARY.etype_code_if_known(etype)
             if code is None:
                 return
-            bucket = by_code.get(code)
-            if bucket:
-                yield from bucket.values()
+            segment = by_code.get(code)
+            if segment:
+                yield from segment
 
     def edges_of_type(self, etype: str) -> Iterator[Edge]:
         """All live edges of one type (insertion order)."""
         code = VOCABULARY.etype_code_if_known(etype)
         if code is None:
             return
-        bucket = self._by_type.get(code)
-        if bucket:
-            yield from bucket.values()
+        segment = self._by_type.get(code)
+        if segment:
+            yield from segment
 
     def count_of_type(self, etype: str) -> int:
         """Number of live edges of one type (O(1))."""
         code = VOCABULARY.etype_code_if_known(etype)
         if code is None:
             return 0
-        bucket = self._by_type.get(code)
-        return len(bucket) if bucket else 0
+        segment = self._by_type.get(code)
+        return len(segment) if segment else 0
 
     def edge_types(self) -> Iterable[str]:
         """Distinct live edge types."""
@@ -493,13 +551,13 @@ class StreamingGraph:
                     if vertex not in copy._vertex_types:
                         copy._vertex_types[vertex] = self._vertex_types[vertex]
                         copy._degrees[vertex] = 0
-                copy._out.setdefault(edge.src, {}).setdefault(code, {})[
-                    edge.edge_id
-                ] = edge
-                copy._in.setdefault(edge.dst, {}).setdefault(code, {})[
-                    edge.edge_id
-                ] = edge
-                copy._by_type.setdefault(code, {})[edge.edge_id] = edge
+                copy._out.setdefault(edge.src, {}).setdefault(code, deque()).append(
+                    edge
+                )
+                copy._in.setdefault(edge.dst, {}).setdefault(code, deque()).append(
+                    edge
+                )
+                copy._by_type.setdefault(code, deque()).append(edge)
                 copy._degrees[edge.src] += 1
                 if edge.dst != edge.src:
                     copy._degrees[edge.dst] += 1
@@ -512,6 +570,6 @@ class StreamingGraph:
         """Live edge count per edge type (O(#types) off the ``_by_type``
         index — no vertex iteration)."""
         return {
-            VOCABULARY.etype_name(code): len(bucket)
-            for code, bucket in self._by_type.items()
+            VOCABULARY.etype_name(code): len(segment)
+            for code, segment in self._by_type.items()
         }

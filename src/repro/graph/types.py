@@ -76,6 +76,11 @@ class Vocabulary:
         """Reverse lookup: the label an edge-type code was interned from."""
         return self._etype_names[code]
 
+    def num_etypes(self) -> int:
+        """Number of edge-type codes assigned so far (codes are dense, so
+        this bounds every valid code — dispatch LUTs size off it)."""
+        return len(self._etype_names)
+
     # -- vertex types ---------------------------------------------------
 
     def vtype_code(self, name: str) -> int:

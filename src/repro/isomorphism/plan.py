@@ -247,6 +247,30 @@ def compile_fragment_plans(fragment: QueryGraph) -> Tuple[MatchPlan, ...]:
 # ---------------------------------------------------------------------------
 
 
+def split_plans_for_code(
+    plans: Tuple[MatchPlan, ...], code: int
+) -> Tuple[Tuple[MatchPlan, ...], Tuple[MatchPlan, ...]]:
+    """Batch-anchoring gate hoist: ``(non-loop plans, loop plans)`` for
+    one interned anchor-edge-type code.
+
+    :func:`execute_plans` re-evaluates the anchor filter
+    (``anchor_code != plan.etype_code or anchor_is_loop != plan.is_loop``)
+    per (edge, plan). Chunked dispatch routes edges by code, so the code
+    half of the gate holds for every edge of the chunk's bucket; resolving
+    it here — plus pre-splitting by the loop flag, the only per-edge bit
+    left — lets the batched handlers run
+    :func:`execute_plan_prefiltered` with no gate at all. Plan order is
+    preserved within each split (an edge is either a loop or not, so the
+    plans it executes keep their original relative order — emission-order
+    identity with the ungated path depends on this).
+    """
+    routed = [plan for plan in plans if plan.etype_code == code]
+    return (
+        tuple(plan for plan in routed if not plan.is_loop),
+        tuple(plan for plan in routed if plan.is_loop),
+    )
+
+
 def execute_plans(
     graph: StreamingGraph,
     plans: Tuple[MatchPlan, ...],
@@ -273,10 +297,32 @@ def execute_plans(
             ts = anchor.timestamp
             results.append(Match(plan.shape.qeids, (anchor,), ts, ts, shape=plan.shape))
             continue
-        execute_plan(graph, plan, anchor, results, limit=limit)
+        _descend(graph, plan, anchor, results, limit)
         if limit is not None and len(results) >= limit:
             break
     return results
+
+
+def execute_plan_prefiltered(
+    graph: StreamingGraph,
+    plan: MatchPlan,
+    anchor: Edge,
+    results: List[Match],
+) -> None:
+    """Run one plan whose anchor gate was hoisted to chunk level.
+
+    The caller guarantees ``anchor.etype_code == plan.etype_code`` and
+    ``(anchor.src == anchor.dst) == plan.is_loop`` (see
+    :func:`split_plans_for_code`); only the data-dependent endpoint role
+    checks and the backtracking descent remain. Trivial plans are expected
+    to be emitted inline by the caller — cheaper than a call — but are
+    handled here too for safety.
+    """
+    if plan.trivial:
+        ts = anchor.timestamp
+        results.append(Match(plan.shape.qeids, (anchor,), ts, ts, shape=plan.shape))
+        return
+    _descend(graph, plan, anchor, results, None)
 
 
 def execute_plan(
@@ -293,6 +339,18 @@ def execute_plan(
     loop_d = anchor.src == anchor.dst
     if plan.is_loop != loop_d:
         return
+    _descend(graph, plan, anchor, results, limit)
+
+
+def _descend(
+    graph: StreamingGraph,
+    plan: MatchPlan,
+    anchor: Edge,
+    results: List[Match],
+    limit: Optional[int],
+) -> None:
+    """Endpoint role checks + backtracking descent (the post-gate body of
+    :func:`execute_plan`, shared with the prefiltered batch entry)."""
     if not plan.src_check.ok(graph, anchor.src):
         return
     if not plan.dst_check.ok(graph, anchor.dst):

@@ -419,13 +419,18 @@ def _dump_tree_state(w: BinaryWriter, tree: SJTree, cutoff: float) -> None:
 def _matches_in_insertion_order(table):
     """Live matches of one MatchTable, oldest insertion first.
 
-    With expiry tracking, the time ring *is* the global insertion order.
-    Without it (infinite windows) only per-bucket order is observable
-    (probes are per bucket, nothing ever expires), so bucket-creation
-    order interleaving is a faithful stand-in.
+    With expiry tracking, the time ring *is* the global insertion order:
+    ``MatchTable`` keeps ``[bucket, pos, match]`` slots in ``_ring``,
+    ``FIFOLeafTable`` keeps a match-only parallel ring. Without it
+    (infinite windows) only per-bucket order is observable (probes are
+    per bucket, nothing ever expires), so bucket-creation order
+    interleaving is a faithful stand-in.
     """
     if table.track_expiry:
-        return [slot[2] for slot in table._ring]
+        ring = getattr(table, "_ring", None)
+        if ring is not None:
+            return [slot[2] for slot in ring]
+        return list(table._ring_matches)
     return list(table)
 
 
@@ -813,10 +818,16 @@ def _load_tables(r: BinaryReader, tree: SJTree, graph) -> None:
                 ) from exc
             stamps = [edge.timestamp for edge in edges]
             match = Match(qeids, edges, min(stamps), max(stamps), shape=shape)
-            key = tuple(
-                edges[slot].src if is_src else edges[slot].dst
-                for slot, is_src in key_plan
-            )
+            if len(key_plan) == 1:
+                # single-vertex keys are bare, mirroring SJTree.insert_match
+                slot0, is_src0 = key_plan[0]
+                e = edges[slot0]
+                key = e.src if is_src0 else e.dst
+            else:
+                key = tuple(
+                    edges[slot].src if is_src else edges[slot].dst
+                    for slot, is_src in key_plan
+                )
             table.insert(key, match)
         table.inserted_total = inserted_total
 

@@ -126,6 +126,9 @@ class _WorkerInit:
     estimator: SelectivityEstimator
     specs: Tuple[QuerySpec, ...]
     restore_path: Optional[str] = None
+    #: engine batch-kernel chunk size (EdgeChunk granularity) — distinct
+    #: from the coordinator's wire ``batch_size``
+    chunk_size: int = 1024
 
 
 def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
@@ -135,11 +138,13 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
             engine = ContinuousQueryEngine.restore(
                 init.restore_path, [spec.query for spec in init.specs]
             )
+            engine.chunk_size = init.chunk_size
         else:
             engine = ContinuousQueryEngine(
                 window=init.window,
                 estimator=init.estimator,
                 housekeeping_every=init.housekeeping_every,
+                chunk_size=init.chunk_size,
             )
             for spec in init.specs:
                 engine.register(
@@ -225,6 +230,11 @@ class ShardedEngine:
     batch_size:
         Events per worker message. Larger batches amortise pickling;
         smaller ones reduce end-of-stream latency skew.
+    chunk_size:
+        ``EdgeChunk`` granularity of each worker's batch kernels —
+        forwarded to every worker engine (and re-applied on restore).
+        Independent of ``batch_size``: the wire batch bounds queue
+        latency, the chunk bounds the fused ingest loop.
     partitioner:
         ``"cost"`` (greedy selectivity-balanced, the default) or
         ``"round-robin"``.
@@ -242,11 +252,14 @@ class ShardedEngine:
         housekeeping_every: int = 2048,
         partitioner: str = "cost",
         mp_context=None,
+        chunk_size: int = 1024,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if partitioner not in ("cost", "round-robin"):
             raise ValueError(
                 f"unknown partitioner {partitioner!r}; "
@@ -255,6 +268,7 @@ class ShardedEngine:
         self.window = float(window)
         self.workers = workers
         self.batch_size = batch_size
+        self.chunk_size = chunk_size
         self.partitioner = partitioner
         self.housekeeping_every = housekeeping_every
         self.estimator = estimator if estimator is not None else SelectivityEstimator()
@@ -401,11 +415,13 @@ class ShardedEngine:
                     self._restore_files[self._shards[0].worker_id],
                     [spec.query for spec in self.specs],
                 )
+                engine.chunk_size = self.chunk_size
             else:
                 engine = ContinuousQueryEngine(
                     window=self.window,
                     estimator=self.estimator,
                     housekeeping_every=self.housekeeping_every,
+                    chunk_size=self.chunk_size,
                 )
                 for spec in self.specs:
                     engine.register(
@@ -431,6 +447,7 @@ class ShardedEngine:
                 estimator=self.estimator,
                 specs=tuple(self.specs[position] for position in shard.positions),
                 restore_path=self._restore_files.get(shard.worker_id),
+                chunk_size=self.chunk_size,
             )
             task_queue = ctx.Queue(maxsize=_TASK_QUEUE_DEPTH)
             proc = ctx.Process(

@@ -58,6 +58,24 @@ class SearchAlgorithm(abc.ABC):
     def process_edge(self, edge: Edge) -> List[Match]:
         """Fold one new data edge in; return newly completed matches."""
 
+    def compile_code_handler(self, code: int) -> Optional["callable"]:
+        """A per-edge handler specialized for one interned etype code.
+
+        The engine's batched dispatch kernel resolves routing once per
+        distinct code per chunk and caches the result; every edge of that
+        code in the chunk is then fed through the returned callable
+        (``handler(edge) -> List[Match]``). Returning ``None`` declares
+        "no work for this code" — the engine skips the query without a
+        call, which must be observably identical to ``process_edge``
+        returning ``[]`` without bumping any counter.
+
+        The default — the per-edge entry point itself — is always
+        correct; the SJ-Tree strategies override this with closures that
+        hoist the leaf routing, anchor gates and tree navigation that
+        ``process_edge`` re-derives per edge.
+        """
+        return self.process_edge
+
     @classmethod
     def static_relevant_etypes(cls, query: QueryGraph) -> Optional[FrozenSet[str]]:
         """Edge types an instance of ``cls`` for ``query`` would consume.

@@ -28,10 +28,18 @@ from ..graph.types import VOCABULARY, Edge
 from ..graph.window import TimeWindow
 from ..isomorphism.anchored import find_anchored_matches
 from ..isomorphism.match import Match
-from ..isomorphism.plan import execute_plans
-from ..sjtree.node import SJTreeNode
+from ..isomorphism.plan import (
+    execute_plan_prefiltered,
+    execute_plans,
+    split_plans_for_code,
+)
+from ..sjtree.node import FIFOLeafTable, MatchTable, SJTreeNode
 from ..sjtree.tree import SJTree
 from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
+
+#: Shared empty result of a handler call that completed nothing. Callers
+#: only truth-test and iterate handler results, never mutate them.
+_NO_MATCHES: List[Match] = []
 
 
 def leaves_by_etype(
@@ -64,6 +72,27 @@ def disable_expiry_tracking(tree: SJTree, window: TimeWindow) -> None:
             node.table.track_expiry = False
 
 
+def specialize_leaf_tables(tree: SJTree) -> None:
+    """Swap single-edge leaf tables for the FIFO specialization.
+
+    Only sound for the eager search (see
+    :class:`~repro.sjtree.node.FIFOLeafTable`): every match stored at
+    such a leaf is built from the arriving edge, so ``min_time`` is
+    non-decreasing in insertion order and no duplicate is ever offered.
+    Must run before any match is stored (construction time, when tables
+    are empty); hand-assembled trees whose tables were pre-populated are
+    left alone.
+    """
+    for leaf in tree.leaves():
+        table = leaf.table
+        if (
+            len(leaf.edge_ids) == 1
+            and type(table) is MatchTable
+            and len(table) == 0
+        ):
+            leaf.table = FIFOLeafTable(track_expiry=table.track_expiry)
+
+
 class DynamicGraphSearch(SearchAlgorithm):
     """Eager decomposition-driven continuous search."""
 
@@ -88,6 +117,7 @@ class DynamicGraphSearch(SearchAlgorithm):
         for leaf in self._leaves:  # hand-built trees may lack plans
             leaf.match_plans()
         disable_expiry_tracking(tree, self.window)
+        specialize_leaf_tables(tree)
 
     def process_edge(self, edge: Edge) -> List[Match]:
         results: List[Match] = []
@@ -123,6 +153,105 @@ class DynamicGraphSearch(SearchAlgorithm):
         if profile is not None:
             profile.phase_exit()
         return self._emit(results)
+
+    def compile_code_handler(self, code: int):
+        """Batched per-code handler: leaf routing, anchor gates and tree
+        navigation hoisted to compile time (once per distinct etype code
+        per chunk, cached by the engine).
+
+        Record-identity with :meth:`process_edge`: the per-edge path
+        collects every plan's matches for a leaf and then inserts them;
+        this handler inserts per plan as matches surface. The orders are
+        identical because plan execution reads only the graph while
+        inserts mutate only the tree tables — interleaving cannot change
+        what later plans find — and within each leaf the (plan order,
+        discovery order) sequence is preserved. When phase profiling is
+        enabled the handler delegates to :meth:`process_edge`, whose
+        per-edge ``iso``/``join`` attribution is the accuracy bar the
+        Fig. 9/10 experiments rely on.
+        """
+        if not self.compiled_plans:
+            return self.process_edge  # legacy scan has no hoistable gate
+        leaves = self._leaves_by_etype.get(code)
+        if leaves is None:
+            return None  # no leaf fragment contains this edge type
+        actions = []
+        for leaf in leaves:
+            nonloop, loops = split_plans_for_code(leaf.plans, code)
+            actions.append(
+                (
+                    self.tree.compile_leaf_insert(leaf.node_id, self.window),
+                    nonloop,
+                    loops,
+                )
+            )
+        graph = self.graph
+        window = self.window
+        profile = self.profile
+        process_edge = self.process_edge
+        Match_ = Match
+
+        if len(actions) == 1:
+            leaf_insert0, nonloop0, loops0 = actions[0]
+            if not loops0 and len(nonloop0) == 1 and nonloop0[0].trivial:
+                # Fused fast path for the dominant routing shape — one
+                # leaf, one trivial (single-query-edge, non-loop) plan:
+                # the whole per-edge body (Match construction, staleness
+                # gate, table insert, sibling probe) collapses into one
+                # tree-compiled kernel. A loop edge runs no plans,
+                # exactly like the general loop over the empty ``loops``
+                # list. The results list is reused across calls
+                # (completions are rare); copying it out on a hit keeps
+                # the returned list caller-owned, as everywhere else.
+                shape0 = nonloop0[0].shape
+                trivial_insert0 = self.tree.compile_trivial_leaf_insert(
+                    leaves[0].node_id, window, shape0
+                )
+                if trivial_insert0 is not None:
+                    results0: List[Match] = []
+                    sink0 = results0.append
+
+                    def handle_trivial(edge: Edge) -> List[Match]:
+                        if profile.enabled:
+                            return process_edge(edge)
+                        if edge.src == edge.dst:
+                            return _NO_MATCHES
+                        trivial_insert0(edge, window._cutoff, sink0)
+                        if results0:
+                            out = results0[:]
+                            results0.clear()
+                            self.matches_emitted += len(out)
+                            return out
+                        return _NO_MATCHES
+
+                    return handle_trivial
+
+        def handle(edge: Edge) -> List[Match]:
+            if profile.enabled:
+                return process_edge(edge)
+            results: List[Match] = []
+            sink = results.append
+            cutoff = window._cutoff  # plain attr: skip the property call
+            is_loop = edge.src == edge.dst
+            for leaf_insert, nonloop, loops in actions:
+                for plan in loops if is_loop else nonloop:
+                    if plan.trivial:
+                        ts = edge.timestamp
+                        shape = plan.shape
+                        leaf_insert(
+                            Match_(shape.qeids, (edge,), ts, ts, shape=shape),
+                            cutoff,
+                            sink,
+                        )
+                    else:
+                        found: List[Match] = []
+                        execute_plan_prefiltered(graph, plan, edge, found)
+                        for match in found:
+                            leaf_insert(match, cutoff, sink)
+            self.matches_emitted += len(results)
+            return results
+
+        return handle
 
     def _process_edge_legacy(self, edge: Edge, results, sink, profile) -> List[Match]:
         """The seed per-edge path: offer the edge to every leaf through the

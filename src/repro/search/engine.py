@@ -26,10 +26,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from collections import deque
+
 from ..analysis.profiling import ProfileCounters
-from ..errors import QueryError, StrategyError
+from ..errors import GraphError, QueryError, StrategyError
+from ..graph.columnar import EdgeChunk, backend_name
 from ..graph.streaming_graph import StreamingGraph
-from ..graph.types import VOCABULARY, EdgeEvent
+from ..graph.types import VOCABULARY, Edge, EdgeEvent
 from ..query.query_graph import QueryGraph
 from ..sjtree.builder import build_sj_tree
 from ..sjtree.tree import SJTree
@@ -40,6 +43,10 @@ from .baseline import IncIsoMatchSearch, PeriodicVF2Search, VF2PerEdgeSearch
 from .dynamic import DynamicGraphSearch
 from .lazy import LazySearch
 from .strategy import STRATEGY_NAMES, StrategyDecision, choose_strategy
+
+#: dispatch-LUT slot for "program not compiled yet" (distinct from None,
+#: which is a compiled "no routed query consumes this code").
+_UNSEEN = object()
 
 
 def algorithm_class(strategy: str) -> type:
@@ -114,6 +121,7 @@ class ContinuousQueryEngine:
         dispatch: bool = True,
         partial_sample_every: Optional[int] = None,
         profile_phases: bool = False,
+        chunk_size: int = 1024,
     ) -> None:
         self.graph = StreamingGraph(window)
         self.estimator = (
@@ -123,6 +131,13 @@ class ContinuousQueryEngine:
         if housekeeping_every < 1:
             raise ValueError("housekeeping_every must be >= 1")
         self.housekeeping_every = housekeeping_every
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        #: batch width of the chunked ingest loop (columnar encoding +
+        #: per-chunk dispatch resolution). Semantics never depend on it —
+        #: the equivalence suite sweeps it — only constant-hoisting
+        #: amortization does.
+        self.chunk_size = chunk_size
         if partial_sample_every is not None and partial_sample_every < 1:
             raise ValueError("partial_sample_every must be >= 1 or None")
         #: sampling interval (in edges) for ``RunResult.peak_partial_matches``
@@ -135,16 +150,28 @@ class ContinuousQueryEngine:
         #: when True, the estimator keeps observing the live stream (the
         #: paper assumes a stable selectivity order, so default off).
         self.update_statistics = False
+        # interned etype code -> compiled dispatch program, dense-list LUT
+        # (see _compile_program); cleared whenever routing could change.
+        self._program_lut: List = []
+        #: chunks processed by the batched loop (describe() batch stats).
+        self._chunks_processed = 0
         #: type-indexed multi-query dispatch: route each edge only to the
         #: queries whose alphabet contains its type. Disable to force the
         #: seed behaviour (offer every edge to every query) — the
         #: equivalence tests compare the two paths record-for-record.
         self.dispatch = dispatch
         #: when True, algorithms keep their per-edge iso/join phase timers
-        #: running (the §6.4.1 split). Off by default: two perf_counter
-        #: reads per phase per edge are measurable on the hot loop, and
-        #: only the figure-reproduction experiments read the split.
+        #: running (the §6.4.1 split) and the batched loop times its chunk
+        #: stages (evict/ingest/dispatch) into :attr:`kernel_profile`. Off
+        #: by default: two perf_counter reads per phase per edge are
+        #: measurable on the hot loop, and only the figure-reproduction
+        #: experiments and the bench kernel report read the split.
         self.profile_phases = profile_phases
+        #: engine-level chunk-stage timers (evict / ingest / dispatch),
+        #: populated by the instrumented batch loop when
+        #: ``profile_phases`` is on; per-query iso/join time lives in each
+        #: registered query's own profile.
+        self.kernel_profile = ProfileCounters()
         # interned etype code -> registered queries that can consume it
         # (registration order), rebuilt on register/refresh.
         # ``_route_default`` holds the queries that must see *every* edge
@@ -152,6 +179,17 @@ class ContinuousQueryEngine:
         # types no query declares.
         self._routes: Dict[int, List[RegisteredQuery]] = {}
         self._route_default: List[RegisteredQuery] = []
+
+    @property
+    def dispatch(self) -> bool:
+        """Type-indexed multi-query dispatch (see ``__init__``)."""
+        return self._dispatch
+
+    @dispatch.setter
+    def dispatch(self, value: bool) -> None:
+        self._dispatch = bool(value)
+        # compiled programs bake the route in — recompile lazily.
+        self._program_lut = []
 
     # ------------------------------------------------------------------
     # step 1: decomposition
@@ -212,6 +250,7 @@ class ContinuousQueryEngine:
         every route so record emission order is identical with dispatch on
         or off (skipped queries contribute no records).
         """
+        self._program_lut = []  # routes changed: recompile programs lazily
         alphabet: set[str] = set()
         etype_sets: Dict[str, Optional[frozenset]] = {}
         default: List[RegisteredQuery] = []
@@ -286,52 +325,38 @@ class ContinuousQueryEngine:
     def process_events(self, events: Iterable[EdgeEvent]) -> List[MatchRecord]:
         """Process a batch of stream events; return all completed matches.
 
-        The fused ``evict → route → match`` hot loop: semantically
+        The chunked ``encode → evict → route → match`` hot loop: the
+        stream is consumed :attr:`chunk_size` events at a time, each chunk
+        encoded once into parallel columns (:class:`EdgeChunk`) shared by
+        the monotonicity, eviction and dispatch kernels. Semantically
         identical to calling :meth:`process_event` per element (same clock
         advancement, eviction points, housekeeping cadence and record
         order — events are still folded in one at a time, because matching
-        must observe the graph exactly as of each edge's arrival), but
-        with the per-event attribute traffic hoisted out of the loop.
+        must observe the graph exactly as of each edge's arrival); only
+        the per-event overhead — type interning, order validation, route
+        lookup, handler selection — is hoisted to chunk scope.
         :meth:`run`, the chunked CLI ingest and the sharded runtime's
         serial fallback all drive this path; :meth:`process_rows` is its
         edge-id-pinned twin for sharded workers.
         """
         records: List[MatchRecord] = []
-        append = records.append
-        add_event = self.graph.add_event
-        routes = self._routes
-        default = self._route_default
-        dispatch = self.dispatch
-        all_queries = self.queries.values()
-        update_stats = self.update_statistics
-        observe = self.estimator.observe
-        housekeeping_every = self.housekeeping_every
-        since = self._edges_since_sweep
-        for event in events:
-            edge = add_event(event)
-            if update_stats:
-                observe(edge)
-            targets = (
-                routes.get(edge.etype_code, default) if dispatch else all_queries
-            )
-            timestamp = edge.timestamp
-            for registered in targets:
-                matches = registered.algorithm.process_edge(edge)
-                if matches:
-                    name = registered.name
-                    strategy = registered.strategy
-                    for match in matches:
-                        append(MatchRecord(name, strategy, match, timestamp))
-            since += 1
-            if since >= housekeeping_every:
-                self._edges_since_sweep = since
-                self.sweep()
-                since = 0
-        self._edges_since_sweep = since
+        it = iter(events)
+        chunk_size = self.chunk_size
+        from_events = EdgeChunk.from_events
+        islice = itertools.islice
+        while True:
+            batch = list(islice(it, chunk_size))
+            if not batch:
+                break
+            chunk = from_events(batch)
+            if self.profile_phases:
+                self._process_chunk_profiled(chunk, records)
+            else:
+                self._process_chunk(chunk, records)
         return records
 
     def process_rows(self, rows: Iterable[tuple]) -> List[tuple[int, MatchRecord]]:
-        """Fused batch loop over pinned stream rows (the sharded workers).
+        """Chunked batch loop over pinned stream rows (the sharded workers).
 
         ``rows`` are ``(edge_id, src, dst, etype, timestamp, src_type,
         dst_type)`` tuples — the wire format of the sharded runtime, where
@@ -339,44 +364,468 @@ class ContinuousQueryEngine:
         :meth:`StreamingGraph.add_event` on id pinning). Returns
         ``(edge_id, record)`` pairs so the coordinator can merge worker
         outputs back into exact single-process emission order. Mirrors
-        :meth:`process_events` step for step.
+        :meth:`process_events` chunk for chunk.
         """
         tagged: List[tuple[int, MatchRecord]] = []
-        append = tagged.append
-        add_event = self.graph.add_event
-        routes = self._routes
-        default = self._route_default
-        dispatch = self.dispatch
-        all_queries = self.queries.values()
+        it = iter(rows)
+        chunk_size = self.chunk_size
+        from_rows = EdgeChunk.from_rows
+        islice = itertools.islice
+        while True:
+            batch = list(islice(it, chunk_size))
+            if not batch:
+                break
+            chunk = from_rows(batch)
+            if self.profile_phases:
+                self._process_chunk_profiled(chunk, tagged)
+            else:
+                self._process_chunk(chunk, tagged)
+        return tagged
+
+    # ------------------------------------------------------------------
+    # batch kernels
+    # ------------------------------------------------------------------
+
+    def _compile_program(self, code: int):
+        """Compile the dispatch program for one interned etype code.
+
+        A program is a tuple of ``(query_name, strategy, handler)``
+        triples — one per routed query whose algorithm consumes the code,
+        in registration order — or ``None`` when no routed query does (the
+        batched loop then skips matching for the edge entirely; by the
+        :meth:`~repro.search.base.SearchAlgorithm.compile_code_handler`
+        contract that is record- and counter-identical to calling every
+        routed ``process_edge`` and collecting nothing).
+        """
+        if self._dispatch:
+            targets = self._routes.get(code, self._route_default)
+        else:
+            targets = list(self.queries.values())
+        program = [
+            (registered.name, registered.strategy, handler)
+            for registered in targets
+            if (handler := registered.algorithm.compile_code_handler(code))
+            is not None
+        ]
+        return tuple(program) if program else None
+
+    def _resolve_chunk_programs(self, chunk: EdgeChunk) -> List:
+        """Dispatch kernel: resolve routing for every code in the chunk.
+
+        Grows the dense program LUT to the current vocabulary and compiles
+        a program for each *distinct* code present (set-reduced, so a
+        chunk with one hot edge type costs one route lookup, not
+        ``chunk_size``). Returns the LUT; the ingest loop then dispatches
+        each edge with a single list load.
+        """
+        lut = self._program_lut
+        size = VOCABULARY.num_etypes()
+        if len(lut) < size:
+            lut.extend(_UNSEEN for _ in range(size - len(lut)))
+        compile_program = self._compile_program
+        for code in chunk.distinct_codes():
+            if lut[code] is _UNSEEN:
+                lut[code] = compile_program(code)
+        return lut
+
+    def warm_kernels(self) -> int:
+        """Eagerly compile dispatch programs for every interned etype code.
+
+        The batched loop compiles programs lazily, on the first chunk that
+        contains a code — correct, but it books the one-time compilation
+        cost against the first chunk's wall time. Latency-sensitive
+        callers (and the throughput bench, which times the stream section
+        in isolation) can call this after registration to hoist the work
+        out of the measured path. Codes interned later still compile
+        lazily. Returns the number of programs compiled.
+        """
+        lut = self._program_lut
+        size = VOCABULARY.num_etypes()
+        if len(lut) < size:
+            lut.extend(_UNSEEN for _ in range(size - len(lut)))
+        compiled = 0
+        for code in range(size):
+            if lut[code] is _UNSEEN:
+                lut[code] = self._compile_program(code)
+                compiled += 1
+        return compiled
+
+    def _process_chunk(self, chunk: EdgeChunk, out: list) -> None:
+        """The fused batch kernel shared by events mode and rows mode.
+
+        Validates the whole chunk's timestamp order in one pass, resolves
+        dispatch programs per distinct etype code, then folds edges in one
+        at a time with the graph-ingest step **inlined**: the loop mirrors
+        :meth:`StreamingGraph.add_prepared` (and, for eviction,
+        :meth:`StreamingGraph._remove`) field for field — those methods
+        stay the reference implementation, the equivalence suite drives
+        both — with every index hoisted into a chunk-scope local, because
+        at the targeted edge rates the ``self.``-attribute traffic and
+        call frame of a per-edge method are the dominant cost. Events mode
+        and rows mode run twin copies of the loop so the per-edge body
+        carries no mode branch. Graph scalar counters are written back in
+        ``finally`` so an exception mid-chunk (a pinned id going
+        backwards) leaves the prefix fully ingested, exactly like the
+        per-event path. Chunks the kernels cannot take — out-of-order
+        timestamps, short wire rows — replay through the exact per-event
+        path instead (:meth:`_process_chunk_fallback`), preserving error
+        position and prefix state.
+        """
+        graph = self.graph
+        rows = chunk.rows
+        if not chunk.presorted(graph.last_timestamp) or (
+            rows is not None and not chunk.full_rows
+        ):
+            self._process_chunk_fallback(chunk, out)
+            return
+        lut = self._resolve_chunk_programs(chunk)
+        append = out.append
         update_stats = self.update_statistics
         observe = self.estimator.observe
         housekeeping_every = self.housekeeping_every
         since = self._edges_since_sweep
-        for row in rows:
-            pinned_id = row[0]
-            edge = add_event(EdgeEvent(*row[1:]), edge_id=pinned_id)
+        # --- hoisted graph internals (mirror of add_prepared/_remove) ---
+        window = graph.window
+        width = window.width
+        finite = not math.isinf(width)
+        t_last = window.t_last
+        cutoff = window.cutoff
+        edges = graph._edges
+        arrival = graph._arrival
+        out_idx = graph._out
+        in_idx = graph._in
+        by_type = graph._by_type
+        vertex_types = graph._vertex_types
+        degrees = graph._degrees
+        vtype_code = VOCABULARY.vtype_code
+        drop_vertex = graph._drop_vertex
+        next_eid = graph._next_edge_id
+        inserted = 0
+        evicted = 0
+        last_ts = graph._last_timestamp
+        Edge_ = Edge
+        deque_ = deque
+        try:
+            if rows is None:
+                for event, code in zip(chunk.events, chunk.codes):
+                    src = event.src
+                    dst = event.dst
+                    timestamp = event.timestamp
+                    if timestamp > t_last:
+                        t_last = timestamp
+                        window._t_last = timestamp
+                        if finite:
+                            cutoff = timestamp - width
+                            window._cutoff = cutoff
+                    while arrival and arrival[0].timestamp < cutoff:
+                        old = arrival.popleft()
+                        osrc = old.src
+                        odst = old.dst
+                        ocode = old.etype_code
+                        del edges[old.edge_id]
+                        by_code = out_idx[osrc]
+                        segment = by_code[ocode]
+                        segment.popleft()
+                        if not segment:
+                            del by_code[ocode]
+                        by_code = in_idx[odst]
+                        segment = by_code[ocode]
+                        segment.popleft()
+                        if not segment:
+                            del by_code[ocode]
+                        segment = by_type[ocode]
+                        segment.popleft()
+                        if not segment:
+                            del by_type[ocode]
+                        degrees[osrc] -= 1
+                        if odst != osrc:
+                            degrees[odst] -= 1
+                            if degrees[odst] == 0:
+                                drop_vertex(odst)
+                        if degrees[osrc] == 0:
+                            drop_vertex(osrc)
+                        evicted += 1
+                    eid = next_eid
+                    next_eid = eid + 1
+                    inserted += 1
+                    last_ts = timestamp
+                    edge = Edge_(eid, src, dst, event.etype, timestamp, code)
+                    edges[eid] = edge
+                    arrival.append(edge)
+                    if src not in vertex_types:
+                        vertex_types[src] = vtype_code(event.src_type)
+                        degrees[src] = 0
+                    if dst not in vertex_types:
+                        vertex_types[dst] = vtype_code(event.dst_type)
+                        degrees[dst] = 0
+                    by_code = out_idx.get(src)
+                    if by_code is None:
+                        by_code = out_idx[src] = {}
+                    segment = by_code.get(code)
+                    if segment is None:
+                        by_code[code] = deque_((edge,))
+                    else:
+                        segment.append(edge)
+                    by_code = in_idx.get(dst)
+                    if by_code is None:
+                        by_code = in_idx[dst] = {}
+                    segment = by_code.get(code)
+                    if segment is None:
+                        by_code[code] = deque_((edge,))
+                    else:
+                        segment.append(edge)
+                    segment = by_type.get(code)
+                    if segment is None:
+                        by_type[code] = deque_((edge,))
+                    else:
+                        segment.append(edge)
+                    degrees[src] += 1
+                    if dst != src:
+                        degrees[dst] += 1
+                    # --- ingest done; dispatch via the program LUT ---
+                    if update_stats:
+                        observe(edge)
+                    program = lut[code]
+                    if program is not None:
+                        for name, strategy, handler in program:
+                            matches = handler(edge)
+                            if matches:
+                                for match in matches:
+                                    append(
+                                        MatchRecord(
+                                            name, strategy, match, timestamp
+                                        )
+                                    )
+                    since += 1
+                    if since >= housekeeping_every:
+                        self._edges_since_sweep = since
+                        self.sweep()
+                        since = 0
+            else:
+                # rows mode: twin of the loop above with pinned-id
+                # validation and (edge_id, record) tagging.
+                for row, code in zip(rows, chunk.codes):
+                    src = row[1]
+                    dst = row[2]
+                    timestamp = row[4]
+                    pinned_id = row[0]
+                    if pinned_id < next_eid:
+                        raise GraphError(
+                            f"edge id {pinned_id} goes backwards (next auto "
+                            f"id is {next_eid}); explicit ids must be "
+                            "increasing"
+                        )
+                    next_eid = pinned_id
+                    if timestamp > t_last:
+                        t_last = timestamp
+                        window._t_last = timestamp
+                        if finite:
+                            cutoff = timestamp - width
+                            window._cutoff = cutoff
+                    while arrival and arrival[0].timestamp < cutoff:
+                        old = arrival.popleft()
+                        osrc = old.src
+                        odst = old.dst
+                        ocode = old.etype_code
+                        del edges[old.edge_id]
+                        by_code = out_idx[osrc]
+                        segment = by_code[ocode]
+                        segment.popleft()
+                        if not segment:
+                            del by_code[ocode]
+                        by_code = in_idx[odst]
+                        segment = by_code[ocode]
+                        segment.popleft()
+                        if not segment:
+                            del by_code[ocode]
+                        segment = by_type[ocode]
+                        segment.popleft()
+                        if not segment:
+                            del by_type[ocode]
+                        degrees[osrc] -= 1
+                        if odst != osrc:
+                            degrees[odst] -= 1
+                            if degrees[odst] == 0:
+                                drop_vertex(odst)
+                        if degrees[osrc] == 0:
+                            drop_vertex(osrc)
+                        evicted += 1
+                    eid = next_eid
+                    next_eid = eid + 1
+                    inserted += 1
+                    last_ts = timestamp
+                    edge = Edge_(eid, src, dst, row[3], timestamp, code)
+                    edges[eid] = edge
+                    arrival.append(edge)
+                    if src not in vertex_types:
+                        vertex_types[src] = vtype_code(row[5])
+                        degrees[src] = 0
+                    if dst not in vertex_types:
+                        vertex_types[dst] = vtype_code(row[6])
+                        degrees[dst] = 0
+                    by_code = out_idx.get(src)
+                    if by_code is None:
+                        by_code = out_idx[src] = {}
+                    segment = by_code.get(code)
+                    if segment is None:
+                        by_code[code] = deque_((edge,))
+                    else:
+                        segment.append(edge)
+                    by_code = in_idx.get(dst)
+                    if by_code is None:
+                        by_code = in_idx[dst] = {}
+                    segment = by_code.get(code)
+                    if segment is None:
+                        by_code[code] = deque_((edge,))
+                    else:
+                        segment.append(edge)
+                    segment = by_type.get(code)
+                    if segment is None:
+                        by_type[code] = deque_((edge,))
+                    else:
+                        segment.append(edge)
+                    degrees[src] += 1
+                    if dst != src:
+                        degrees[dst] += 1
+                    # --- ingest done; dispatch via the program LUT ---
+                    if update_stats:
+                        observe(edge)
+                    program = lut[code]
+                    if program is not None:
+                        for name, strategy, handler in program:
+                            matches = handler(edge)
+                            if matches:
+                                for match in matches:
+                                    append(
+                                        (
+                                            pinned_id,
+                                            MatchRecord(
+                                                name, strategy, match, timestamp
+                                            ),
+                                        )
+                                    )
+                    since += 1
+                    if since >= housekeeping_every:
+                        self._edges_since_sweep = since
+                        self.sweep()
+                        since = 0
+        finally:
+            graph._next_edge_id = next_eid
+            graph._total_inserted += inserted
+            graph._evicted_count += evicted
+            graph._last_timestamp = last_ts
+            self._edges_since_sweep = since
+        self._chunks_processed += 1
+
+    def _process_chunk_profiled(self, chunk: EdgeChunk, out: list) -> None:
+        """Instrumented twin of :meth:`_process_chunk`.
+
+        Times the chunk stages — ``evict`` (window advance + expiry),
+        ``ingest`` (edge storage), ``dispatch`` (chunk encoding overhead +
+        program resolution) — into :attr:`kernel_profile` via chunk-aware
+        ``phase_add`` credits. Per-query ``iso``/``join`` attribution
+        stays exact because every compiled handler delegates to its
+        algorithm's ``process_edge`` while that query's profile is
+        enabled.
+        """
+        graph = self.graph
+        perf = time.perf_counter
+        started = perf()
+        rows = chunk.rows
+        if not chunk.presorted(graph.last_timestamp) or (
+            rows is not None and not chunk.full_rows
+        ):
+            self._process_chunk_fallback(chunk, out)
+            return
+        lut = self._resolve_chunk_programs(chunk)
+        self.kernel_profile.phase_add("dispatch", perf() - started)
+        append = out.append
+        add = graph.add_prepared
+        advance = graph.window.advance
+        maybe_evict = graph.maybe_evict
+        codes = chunk.codes
+        times = chunk.times
+        update_stats = self.update_statistics
+        observe = self.estimator.observe
+        housekeeping_every = self.housekeeping_every
+        since = self._edges_since_sweep
+        evict_s = 0.0
+        ingest_s = 0.0
+        rows_mode = rows is not None
+        events = chunk.events
+        edge_ids = chunk.edge_ids
+        for i in range(chunk.n):
+            code = codes[i]
+            timestamp = times[i]
+            t0 = perf()
+            advance(timestamp)
+            maybe_evict()
+            t1 = perf()
+            if rows_mode:
+                row = rows[i]
+                pinned_id = edge_ids[i]
+                edge = add(
+                    row[1],
+                    row[2],
+                    row[3],
+                    code,
+                    timestamp,
+                    row[5],
+                    row[6],
+                    edge_id=pinned_id,
+                    evict=False,
+                )
+            else:
+                event = events[i]
+                edge = add(
+                    event.src,
+                    event.dst,
+                    event.etype,
+                    code,
+                    timestamp,
+                    event.src_type,
+                    event.dst_type,
+                    evict=False,
+                )
+            evict_s += t1 - t0
+            ingest_s += perf() - t1
             if update_stats:
                 observe(edge)
-            targets = (
-                routes.get(edge.etype_code, default) if dispatch else all_queries
-            )
-            timestamp = edge.timestamp
-            for registered in targets:
-                matches = registered.algorithm.process_edge(edge)
-                if matches:
-                    name = registered.name
-                    strategy = registered.strategy
-                    for match in matches:
-                        append(
-                            (pinned_id, MatchRecord(name, strategy, match, timestamp))
-                        )
+            program = lut[code]
+            if program is not None:
+                for name, strategy, handler in program:
+                    for match in handler(edge):
+                        record = MatchRecord(name, strategy, match, timestamp)
+                        append((pinned_id, record) if rows_mode else record)
             since += 1
             if since >= housekeeping_every:
                 self._edges_since_sweep = since
                 self.sweep()
                 since = 0
         self._edges_since_sweep = since
-        return tagged
+        self.kernel_profile.phase_add("evict", evict_s, chunk.n)
+        self.kernel_profile.phase_add("ingest", ingest_s, chunk.n)
+        self._chunks_processed += 1
+
+    def _process_chunk_fallback(self, chunk: EdgeChunk, out: list) -> None:
+        """Per-element replay for chunks the batch kernels cannot take.
+
+        Out-of-order chunks must raise :class:`~repro.errors.GraphError`
+        at the exact offending element with the in-order prefix fully
+        ingested, and short wire rows need :class:`EdgeEvent` defaults —
+        both exactly what the per-event path does, so replay through it.
+        """
+        if chunk.rows is None:
+            process_event = self.process_event
+            for event in chunk.events:
+                out.extend(process_event(event))
+        else:
+            process_event = self.process_event
+            for row in chunk.rows:
+                pinned_id = row[0]
+                for record in process_event(EdgeEvent(*row[1:]), edge_id=pinned_id):
+                    out.append((pinned_id, record))
+        self._chunks_processed += 1
 
     def run(
         self,
@@ -546,6 +995,11 @@ class ContinuousQueryEngine:
             f"({self.graph.total_edges_seen} seen, window="
             f"{self.graph.window.width:g})"
         ]
+        lines.append(
+            f"batch: chunk_size={self.chunk_size} "
+            f"chunks={self._chunks_processed} "
+            f"kernels={backend_name()}"
+        )
         routes = self.route_counts()
         for registered in self.queries.values():
             emitted = registered.algorithm.matches_emitted

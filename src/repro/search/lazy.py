@@ -28,7 +28,11 @@ from ..isomorphism.anchored import (
     find_vertex_anchored_matches,
 )
 from ..isomorphism.match import Match
-from ..isomorphism.plan import execute_plans
+from ..isomorphism.plan import (
+    execute_plan_prefiltered,
+    execute_plans,
+    split_plans_for_code,
+)
 from ..sjtree.node import SJTreeNode
 from ..sjtree.tree import SJTree
 from .base import PHASE_ISO, PHASE_JOIN, SearchAlgorithm
@@ -134,6 +138,76 @@ class LazySearch(SearchAlgorithm):
         if profile is not None:
             profile.phase_exit()
         return self._emit(results)
+
+    def compile_code_handler(self, code: int):
+        """Batched per-code handler (see the eager twin in
+        :meth:`DynamicGraphSearch.compile_code_handler` for the
+        record-identity argument — interleaved inserts are exact because
+        plan execution reads only the graph).
+
+        The bitmap gate stays per edge (enablement is data-dependent) but
+        its leaf index is pre-resolved; the insert hook is per edge (it
+        closes over this edge's sink) exactly as in the per-edge path —
+        hook firing order relative to sibling probes is preserved by
+        :meth:`SJTree.compile_leaf_insert`.
+        """
+        if not self.compiled_plans:
+            return self.process_edge  # legacy scan has no hoistable gate
+        leaves = self._leaves_by_etype.get(code)
+        if leaves is None:
+            return None  # no leaf fragment contains this edge type
+        actions = []
+        for leaf in leaves:
+            nonloop, loops = split_plans_for_code(leaf.plans, code)
+            actions.append(
+                (
+                    leaf.leaf_index or 0,
+                    self.tree.compile_leaf_insert(leaf.node_id, self.window),
+                    nonloop,
+                    loops,
+                )
+            )
+        graph = self.graph
+        window = self.window
+        bitmap = self.bitmap
+        profile = self.profile
+        process_edge = self.process_edge
+        make_hook = self._make_hook
+        Match_ = Match
+
+        def handle(edge: Edge) -> List[Match]:
+            if profile.enabled:
+                return process_edge(edge)
+            results: List[Match] = []
+            sink = results.append
+            hook = make_hook(sink)
+            enabled = bitmap.enabled
+            cutoff = window._cutoff  # plain attr: skip the property call
+            src = edge.src
+            dst = edge.dst
+            is_loop = src == dst
+            for index, leaf_insert, nonloop, loops in actions:
+                if index and not (enabled(src, index) or enabled(dst, index)):
+                    continue  # DISABLED(u, n) and DISABLED(v, n)
+                for plan in loops if is_loop else nonloop:
+                    if plan.trivial:
+                        ts = edge.timestamp
+                        shape = plan.shape
+                        leaf_insert(
+                            Match_(shape.qeids, (edge,), ts, ts, shape=shape),
+                            cutoff,
+                            sink,
+                            hook,
+                        )
+                    else:
+                        found: List[Match] = []
+                        execute_plan_prefiltered(graph, plan, edge, found)
+                        for match in found:
+                            leaf_insert(match, cutoff, sink, hook)
+            self.matches_emitted += len(results)
+            return results
+
+        return handle
 
     def _process_edge_legacy(
         self, edge: Edge, results, sink, hook, profile

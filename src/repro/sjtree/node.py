@@ -219,6 +219,108 @@ class MatchTable:
         return len(self._buckets)
 
 
+class FIFOLeafTable:
+    """Append-only match table for eager single-edge leaf matches.
+
+    :class:`~repro.search.dynamic.DynamicGraphSearch` stores, at a leaf
+    covering one query edge, exactly one match per arriving data edge,
+    built at the arrival instant — so ``min_time`` equals the stream
+    clock and insertion order is globally sorted by ``min_time``. Expiry
+    is then strictly front-first, both in the table-wide ring and inside
+    every bucket (a bucket is a subsequence of the ring), which makes all
+    of :class:`MatchTable`'s out-of-order machinery dead weight here: no
+    duplicate-suppression set (a data edge is offered to a leaf exactly
+    once per stream position), no per-entry slot records, no tombstones,
+    no compaction, no copy-on-write. An insert is two appends; expiring
+    an entry is two ``popleft``\\ s.
+
+    **Not** valid for ``LazySearch``: its retrospective backfill inserts
+    matches *older* than the stream clock (breaking the ring order) and
+    can rediscover matches the normal pass already stored (needing the
+    dedup set). Lazy trees keep the general table.
+
+    ``probe`` returns an immutable snapshot instead of a live CoW-marked
+    list — leaf-sibling probes overwhelmingly miss, so the occasional
+    copy is cheaper than per-insert shared-bucket bookkeeping.
+
+    Duck-types the :class:`MatchTable` surface (insert / probe / expire /
+    iteration / ``num_buckets`` / ``inserted_total`` / ``track_expiry``).
+    The ring is split into two parallel deques (keys / matches) so an
+    insert allocates no entry tuple; the checkpoint writer knows both
+    layouts, and ``SJTree.compile_trivial_leaf_insert`` inlines the
+    insert body — keep them in sync. ``SJTree.reset_state`` preserves
+    the class via ``type(node.table)``.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_ring_keys",
+        "_ring_matches",
+        "_live",
+        "inserted_total",
+        "track_expiry",
+    )
+
+    def __init__(self, track_expiry: bool = True) -> None:
+        self._buckets: Dict[JoinKey, "deque[Match]"] = {}
+        # parallel rings in insertion order == ascending min_time
+        self._ring_keys: deque = deque()
+        self._ring_matches: "deque[Match]" = deque()
+        self._live = 0  # maintained only when not track_expiry
+        self.inserted_total = 0
+        self.track_expiry = track_expiry
+
+    def insert(self, key: JoinKey, match: Match) -> bool:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = deque((match,))
+        else:
+            bucket.append(match)
+        if self.track_expiry:
+            self._ring_keys.append(key)
+            self._ring_matches.append(match)
+        else:
+            self._live += 1
+        self.inserted_total += 1
+        return True
+
+    def probe(self, key: JoinKey):
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return _EMPTY_BUCKET
+        return tuple(bucket)
+
+    def expire(self, cutoff: float) -> int:
+        if not self.track_expiry:
+            return 0
+        matches = self._ring_matches
+        keys = self._ring_keys
+        buckets = self._buckets
+        dropped = 0
+        while matches and matches[0].min_time < cutoff:
+            matches.popleft()
+            key = keys.popleft()
+            bucket = buckets[key]
+            # ring order == per-bucket order: the expired match is the head
+            bucket.popleft()
+            if not bucket:
+                del buckets[key]
+            dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        if self.track_expiry:
+            return len(self._ring_matches)
+        return self._live
+
+    def __iter__(self) -> Iterator[Match]:
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+
 @dataclass
 class SJTreeNode:
     """One node of the SJ-Tree (Definition 3.1.1).

@@ -12,6 +12,7 @@ joins recurse upward until the root emits a complete match.
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import DecompositionError
@@ -19,7 +20,7 @@ from ..graph.window import TimeWindow
 from ..isomorphism.match import JoinPlan, Match
 from ..query.query_graph import QueryGraph
 from ..stats.selectivity import LeafSelectivity, expected_selectivity
-from .node import SJTreeNode
+from .node import FIFOLeafTable, SJTreeNode
 
 #: Callback invoked with every complete (root-level) match.
 MatchSink = Callable[[Match], None]
@@ -265,9 +266,15 @@ class SJTree:
             key_plan = node.compiled_key_plan()
         edges = match.edges
         if len(key_plan) == 1:  # 1-vertex cuts dominate small queries
+            # Single-vertex keys are the bare vertex, not a 1-tuple: one
+            # allocation per insert saved. Key construction and probing
+            # live only in this module and the checkpoint loader, and a
+            # table only ever sees one key arity (a node's key plan is
+            # fixed and siblings share the parent's cut), so bare and
+            # tuple keys never mix in one table.
             slot, is_src = key_plan[0]
             edge = edges[slot]
-            key = ((edge.src if is_src else edge.dst),)
+            key = edge.src if is_src else edge.dst
         else:
             key = tuple(
                 [
@@ -311,6 +318,249 @@ class SJTree:
         if on_insert is not None:
             on_insert(node, match)
         return True
+
+    def compile_leaf_insert(
+        self, node_id: int, window: TimeWindow
+    ) -> Callable[..., bool]:
+        """Specialize :meth:`insert_match` for one leaf node.
+
+        ``insert_match`` re-resolves per call everything that is static
+        per node: the key plan, the parent/sibling/join-plan navigation
+        and the ``as_left`` orientation. The batched per-code handlers
+        (see ``DynamicGraphSearch.compile_code_handler``) insert at a
+        *fixed* leaf thousands of times per chunk, so this compiles the
+        resolution once into a closure
+        ``leaf_insert(match, cutoff, sink, on_insert=None) -> bool``.
+
+        ``cutoff`` is passed per call (it is ``window.cutoff``, hoisted by
+        the caller to one property read per edge). ``window`` is captured
+        — each tree is driven by exactly one algorithm with one window,
+        and ``width`` is immutable by :class:`TimeWindow` contract. Node
+        *objects* are captured but their ``table`` attribute is read per
+        call, so :meth:`reset_state` (which replaces tables) never
+        invalidates a compiled closure. Join propagation above the leaf
+        recurses through the general :meth:`insert_match` — only the leaf
+        level is hot enough to specialize.
+        """
+        nodes = self.nodes
+        node = nodes[node_id]
+        if node.is_root:
+            # Single-leaf tree: the leaf is the root; every leaf match is
+            # a complete match (window-fit permitting).
+            fits = window.fits
+
+            def root_insert(match, cutoff, sink, on_insert=None):
+                if fits(match.min_time, match.max_time):
+                    self.complete_matches += 1
+                    sink(match)
+                    return True
+                return False
+
+            return root_insert
+
+        key_plan = node.compiled_key_plan()
+        parent_id = node.parent
+        parent = nodes[parent_id]  # type: ignore[index]
+        join_plan = parent.join_plan
+        if join_plan is None:  # hand-built tree: compile now
+            join_plan = parent.join_plan = JoinPlan(
+                nodes[parent.left].match_shape(),  # type: ignore[index]
+                nodes[parent.right].match_shape(),  # type: ignore[index]
+                parent.match_shape(),
+            )
+        sibling = nodes[node.sibling]  # type: ignore[index]
+        as_left = parent.left == node_id
+        join = join_plan.join
+        width = window.width
+        insert_parent = self.insert_match
+
+        if len(key_plan) == 1:  # 1-vertex cuts dominate small queries
+            slot0, is_src0 = key_plan[0]
+
+            def leaf_insert(match, cutoff, sink, on_insert=None):
+                if match.min_time < cutoff:
+                    return False
+                edge = match.edges[slot0]
+                key = edge.src if is_src0 else edge.dst  # bare, see insert_match
+                if not node.table.insert(key, match):
+                    return False
+                for other in sibling.table.probe(key):
+                    if other.min_time < cutoff:
+                        continue
+                    joined = join(match, other) if as_left else join(other, match)
+                    if joined is None:
+                        continue
+                    if joined.max_time - joined.min_time >= width:
+                        continue
+                    insert_parent(parent_id, joined, window, sink, on_insert)
+                if on_insert is not None:
+                    on_insert(node, match)
+                return True
+
+            return leaf_insert
+
+        def leaf_insert_multi(match, cutoff, sink, on_insert=None):
+            if match.min_time < cutoff:
+                return False
+            edges = match.edges
+            key = tuple(
+                [
+                    (edges[slot].src if is_src else edges[slot].dst)
+                    for slot, is_src in key_plan
+                ]
+            )
+            if not node.table.insert(key, match):
+                return False
+            for other in sibling.table.probe(key):
+                if other.min_time < cutoff:
+                    continue
+                joined = join(match, other) if as_left else join(other, match)
+                if joined is None:
+                    continue
+                if joined.max_time - joined.min_time >= width:
+                    continue
+                insert_parent(parent_id, joined, window, sink, on_insert)
+            if on_insert is not None:
+                on_insert(node, match)
+            return True
+
+        return leaf_insert_multi
+
+    def compile_trivial_leaf_insert(
+        self, node_id: int, window: TimeWindow, shape
+    ) -> Optional[Callable]:
+        """Fully-fused insert kernel for *fresh single-edge* leaf matches.
+
+        The returned ``trivial_insert(edge, cutoff, sink)`` builds the
+        one-edge :class:`Match` inline and skips the staleness gate of
+        :meth:`compile_leaf_insert` — a trivial match's ``min_time`` is
+        the just-advanced stream clock, which can never sit below the
+        cutoff derived from it. Only compiled for non-root leaves with a
+        single-vertex join key over the match's only slot (the dominant
+        decomposition shape); returns ``None`` otherwise and the caller
+        falls back to the general compiled insert.
+
+        When the leaf's table is the :class:`FIFOLeafTable`
+        specialization, its two-append insert body is inlined as well —
+        duplicate suppression is vacuous there (each data edge reaches a
+        leaf exactly once), so the sibling probe always runs, exactly as
+        the general path would after a ``True`` insert. ``node.table`` is
+        still read per call, so :meth:`reset_state` (class-preserving)
+        never invalidates the closure.
+        """
+        nodes = self.nodes
+        node = nodes[node_id]
+        if node.is_root:
+            return None  # single-leaf tree: the root path is already minimal
+        key_plan = node.compiled_key_plan()
+        if len(key_plan) != 1 or key_plan[0][0] != 0:
+            return None
+        is_src0 = key_plan[0][1]
+        parent_id = node.parent
+        parent = nodes[parent_id]  # type: ignore[index]
+        join_plan = parent.join_plan
+        if join_plan is None:  # hand-built tree: compile now
+            join_plan = parent.join_plan = JoinPlan(
+                nodes[parent.left].match_shape(),  # type: ignore[index]
+                nodes[parent.right].match_shape(),  # type: ignore[index]
+                parent.match_shape(),
+            )
+        sibling = nodes[node.sibling]  # type: ignore[index]
+        as_left = parent.left == node_id
+        join = join_plan.join
+        width = window.width
+        insert_parent = self.insert_match
+        qeids = shape.qeids
+        Match_ = Match
+        deque_ = deque
+
+        if type(node.table) is not FIFOLeafTable:
+
+            def trivial_insert(edge, cutoff, sink):
+                ts = edge.timestamp
+                match = Match_(qeids, (edge,), ts, ts, shape)
+                key = edge.src if is_src0 else edge.dst
+                if not node.table.insert(key, match):
+                    return
+                for other in sibling.table.probe(key):
+                    if other.min_time < cutoff:
+                        continue
+                    joined = join(match, other) if as_left else join(other, match)
+                    if joined is None:
+                        continue
+                    if joined.max_time - joined.min_time >= width:
+                        continue
+                    insert_parent(parent_id, joined, window, sink, None)
+
+            return trivial_insert
+
+        if type(sibling.table) is not FIFOLeafTable:
+
+            def trivial_insert_fifo(edge, cutoff, sink):
+                ts = edge.timestamp
+                match = Match_(qeids, (edge,), ts, ts, shape)
+                key = edge.src if is_src0 else edge.dst
+                # inlined FIFOLeafTable.insert (keep in sync with node.py)
+                table = node.table
+                buckets = table._buckets
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = deque_((match,))
+                else:
+                    bucket.append(match)
+                if table.track_expiry:
+                    table._ring_keys.append(key)
+                    table._ring_matches.append(match)
+                else:
+                    table._live += 1
+                table.inserted_total += 1
+                for other in sibling.table.probe(key):
+                    if other.min_time < cutoff:
+                        continue
+                    joined = join(match, other) if as_left else join(other, match)
+                    if joined is None:
+                        continue
+                    if joined.max_time - joined.min_time >= width:
+                        continue
+                    insert_parent(parent_id, joined, window, sink, None)
+
+            return trivial_insert_fifo
+
+        def trivial_insert_fifo_pair(edge, cutoff, sink):
+            ts = edge.timestamp
+            match = Match_(qeids, (edge,), ts, ts, shape)
+            key = edge.src if is_src0 else edge.dst
+            # inlined FIFOLeafTable.insert (keep in sync with node.py)
+            table = node.table
+            buckets = table._buckets
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = deque_((match,))
+            else:
+                bucket.append(match)
+            if table.track_expiry:
+                table._ring_keys.append(key)
+                table._ring_matches.append(match)
+            else:
+                table._live += 1
+            table.inserted_total += 1
+            # sibling is a FIFO leaf too: probe its bucket dict directly.
+            # Iterating the live deque is safe — the recursive parent
+            # insert only touches tables strictly above this leaf pair.
+            others = sibling.table._buckets.get(key)
+            if others is None:
+                return
+            for other in others:
+                if other.min_time < cutoff:
+                    continue
+                joined = join(match, other) if as_left else join(other, match)
+                if joined is None:
+                    continue
+                if joined.max_time - joined.min_time >= width:
+                    continue
+                insert_parent(parent_id, joined, window, sink, None)
+
+        return trivial_insert_fifo_pair
 
     # ------------------------------------------------------------------
     # maintenance / accounting

@@ -1,0 +1,197 @@
+"""Chunked batch ingest ≡ per-event ingest — the batch kernels' bar.
+
+The columnar fast path (``process_events``/``process_rows`` →
+``EdgeChunk`` → fused ``_process_chunk``) must emit the *identical*
+record stream — same ``(query_name, fingerprint, completed_at)``
+sequence — as the per-event ``process_event`` loop, for any stream, any
+chunk size and either kernel backend. That is the record-identity
+contract every fused kernel (inlined graph ingest, inlined eviction,
+trivial-leaf insert, FIFO leaf tables, bare single-vertex join keys)
+is held to; the property test here sweeps chunk sizes that place chunk
+boundaries — and therefore mid-chunk evictions — at arbitrary stream
+positions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ContinuousQueryEngine
+from repro.errors import GraphError
+from repro.graph import EdgeEvent
+from repro.graph import columnar
+from repro.query import QueryGraph
+
+ETYPES = ["A", "B", "C"]
+WINDOW = 9.0
+
+#: both kernel backends when numpy is importable, else just the fallback
+BACKENDS = ["python"] + (["numpy"] if columnar.using_numpy() else [])
+
+#: 1 = every chunk boundary, 7 = boundaries at awkward offsets, 64 =
+#: multi-chunk only for the longest streams, 0 = whole stream in one
+#: chunk (resolved to ``len(events)``).
+CHUNK_SIZES = (1, 7, 64, 0)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    columnar.set_backend("auto")
+
+
+def make_queries():
+    """Two-edge path (FIFO leaf pair kernel), three-edge path (FIFO leaf
+    joined against an internal node) and a fork (non-trivial plans)."""
+    fork = QueryGraph(name="fork")
+    fork.add_edge(1, 0, "A")
+    fork.add_edge(0, 2, "B")
+    return [
+        QueryGraph.path(["A", "B"], name="p2"),
+        QueryGraph.path(["B", "C", "A"], name="p3"),
+        fork,
+    ]
+
+
+#: estimator-only warmup (register's Single decomposition needs warm
+#: stats); never enters the graph, so it cannot affect record identity
+WARMUP = [
+    EdgeEvent("w0", "w1", etype, float(i)) for i, etype in enumerate(ETYPES * 2)
+]
+
+
+def build_engine(chunk_size: int = 1024) -> ContinuousQueryEngine:
+    engine = ContinuousQueryEngine(window=WINDOW, chunk_size=chunk_size)
+    engine.warmup(WARMUP)
+    for query in make_queries():
+        engine.register(query, strategy="Single", name=query.name)
+    return engine
+
+
+def identity(records):
+    return [(r.query_name, r.match.fingerprint, r.completed_at) for r in records]
+
+
+def per_event_reference(events):
+    engine = build_engine()
+    records = []
+    for event in events:
+        records.extend(engine.process_event(event))
+    return identity(records), engine
+
+
+@st.composite
+def streams(draw):
+    """Monotone-timestamp streams over a tiny, collision-heavy vertex
+    population; gaps up to 6 put eviction cascades (window 9) well
+    inside mid-sized chunks."""
+    n_vertices = draw(st.integers(min_value=3, max_value=6))
+    n_edges = draw(st.integers(min_value=5, max_value=40))
+    events = []
+    t = 0.0
+    for _ in range(n_edges):
+        t += draw(st.integers(min_value=0, max_value=6))
+        src = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        dst = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        etype = draw(st.sampled_from(ETYPES))
+        events.append(EdgeEvent(f"n{src}", f"n{dst}", etype, float(t)))
+    return events
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=streams(),
+    chunk_size=st.sampled_from(CHUNK_SIZES),
+    backend=st.sampled_from(BACKENDS),
+)
+def test_process_events_identical_to_per_event(events, chunk_size, backend):
+    columnar.set_backend(backend)
+    try:
+        reference, ref_engine = per_event_reference(events)
+        engine = build_engine(chunk_size or max(len(events), 1))
+        batched = identity(engine.process_events(events))
+        assert batched == reference
+        # the inlined graph ingest/eviction must also leave the window
+        # accounting exactly where the per-event path leaves it
+        assert engine.graph.total_edges_seen == ref_engine.graph.total_edges_seen
+        assert engine.graph.evicted_edges == ref_engine.graph.evicted_edges
+        assert len(engine.graph) == len(ref_engine.graph)
+    finally:
+        columnar.set_backend("auto")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    events=streams(),
+    chunk_size=st.sampled_from(CHUNK_SIZES),
+    backend=st.sampled_from(BACKENDS),
+)
+def test_process_rows_identical_to_per_event(events, chunk_size, backend):
+    """The pinned-id wire path (sharded workers) under the same sweep."""
+    columnar.set_backend(backend)
+    try:
+        reference, _ = per_event_reference(events)
+        rows = [
+            (i, e.src, e.dst, e.etype, e.timestamp, e.src_type, e.dst_type)
+            for i, e in enumerate(events)
+        ]
+        engine = build_engine(chunk_size or max(len(events), 1))
+        tagged = engine.process_rows(rows)
+        assert identity([r for _, r in tagged]) == reference
+        # every record is tagged with the id of the edge that completed it
+        for edge_id, record in tagged:
+            assert rows[edge_id][4] == record.completed_at
+    finally:
+        columnar.set_backend("auto")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("chunk_size", [4, 1024])
+def test_mid_chunk_eviction_boundary(backend, chunk_size):
+    """A timestamp jump in the middle of a chunk evicts the whole window
+    between two edges of the *same* chunk; matches completed before the
+    jump must survive, matches straddling it must not exist."""
+    columnar.set_backend(backend)
+    events = [
+        EdgeEvent("a", "b", "A", 0.0),
+        EdgeEvent("b", "c", "B", 1.0),  # completes p2 at t=1
+        EdgeEvent("x", "y", "B", 2.0),
+        EdgeEvent("a", "b", "A", 50.0),  # jump: everything above evicted
+        EdgeEvent("b", "c", "B", 51.0),  # completes p2 again, fresh window
+    ]
+    reference, _ = per_event_reference(events)
+    engine = build_engine(chunk_size)
+    batched = identity(engine.process_events(events))
+    assert batched == reference
+    # p2 and the fork both complete on the pre-jump pair, then again on
+    # the fresh post-jump pair — nothing may straddle the jump
+    assert [r[2] for r in batched] == [1.0, 1.0, 51.0, 51.0]
+    assert engine.graph.evicted_edges == 3
+
+
+def test_out_of_order_chunk_raises_like_per_event():
+    """A backwards timestamp mid-chunk raises the same error the
+    per-event path raises, before any edge of the bad suffix is applied."""
+    events = [
+        EdgeEvent("a", "b", "A", 5.0),
+        EdgeEvent("b", "c", "B", 3.0),
+    ]
+    per_event = build_engine()
+    per_event.process_event(events[0])
+    with pytest.raises(GraphError):
+        per_event.process_event(events[1])
+    batched = build_engine(chunk_size=1024)
+    with pytest.raises(GraphError):
+        batched.process_events(events)
+
+
+def test_numpy_backend_available_matches_env():
+    """Guards the CI matrix: REPRO_NO_NUMPY=1 legs must actually run the
+    pure-Python kernels."""
+    import os
+
+    if os.environ.get("REPRO_NO_NUMPY"):
+        assert columnar.backend_name() == "python"
+        with pytest.raises(RuntimeError):
+            columnar.set_backend("numpy")
