@@ -53,6 +53,7 @@ from .search.engine import ContinuousQueryEngine
 from .sjtree import builder as sjtree_builder
 from .sjtree import serialize as sjtree_serialize
 from .stats.estimator import SelectivityEstimator
+from .telemetry import MetricsHTTPServer, MetricsJSONLWriter
 
 _GENERATORS = {
     "netflow": NetflowGenerator,
@@ -120,14 +121,48 @@ def _print_match(record, shown: int, max_print: int) -> None:
         print(f"match @t={record.completed_at:.4f}: {mapping}")
 
 
-def _segment_size(
-    limit: Optional[int], processed: int, every: Optional[int]
-) -> Optional[int]:
-    """Events to take before the next checkpoint cut (``None`` = rest)."""
-    remaining = None if limit is None else max(limit - processed, 0)
-    if every is None:
-        return remaining
-    return every if remaining is None else min(every, remaining)
+class _MetricsPump:
+    """Periodic metric collection: JSONL emission + cached HTTP snapshot.
+
+    ``collect`` yields a snapshot dict (``engine.metrics().collect()``).
+    The HTTP thread only ever serialises :attr:`latest` — a whole-dict
+    rebind swapped by :meth:`pump`, safe under the GIL — so it can never
+    race the engine or the sharded coordinator's queue protocol.
+    """
+
+    def __init__(self, args: argparse.Namespace, collect) -> None:
+        self.every: Optional[int] = getattr(args, "metrics_every", None)
+        self._collect = collect
+        self.latest: dict = {}
+        out = getattr(args, "metrics_out", None)
+        self.writer = MetricsJSONLWriter(out) if out is not None else None
+        self.server = None
+        port = getattr(args, "metrics_port", None)
+        if port is not None:
+            self.server = MetricsHTTPServer(lambda: self.latest, port=port)
+            self.server.start()
+            print(f"metrics: serving http://127.0.0.1:{self.server.port}/metrics")
+
+    def pump(self, events_processed: int) -> None:
+        self.latest = self._collect()
+        if self.writer is not None:
+            self.writer.emit(self.latest, events_processed=events_processed)
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+        if self.server is not None:
+            self.server.close()
+
+
+def _make_pump(args: argparse.Namespace, collect) -> Optional[_MetricsPump]:
+    """A pump when any metrics sink was requested, else None."""
+    if (
+        getattr(args, "metrics_out", None) is None
+        and getattr(args, "metrics_port", None) is None
+    ):
+        return None
+    return _MetricsPump(args, collect)
 
 
 def _drive_single(
@@ -137,19 +172,37 @@ def _drive_single(
     *,
     cursor_base: int,
     start_sequence: int,
+    pump: Optional[_MetricsPump] = None,
 ) -> int:
     """Chunked single-process processing with optional rolling checkpoints.
 
     Returns the number of events processed. Checkpoints land exactly
     every ``--checkpoint-every`` events (segment boundaries cut the batch
     chunks), plus a final one at end of stream, so a ``resume`` replays
-    nothing that a completed checkpoint already covers.
+    nothing that a completed checkpoint already covers. The metrics
+    cadence slices segments independently — both cadences count from
+    their own last cut, so neither shifts the other's boundaries — and a
+    final snapshot is always emitted at end of stream.
     """
     shown = 0
     processed = 0
     sequence = start_sequence
+    since_checkpoint = 0
+    since_metrics = 0
+    first = True
+    metrics_every = pump.every if pump is not None else None
     while True:
-        take = _segment_size(args.limit, processed, args.checkpoint_every)
+        take = None
+        if args.checkpoint_every is not None:
+            take = args.checkpoint_every - since_checkpoint
+        if metrics_every is not None:
+            until_metrics = metrics_every - since_metrics
+            take = until_metrics if take is None else min(take, until_metrics)
+        remaining = None if args.limit is None else max(args.limit - processed, 0)
+        if take is None:
+            take = remaining
+        elif remaining is not None:
+            take = min(take, remaining)
         count = 0
         for chunk in chunk_events(itertools.islice(events, take), args.batch_size):
             for record in engine.process_events(chunk):
@@ -157,7 +210,20 @@ def _drive_single(
                 shown += 1
             count += len(chunk)
         processed += count
-        if args.checkpoint_dir is not None and (count or sequence == start_sequence):
+        since_checkpoint += count
+        since_metrics += count
+        ending = (
+            take is None
+            or count < take
+            or (args.limit is not None and processed >= args.limit)
+        )
+        checkpoint_due = (
+            args.checkpoint_every is not None
+            and since_checkpoint >= args.checkpoint_every
+        )
+        if args.checkpoint_dir is not None and (
+            checkpoint_due or (ending and (since_checkpoint or first))
+        ):
             sequence += 1
             ckpt_manifest.write_single_checkpoint(
                 args.checkpoint_dir,
@@ -166,11 +232,14 @@ def _drive_single(
                 cursor=cursor_base + processed,
                 batch_size=args.batch_size,
             )
-        if (
-            take is None
-            or count < take
-            or (args.limit is not None and processed >= args.limit)
+            since_checkpoint = 0
+        if pump is not None and (
+            ending or (metrics_every is not None and since_metrics >= metrics_every)
         ):
+            pump.pump(processed)
+            since_metrics = 0
+        first = False
+        if ending:
             break  # stream exhausted or --limit reached
     return processed
 
@@ -181,6 +250,7 @@ def _drive_sharded(
     args: argparse.Namespace,
     *,
     cursor_base: int,
+    pump: Optional[_MetricsPump] = None,
 ) -> tuple[int, int]:
     """Segmented sharded processing with optional rolling checkpoints.
 
@@ -198,19 +268,25 @@ def _drive_sharded(
     records = 0
     since_checkpoint = 0
     since_rebalance = 0
+    since_metrics = 0
     first = True
     rebalance_every = getattr(args, "rebalance_every", None)
+    metrics_every = pump.every if pump is not None else None
     while True:
-        # Next cut: whichever of the checkpoint cadence, rebalance cadence
-        # and --limit lands first. Both cadences count from their *last*
-        # cut, not from the segment start — a rebalance mid-interval must
-        # not push the next checkpoint out (see the cadence test).
+        # Next cut: whichever of the checkpoint cadence, rebalance cadence,
+        # metrics cadence and --limit lands first. Cadences count from
+        # their *last* cut, not from the segment start — a rebalance
+        # mid-interval must not push the next checkpoint out (see the
+        # cadence test).
         take = None
         if args.checkpoint_every is not None:
             take = args.checkpoint_every - since_checkpoint
         if rebalance_every is not None:
             until_rebalance = rebalance_every - since_rebalance
             take = until_rebalance if take is None else min(take, until_rebalance)
+        if metrics_every is not None:
+            until_metrics = metrics_every - since_metrics
+            take = until_metrics if take is None else min(take, until_metrics)
         remaining = None if args.limit is None else max(args.limit - processed, 0)
         if take is None:
             take = remaining
@@ -225,6 +301,7 @@ def _drive_sharded(
         processed += result.edges_processed
         since_checkpoint += result.edges_processed
         since_rebalance += result.edges_processed
+        since_metrics += result.edges_processed
         ending = (
             take is None
             or result.edges_processed < take
@@ -239,6 +316,11 @@ def _drive_sharded(
         ):
             engine.checkpoint(args.checkpoint_dir, cursor=cursor_base + processed)
             since_checkpoint = 0
+        if pump is not None and (
+            ending or (metrics_every is not None and since_metrics >= metrics_every)
+        ):
+            pump.pump(processed)
+            since_metrics = 0
         first = False
         if ending:
             break
@@ -269,6 +351,20 @@ def _validate_run_options(args: argparse.Namespace) -> None:
                 "--rebalance-every applies to the sharded runtime; "
                 "pass --workers >= 2"
             )
+    metrics_every = getattr(args, "metrics_every", None)
+    if metrics_every is not None:
+        if metrics_every < 1:
+            raise ValueError(f"--metrics-every must be >= 1, got {metrics_every}")
+        if (
+            getattr(args, "metrics_out", None) is None
+            and getattr(args, "metrics_port", None) is None
+        ):
+            raise ValueError(
+                "--metrics-every requires a sink (--metrics-out or --metrics-port)"
+            )
+    metrics_port = getattr(args, "metrics_port", None)
+    if metrics_port is not None and metrics_port < 0:
+        raise ValueError(f"--metrics-port must be >= 0, got {metrics_port}")
 
 
 def _run_sharded_and_describe(
@@ -281,14 +377,20 @@ def _run_sharded_and_describe(
     caller's closing summary line.
     """
     started = time.perf_counter()
+    pump = _make_pump(args, lambda: engine.metrics().collect())
     try:
         processed, records = _drive_sharded(
-            engine, events, args, cursor_base=cursor_base
+            engine, events, args, cursor_base=cursor_base, pump=pump
         )
         elapsed = time.perf_counter() - started
         print()
         print(engine.describe())
+        if getattr(args, "profile", False):
+            # one more coordinator round-trip; must happen before close()
+            _print_sharded_profile(engine.metrics().collect())
     finally:
+        if pump is not None:
+            pump.close()
         engine.close()
     return processed, records, elapsed
 
@@ -300,19 +402,76 @@ def _print_sharded_summary(
     print(f"{records} matches over {processed} edges in {elapsed:.3f}s ({suffix})")
 
 
-def _print_single_summary(engine: ContinuousQueryEngine) -> None:
+def _print_single_summary(engine: ContinuousQueryEngine, *, profile: bool) -> None:
     print()
     print(engine.describe())
     registered = list(engine.queries.values())
     for reg in registered:
         if reg.decision is not None:
             print(reg.decision.explain())
+    if not profile:
+        return
     print()
     print("profile:")
+    print("[kernel stages]")
+    print(engine.kernel_profile.report())
     for reg in registered:
         if len(registered) > 1:
             print(f"[{reg.name}]")
         print(reg.profile.report())
+
+
+def _profile_rows(rows: list) -> str:
+    """Render ``(name, seconds, calls)`` rows ProfileCounters-style."""
+    total = sum(seconds for _, seconds, _ in rows)
+    lines = []
+    for name, seconds, calls in rows:
+        share = (seconds / total * 100.0) if total else 0.0
+        lines.append(f"{name:12s} {seconds:10.4f}s {share:5.1f}% ({calls} calls)")
+    return "\n".join(lines) if lines else "(no phases recorded)"
+
+
+def _print_sharded_profile(snapshot: dict) -> None:
+    """Per-stage and per-query phase timings, summed across workers.
+
+    Reads the aggregated metrics snapshot rather than shipping
+    ProfileCounters objects back — the registries already crossed the
+    result queue as plain dicts.
+    """
+
+    def samples(family: str) -> dict:
+        entry = snapshot.get(family)
+        if entry is None:
+            return {}
+        return {tuple(s["labels"]): s["value"] for s in entry["samples"]}
+
+    print()
+    print("profile:")
+    stage_seconds = samples("repro_engine_stage_seconds_total")
+    stage_calls = samples("repro_engine_stage_calls_total")
+    if stage_seconds:
+        print("[kernel stages]")
+        print(
+            _profile_rows(
+                [
+                    (labels[0], seconds, int(stage_calls.get(labels, 0)))
+                    for labels, seconds in sorted(stage_seconds.items())
+                ]
+            )
+        )
+    phase_seconds = samples("repro_engine_query_phase_seconds_total")
+    phase_calls = samples("repro_engine_query_phase_calls_total")
+    for query in sorted({labels[0] for labels in phase_seconds}):
+        print(f"[{query}]")
+        print(
+            _profile_rows(
+                [
+                    (phase, seconds, int(phase_calls.get((query, phase), 0)))
+                    for (name, phase), seconds in sorted(phase_seconds.items())
+                    if name == query
+                ]
+            )
+        )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -335,7 +494,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.workers > 1:
         engine = ShardedEngine(
-            window=window, workers=args.workers, batch_size=args.batch_size
+            window=window,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            profile_phases=args.profile,
         )
         engine.warmup(warmup)
         specs = [engine.register(query, strategy=args.strategy) for query in queries]
@@ -355,13 +517,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 0
 
-    # profile_phases: the CLI prints per-query phase reports below.
-    engine = ContinuousQueryEngine(window=window, profile_phases=True)
+    engine = ContinuousQueryEngine(window=window, profile_phases=args.profile)
     engine.warmup(warmup)
     for query in queries:
         engine.register(query, strategy=args.strategy)
-    _drive_single(engine, events, args, cursor_base=warm_n, start_sequence=0)
-    _print_single_summary(engine)
+    pump = _make_pump(args, lambda: engine.metrics().collect())
+    try:
+        _drive_single(
+            engine, events, args, cursor_base=warm_n, start_sequence=0, pump=pump
+        )
+    finally:
+        if pump is not None:
+            pump.close()
+    _print_single_summary(engine, profile=args.profile)
     return 0
 
 
@@ -388,6 +556,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             queries,
             workers=args.workers,
             partitioner=args.partitioner,
+            profile_phases=args.profile,
         )
         processed, records, elapsed = _run_sharded_and_describe(
             engine, events, args, cursor_base=cursor
@@ -401,14 +570,22 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         return 0
 
     single, _ = ckpt_manifest.load_single_checkpoint(args.checkpoint_dir, queries)
-    processed = _drive_single(
-        single,
-        events,
-        args,
-        cursor_base=cursor,
-        start_sequence=manifest["sequence"],
-    )
-    _print_single_summary(single)
+    if args.profile:
+        single.set_profiling(True)
+    pump = _make_pump(args, lambda: single.metrics().collect())
+    try:
+        processed = _drive_single(
+            single,
+            events,
+            args,
+            cursor_base=cursor,
+            start_sequence=manifest["sequence"],
+            pump=pump,
+        )
+    finally:
+        if pump is not None:
+            pump.close()
+    _print_single_summary(single, profile=args.profile)
     print(f"(resumed at event {cursor}; processed {processed} more)")
     return 0
 
@@ -512,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_durability_arguments(p_run)
+    _add_observability_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_resume = sub.add_parser(
@@ -555,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="repartition policy when re-cutting the shard layout",
     )
     _add_durability_arguments(p_resume, require_dir=True)
+    _add_observability_arguments(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
 
     p_reb = sub.add_parser(
@@ -626,6 +805,40 @@ def _add_durability_arguments(
         type=int,
         default=None,
         help="stop after N events (post-warmup; resume continues later)",
+    )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record and print per-stage kernel timings and per-query "
+            "phase splits in the closing summary"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="stream metric snapshots to this JSONL file (one per cadence cut)",
+    )
+    parser.add_argument(
+        "--metrics-every",
+        type=int,
+        default=None,
+        help=(
+            "emit a metrics snapshot every N processed events (requires a "
+            "sink; a final snapshot is always emitted at end of stream)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "serve /metrics (Prometheus text) and /metrics.json on this "
+            "port while the run is live (0 picks an ephemeral port)"
+        ),
     )
 
 

@@ -53,8 +53,10 @@ import math
 import multiprocessing
 import queue as queue_module
 import shutil
+import sys
 import tempfile
 import time
+import traceback
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
@@ -65,6 +67,7 @@ from ..query.query_graph import QueryGraph
 from ..search.engine import ContinuousQueryEngine, RunResult, algorithm_class
 from ..search.strategy import StrategyDecision, choose_strategy
 from ..stats.estimator import SelectivityEstimator
+from ..telemetry.registry import SECONDS_BUCKETS, HistogramSlot, MetricsRegistry
 from .partition import ShardPlan, estimate_query_cost, greedy_balanced, round_robin
 
 _READY_TIMEOUT = 120.0
@@ -129,6 +132,58 @@ class _WorkerInit:
     #: engine batch-kernel chunk size (EdgeChunk granularity) — distinct
     #: from the coordinator's wire ``batch_size``
     chunk_size: int = 1024
+    #: arm per-stage phase profiling in the worker engine (the engine's
+    #: ``profile_phases``); aggregated stage/phase seconds then surface
+    #: through the worker metrics snapshots.
+    profile_phases: bool = False
+
+
+def _error_payload(init: _WorkerInit, context: str, **extra) -> dict:
+    """Structured cross-process failure report for one worker.
+
+    ``repr(exc)`` alone (the pre-fix payload) threw away the traceback at
+    the process boundary, leaving remote failures undebuggable. The
+    payload carries everything the coordinator side cannot reconstruct:
+    the formatted traceback, the worker's identity and query shard, and
+    per-context details (batch size, first edge id). Must be called from
+    an ``except`` block.
+    """
+    exc = sys.exc_info()[1]
+    payload = {
+        "worker_id": init.worker_id,
+        "context": context,
+        "queries": [spec.name for spec in init.specs],
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+    payload.update(extra)
+    return payload
+
+
+def _format_worker_error(worker_id: int, payload) -> str:
+    """Render a worker error payload into one coordinator-side message.
+
+    Accepts both the structured dict (current workers) and a bare string
+    (defensive: a mixed-version respawn should degrade, not crash the
+    error path itself).
+    """
+    if not isinstance(payload, dict):
+        return f"shard worker {worker_id} failed: {payload}"
+    head = (
+        f"shard worker {worker_id} failed during {payload.get('context', '?')} "
+        f"(queries={payload.get('queries')}"
+    )
+    if payload.get("batch_events") is not None:
+        head += (
+            f", batch_events={payload['batch_events']}"
+            f", first_edge_id={payload.get('first_edge_id')}"
+        )
+    head += f"): {payload.get('type')}: {payload.get('message')}"
+    trace = payload.get("traceback")
+    if trace:
+        head += "\n--- worker traceback ---\n" + trace.rstrip()
+    return head
 
 
 def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
@@ -139,19 +194,22 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
                 init.restore_path, [spec.query for spec in init.specs]
             )
             engine.chunk_size = init.chunk_size
+            if init.profile_phases:
+                engine.set_profiling(True)
         else:
             engine = ContinuousQueryEngine(
                 window=init.window,
                 estimator=init.estimator,
                 housekeeping_every=init.housekeeping_every,
                 chunk_size=init.chunk_size,
+                profile_phases=init.profile_phases,
             )
             for spec in init.specs:
                 engine.register(
                     spec.query, strategy=spec.strategy, name=spec.name, **spec.options
                 )
-    except BaseException as exc:  # surfaced by the coordinator's gather
-        result_queue.put((init.worker_id, "error", repr(exc)))
+    except BaseException:  # surfaced by the coordinator's gather
+        result_queue.put((init.worker_id, "error", _error_payload(init, "startup")))
         return
     result_queue.put((init.worker_id, "ready", None))
 
@@ -171,8 +229,20 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
                 # registration position, reconstruct exact emission order.
                 for index, record in process_rows(message[1]):
                     tagged.append((index, position[record.query_name], record))
-            except BaseException as exc:
-                result_queue.put((init.worker_id, "error", repr(exc)))
+            except BaseException:
+                rows = message[1]
+                result_queue.put(
+                    (
+                        init.worker_id,
+                        "error",
+                        _error_payload(
+                            init,
+                            "batch",
+                            batch_events=len(rows),
+                            first_edge_id=rows[0][0] if rows else None,
+                        ),
+                    )
+                )
                 return
         elif kind == "collect":
             result_queue.put(
@@ -200,6 +270,19 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
                 result_queue.put((init.worker_id, "checkpoint", None))
         elif kind == "describe":
             result_queue.put((init.worker_id, "describe", engine.describe()))
+        elif kind == "metrics":
+            # Snapshot of this worker's full registry plus the live
+            # merge-buffer depth (records matched but not yet collected) —
+            # the coordinator folds both into the aggregate. Queue order
+            # means the snapshot reflects every batch sent before the
+            # request, exactly like describe.
+            result_queue.put(
+                (
+                    init.worker_id,
+                    "metrics",
+                    (len(tagged), engine.metrics().collect()),
+                )
+            )
         elif kind == "close":
             return
 
@@ -253,6 +336,7 @@ class ShardedEngine:
         partitioner: str = "cost",
         mp_context=None,
         chunk_size: int = 1024,
+        profile_phases: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -294,6 +378,17 @@ class ShardedEngine:
         self._checkpoint_seq = 0
         self._restore_shards: Optional[List[ShardPlan]] = None
         self._restore_files: Dict[int, str] = {}
+        #: arm per-stage phase profiling in every worker engine
+        self.profile_phases = profile_phases
+        # Coordinator-side telemetry (repro_runtime_* family). All plain
+        # single-writer slots, maintained off the per-edge path: batch
+        # granularity for the put latency/batch tallies, collect
+        # granularity for records, reply granularity for heartbeats.
+        self._last_heartbeat: Dict[int, float] = {}
+        self._batch_put = HistogramSlot(SECONDS_BUCKETS)
+        self._routed_total: Dict[int, int] = {}
+        self._records_total: Dict[int, int] = {}
+        self._batches_total: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # registration (mirrors ContinuousQueryEngine)
@@ -416,12 +511,15 @@ class ShardedEngine:
                     [spec.query for spec in self.specs],
                 )
                 engine.chunk_size = self.chunk_size
+                if self.profile_phases:
+                    engine.set_profiling(True)
             else:
                 engine = ContinuousQueryEngine(
                     window=self.window,
                     estimator=self.estimator,
                     housekeeping_every=self.housekeeping_every,
                     chunk_size=self.chunk_size,
+                    profile_phases=self.profile_phases,
                 )
                 for spec in self.specs:
                     engine.register(
@@ -448,6 +546,7 @@ class ShardedEngine:
                 specs=tuple(self.specs[position] for position in shard.positions),
                 restore_path=self._restore_files.get(shard.worker_id),
                 chunk_size=self.chunk_size,
+                profile_phases=self.profile_phases,
             )
             task_queue = ctx.Queue(maxsize=_TASK_QUEUE_DEPTH)
             proc = ctx.Process(
@@ -569,6 +668,13 @@ class ShardedEngine:
             # counters are window-renormalized, so the engine's own count
             # is the only exact cursor source for the next checkpoint.
             self._events_streamed += result.edges_processed
+            worker_id = self._shards[0].worker_id if self._shards else 0
+            self._routed_total[worker_id] = (
+                self._routed_total.get(worker_id, 0) + result.edges_processed
+            )
+            self._records_total[worker_id] = self._records_total.get(
+                worker_id, 0
+            ) + len(result.records)
             self.last_worker_stats = [
                 WorkerStats(
                     worker_id=0,
@@ -606,12 +712,12 @@ class ShardedEngine:
                 batch = pending[slot]
                 batch.append(row)
                 if len(batch) >= batch_size:
-                    self._put(slot, ("batch", batch))
+                    self._put_batch(slot, batch)
                     routed_counts[slot] += len(batch)
                     pending[slot] = []
         for slot, batch in enumerate(pending):
             if batch:
-                self._put(slot, ("batch", batch))
+                self._put_batch(slot, batch)
                 routed_counts[slot] += len(batch)
         self._collect_seq += 1
         for slot in range(len(task_queues)):
@@ -628,6 +734,12 @@ class ShardedEngine:
                     f"expected {self._collect_seq}"
                 )
             tagged.extend(worker_tagged)
+            self._routed_total[shard.worker_id] = (
+                self._routed_total.get(shard.worker_id, 0) + routed_counts[slot]
+            )
+            self._records_total[shard.worker_id] = self._records_total.get(
+                shard.worker_id, 0
+            ) + len(worker_tagged)
             stats.append(
                 WorkerStats(
                     worker_id=shard.worker_id,
@@ -740,6 +852,7 @@ class ShardedEngine:
         *,
         workers: Optional[int] = None,
         partitioner: Optional[str] = None,
+        profile_phases: bool = False,
     ) -> "ShardedEngine":
         """Rebuild a started engine from a :meth:`checkpoint` directory.
 
@@ -800,6 +913,7 @@ class ShardedEngine:
             batch_size=manifest["batch_size"],
             partitioner=manifest["partitioner"],
             mp_context=mp_context,
+            profile_phases=profile_phases,
         )
         engine.specs = [
             QuerySpec(
@@ -954,6 +1068,86 @@ class ShardedEngine:
                 )
         return "\n".join(lines)
 
+    def metrics(self) -> MetricsRegistry:
+        """Aggregated cross-shard :class:`~repro.telemetry.MetricsRegistry`.
+
+        Every worker snapshots its full engine registry (engine, graph,
+        sjtree, persistence families) via a ``metrics`` queue message —
+        the describe-style request/reply protocol, so snapshots reflect
+        every batch dispatched before the call — and the coordinator
+        merges them (counters/histograms sum, gauges follow their
+        aggregation policy) together with its own ``repro_runtime_*``
+        family: per-worker task-queue depth, liveness and heartbeat age,
+        routed events/records/batches, batch-put latency and merge-buffer
+        lag. Starts the engine if needed (same contract as :meth:`run`);
+        call between ``run()`` invocations, not concurrently with one —
+        the queue protocol is single-threaded by design, which is why the
+        HTTP exposition serves cached snapshots instead of calling this
+        live.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "metrics requires a live engine; this one was closed"
+            )
+        self.start()
+        shards = len(self._shards) if self._shards else 1
+        if self._serial_engine is not None:
+            worker_id = self._shards[0].worker_id if self._shards else 0
+            rows = {
+                worker_id: {
+                    "alive": True,
+                    "queue_depth": 0,
+                    "heartbeat_age_seconds": 0.0,
+                    "events_routed": self._routed_total.get(worker_id, 0),
+                    "records": self._records_total.get(worker_id, 0),
+                    "batches": self._batches_total.get(worker_id, 0),
+                    "merge_buffer_records": 0,
+                }
+            }
+            snapshots = [self._serial_engine.metrics().collect()]
+        else:
+            depths: Dict[int, int] = {}
+            for slot, shard in enumerate(self._shards):
+                # Depth before posting the request: counts pending batches,
+                # not the metrics message itself. qsize() is unimplemented
+                # on some platforms (macOS sem_getvalue) — report -1 there.
+                try:
+                    depths[shard.worker_id] = self._task_queues[slot].qsize()
+                except NotImplementedError:
+                    depths[shard.worker_id] = -1
+                self._put(slot, ("metrics",))
+            replies = self._gather("metrics")
+            now = time.monotonic()
+            rows = {}
+            snapshots = []
+            for slot, shard in enumerate(self._shards):
+                pending_records, families = replies[shard.worker_id]
+                snapshots.append(families)
+                heartbeat = self._last_heartbeat.get(shard.worker_id, now)
+                rows[shard.worker_id] = {
+                    "alive": self._procs[slot].is_alive(),
+                    "queue_depth": depths[shard.worker_id],
+                    "heartbeat_age_seconds": max(now - heartbeat, 0.0),
+                    "events_routed": self._routed_total.get(shard.worker_id, 0),
+                    "records": self._records_total.get(shard.worker_id, 0),
+                    "batches": self._batches_total.get(shard.worker_id, 0),
+                    "merge_buffer_records": pending_records,
+                }
+        from ..telemetry.instrument import runtime_registry
+
+        snapshots.append(
+            runtime_registry(
+                workers=self.workers,
+                shards=shards,
+                events_streamed=self._events_streamed,
+                worker_rows=rows,
+                batch_put=self._batch_put,
+            ).collect()
+        )
+        return MetricsRegistry.from_snapshot(
+            MetricsRegistry.merge_snapshots(snapshots)
+        )
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -977,6 +1171,21 @@ class ShardedEngine:
                         f"shard worker {self._shards[slot].worker_id} died "
                         f"(exitcode={proc.exitcode})"
                     ) from None
+
+    def _put_batch(self, slot: int, batch: list) -> None:
+        """Timed batch dispatch: a long put means the worker is saturated.
+
+        The observed latency — near zero while the bounded task queue has
+        room, up to the worker's drain time when backpressure engages —
+        feeds ``repro_runtime_batch_put_seconds``, the coordinator's lag
+        histogram. Two clock reads per *batch* (not per edge), so the
+        fast path keeps its budget.
+        """
+        worker_id = self._shards[slot].worker_id
+        started = time.perf_counter()
+        self._put(slot, ("batch", batch))
+        self._batch_put.observe(time.perf_counter() - started)
+        self._batches_total[worker_id] = self._batches_total.get(worker_id, 0) + 1
 
     def _gather(self, kind: str, timeout: Optional[float] = None) -> Dict[int, object]:
         """Collect one ``kind`` reply from every worker, surfacing failures.
@@ -1009,8 +1218,13 @@ class ShardedEngine:
             except queue_module.Empty:
                 self._ensure_workers_alive(replies)
                 continue
+            # Liveness heartbeat, piggybacked on every reply: any worker
+            # that answers the protocol is demonstrably draining its
+            # queue. metrics() turns the age of this stamp into the
+            # per-worker heartbeat gauge.
+            self._last_heartbeat[worker_id] = time.monotonic()
             if got_kind == "error":
-                raise RuntimeError(f"shard worker {worker_id} failed: {payload}")
+                raise RuntimeError(_format_worker_error(worker_id, payload))
             if got_kind != kind:
                 raise RuntimeError(
                     f"protocol error: expected {kind!r} from worker "

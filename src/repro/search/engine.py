@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
@@ -38,6 +39,7 @@ from ..sjtree.builder import build_sj_tree
 from ..sjtree.tree import SJTree
 from ..stats.estimator import SelectivityEstimator
 from ..stats.paths import EdgeMapFn, default_edge_map
+from ..telemetry.registry import CheckpointStats
 from .base import MatchRecord, SearchAlgorithm
 from .baseline import IncIsoMatchSearch, PeriodicVF2Search, VF2PerEdgeSearch
 from .dynamic import DynamicGraphSearch
@@ -172,6 +174,15 @@ class ContinuousQueryEngine:
         #: ``profile_phases`` is on; per-query iso/join time lives in each
         #: registered query's own profile.
         self.kernel_profile = ProfileCounters()
+        #: housekeeping sweeps run (telemetry)
+        self._sweeps = 0
+        #: edges dispatched to at least one routed query program — bumped
+        #: once per routed edge by the batch kernels (a local-int add, not
+        #: an attribute write, inside the loop) and approximated by the
+        #: per-event path as "routed targets non-empty".
+        self._dispatch_hits = 0
+        #: checkpoint duration/bytes accumulators (repro_persistence_*).
+        self._checkpoint_stats = CheckpointStats()
         # interned etype code -> registered queries that can consume it
         # (registration order), rebuilt on register/refresh.
         # ``_route_default`` holds the queries that must see *every* edge
@@ -307,6 +318,8 @@ class ContinuousQueryEngine:
             targets = self._routes.get(edge.etype_code, self._route_default)
         else:
             targets = self.queries.values()
+        if targets:
+            self._dispatch_hits += 1
         for registered in targets:
             for match in registered.algorithm.process_edge(edge):
                 records.append(
@@ -502,6 +515,7 @@ class ContinuousQueryEngine:
         next_eid = graph._next_edge_id
         inserted = 0
         evicted = 0
+        hits = 0
         last_ts = graph._last_timestamp
         Edge_ = Edge
         deque_ = deque
@@ -587,6 +601,7 @@ class ContinuousQueryEngine:
                         observe(edge)
                     program = lut[code]
                     if program is not None:
+                        hits += 1
                         for name, strategy, handler in program:
                             matches = handler(edge)
                             if matches:
@@ -692,6 +707,7 @@ class ContinuousQueryEngine:
                         observe(edge)
                     program = lut[code]
                     if program is not None:
+                        hits += 1
                         for name, strategy, handler in program:
                             matches = handler(edge)
                             if matches:
@@ -715,6 +731,7 @@ class ContinuousQueryEngine:
             graph._evicted_count += evicted
             graph._last_timestamp = last_ts
             self._edges_since_sweep = since
+            self._dispatch_hits += hits
         self._chunks_processed += 1
 
     def _process_chunk_profiled(self, chunk: EdgeChunk, out: list) -> None:
@@ -793,6 +810,7 @@ class ContinuousQueryEngine:
                 observe(edge)
             program = lut[code]
             if program is not None:
+                self._dispatch_hits += 1
                 for name, strategy, handler in program:
                     for match in handler(edge):
                         record = MatchRecord(name, strategy, match, timestamp)
@@ -867,6 +885,7 @@ class ContinuousQueryEngine:
     def sweep(self) -> None:
         """Expire stale partial state in all queries (and the bitmaps)."""
         self._edges_since_sweep = 0
+        self._sweeps += 1
         for registered in self.queries.values():
             registered.algorithm.housekeeping()
 
@@ -886,7 +905,14 @@ class ContinuousQueryEngine:
         """
         from ..persistence.snapshot import save_engine
 
+        started = time.perf_counter()
         save_engine(self, path, cursor=cursor)
+        elapsed = time.perf_counter() - started
+        try:
+            size = os.stat(path).st_size
+        except OSError:
+            size = 0
+        self._checkpoint_stats.record(elapsed, size)
 
     @classmethod
     def restore(cls, path, queries: Iterable[QueryGraph]) -> "ContinuousQueryEngine":
@@ -956,6 +982,33 @@ class ContinuousQueryEngine:
             registered.algorithm.partial_match_count()
             for registered in self.queries.values()
         )
+
+    def metrics(self):
+        """Point-in-time :class:`~repro.telemetry.MetricsRegistry`.
+
+        Pull-based: assembles counters, gauges and histograms from state
+        the engine already maintains (graph scalar counters, match-table
+        totals, phase profiles, checkpoint stats), so the per-edge hot
+        path pays nothing for telemetry being armed. Safe to call at any
+        chunk boundary; ``registry.collect()`` yields the JSON-able
+        snapshot the CLI emitters and the sharded aggregation use.
+        """
+        from ..telemetry.instrument import engine_registry
+
+        return engine_registry(self)
+
+    def set_profiling(self, enabled: bool) -> None:
+        """Toggle per-stage phase profiling engine-wide.
+
+        Flips :attr:`profile_phases` (chunk-stage timers) *and* every
+        registered algorithm's profile gate — registration normally
+        copies the engine flag once, so flipping the attribute alone
+        would leave existing queries untimed. Used by the CLI
+        ``--profile`` flag on restored engines and by sharded workers.
+        """
+        self.profile_phases = enabled
+        for registered in self.queries.values():
+            registered.algorithm.profile.enabled = enabled
 
     def query_alphabets(self) -> Dict[str, Optional[frozenset]]:
         """Per-query consumable edge types (``None`` = every edge).

@@ -84,6 +84,8 @@ class MatchTable:
         "_ring",
         "_live",
         "inserted_total",
+        "probes_total",
+        "expired_total",
         "track_expiry",
     )
 
@@ -98,6 +100,11 @@ class MatchTable:
         self._live = 0
         #: lifetime insert count (the space-complexity measure of §5.2 uses it)
         self.inserted_total = 0
+        #: lifetime probe count — general-path probes only; the fused
+        #: trivial-leaf kernels in tree.py bypass this method by design
+        self.probes_total = 0
+        #: lifetime expired-match count (telemetry)
+        self.expired_total = 0
         #: False skips all expiry bookkeeping (infinite-window engines)
         self.track_expiry = track_expiry
 
@@ -139,6 +146,7 @@ class MatchTable:
         by ``min_time`` anyway (and so must any other caller joining
         against a finite window).
         """
+        self.probes_total += 1
         bucket = self._buckets.get(key)
         if bucket is None:
             return _EMPTY_BUCKET
@@ -181,6 +189,7 @@ class MatchTable:
             dropped += 1
             if bucket.dead * 2 >= len(bucket.matches):
                 self._compact(bucket)
+        self.expired_total += dropped
         return dropped
 
     def _compact(self, bucket: _Bucket) -> None:
@@ -258,6 +267,8 @@ class FIFOLeafTable:
         "_ring_matches",
         "_live",
         "inserted_total",
+        "probes_total",
+        "expired_total",
         "track_expiry",
     )
 
@@ -268,6 +279,10 @@ class FIFOLeafTable:
         self._ring_matches: "deque[Match]" = deque()
         self._live = 0  # maintained only when not track_expiry
         self.inserted_total = 0
+        # general-path counters; the fused trivial-leaf kernels in
+        # tree.py inline insert/probe and bypass both by design
+        self.probes_total = 0
+        self.expired_total = 0
         self.track_expiry = track_expiry
 
     def insert(self, key: JoinKey, match: Match) -> bool:
@@ -285,6 +300,7 @@ class FIFOLeafTable:
         return True
 
     def probe(self, key: JoinKey):
+        self.probes_total += 1
         bucket = self._buckets.get(key)
         if bucket is None:
             return _EMPTY_BUCKET
@@ -306,6 +322,7 @@ class FIFOLeafTable:
             if not bucket:
                 del buckets[key]
             dropped += 1
+        self.expired_total += dropped
         return dropped
 
     def __len__(self) -> int:

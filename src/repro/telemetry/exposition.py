@@ -1,0 +1,127 @@
+"""Metric exposition: periodic JSONL emission and live HTTP scraping.
+
+Both consumers work from *snapshots* (the plain dicts
+:meth:`MetricsRegistry.collect` returns), never from live registries —
+the HTTP thread in particular must not call into the engine or the
+sharded coordinator (whose queue protocol is single-threaded), so the
+driver refreshes a cached snapshot at its metrics cadence and the server
+only ever serialises that cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from .registry import render_prometheus
+
+__all__ = ["MetricsJSONLWriter", "MetricsHTTPServer"]
+
+
+class MetricsJSONLWriter:
+    """Append metric snapshots to a JSONL file, one envelope per line.
+
+    Envelope keys: ``seq`` (0-based emission index), ``unix_time``,
+    ``events_processed`` (stream position at emission, when the driver
+    knows it) and ``families`` (the snapshot).  ``json.dumps`` renders
+    non-finite gauges (e.g. an unbounded window width) as ``Infinity``,
+    which the Python parser round-trips; snapshot builders already skip
+    the only ``-Inf`` case (stream clock before the first edge).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self.sequence = 0
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def emit(
+        self,
+        families: Dict[str, dict],
+        *,
+        events_processed: Optional[int] = None,
+    ) -> None:
+        envelope = {
+            "seq": self.sequence,
+            "unix_time": time.time(),
+            "events_processed": events_processed,
+            "families": families,
+        }
+        self._fh.write(json.dumps(envelope, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self.sequence += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "MetricsJSONLWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MetricsHTTPServer:
+    """Stdlib-only exposition thread serving a cached snapshot.
+
+    ``GET /metrics`` renders the Prometheus text format;
+    ``GET /metrics.json`` returns the raw snapshot.  ``supplier`` is
+    called per request and must be cheap and thread-safe — the CLI passes
+    a closure over a snapshot variable it swaps atomically (a whole-dict
+    rebind, safe under the GIL), never a live engine.
+    """
+
+    def __init__(
+        self,
+        supplier: Callable[[], Dict[str, dict]],
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = render_prometheus(supplier()).encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path.split("?", 1)[0] == "/metrics.json":
+                    body = json.dumps(supplier()).encode("utf-8")
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None

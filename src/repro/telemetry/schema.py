@@ -1,0 +1,172 @@
+"""Schema validation for emitted metric snapshots and JSONL streams.
+
+Shared by the CI smoke leg (``tools/validate_metrics_jsonl.py``) and the
+test suite, so "the emitter's output is well-formed" is asserted from one
+place.  Validation errors raise :class:`ValueError` with a message that
+names the offending line/family.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "REQUIRED_ENGINE_FAMILIES",
+    "REQUIRED_RUNTIME_FAMILIES",
+    "validate_snapshot",
+    "validate_jsonl_lines",
+    "validate_jsonl_file",
+]
+
+# Families every engine snapshot must carry (single-process and per-worker
+# alike).  Runtime families additionally appear in sharded aggregates.
+REQUIRED_ENGINE_FAMILIES = (
+    "repro_engine_edges_ingested_total",
+    "repro_engine_edges_evicted_total",
+    "repro_engine_chunks_processed_total",
+    "repro_engine_matches_total",
+    "repro_engine_partial_matches",
+    "repro_graph_live_edges",
+    "repro_graph_live_vertices",
+    "repro_graph_window_width_seconds",
+    "repro_persistence_checkpoints_total",
+)
+REQUIRED_RUNTIME_FAMILIES = (
+    "repro_runtime_workers",
+    "repro_runtime_events_streamed_total",
+    "repro_runtime_worker_alive",
+    "repro_runtime_worker_queue_depth",
+)
+
+_ENVELOPE_KEYS = ("seq", "unix_time", "events_processed", "families")
+
+
+def validate_snapshot(
+    families: Dict[str, dict], *, expect_runtime: bool = False
+) -> None:
+    """Structural check of one snapshot dict."""
+    if not isinstance(families, dict):
+        raise ValueError(f"snapshot is {type(families).__name__}, expected dict")
+    required: Tuple[str, ...] = REQUIRED_ENGINE_FAMILIES
+    if expect_runtime:
+        required = required + REQUIRED_RUNTIME_FAMILIES
+    for name in required:
+        if name not in families:
+            raise ValueError(f"snapshot missing required family {name!r}")
+    for name, entry in families.items():
+        kind = entry.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"{name}: bad type {kind!r}")
+        labels = entry.get("labels")
+        if not isinstance(labels, list):
+            raise ValueError(f"{name}: labels must be a list")
+        for sample in entry.get("samples", ()):
+            if len(sample.get("labels", ())) != len(labels):
+                raise ValueError(f"{name}: sample/family label arity mismatch")
+            if kind == "histogram":
+                if len(sample["counts"]) != len(sample["bounds"]) + 1:
+                    raise ValueError(f"{name}: histogram counts/bounds mismatch")
+                if sum(sample["counts"]) != sample["count"]:
+                    raise ValueError(f"{name}: histogram count disagrees with buckets")
+            elif not isinstance(sample.get("value"), (int, float)):
+                raise ValueError(f"{name}: sample value must be numeric")
+
+
+def _counter_values(families: Dict[str, dict]) -> Dict[Tuple[str, ...], float]:
+    out: Dict[Tuple[str, ...], float] = {}
+    for name, entry in families.items():
+        if entry.get("type") != "counter":
+            continue
+        for sample in entry.get("samples", ()):
+            out[(name, *sample["labels"])] = sample["value"]
+    return out
+
+
+def validate_jsonl_lines(
+    lines: Iterable[str],
+    *,
+    expect_runtime: bool = False,
+    expect_final_events: Optional[int] = None,
+    expect_final_matches: Optional[int] = None,
+) -> List[dict]:
+    """Validate a metrics JSONL stream end to end.
+
+    Checks per line: envelope keys, snapshot structure, contiguous
+    ``seq``, non-decreasing ``events_processed``, and that no counter
+    sample ever decreases between consecutive snapshots.  Optionally pins
+    the final snapshot's ingested-edge total and summed per-query match
+    total (the "consistent with describe()" check of the CI smoke leg).
+    Returns the parsed envelopes.
+    """
+    envelopes: List[dict] = []
+    previous_counters: Optional[Dict[Tuple[str, ...], float]] = None
+    previous_events = -1
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON ({exc})") from None
+        for key in _ENVELOPE_KEYS:
+            if key not in envelope:
+                raise ValueError(f"line {lineno}: envelope missing {key!r}")
+        if envelope["seq"] != len(envelopes):
+            raise ValueError(
+                f"line {lineno}: seq {envelope['seq']} != expected {len(envelopes)}"
+            )
+        events = envelope["events_processed"]
+        if events is not None:
+            if events < previous_events:
+                raise ValueError(
+                    f"line {lineno}: events_processed went backwards "
+                    f"({previous_events} -> {events})"
+                )
+            previous_events = events
+        families = envelope["families"]
+        validate_snapshot(families, expect_runtime=expect_runtime)
+        counters = _counter_values(families)
+        if previous_counters is not None:
+            for key, value in counters.items():
+                before = previous_counters.get(key)
+                if before is not None and value < before:
+                    raise ValueError(
+                        f"line {lineno}: counter {key} decreased "
+                        f"({before} -> {value})"
+                    )
+        previous_counters = counters
+        envelopes.append(envelope)
+    if not envelopes:
+        raise ValueError("no snapshots emitted")
+    final = envelopes[-1]["families"]
+    if expect_final_events is not None:
+        # Sharded aggregates sum per-shard ingest counts (workers only see
+        # their routed edges), so the stream position lives in the
+        # coordinator's counter there; single-process runs ingest everything.
+        family = (
+            "repro_runtime_events_streamed_total"
+            if expect_runtime
+            else "repro_engine_edges_ingested_total"
+        )
+        got = final[family]["samples"][0]["value"]
+        if got != expect_final_events:
+            raise ValueError(
+                f"final {family} {got} != expected {expect_final_events}"
+            )
+    if expect_final_matches is not None:
+        got = sum(
+            sample["value"]
+            for sample in final["repro_engine_matches_total"]["samples"]
+        )
+        if got != expect_final_matches:
+            raise ValueError(
+                f"final matches_total {got} != expected {expect_final_matches}"
+            )
+    return envelopes
+
+
+def validate_jsonl_file(path, **kwargs) -> List[dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_jsonl_lines(fh, **kwargs)

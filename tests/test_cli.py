@@ -96,12 +96,14 @@ class TestRun:
                 strategy,
                 "--max-print",
                 "2",
+                "--profile",
             ]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "graph:" in out
         assert "profile:" in out
+        assert "[kernel stages]" in out
 
     def test_strategies_agree_on_match_count(self, stream_file, query_file, capsys):
         counts = {}
@@ -157,6 +159,7 @@ class TestRunSharded:
                 "100",
                 "--max-print",
                 "0",
+                "--profile",
             ]
         )
         assert code == 0

@@ -1,0 +1,92 @@
+"""Record-identity guard: armed telemetry must be invisible.
+
+A run that collects metric snapshots mid-stream (and/or keeps phase
+profiling on) must emit records identical — query, fingerprint,
+timestamp — to a run that never touches telemetry.  This is the
+observability analogue of the checkpoint/resume equivalence bar: pull
+collection reads engine state, it must never perturb it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ContinuousQueryEngine, ShardedEngine
+from repro.analysis.experiments import mixed_etype_workload
+
+COLLECT_CUTS = (150, 300, 450)
+
+
+def identities(records):
+    return [(r.query_name, r.match.fingerprint, r.completed_at) for r in records]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    events, queries = mixed_etype_workload(
+        600, num_queries=6, num_etypes=16, seed=13, population=48
+    )
+    for i, query in enumerate(queries):
+        query.name = f"q{i}"
+    return events, queries
+
+
+def _single_run(workload, *, collect, profile=False):
+    events, queries = workload
+    engine = ContinuousQueryEngine(window=80.0, profile_phases=profile)
+    engine.warmup(events[:100])
+    for query in queries:
+        engine.register(query, strategy="auto")
+    records = []
+    start = 0
+    for cut in COLLECT_CUTS + (len(events),):
+        records.extend(engine.run(events[start:cut]).records)
+        start = cut
+        if collect:
+            snapshot = engine.metrics().collect()
+            assert snapshot["repro_engine_edges_ingested_total"]["samples"]
+    return identities(records)
+
+
+def _sharded_run(workload, workers, *, collect, profile=False):
+    events, queries = workload
+    engine = ShardedEngine(
+        window=80.0, workers=workers, batch_size=64, profile_phases=profile
+    )
+    try:
+        engine.warmup(events[:100])
+        for query in queries:
+            engine.register(query, strategy="auto")
+        records = []
+        start = 0
+        for cut in COLLECT_CUTS + (len(events),):
+            records.extend(engine.run(events[start:cut]).records)
+            start = cut
+            if collect:
+                snapshot = engine.metrics().collect()
+                assert snapshot["repro_runtime_workers"]["samples"]
+        return identities(records)
+    finally:
+        engine.close()
+
+
+def test_single_process_records_unchanged_by_collection(workload):
+    baseline = _single_run(workload, collect=False)
+    assert baseline, "workload must produce matches to be meaningful"
+    assert _single_run(workload, collect=True) == baseline
+    assert _single_run(workload, collect=True, profile=True) == baseline
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sharded_records_unchanged_by_collection(workload, workers):
+    baseline = _sharded_run(workload, workers, collect=False)
+    assert baseline, "workload must produce matches to be meaningful"
+    assert _sharded_run(workload, workers, collect=True) == baseline
+    assert _sharded_run(workload, workers, collect=True, profile=True) == baseline
+
+
+def test_sharded_matches_single_with_collection(workload):
+    """Cross-runtime: collected sharded run == uncollected single run."""
+    single = set(_single_run(workload, collect=False))
+    sharded = set(_sharded_run(workload, 2, collect=True))
+    assert sharded == single

@@ -1,10 +1,13 @@
 """Unit tests for the exclusive-time profiler."""
 
 import time
+from contextlib import contextmanager
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis import ProfileCounters
+from repro.analysis import profiling as profiling_module
 
 
 class TestPhases:
@@ -76,3 +79,168 @@ class TestCountersAndMerge:
         text = profile.report()
         assert "iso" in text and "events" in text
         assert ProfileCounters().report() == "(no profile data)"
+
+
+# ---------------------------------------------------------------------------
+# property tests (hypothesis): the exclusive-time accounting invariants
+# ---------------------------------------------------------------------------
+
+
+class _FakeClock:
+    """Deterministic perf_counter stand-in; advances only on demand.
+
+    Integer-valued "seconds" keep every float sum exact, so the
+    properties below can assert equality instead of approximation.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def perf_counter(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@contextmanager
+def _fake_clock():
+    clock = _FakeClock()
+    real = profiling_module.time
+    profiling_module.time = clock
+    try:
+        yield clock
+    finally:
+        profiling_module.time = real
+
+
+# A phase program: open/close brackets over a few names, with integer
+# "work" durations attached to every step. Exits beyond the open depth
+# are dropped; whatever is left open at the end is closed.
+_STEPS = st.lists(
+    st.tuples(
+        st.sampled_from(["iso", "join", "retro", None]),  # None = exit
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=_STEPS, tail=st.integers(min_value=0, max_value=9))
+def test_nested_self_times_sum_to_in_phase_wall_clock(steps, tail):
+    """Exclusive accounting: phase seconds sum exactly to the wall-clock
+    time that elapsed while *any* phase was open — nesting never double
+    counts, depth-0 gaps never leak in."""
+    profile = ProfileCounters()
+    expected_in_phase = 0.0
+    expected_calls = {}
+    with _fake_clock() as clock:
+        depth = 0
+        for name, dt in steps:
+            clock.advance(dt)
+            if depth:
+                expected_in_phase += dt
+            if name is None:
+                if depth:
+                    profile.phase_exit()
+                    depth -= 1
+            else:
+                profile.phase_enter(name)
+                expected_calls[name] = expected_calls.get(name, 0) + 1
+                depth += 1
+        while depth:  # close whatever is still open
+            clock.advance(tail)
+            expected_in_phase += tail
+            profile.phase_exit()
+            depth -= 1
+    assert profile.total_seconds == expected_in_phase
+    assert not profile._stack
+    assert {
+        name: timer.calls for name, timer in profile.phases.items() if timer.calls
+    } == expected_calls
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.dictionaries(
+            st.sampled_from(["iso", "join", "retro", "evict"]),
+            st.tuples(
+                st.integers(min_value=0, max_value=4096),  # seconds * 4096
+                st.integers(min_value=0, max_value=100),  # calls
+            ),
+            max_size=4,
+        ),
+        min_size=3,
+        max_size=3,
+    ),
+    st.lists(
+        st.dictionaries(
+            st.sampled_from(["events", "matches"]),
+            st.integers(min_value=0, max_value=1000),
+            max_size=2,
+        ),
+        min_size=3,
+        max_size=3,
+    ),
+)
+def test_merge_is_associative(phase_specs, counter_specs):
+    """merge(merge(a, b), c) == merge(a, merge(b, c)).
+
+    Seconds are multiples of 1/4096 — exactly representable, so the sums
+    are order-independent and equality is exact.
+    """
+
+    def build(phases, counters):
+        profile = ProfileCounters()
+        for name, (ticks, calls) in phases.items():
+            profile.phase_add(name, ticks / 4096.0, calls)
+        for name, value in counters.items():
+            profile.bump(name, value)
+        return profile
+
+    def state(profile):
+        return (
+            {n: (t.seconds, t.calls) for n, t in profile.phases.items()},
+            dict(profile.counters),
+        )
+
+    def merged(x, y):
+        out = ProfileCounters()
+        out.merge(x)
+        out.merge(y)
+        return out
+
+    a, b, c = (build(p, k) for p, k in zip(phase_specs, counter_specs))
+    assert state(merged(merged(a, b), c)) == state(merged(a, merged(b, c)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    before=st.integers(min_value=0, max_value=9),
+    after=st.integers(min_value=0, max_value=9),
+    ticks=st.integers(min_value=0, max_value=4096),
+    calls=st.integers(min_value=1, max_value=512),
+    same_name=st.booleans(),
+)
+def test_phase_add_does_not_disturb_open_stack(before, after, ticks, calls, same_name):
+    """Chunk-style phase_add() inside an open phase credits its own phase
+    without pausing, resuming or re-timing the enclosing one."""
+    credited = ticks / 4096.0
+    stage = "open" if same_name else "stage"
+    profile = ProfileCounters()
+    with _fake_clock() as clock:
+        profile.phase_enter("open")
+        clock.advance(before)
+        profile.phase_add(stage, credited, calls)
+        clock.advance(after)
+        profile.phase_exit()
+    expected_open = float(before + after) + (credited if same_name else 0.0)
+    assert profile.seconds("open") == expected_open
+    assert profile.phases["open"].calls == 1 + (calls if same_name else 0)
+    if not same_name:
+        assert profile.seconds("stage") == credited
+        assert profile.phases["stage"].calls == calls
+    assert not profile._stack

@@ -1,0 +1,385 @@
+"""Telemetry subsystem: registry primitives, instrumentation, exposition.
+
+Covers the dependency-free metric slots (counter/gauge/fixed-bucket
+histogram), snapshot round-trips and cross-worker merges, the
+per-layer registry builders (`engine.metrics()` /
+`ShardedEngine.metrics()`), the JSONL emitter + schema validator, and
+the stdlib HTTP exposition thread.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ContinuousQueryEngine, ShardedEngine
+from repro.analysis.experiments import mixed_etype_workload
+from repro.telemetry import (
+    SECONDS_BUCKETS,
+    HistogramSlot,
+    MetricsHTTPServer,
+    MetricsJSONLWriter,
+    MetricsRegistry,
+    render_prometheus,
+    validate_jsonl_file,
+    validate_jsonl_lines,
+    validate_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    events, queries = mixed_etype_workload(
+        500, num_queries=4, num_etypes=12, seed=5, population=40
+    )
+    for i, query in enumerate(queries):
+        query.name = f"q{i}"
+    return events, queries
+
+
+def _single_engine(workload, **kwargs):
+    events, queries = workload
+    engine = ContinuousQueryEngine(window=60.0, **kwargs)
+    engine.warmup(events[:100])
+    for query in queries:
+        engine.register(query, strategy="auto")
+    engine.run(events)
+    return engine
+
+
+def _samples(snapshot, family):
+    return {tuple(s["labels"]): s for s in snapshot[family]["samples"]}
+
+
+# ---------------------------------------------------------------------------
+# registry primitives
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramSlot:
+    def test_upper_bounds_are_inclusive(self):
+        slot = HistogramSlot((1.0, 5.0))
+        slot.observe(1.0)  # == bound -> that bucket (Prometheus le semantics)
+        slot.observe(1.5)
+        slot.observe(7.0)  # beyond last bound -> overflow slot
+        assert slot.counts == [1, 1, 1]
+        assert slot.count == 3
+        assert slot.sum == pytest.approx(9.5)
+
+    def test_bounds_are_sorted_on_construction(self):
+        assert HistogramSlot((5.0, 1.0)).bounds == (1.0, 5.0)
+
+    def test_merge_sums_buckets(self):
+        a, b = HistogramSlot((1.0,)), HistogramSlot((1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        b.observe(0.25)
+        a.merge(b)
+        assert a.counts == [2, 1] and a.count == 3
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="bounds differ"):
+            HistogramSlot((1.0,)).merge(HistogramSlot((2.0,)))
+
+
+class TestMetricsRegistry:
+    def test_label_arity_is_checked(self):
+        reg = MetricsRegistry()
+        family = reg.counter("c", labels=("a", "b"))
+        with pytest.raises(ValueError, match="expected 2 label values"):
+            family.labels("only-one")
+
+    def test_family_constructors_are_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        with pytest.raises(ValueError, match="registered as counter"):
+            reg.gauge("c")
+
+    def test_collect_from_snapshot_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "help text", labels=("query",)).labels("q1").inc(3)
+        reg.gauge("depth", agg="max").slot.set(7.5)
+        reg.histogram("lat", SECONDS_BUCKETS).slot.observe(0.002)
+        snap = reg.collect()
+        assert MetricsRegistry.from_snapshot(snap).collect() == snap
+        # snapshots must survive a JSON round-trip (queue / JSONL transport)
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_sums_counters_and_honours_gauge_agg(self):
+        def snap(counter, gsum, gmax):
+            reg = MetricsRegistry()
+            reg.counter("c").slot.inc(counter)
+            reg.gauge("g_sum").slot.set(gsum)
+            reg.gauge("g_max", agg="max").slot.set(gmax)
+            return reg.collect()
+
+        merged = MetricsRegistry.merge_snapshots([snap(1, 10, 3), snap(2, 20, 9)])
+        assert merged["c"]["samples"][0]["value"] == 3
+        assert merged["g_sum"]["samples"][0]["value"] == 30
+        assert merged["g_max"]["samples"][0]["value"] == 9
+
+    def test_merge_unions_label_sets_and_sorts_samples(self):
+        def snap(worker):
+            reg = MetricsRegistry()
+            reg.counter("routed", labels=("worker",)).labels(worker).inc(1)
+            return reg.collect()
+
+        merged = MetricsRegistry.merge_snapshots([snap("1"), snap("0"), snap("1")])
+        assert [s["labels"] for s in merged["routed"]["samples"]] == [["0"], ["1"]]
+        assert _samples(merged, "routed")[("1",)]["value"] == 2
+
+    def test_merge_combines_histograms(self):
+        def snap(value):
+            reg = MetricsRegistry()
+            reg.histogram("lat", (1.0,)).slot.observe(value)
+            return reg.collect()
+
+        merged = MetricsRegistry.merge_snapshots([snap(0.5), snap(2.0)])
+        sample = merged["lat"]["samples"][0]
+        assert sample["counts"] == [1, 1] and sample["count"] == 2
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        def snap(bound):
+            reg = MetricsRegistry()
+            reg.histogram("lat", (bound,)).slot.observe(0.5)
+            return reg.collect()
+
+        with pytest.raises(ValueError, match="bounds differ"):
+            MetricsRegistry.merge_snapshots([snap(1.0), snap(2.0)])
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_and_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "total hits", labels=("q",)).labels('a"b\\c\nd').inc(2)
+        reg.gauge("width").slot.set(math.inf)
+        text = reg.render_prometheus()
+        assert "# HELP hits total hits" in text
+        assert "# TYPE hits counter" in text
+        assert 'hits{q="a\\"b\\\\c\\nd"} 2' in text
+        assert "width +Inf" in text
+
+    def test_histogram_buckets_accumulate(self):
+        reg = MetricsRegistry()
+        slot = reg.histogram("lat", (1.0, 5.0)).slot
+        for value in (0.5, 2.0, 9.0):
+            slot.observe(value)
+        text = render_prometheus(reg.collect())
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="5"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+
+# ---------------------------------------------------------------------------
+# engine instrumentation
+# ---------------------------------------------------------------------------
+
+
+class TestEngineMetrics:
+    @pytest.fixture(scope="class")
+    def engine(self, workload):
+        return _single_engine(workload, profile_phases=True)
+
+    def test_snapshot_is_valid_and_json_safe(self, engine):
+        snap = engine.metrics().collect()
+        validate_snapshot(snap)
+        json.dumps(snap)  # queue/JSONL transport safety
+        assert "# TYPE repro_engine_edges_ingested_total counter" in (
+            render_prometheus(snap)
+        )
+
+    def test_totals_match_engine_state(self, workload, engine):
+        events, queries = workload
+        snap = engine.metrics().collect()
+        ingested = snap["repro_engine_edges_ingested_total"]["samples"][0]["value"]
+        assert ingested == engine.graph.total_edges_seen
+        live = snap["repro_graph_live_edges"]["samples"][0]["value"]
+        assert live == engine.graph.num_edges
+        matches = _samples(snap, "repro_engine_matches_total")
+        assert set(matches) == {(q.name,) for q in queries}
+        for name, registered in engine.queries.items():
+            assert matches[(name,)]["value"] == registered.algorithm.matches_emitted
+
+    def test_profile_phases_flow_into_stage_and_query_families(self, engine):
+        snap = engine.metrics().collect()
+        stages = _samples(snap, "repro_engine_stage_seconds_total")
+        assert {("evict",), ("ingest",)} <= set(stages)
+        phases = _samples(snap, "repro_engine_query_phase_seconds_total")
+        assert phases, "per-query iso/join split must be populated"
+        assert snap["repro_engine_profile_enabled"]["samples"][0]["value"] == 1.0
+
+    def test_sjtree_residency_per_node(self, engine):
+        snap = engine.metrics().collect()
+        residency = _samples(snap, "repro_sjtree_node_residency")
+        inserts = _samples(snap, "repro_sjtree_node_inserts_total")
+        assert residency and set(residency) == set(inserts)
+        # labels are (query, node_id:leaf-or-join)
+        assert all(":" in node for _, node in residency)
+
+    def test_checkpoint_populates_persistence_family(self, workload, tmp_path):
+        engine = _single_engine(workload)
+        engine.checkpoint(tmp_path / "snap.bin", cursor=500)
+        snap = engine.metrics().collect()
+        assert snap["repro_persistence_checkpoints_total"]["samples"][0]["value"] == 1
+        seconds = snap["repro_persistence_checkpoint_seconds"]["samples"][0]
+        assert seconds["count"] == 1
+        assert (
+            snap["repro_persistence_last_checkpoint_bytes"]["samples"][0]["value"] > 0
+        )
+
+
+# ---------------------------------------------------------------------------
+# sharded aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestShardedMetrics:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_aggregated_snapshot_covers_all_layers(self, workload, workers):
+        events, queries = workload
+        engine = ShardedEngine(window=60.0, workers=workers, batch_size=128)
+        try:
+            engine.warmup(events[:100])
+            for query in queries:
+                engine.register(query, strategy="auto")
+            engine.run(events)
+            snap = engine.metrics().collect()
+        finally:
+            engine.close()
+        validate_snapshot(snap, expect_runtime=True)
+        assert snap["repro_runtime_workers"]["samples"][0]["value"] == workers
+        streamed = snap["repro_runtime_events_streamed_total"]["samples"][0]["value"]
+        assert streamed == len(events)
+        alive = _samples(snap, "repro_runtime_worker_alive")
+        assert set(alive) == {(str(i),) for i in range(workers)}
+        assert all(s["value"] == 1.0 for s in alive.values())
+        depth = _samples(snap, "repro_runtime_worker_queue_depth")
+        assert set(depth) == set(alive)
+        assert all(s["value"] >= -1 for s in depth.values())
+        heartbeat = _samples(snap, "repro_runtime_worker_heartbeat_age_seconds")
+        assert all(s["value"] >= 0.0 for s in heartbeat.values())
+        # per-shard engines only ingest the edges routed to their queries,
+        # so the aggregated counter is bounded by workers * events
+        ingested = snap["repro_engine_edges_ingested_total"]["samples"][0]["value"]
+        assert 0 < ingested <= workers * len(events)
+
+    def test_metrics_after_close_raises(self, workload):
+        events, queries = workload
+        engine = ShardedEngine(window=60.0, workers=2, batch_size=128)
+        engine.warmup(events[:100])
+        for query in queries:
+            engine.register(query, strategy="auto")
+        engine.run(events[:200])
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.metrics()
+
+
+# ---------------------------------------------------------------------------
+# exposition: JSONL + schema validation
+# ---------------------------------------------------------------------------
+
+
+class TestJSONLAndSchema:
+    def test_writer_emits_validating_stream(self, workload, tmp_path):
+        events, queries = workload
+        engine = ContinuousQueryEngine(window=60.0)
+        engine.warmup(events[:100])
+        for query in queries:
+            engine.register(query, strategy="auto")
+        path = tmp_path / "metrics.jsonl"
+        cuts = (200, 400, len(events))
+        with MetricsJSONLWriter(path) as writer:
+            for start, cut in zip((0,) + cuts, cuts):
+                engine.run(events[start:cut])
+                writer.emit(engine.metrics().collect(), events_processed=cut)
+        envelopes = validate_jsonl_file(path, expect_final_events=len(events))
+        assert [e["seq"] for e in envelopes] == [0, 1, 2]
+        assert envelopes[-1]["events_processed"] == len(events)
+
+    def test_broken_seq_rejected(self):
+        snap = _engine_like_snapshot()
+        good = json.dumps(
+            {"seq": 0, "unix_time": 0.0, "events_processed": 1, "families": snap}
+        )
+        bad = json.dumps(
+            {"seq": 5, "unix_time": 0.0, "events_processed": 2, "families": snap}
+        )
+        with pytest.raises(ValueError, match="seq"):
+            validate_jsonl_lines([good, bad])
+
+    def test_decreasing_counter_rejected(self):
+        first = _engine_like_snapshot(ingested=10)
+        second = _engine_like_snapshot(ingested=4)
+        lines = [
+            json.dumps(
+                {"seq": i, "unix_time": 0.0, "events_processed": 10, "families": f}
+            )
+            for i, f in enumerate([first, second])
+        ]
+        with pytest.raises(ValueError, match="decreased"):
+            validate_jsonl_lines(lines)
+
+    def test_missing_family_rejected(self):
+        snap = _engine_like_snapshot()
+        del snap["repro_graph_live_edges"]
+        line = json.dumps(
+            {"seq": 0, "unix_time": 0.0, "events_processed": 0, "families": snap}
+        )
+        with pytest.raises(ValueError, match="missing required family"):
+            validate_jsonl_lines([line])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="no snapshots"):
+            validate_jsonl_lines([])
+
+
+def _engine_like_snapshot(ingested=10):
+    """A minimal snapshot carrying every required engine family."""
+    reg = MetricsRegistry()
+    reg.counter("repro_engine_edges_ingested_total").slot.inc(ingested)
+    reg.counter("repro_engine_edges_evicted_total")
+    reg.counter("repro_engine_chunks_processed_total").slot.inc(2)
+    reg.counter("repro_engine_matches_total", labels=("query",)).labels("q").inc(1)
+    reg.gauge("repro_engine_partial_matches", labels=("query",)).labels("q").set(3)
+    reg.gauge("repro_graph_live_edges").slot.set(ingested)
+    reg.gauge("repro_graph_live_vertices").slot.set(4)
+    reg.gauge("repro_graph_window_width_seconds", agg="max").slot.set(60.0)
+    reg.counter("repro_persistence_checkpoints_total")
+    return reg.collect()
+
+
+# ---------------------------------------------------------------------------
+# exposition: HTTP
+# ---------------------------------------------------------------------------
+
+
+class TestHTTPServer:
+    def test_serves_prometheus_and_json(self):
+        snap = _engine_like_snapshot(ingested=42)
+        server = MetricsHTTPServer(lambda: snap, port=0)
+        server.start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                text = resp.read().decode("utf-8")
+            assert "repro_engine_edges_ingested_total 42" in text
+            with urllib.request.urlopen(f"{base}/metrics.json", timeout=5) as resp:
+                assert json.load(resp) == snap
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nope", timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            server.close()
+
+    def test_close_is_idempotent(self):
+        server = MetricsHTTPServer(dict, port=0)
+        server.start()
+        server.close()
+        server.close()

@@ -1,0 +1,71 @@
+"""Validate a metrics JSONL stream written by ``run --metrics-out``.
+
+Thin CLI over :func:`repro.telemetry.schema.validate_jsonl_file` so the
+CI smoke job (and anyone debugging a run) can assert a stream is
+well-formed: contiguous ``seq``, non-decreasing ``events_processed``,
+monotone counters across snapshots, required families present, and —
+optionally — the final snapshot pinned to the run's known edge/match
+totals.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_metrics_jsonl.py metrics.jsonl \
+        [--runtime] [--expect-events N] [--expect-matches N]
+
+Exits 0 and prints a one-line summary on success; exits 1 with the
+validation error on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.telemetry import validate_jsonl_file  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="metrics JSONL file to validate")
+    parser.add_argument(
+        "--runtime",
+        action="store_true",
+        help="require the repro_runtime_* families (sharded runs)",
+    )
+    parser.add_argument(
+        "--expect-events",
+        type=int,
+        default=None,
+        help="pin the final snapshot's edges_ingested_total",
+    )
+    parser.add_argument(
+        "--expect-matches",
+        type=int,
+        default=None,
+        help="pin the final snapshot's summed per-query matches_total",
+    )
+    args = parser.parse_args(argv)
+    try:
+        envelopes = validate_jsonl_file(
+            args.path,
+            expect_runtime=args.runtime,
+            expect_final_events=args.expect_events,
+            expect_final_matches=args.expect_matches,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"INVALID {args.path}: {exc}", file=sys.stderr)
+        return 1
+    final = envelopes[-1]["families"]
+    print(
+        f"OK {args.path}: {len(envelopes)} snapshots, "
+        f"{len(final)} families in final snapshot, "
+        f"events_processed={envelopes[-1]['events_processed']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
