@@ -22,6 +22,16 @@ checkpoints, ``resume`` continues one — at the recorded layout or, with
 layout-independent) — ``rebalance`` re-cuts a checkpoint directory
 offline, and ``run --rebalance-every N`` re-cuts the live shard layout
 from current statistics every N events.
+
+Resilience: ``--supervise`` (with ``--workers >= 2``) arms the
+self-healing supervisor — crashed workers are respawned from recovery
+checkpoints and their pending work replayed, with no change to the
+emitted records; ``--max-restarts`` bounds the per-worker budget. The
+``REPRO_FAULTS`` environment variable injects deterministic faults for
+chaos testing (:mod:`repro.runtime.faults`). ``--on-bad-record``
+chooses what a malformed stream line does: ``fail`` (default), ``skip``
+(count and drop) or ``quarantine`` (also append to the
+``--quarantine-file`` dead-letter JSONL).
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .datasets import (
+    ON_BAD_RECORD,
+    BadRecordLog,
     LSBenchGenerator,
     NetflowGenerator,
     NYTGenerator,
@@ -48,7 +60,7 @@ from .errors import CheckpointError
 from .persistence import manifest as ckpt_manifest
 from .query.parser import parse_query
 from .query.query_graph import QueryGraph
-from .runtime import ShardedEngine
+from .runtime import FaultPlan, RestartPolicy, ShardedEngine
 from .search.engine import ContinuousQueryEngine
 from .sjtree import builder as sjtree_builder
 from .sjtree import serialize as sjtree_serialize
@@ -163,6 +175,52 @@ def _make_pump(args: argparse.Namespace, collect) -> Optional[_MetricsPump]:
     ):
         return None
     return _MetricsPump(args, collect)
+
+
+def _bad_record_log(args: argparse.Namespace) -> Optional[BadRecordLog]:
+    """A :class:`BadRecordLog` when a non-default policy was requested."""
+    policy = getattr(args, "on_bad_record", "fail")
+    if policy == "fail":
+        return None
+    return BadRecordLog(
+        policy, quarantine_path=getattr(args, "quarantine_file", None)
+    )
+
+
+def _ingest_families(bad_records: Optional[BadRecordLog]) -> dict:
+    """The ``repro_ingest_*`` snapshot families for the metrics pump."""
+    if bad_records is None:
+        return {}
+    from .telemetry.registry import MetricsRegistry
+
+    counts = bad_records.metrics()
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_ingest_bad_records_total",
+        "Malformed stream lines dropped by --on-bad-record",
+    ).slot.inc(counts["bad_records"])
+    reg.counter(
+        "repro_ingest_quarantined_records_total",
+        "Malformed stream lines appended to the dead-letter file",
+    ).slot.inc(counts["quarantined"])
+    return reg.collect()
+
+
+def _restart_policy(args: argparse.Namespace) -> Optional[RestartPolicy]:
+    max_restarts = getattr(args, "max_restarts", None)
+    if max_restarts is None:
+        return None
+    return RestartPolicy(max_restarts=max_restarts)
+
+
+def _finish_bad_records(bad_records: Optional[BadRecordLog]) -> None:
+    """Close the dead-letter file and print the disposition line."""
+    if bad_records is None:
+        return
+    bad_records.close()
+    line = bad_records.summary()
+    if line is not None:
+        print(line)
 
 
 def _drive_single(
@@ -365,19 +423,48 @@ def _validate_run_options(args: argparse.Namespace) -> None:
     metrics_port = getattr(args, "metrics_port", None)
     if metrics_port is not None and metrics_port < 0:
         raise ValueError(f"--metrics-port must be >= 0, got {metrics_port}")
+    max_restarts = getattr(args, "max_restarts", None)
+    if max_restarts is not None:
+        if max_restarts < 0:
+            raise ValueError(f"--max-restarts must be >= 0, got {max_restarts}")
+        if not getattr(args, "supervise", False):
+            raise ValueError("--max-restarts requires --supervise")
+    if getattr(args, "supervise", False):
+        # run knows its worker count up front; resume resolves it from
+        # the manifest and re-checks in _cmd_resume.
+        workers = getattr(args, "workers", None)
+        if workers is not None and workers < 2:
+            raise ValueError(
+                "--supervise applies to the sharded runtime; pass --workers >= 2"
+            )
+    policy = getattr(args, "on_bad_record", "fail")
+    quarantine_file = getattr(args, "quarantine_file", None)
+    if policy == "quarantine" and quarantine_file is None:
+        raise ValueError("--on-bad-record quarantine requires --quarantine-file")
+    if quarantine_file is not None and policy != "quarantine":
+        raise ValueError("--quarantine-file requires --on-bad-record quarantine")
 
 
 def _run_sharded_and_describe(
-    engine: ShardedEngine, events, args: argparse.Namespace, *, cursor_base: int
+    engine: ShardedEngine,
+    events,
+    args: argparse.Namespace,
+    *,
+    cursor_base: int,
+    bad_records: Optional[BadRecordLog] = None,
 ) -> tuple[int, int, float]:
     """Drive a sharded engine, print its describe() block, close it.
 
     Shared by ``run --workers N`` and ``resume``; returns
     ``(events_processed, records_emitted, elapsed_seconds)`` for the
-    caller's closing summary line.
+    caller's closing summary line. Under ``--supervise`` a recovery
+    summary (restart counts per worker) is printed after describe().
     """
     started = time.perf_counter()
-    pump = _make_pump(args, lambda: engine.metrics().collect())
+    pump = _make_pump(
+        args,
+        lambda: {**engine.metrics().collect(), **_ingest_families(bad_records)},
+    )
     try:
         processed, records = _drive_sharded(
             engine, events, args, cursor_base=cursor_base, pump=pump
@@ -385,6 +472,18 @@ def _run_sharded_and_describe(
         elapsed = time.perf_counter() - started
         print()
         print(engine.describe())
+        supervisor = engine._supervisor
+        if supervisor is not None:
+            restarts = supervisor.total_restarts
+            detail = ""
+            if restarts:
+                detail = " (" + ", ".join(
+                    f"worker {worker_id}: {count}"
+                    for worker_id, count in sorted(
+                        supervisor.restarts_by_worker.items()
+                    )
+                ) + ")"
+            print(f"supervision: {restarts} worker restart(s){detail}")
         if getattr(args, "profile", False):
             # one more coordinator round-trip; must happen before close()
             _print_sharded_profile(engine.metrics().collect())
@@ -489,7 +588,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # same iterator — the engine, never materialising the whole stream.
     total = count_stream_events(args.stream)
     warm_n = int(total * args.warmup_fraction)
-    events = read_stream(args.stream)
+    bad_records = _bad_record_log(args)
+    events = read_stream(args.stream, bad_records=bad_records)
     warmup = itertools.islice(events, warm_n)
 
     if args.workers > 1:
@@ -498,17 +598,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             batch_size=args.batch_size,
             profile_phases=args.profile,
+            supervise=args.supervise,
+            restart_policy=_restart_policy(args),
+            fault_plan=FaultPlan.from_env(),
         )
         engine.warmup(warmup)
         specs = [engine.register(query, strategy=args.strategy) for query in queries]
         # the coordinator batches per worker itself; feed it the
         # remaining events straight off the parse iterator
         processed, records, elapsed = _run_sharded_and_describe(
-            engine, events, args, cursor_base=warm_n
+            engine, events, args, cursor_base=warm_n, bad_records=bad_records
         )
         for spec in specs:
             if spec.decision is not None:
                 print(spec.decision.explain())
+        _finish_bad_records(bad_records)
         _print_sharded_summary(
             records,
             processed,
@@ -521,7 +625,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine.warmup(warmup)
     for query in queries:
         engine.register(query, strategy=args.strategy)
-    pump = _make_pump(args, lambda: engine.metrics().collect())
+    pump = _make_pump(
+        args,
+        lambda: {**engine.metrics().collect(), **_ingest_families(bad_records)},
+    )
     try:
         _drive_single(
             engine, events, args, cursor_base=warm_n, start_sequence=0, pump=pump
@@ -529,6 +636,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if pump is not None:
             pump.close()
+    _finish_bad_records(bad_records)
     _print_single_summary(engine, profile=args.profile)
     return 0
 
@@ -538,7 +646,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     queries = _load_queries(args.query)
     manifest = ckpt_manifest.read_manifest(args.checkpoint_dir)
     cursor = manifest["cursor"]
-    events = read_stream(args.stream)
+    bad_records = _bad_record_log(args)
+    events = read_stream(args.stream, bad_records=bad_records)
     skipped = sum(1 for _ in itertools.islice(events, cursor))
     if skipped < cursor:
         raise CheckpointError(
@@ -557,10 +666,14 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             workers=args.workers,
             partitioner=args.partitioner,
             profile_phases=args.profile,
+            supervise=args.supervise,
+            restart_policy=_restart_policy(args),
+            fault_plan=FaultPlan.from_env(),
         )
         processed, records, elapsed = _run_sharded_and_describe(
-            engine, events, args, cursor_base=cursor
+            engine, events, args, cursor_base=cursor, bad_records=bad_records
         )
+        _finish_bad_records(bad_records)
         _print_sharded_summary(
             records,
             processed,
@@ -569,10 +682,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.supervise:
+        raise ValueError(
+            "--supervise applies to the sharded runtime; this checkpoint "
+            "resumes in-process (pass --workers >= 2 to migrate it)"
+        )
     single, _ = ckpt_manifest.load_single_checkpoint(args.checkpoint_dir, queries)
     if args.profile:
         single.set_profiling(True)
-    pump = _make_pump(args, lambda: single.metrics().collect())
+    pump = _make_pump(
+        args,
+        lambda: {**single.metrics().collect(), **_ingest_families(bad_records)},
+    )
     try:
         processed = _drive_single(
             single,
@@ -585,6 +706,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     finally:
         if pump is not None:
             pump.close()
+    _finish_bad_records(bad_records)
     _print_single_summary(single, profile=args.profile)
     print(f"(resumed at event {cursor}; processed {processed} more)")
     return 0
@@ -690,6 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_durability_arguments(p_run)
     _add_observability_arguments(p_run)
+    _add_resilience_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_resume = sub.add_parser(
@@ -734,6 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_durability_arguments(p_resume, require_dir=True)
     _add_observability_arguments(p_resume)
+    _add_resilience_arguments(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
 
     p_reb = sub.add_parser(
@@ -805,6 +929,45 @@ def _add_durability_arguments(
         type=int,
         default=None,
         help="stop after N events (post-warmup; resume continues later)",
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "self-healing sharded runtime: respawn crashed workers from "
+            "recovery checkpoints and replay their pending work, leaving "
+            "the emitted records unchanged (requires --workers >= 2)"
+        ),
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        help=(
+            "per-worker restart budget before the run fails "
+            "(requires --supervise; default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--on-bad-record",
+        choices=ON_BAD_RECORD,
+        default="fail",
+        help=(
+            "malformed stream lines: fail the run (default), skip them "
+            "(counted, sampled), or quarantine them into a dead-letter "
+            "JSONL file"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine-file",
+        default=None,
+        help=(
+            "dead-letter JSONL file for --on-bad-record quarantine "
+            "(one {path, lineno, line, reason} record per bad line)"
+        ),
     )
 
 

@@ -9,6 +9,8 @@ from .base import (
     split_stream,
 )
 from .io import (
+    ON_BAD_RECORD,
+    BadRecordLog,
     chunk_events,
     count_stream_events,
     read_stream,
@@ -24,7 +26,9 @@ from .netflow import (
 from .nyt import MENTION_TYPES, NYTConfig, NYTGenerator
 
 __all__ = [
+    "BadRecordLog",
     "DEFAULT_PROTOCOL_WEIGHTS",
+    "ON_BAD_RECORD",
     "LSBENCH_SCHEMA",
     "LSBenchConfig",
     "LSBenchGenerator",

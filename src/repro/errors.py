@@ -2,8 +2,8 @@
 
 Every error raised by the library derives from :class:`ReproError`, so a
 caller embedding the engine can catch one type. The subclasses mirror the
-major subsystems: graph storage, query validation, decomposition and
-stream parsing.
+major subsystems: graph storage, query validation, decomposition, stream
+parsing, durability and the parallel runtime.
 """
 
 from __future__ import annotations
@@ -52,6 +52,61 @@ class CheckpointError(ReproError):
     versions, and restores attempted against a query set that does not
     match the one the snapshot was taken with.
     """
+
+
+class ReproRuntimeError(ReproError, RuntimeError):
+    """Raised on failures inside the parallel runtime (coordinator side).
+
+    Deliberately also a :class:`RuntimeError`: the sharded runtime
+    historically raised bare ``RuntimeError``s, so embedders that catch
+    ``RuntimeError`` keep working — but every runtime failure is now
+    catchable through the library's one promised base type,
+    :class:`ReproError`.
+    """
+
+
+class WorkerError(ReproRuntimeError):
+    """A shard worker process failed (crashed, was killed, or errored).
+
+    Carries the structured cross-process failure report so coordinator-
+    side handlers (and the supervisor's restart loop) can act on more
+    than a formatted string:
+
+    ``worker_id``
+        The shard worker that failed.
+    ``context``
+        What the worker was doing (``"startup"``, ``"batch"``, ...), or
+        ``"exit"`` when the process died without a structured report.
+    ``exitcode``
+        The process exit code when death was detected via the process
+        table rather than an error reply.
+    ``remote_traceback``
+        The worker-side formatted traceback, when one crossed the
+        process boundary.
+    ``payload``
+        The full structured error payload dict, when present.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker_id=None,
+        context=None,
+        exitcode=None,
+        remote_traceback=None,
+        payload=None,
+    ) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.context = context
+        self.exitcode = exitcode
+        self.remote_traceback = remote_traceback
+        self.payload = payload
+
+
+class FaultInjectionError(ReproRuntimeError):
+    """Raised when a fault plan (``REPRO_FAULTS`` / FaultPlan) is malformed."""
 
 
 class StrategyError(ReproError):

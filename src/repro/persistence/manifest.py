@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import json
 import math
-import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..errors import CheckpointError
+from . import durable
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = "repro-graph-checkpoint"
@@ -58,7 +58,15 @@ def window_from_json(value: Optional[float]) -> float:
 
 
 def write_manifest(directory: Union[str, Path], manifest: Dict) -> None:
-    """Atomically publish ``manifest`` and prune snapshots it orphans."""
+    """Durably publish ``manifest`` and prune snapshots it orphans.
+
+    The snapshot files a manifest references were each fsynced before
+    their own rename (:func:`~repro.persistence.snapshot.write_snapshot_bytes`),
+    so by the time the manifest rename is fsynced here the whole
+    checkpoint — data blocks and directory entries — has reached the
+    disk. A power cut at any point leaves the directory resumable from
+    whichever manifest generation last completed this dance.
+    """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
     manifest = dict(manifest)
@@ -66,8 +74,10 @@ def write_manifest(directory: Union[str, Path], manifest: Dict) -> None:
     manifest.setdefault("version", MANIFEST_VERSION)
     target = root / MANIFEST_NAME
     tmp = root / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
-    os.replace(tmp, target)
+    durable.write_durable_bytes(
+        tmp, (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+    )
+    durable.durable_replace(tmp, target)
     _prune(root, {shard["file"] for shard in manifest.get("shards", ())})
 
 

@@ -6,8 +6,15 @@ shard of the registered queries — and streams edges to workers in
 type-filtered batches. Output is record-identical (records *and* order)
 to the single-process engine; ``workers=1`` is a zero-overhead in-process
 fallback.
+
+``supervise=True`` arms the self-healing layer
+(:mod:`repro.runtime.supervisor`): dead workers are respawned from
+recovery checkpoints and their since-checkpoint delta replayed, keeping
+output record-identical through crashes. :mod:`repro.runtime.faults`
+provides the deterministic fault-injection harness that proves it.
 """
 
+from .faults import Fault, FaultInjector, FaultPlan, corrupt_file
 from .partition import (
     ShardPlan,
     estimate_query_cost,
@@ -15,12 +22,20 @@ from .partition import (
     round_robin,
 )
 from .sharded import QuerySpec, ShardedEngine, WorkerStats
+from .supervisor import RestartPolicy, Supervisor, backoff_delay
 
 __all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "QuerySpec",
+    "RestartPolicy",
     "ShardPlan",
     "ShardedEngine",
+    "Supervisor",
     "WorkerStats",
+    "backoff_delay",
+    "corrupt_file",
     "estimate_query_cost",
     "greedy_balanced",
     "round_robin",

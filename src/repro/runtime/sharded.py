@@ -31,6 +31,14 @@ coordinator:
 pickling — the zero-overhead serial fallback), so existing callers can
 adopt :class:`ShardedEngine` unconditionally.
 
+With ``supervise=True`` the coordinator runs under a
+:class:`~repro.runtime.supervisor.Supervisor`: worker death (crash,
+OOM kill, injected fault) is detected, the worker is respawned from its
+last recovery checkpoint, the since-checkpoint delta is replayed from a
+bounded buffer, and the merged output stays record-identical to an
+uninterrupted run. ``fault_plan`` arms deterministic fault injection
+(:mod:`repro.runtime.faults`) for chaos testing.
+
 Correctness of type filtering
 -----------------------------
 Stream timestamps are non-decreasing, so when a worker processes an edge
@@ -61,14 +69,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from ..errors import QueryError
+from ..errors import QueryError, ReproRuntimeError, WorkerError
 from ..graph.types import EdgeEvent
 from ..query.query_graph import QueryGraph
 from ..search.engine import ContinuousQueryEngine, RunResult, algorithm_class
 from ..search.strategy import StrategyDecision, choose_strategy
 from ..stats.estimator import SelectivityEstimator
 from ..telemetry.registry import SECONDS_BUCKETS, HistogramSlot, MetricsRegistry
+from .faults import FaultPlan
 from .partition import ShardPlan, estimate_query_cost, greedy_balanced, round_robin
+from .supervisor import RestartPolicy, Supervisor
 
 _READY_TIMEOUT = 120.0
 
@@ -136,6 +146,13 @@ class _WorkerInit:
     #: ``profile_phases``); aggregated stage/phase seconds then surface
     #: through the worker metrics snapshots.
     profile_phases: bool = False
+    #: deterministic fault plan (:mod:`repro.runtime.faults`); the worker
+    #: arms only the faults matching its id and incarnation
+    fault_plan: Optional[FaultPlan] = None
+    #: worker epoch: 0 at first spawn, bumped by each supervised restart.
+    #: Tags every reply (so the coordinator can drop stale chatter from a
+    #: dead incarnation) and scopes fault triggers to one incarnation.
+    incarnation: int = 0
 
 
 def _error_payload(init: _WorkerInit, context: str, **extra) -> dict:
@@ -187,7 +204,21 @@ def _format_worker_error(worker_id: int, payload) -> str:
 
 
 def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
-    """Subprocess entry point: one engine, one query shard, batch loop."""
+    """Subprocess entry point: one engine, one query shard, batch loop.
+
+    Every reply carries ``init.incarnation`` so a supervising coordinator
+    can distinguish this incarnation's replies from stale chatter a dead
+    predecessor left in the result queue's pipe.
+    """
+
+    def reply(kind: str, payload) -> None:
+        result_queue.put((init.worker_id, kind, payload, init.incarnation))
+
+    injector = None
+    if init.fault_plan is not None:
+        injector = init.fault_plan.injector(init.worker_id, init.incarnation)
+        if not injector:
+            injector = None
     try:
         if init.restore_path is not None:
             engine = ContinuousQueryEngine.restore(
@@ -209,9 +240,9 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
                     spec.query, strategy=spec.strategy, name=spec.name, **spec.options
                 )
     except BaseException:  # surfaced by the coordinator's gather
-        result_queue.put((init.worker_id, "error", _error_payload(init, "startup")))
+        reply("error", _error_payload(init, "startup"))
         return
-    result_queue.put((init.worker_id, "ready", None))
+    reply("ready", None)
 
     position = {spec.name: spec.position for spec in init.specs}
     process_rows = engine.process_rows
@@ -220,6 +251,10 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
         message = task_queue.get()
         kind = message[0]
         if kind == "batch":
+            rows = message[1]
+            die = False
+            if injector is not None:
+                rows, die = injector.intercept(rows)
             try:
                 # process_rows pins each edge_id to the global stream index,
                 # so the worker's (filtered) graph assigns the same edge ids
@@ -227,31 +262,32 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
                 # byte-identical across execution paths. The returned
                 # (index, record) tags, extended with the query's global
                 # registration position, reconstruct exact emission order.
-                for index, record in process_rows(message[1]):
+                for index, record in process_rows(rows):
                     tagged.append((index, position[record.query_name], record))
             except BaseException:
-                rows = message[1]
-                result_queue.put(
-                    (
-                        init.worker_id,
-                        "error",
-                        _error_payload(
-                            init,
-                            "batch",
-                            batch_events=len(rows),
-                            first_edge_id=rows[0][0] if rows else None,
-                        ),
-                    )
+                reply(
+                    "error",
+                    _error_payload(
+                        init,
+                        "batch",
+                        batch_events=len(rows),
+                        first_edge_id=rows[0][0] if rows else None,
+                    ),
                 )
                 return
+            if die:
+                # Flush and join the result queue's feeder thread before
+                # hard-exiting: os._exit at an arbitrary moment can sever
+                # the feeder inside the write lock *shared by every
+                # worker*, leaving the semaphore orphaned — survivors'
+                # replies would then never reach the coordinator and the
+                # run would wedge. The injected death models a crash
+                # between events, not a corrupted IPC layer.
+                result_queue.close()
+                result_queue.join_thread()
+                injector.kill_now()
         elif kind == "collect":
-            result_queue.put(
-                (
-                    init.worker_id,
-                    "collect",
-                    (message[1], tagged, engine.partial_match_count()),
-                )
-            )
+            reply("collect", (message[1], tagged, engine.partial_match_count()))
             tagged = []
         elif kind == "checkpoint":
             # Queue order guarantees every batch streamed before the
@@ -263,26 +299,24 @@ def _worker_main(init: _WorkerInit, task_queue, result_queue) -> None:
             # the disk recovers — so the failure rides back in the reply
             # payload and the worker keeps processing.
             try:
+                if injector is not None:
+                    injector.before_checkpoint()
                 engine.checkpoint(message[1])
+                if injector is not None:
+                    injector.after_checkpoint(message[1])
             except Exception as exc:
-                result_queue.put((init.worker_id, "checkpoint", str(exc)))
+                reply("checkpoint", str(exc))
             else:
-                result_queue.put((init.worker_id, "checkpoint", None))
+                reply("checkpoint", None)
         elif kind == "describe":
-            result_queue.put((init.worker_id, "describe", engine.describe()))
+            reply("describe", engine.describe())
         elif kind == "metrics":
             # Snapshot of this worker's full registry plus the live
             # merge-buffer depth (records matched but not yet collected) —
             # the coordinator folds both into the aggregate. Queue order
             # means the snapshot reflects every batch sent before the
             # request, exactly like describe.
-            result_queue.put(
-                (
-                    init.worker_id,
-                    "metrics",
-                    (len(tagged), engine.metrics().collect()),
-                )
-            )
+            reply("metrics", (len(tagged), engine.metrics().collect()))
         elif kind == "close":
             return
 
@@ -324,6 +358,21 @@ class ShardedEngine:
     mp_context:
         A :mod:`multiprocessing` context; defaults to ``fork`` where
         available (Linux) and the platform default elsewhere.
+    supervise:
+        Arm the self-healing layer (:mod:`repro.runtime.supervisor`): a
+        worker that dies, errors or stalls is restarted from its last
+        recovery checkpoint and its lost events are replayed, keeping
+        the merged output byte-identical to an uninterrupted run.
+        Without it (the default) any worker failure raises
+        :class:`~repro.errors.WorkerError`. No effect on the serial
+        (``workers=1``) fallback — there is no process to supervise.
+    restart_policy:
+        The :class:`~repro.runtime.supervisor.RestartPolicy` governing
+        restart budget, backoff and recovery-checkpoint cadence
+        (defaults apply when ``None``).
+    fault_plan:
+        A deterministic :class:`~repro.runtime.faults.FaultPlan` shipped
+        to every worker — the chaos-testing hook; ``None`` in production.
     """
 
     def __init__(
@@ -337,6 +386,9 @@ class ShardedEngine:
         mp_context=None,
         chunk_size: int = 1024,
         profile_phases: bool = False,
+        supervise: bool = False,
+        restart_policy: Optional[RestartPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -380,6 +432,14 @@ class ShardedEngine:
         self._restore_files: Dict[int, str] = {}
         #: arm per-stage phase profiling in every worker engine
         self.profile_phases = profile_phases
+        # Self-healing: the supervisor is attached by start() (multi-
+        # worker path only) and mediates every queue interaction so it
+        # can recover dead workers mid-protocol.
+        self.supervise = supervise
+        self.restart_policy = restart_policy
+        self._fault_plan = fault_plan
+        self._supervisor: Optional[Supervisor] = None
+        self._ctx = None
         # Coordinator-side telemetry (repro_runtime_* family). All plain
         # single-writer slots, maintained off the per-edge path: batch
         # granularity for the put latency/batch tallies, collect
@@ -498,7 +558,7 @@ class ShardedEngine:
             # Worker window/graph state died with the workers; silently
             # respawning empty ones would break the record-identity
             # contract (edge ids keep counting, state does not).
-            raise RuntimeError(
+            raise ReproRuntimeError(
                 "ShardedEngine cannot be restarted after close(); "
                 "create a new engine"
             )
@@ -536,31 +596,52 @@ class ShardedEngine:
         if ctx is None:
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        self._ctx = ctx
         self._result_queue = ctx.Queue()
-        for shard in self._shards:
-            init = _WorkerInit(
-                worker_id=shard.worker_id,
-                window=self.window,
-                housekeeping_every=self.housekeeping_every,
-                estimator=self.estimator,
-                specs=tuple(self.specs[position] for position in shard.positions),
-                restore_path=self._restore_files.get(shard.worker_id),
-                chunk_size=self.chunk_size,
-                profile_phases=self.profile_phases,
+        for slot, shard in enumerate(self._shards):
+            proc, task_queue = self._spawn_worker(
+                slot, restore_path=self._restore_files.get(shard.worker_id)
             )
-            task_queue = ctx.Queue(maxsize=_TASK_QUEUE_DEPTH)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(init, task_queue, self._result_queue),
-                daemon=True,
-                name=f"repro-shard-{shard.worker_id}",
-            )
-            proc.start()
             self._task_queues.append(task_queue)
             self._procs.append(proc)
         self._compile_routes()
+        if self.supervise:
+            # Attached before the ready handshake so even startup
+            # failures (a torn restore snapshot, an OOM-killed spawn)
+            # are recovered under the restart policy.
+            self._supervisor = Supervisor(self, self.restart_policy)
         self._gather("ready", timeout=_READY_TIMEOUT)
         self._started = True
+
+    def _spawn_worker(self, slot: int, restore_path: Optional[str], incarnation=0):
+        """Spawn one shard worker process; returns ``(proc, task_queue)``.
+
+        Shared by :meth:`start` and the supervisor's recovery loop — a
+        respawn differs only in its restore path (the latest recovery
+        snapshot) and its incarnation number.
+        """
+        shard = self._shards[slot]
+        init = _WorkerInit(
+            worker_id=shard.worker_id,
+            window=self.window,
+            housekeeping_every=self.housekeeping_every,
+            estimator=self.estimator,
+            specs=tuple(self.specs[position] for position in shard.positions),
+            restore_path=restore_path,
+            chunk_size=self.chunk_size,
+            profile_phases=self.profile_phases,
+            fault_plan=self._fault_plan,
+            incarnation=incarnation,
+        )
+        task_queue = self._ctx.Queue(maxsize=_TASK_QUEUE_DEPTH)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(init, task_queue, self._result_queue),
+            daemon=True,
+            name=f"repro-shard-{shard.worker_id}",
+        )
+        proc.start()
+        return proc, task_queue
 
     def close(self) -> None:
         """Shut workers down; idempotent and safe after worker failure.
@@ -584,6 +665,9 @@ class ShardedEngine:
         task queue; ``terminate()`` stays as the backstop for a worker
         that is wedged rather than merely backlogged.
         """
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
         for slot in range(len(self._task_queues)):
             self._post_poison_pill(slot)
         for proc in self._procs:
@@ -722,29 +806,41 @@ class ShardedEngine:
         self._collect_seq += 1
         for slot in range(len(task_queues)):
             self._put(slot, ("collect", self._collect_seq))
-        replies = self._gather("collect")
+        replies = self._gather(
+            "collect",
+            resend=lambda slot: self._put(slot, ("collect", self._collect_seq)),
+        )
+        # Records drained by the supervisor's recovery checkpoints are
+        # part of this segment's output: the final collect only returns
+        # what each worker produced since its last recovery cut.
+        stash = (
+            self._supervisor.drain_stash() if self._supervisor is not None else {}
+        )
 
         tagged: List[Tuple[int, int, object]] = []
         stats: List[WorkerStats] = []
         for slot, shard in enumerate(self._shards):
             seq, worker_tagged, partials = replies[shard.worker_id]
             if seq != self._collect_seq:
-                raise RuntimeError(
+                raise ReproRuntimeError(
                     f"worker {shard.worker_id} answered collect {seq}, "
                     f"expected {self._collect_seq}"
                 )
+            stashed = stash.get(shard.worker_id, ())
+            worker_records = len(worker_tagged) + len(stashed)
+            tagged.extend(stashed)
             tagged.extend(worker_tagged)
             self._routed_total[shard.worker_id] = (
                 self._routed_total.get(shard.worker_id, 0) + routed_counts[slot]
             )
-            self._records_total[shard.worker_id] = self._records_total.get(
-                shard.worker_id, 0
-            ) + len(worker_tagged)
+            self._records_total[shard.worker_id] = (
+                self._records_total.get(shard.worker_id, 0) + worker_records
+            )
             stats.append(
                 WorkerStats(
                     worker_id=shard.worker_id,
                     events_routed=routed_counts[slot],
-                    records=len(worker_tagged),
+                    records=worker_records,
                     partial_matches=partials,
                     query_names=tuple(
                         self.specs[position].name for position in shard.positions
@@ -813,7 +909,21 @@ class ShardedEngine:
                         "positions": list(shard.positions),
                     }
                 )
-            replies = self._gather("checkpoint")
+            replies = self._gather(
+                "checkpoint",
+                resend=lambda slot: self._put(
+                    slot,
+                    (
+                        "checkpoint",
+                        str(
+                            root
+                            / manifest_mod.shard_filename(
+                                sequence, self._shards[slot].worker_id
+                            )
+                        ),
+                    ),
+                ),
+            )
             failures = {
                 worker_id: message
                 for worker_id, message in replies.items()
@@ -853,6 +963,9 @@ class ShardedEngine:
         workers: Optional[int] = None,
         partitioner: Optional[str] = None,
         profile_phases: bool = False,
+        supervise: bool = False,
+        restart_policy: Optional[RestartPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "ShardedEngine":
         """Rebuild a started engine from a :meth:`checkpoint` directory.
 
@@ -914,6 +1027,9 @@ class ShardedEngine:
             partitioner=manifest["partitioner"],
             mp_context=mp_context,
             profile_phases=profile_phases,
+            supervise=supervise,
+            restart_policy=restart_policy,
+            fault_plan=fault_plan,
         )
         engine.specs = [
             QuerySpec(
@@ -1060,7 +1176,9 @@ class ShardedEngine:
         elif self._started:
             for slot in range(len(self._task_queues)):
                 self._put(slot, ("describe",))
-            replies = self._gather("describe")
+            replies = self._gather(
+                "describe", resend=lambda slot: self._put(slot, ("describe",))
+            )
             for shard in self._shards:
                 lines.append(f"  worker {shard.worker_id}:")
                 lines.extend(
@@ -1086,7 +1204,7 @@ class ShardedEngine:
         live.
         """
         if self._finished:
-            raise RuntimeError(
+            raise ReproRuntimeError(
                 "metrics requires a live engine; this one was closed"
             )
         self.start()
@@ -1116,7 +1234,9 @@ class ShardedEngine:
                 except NotImplementedError:
                     depths[shard.worker_id] = -1
                 self._put(slot, ("metrics",))
-            replies = self._gather("metrics")
+            replies = self._gather(
+                "metrics", resend=lambda slot: self._put(slot, ("metrics",))
+            )
             now = time.monotonic()
             rows = {}
             snapshots = []
@@ -1142,6 +1262,11 @@ class ShardedEngine:
                 events_streamed=self._events_streamed,
                 worker_rows=rows,
                 batch_put=self._batch_put,
+                supervisor=(
+                    self._supervisor.telemetry()
+                    if self._supervisor is not None
+                    else None
+                ),
             ).collect()
         )
         return MetricsRegistry.from_snapshot(
@@ -1157,19 +1282,32 @@ class ShardedEngine:
 
         Backpressure by design — the queue bound is what keeps coordinator
         memory flat on long streams — but never a hang: a worker that died
-        (and thus stopped draining) is detected on the next poll.
+        (and thus stopped draining) is detected on the next poll. Under
+        supervision the dead worker is recovered (respawn + replay of its
+        buffered delta) and the put retries against the replacement's
+        fresh queue; unsupervised, death raises
+        :class:`~repro.errors.WorkerError`.
         """
-        task_queue = self._task_queues[slot]
         while True:
+            # Re-fetched each attempt: a recovery swaps in a fresh queue.
+            task_queue = self._task_queues[slot]
             try:
                 task_queue.put(message, timeout=1.0)
                 return
             except queue_module.Full:
                 proc = self._procs[slot]
                 if not proc.is_alive():
-                    raise RuntimeError(
+                    if self._supervisor is not None:
+                        self._supervisor.recover(
+                            slot, reason="exit", exitcode=proc.exitcode
+                        )
+                        continue
+                    raise WorkerError(
                         f"shard worker {self._shards[slot].worker_id} died "
-                        f"(exitcode={proc.exitcode})"
+                        f"(exitcode={proc.exitcode})",
+                        worker_id=self._shards[slot].worker_id,
+                        context="dispatch",
+                        exitcode=proc.exitcode,
                     ) from None
 
     def _put_batch(self, slot: int, batch: list) -> None:
@@ -1186,8 +1324,15 @@ class ShardedEngine:
         self._put(slot, ("batch", batch))
         self._batch_put.observe(time.perf_counter() - started)
         self._batches_total[worker_id] = self._batches_total.get(worker_id, 0) + 1
+        if self._supervisor is not None:
+            self._supervisor.note_batch(slot, batch)
 
-    def _gather(self, kind: str, timeout: Optional[float] = None) -> Dict[int, object]:
+    def _gather(
+        self,
+        kind: str,
+        timeout: Optional[float] = None,
+        resend=None,
+    ) -> Dict[int, object]:
         """Collect one ``kind`` reply from every worker, surfacing failures.
 
         With ``timeout=None`` (the collect/describe path) this waits as
@@ -1195,7 +1340,13 @@ class ShardedEngine:
         long to drain, exactly as it would in-process; a worker that dies
         without replying is detected on the next poll and raises. The
         hard deadline is only used for the bounded startup handshake.
+
+        Under supervision the gather is delegated to the supervisor,
+        which recovers dead workers mid-gather and uses ``resend`` to
+        re-issue the outstanding request to each replacement.
         """
+        if self._supervisor is not None:
+            return self._supervisor.gather(kind, timeout=timeout, resend=resend)
         replies: Dict[int, object] = {}
         deadline = None if timeout is None else time.monotonic() + timeout
         while len(replies) < len(self._procs):
@@ -1208,13 +1359,15 @@ class ShardedEngine:
                         for s in self._shards
                         if s.worker_id not in replies
                     ]
-                    raise RuntimeError(
+                    raise ReproRuntimeError(
                         f"timed out waiting for {kind!r} from workers "
                         f"{missing}"
                     )
                 poll = min(remaining, poll)
             try:
-                worker_id, got_kind, payload = self._result_queue.get(timeout=poll)
+                worker_id, got_kind, payload, _inc = self._result_queue.get(
+                    timeout=poll
+                )
             except queue_module.Empty:
                 self._ensure_workers_alive(replies)
                 continue
@@ -1224,9 +1377,22 @@ class ShardedEngine:
             # per-worker heartbeat gauge.
             self._last_heartbeat[worker_id] = time.monotonic()
             if got_kind == "error":
-                raise RuntimeError(_format_worker_error(worker_id, payload))
+                context = (
+                    payload.get("context") if isinstance(payload, dict) else None
+                )
+                raise WorkerError(
+                    _format_worker_error(worker_id, payload),
+                    worker_id=worker_id,
+                    context=context,
+                    remote_traceback=(
+                        payload.get("traceback")
+                        if isinstance(payload, dict)
+                        else None
+                    ),
+                    payload=payload if isinstance(payload, dict) else None,
+                )
             if got_kind != kind:
-                raise RuntimeError(
+                raise ReproRuntimeError(
                     f"protocol error: expected {kind!r} from worker "
                     f"{worker_id}, got {got_kind!r}"
                 )
@@ -1236,7 +1402,10 @@ class ShardedEngine:
     def _ensure_workers_alive(self, replies: Dict[int, object]) -> None:
         for shard, proc in zip(self._shards, self._procs):
             if shard.worker_id not in replies and not proc.is_alive():
-                raise RuntimeError(
+                raise WorkerError(
                     f"shard worker {shard.worker_id} died "
-                    f"(exitcode={proc.exitcode})"
+                    f"(exitcode={proc.exitcode})",
+                    worker_id=shard.worker_id,
+                    context="gather",
+                    exitcode=proc.exitcode,
                 )

@@ -248,6 +248,7 @@ def runtime_registry(
     events_streamed: int,
     worker_rows: Dict[int, dict],
     batch_put: Optional[object] = None,
+    supervisor: Optional[dict] = None,
 ) -> MetricsRegistry:
     """Build the coordinator-side ``repro_runtime_*`` family.
 
@@ -256,7 +257,11 @@ def runtime_registry(
     ``heartbeat_age_seconds``, ``events_routed``, ``records``,
     ``batches`` and ``merge_buffer_records``.  ``batch_put`` is the
     coordinator's :class:`~repro.telemetry.registry.HistogramSlot` of
-    blocking task-queue put latencies, when it has one.
+    blocking task-queue put latencies, when it has one.  ``supervisor``
+    is :meth:`~repro.runtime.supervisor.Supervisor.telemetry` output
+    when the engine runs supervised — it adds the recovery family
+    (restart counts by worker and reason, recovery latency, replayed
+    batches/events, replay-buffer depth, recovery-checkpoint totals).
     """
     reg = MetricsRegistry()
     reg.gauge("repro_runtime_workers", "Worker processes", agg="max").slot.set(workers)
@@ -318,4 +323,44 @@ def runtime_registry(
             "Blocking task-queue put latency (backpressure signal)",
         ).slot
         slot.merge(batch_put)
+
+    if supervisor is not None:
+        restarts = reg.counter(
+            "repro_runtime_worker_restarts_total",
+            "Supervised worker restarts by worker and failure reason",
+            labels=("worker", "reason"),
+        )
+        for (worker_id, reason), count in sorted(supervisor["restarts"].items()):
+            restarts.labels(str(worker_id), reason).inc(count)
+        recovery = supervisor["recovery_seconds"]
+        reg.histogram(
+            "repro_runtime_recovery_seconds",
+            recovery.bounds,
+            "Wall seconds per worker recovery (respawn + restore + replay)",
+        ).slot.merge(recovery)
+        reg.counter(
+            "repro_runtime_replayed_batches_total",
+            "Buffered batches replayed into respawned workers",
+        ).slot.inc(supervisor["replayed_batches"])
+        reg.counter(
+            "repro_runtime_replayed_events_total",
+            "Stream events replayed into respawned workers",
+        ).slot.inc(supervisor["replayed_events"])
+        reg.counter(
+            "repro_runtime_recovery_checkpoints_total",
+            "Recovery checkpoints taken to trim replay buffers",
+        ).slot.inc(supervisor["recovery_checkpoints"])
+        reg.counter(
+            "repro_runtime_recovery_checkpoint_failures_total",
+            "Recovery-checkpoint attempts that failed (buffer kept)",
+        ).slot.inc(supervisor["checkpoint_failures"])
+        replay_depth = reg.gauge(
+            "repro_runtime_replay_buffer_batches",
+            "Batches currently buffered for replay per worker",
+            labels=("worker",),
+        )
+        for worker_id in sorted(supervisor["replay_depth"]):
+            replay_depth.labels(str(worker_id)).set(
+                supervisor["replay_depth"][worker_id]
+            )
     return reg

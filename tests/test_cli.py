@@ -796,3 +796,148 @@ class TestShardedDriverCadence:
         assert processed == 25
         assert engine.rebalances == [10, 20]
         assert engine.checkpoints == []
+
+
+class TestBadRecords:
+    @pytest.fixture
+    def dirty_stream(self, stream_file):
+        with open(stream_file, "a", encoding="utf-8") as handle:
+            handle.write("notanumber\ta\tip\tTCP\tb\tip\n")
+            handle.write("1.0\ta\tip\n")
+        return stream_file
+
+    def _run(self, stream, query, *extra):
+        return main(
+            [
+                "run",
+                "--stream",
+                str(stream),
+                "--query",
+                str(query),
+                "--strategy",
+                "SingleLazy",
+                "--max-print",
+                "0",
+                *extra,
+            ]
+        )
+
+    def test_fail_is_the_default(self, dirty_stream, query_file):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="bad timestamp"):
+            self._run(dirty_stream, query_file)
+
+    def test_skip_counts_and_samples(self, dirty_stream, query_file, capsys):
+        assert self._run(dirty_stream, query_file, "--on-bad-record", "skip") == 0
+        out = capsys.readouterr().out
+        assert "bad records skipped: 2" in out
+        assert "bad timestamp 'notanumber'" in out
+        assert "expected 6 tab-separated fields, got 3" in out
+
+    def test_quarantine_writes_dead_letter_jsonl(
+        self, dirty_stream, query_file, tmp_path, capsys
+    ):
+        import json
+
+        dead = tmp_path / "dead.jsonl"
+        assert (
+            self._run(
+                dirty_stream,
+                query_file,
+                "--on-bad-record",
+                "quarantine",
+                "--quarantine-file",
+                str(dead),
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bad records quarantined: 2" in out
+        entries = [json.loads(line) for line in dead.read_text().splitlines()]
+        assert len(entries) == 2
+        assert entries[0]["reason"] == "bad timestamp 'notanumber'"
+        assert entries[0]["line"] == "notanumber\ta\tip\tTCP\tb\tip"
+        assert entries[1]["lineno"] > entries[0]["lineno"]
+
+    def test_quarantine_requires_file(self, dirty_stream, query_file):
+        with pytest.raises(ValueError, match="requires --quarantine-file"):
+            self._run(dirty_stream, query_file, "--on-bad-record", "quarantine")
+
+    def test_quarantine_file_requires_policy(self, dirty_stream, query_file):
+        with pytest.raises(ValueError, match="requires --on-bad-record"):
+            self._run(dirty_stream, query_file, "--quarantine-file", "x.jsonl")
+
+    def test_skip_matches_clean_stream_output(
+        self, stream_file, query_file, dirty_stream, capsys
+    ):
+        # dirty_stream appends bad lines to stream_file in place, so run
+        # it with skip: the matches must equal a parse of the good lines.
+        assert self._run(dirty_stream, query_file, "--on-bad-record", "skip") == 0
+        out = capsys.readouterr().out
+        assert "bad records skipped: 2" in out
+        assert "matches" in out
+
+
+class TestSupervise:
+    def _run_args(self, stream, query, *extra):
+        return [
+            "run",
+            "--stream",
+            str(stream),
+            "--query",
+            str(query),
+            "--strategy",
+            "SingleLazy",
+            "--max-print",
+            "200",
+            "--window",
+            "50",
+            *extra,
+        ]
+
+    def test_supervise_requires_workers(self, stream_file, query_file):
+        with pytest.raises(ValueError, match="--workers >= 2"):
+            main(self._run_args(stream_file, query_file, "--supervise"))
+
+    def test_max_restarts_requires_supervise(self, stream_file, query_file):
+        with pytest.raises(ValueError, match="requires --supervise"):
+            main(
+                self._run_args(
+                    stream_file, query_file, "--workers", "2", "--max-restarts", "2"
+                )
+            )
+
+    def test_chaos_run_matches_clean_run(
+        self, stream_file, query_file, second_query_file, capsys, monkeypatch
+    ):
+        """CLI acceptance: REPRO_FAULTS kills both workers mid-stream in
+        a supervised run; the printed match lines must be identical to
+        the fault-free run and the supervision summary must show the
+        restarts."""
+        args = self._run_args(
+            stream_file,
+            query_file,
+            "--query",
+            str(second_query_file),
+            "--workers",
+            "2",
+            "--supervise",
+        )
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert main(args) == 0
+        clean = capsys.readouterr().out
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            '[{"kind": "kill", "worker": 0, "at_event": 400},'
+            ' {"kind": "kill", "worker": 1, "at_event": 700}]',
+        )
+        assert main(args) == 0
+        chaos = capsys.readouterr().out
+        def match_lines(text):
+            lines = text.splitlines()
+            return [line for line in lines if line.startswith("match @")]
+        assert match_lines(chaos) == match_lines(clean)
+        assert match_lines(chaos), "chaos leg needs matches to be meaningful"
+        assert "supervision: 2 worker restart(s)" in chaos
+        assert "supervision: 0 worker restart(s)" in clean

@@ -31,6 +31,7 @@ from repro.persistence.snapshot import (
     compose_snapshot,
     engine_from_bytes,
     engine_to_slices,
+    read_snapshot_bytes,
     split_snapshot,
 )
 from repro.query.query_graph import QueryGraph
@@ -436,7 +437,9 @@ def _downgrade_checkpoint(directory) -> None:
         entry.pop("shard", None)
     for shard in manifest["shards"]:
         path = directory / shard["file"]
-        path.write_bytes(_compose_v1(split_snapshot(path.read_bytes())))
+        # read_snapshot_bytes strips the CRC trailer modern files carry;
+        # the rewritten v1 file is bare, as v1-era files were.
+        path.write_bytes(_compose_v1(split_snapshot(read_snapshot_bytes(path))))
     manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
 
 

@@ -277,7 +277,7 @@ def _slow_worker_main(init, task_queue, result_queue):
     """
     import time as time_module
 
-    result_queue.put((init.worker_id, "ready", None))
+    result_queue.put((init.worker_id, "ready", None, init.incarnation))
     while True:
         message = task_queue.get()
         if message[0] == "close":
