@@ -54,6 +54,15 @@ concatenated records equal the single-process reference and recording
 the migrate/resume wall time (what a live ``rebalance`` costs). Skipped
 together with the worker sweep.
 
+A fifth section, ``autoscaling``, runs the deliberately skewed two-phase
+workload (uniform mix pivoting onto a hot-type set) on a 3-worker engine
+with the elastic controller armed, against the same engine with a fixed
+layout: the controller must fire at least one scale decision, both runs
+must stay record-identical to the serial reference, and the post-skew
+steady phase must recover ``recovery_floor`` x the fixed layout's
+throughput-per-worker. The controller's decision trail is recorded in
+the artefact. Skipped together with the worker sweep.
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_throughput.py``) or
 under pytest. Scale via ``REPRO_BENCH_SCALE`` ∈ {smoke, small, medium,
 large}.
@@ -81,7 +90,9 @@ from repro.analysis.experiments import (
     BenchScale,
     mixed_etype_queries,
     mixed_etype_stream,
+    skewed_etype_stream,
 )
+from repro.runtime import AutoscalePolicy
 from repro.graph.columnar import backend_name
 from repro.graph.types import EdgeEvent
 
@@ -107,6 +118,19 @@ WORKER_REPEATS = 3
 #: asserted against the single-process reference, wall time recorded.
 MIGRATION_SOURCE_WORKERS = 2
 MIGRATION_TARGETS = (1, 3)
+
+#: the ``autoscaling`` section: a 3-worker engine faces the two-phase
+#: skewed workload; the elastic controller must fire at least one scale
+#: decision during the hot phase, and the steady (post-skew) phase must
+#: land at >= :data:`AUTOSCALE_RECOVERY_FLOOR` x the fixed layout's
+#: throughput-per-worker — record identity asserted against the serial
+#: reference for both engines. The floor is deliberately lenient: at
+#: smoke scale the steady phase is a few hundred events, so the ratio
+#: carries scheduler noise on shared runners.
+AUTOSCALE_SOURCE_WORKERS = 3
+AUTOSCALE_RECOVERY_FLOOR = 1.1
+AUTOSCALE_HOT_ETYPES = ("T00", "T01", "T02")
+AUTOSCALE_REPEATS = 3
 
 #: timed engine runs per path — fresh engine each repeat, best elapsed
 #: kept, record identity asserted across every repeat (same best-of-N
@@ -593,6 +617,171 @@ def measure_migration(
     }
 
 
+def measure_autoscaling(scale: BenchScale) -> dict:
+    """Elastic skew recovery on the two-phase hot-type workload.
+
+    A :data:`AUTOSCALE_SOURCE_WORKERS`-worker engine runs the
+    :func:`skewed_etype_stream` workload in three segments — uniform,
+    hot-pivot, steady (still hot) — once with a fixed layout and once
+    with the autoscale controller armed (``min_workers=1``, ticks sized
+    so several evaluations land inside the hot phase). The section
+    asserts three things: full-stream record identity against the serial
+    reference for *both* engines, at least one controller-initiated
+    scale decision on every autoscaled repeat, and steady-phase
+    throughput-per-worker recovering to at least
+    :data:`AUTOSCALE_RECOVERY_FLOOR` x the fixed layout's. The decision
+    trail ships in the artefact so a trajectory reader can see what the
+    controller actually did.
+    """
+    events = scale.stream_events
+    full = skewed_etype_stream(
+        events, num_etypes=NUM_ETYPES, hot_etypes=AUTOSCALE_HOT_ETYPES
+    )
+    warm_n = max(int(events * scale.warmup_fraction), 1)
+    warmup, stream = full[:warm_n], full[warm_n:]
+    queries = make_queries()
+    # Segment boundaries relative to the processing suffix: the generator
+    # pivots at events/2, the steady phase is the back half of the hot
+    # phase (layout churn settled, skew persistent).
+    pivot = events // 2 - warm_n
+    steady_from = pivot + (len(stream) - pivot) // 2
+    segments = [stream[:pivot], stream[pivot:steady_from], stream[steady_from:]]
+    steady_events = len(segments[2])
+    # Four evaluation ticks inside the skew segment — the controller
+    # reacts at the first hot tick — then a cooldown long enough that no
+    # further action (each one a checkpoint + respawn) can land inside
+    # the timed steady segment and pollute the throughput measurement.
+    evaluate_every = max((steady_from - pivot) // 4, 1)
+    ticks_after_skew_onset = (len(stream) - pivot) // evaluate_every
+    cooldown = ticks_after_skew_onset + 1
+
+    _, reference = run_sharded(stream, warmup, queries, 1)
+
+    def split_run(policy: Optional[AutoscalePolicy]) -> dict:
+        engine = ShardedEngine(
+            window=WINDOW,
+            workers=AUTOSCALE_SOURCE_WORKERS,
+            batch_size=WORKER_BATCH,
+            autoscale=policy,
+        )
+        engine.warmup(warmup)
+        for query in queries:
+            engine.register(query, strategy="Single", name=query.name)
+        identities = []
+        try:
+            engine.start()
+            steady_seconds = 0.0
+            for index, segment in enumerate(segments):
+                # The armed engine internally slices run() into
+                # evaluation-sized sub-runs; feed the fixed engine the
+                # same slices so both paths pay identical flush/merge
+                # barriers and the steady-phase ratio compares *layouts*,
+                # not batching granularity.
+                if policy is None:
+                    slices = [
+                        segment[at : at + evaluate_every]
+                        for at in range(0, len(segment), evaluate_every)
+                    ]
+                else:
+                    slices = [segment]
+                t0 = time.perf_counter()
+                results = [engine.run(part) for part in slices]
+                if index == len(segments) - 1:
+                    steady_seconds = time.perf_counter() - t0
+                identities += [
+                    (r.query_name, r.match.fingerprint, r.completed_at)
+                    for result in results
+                    for r in result.records
+                ]
+            controller = engine.autoscaler
+            outcome = {
+                "steady_seconds": steady_seconds,
+                "final_workers": engine.workers,
+                "evaluations": controller.evaluations if controller else 0,
+                "decisions": (
+                    [d.as_dict() for d in controller.actions()]
+                    if controller
+                    else []
+                ),
+            }
+        finally:
+            engine.close()
+        label = "autoscaled" if policy is not None else "fixed-layout"
+        assert identities == reference, (
+            f"{label} run diverged from the single-process engine: "
+            f"{len(identities)} vs {len(reference)} records"
+        )
+        return outcome
+
+    policy = AutoscalePolicy(
+        min_workers=1,
+        max_workers=AUTOSCALE_SOURCE_WORKERS,
+        evaluate_every=evaluate_every,
+        cooldown=cooldown,
+    )
+    best_fixed = None
+    best_auto = None
+    best_auto_tpw = -math.inf
+    for _ in range(AUTOSCALE_REPEATS):
+        fixed = split_run(None)
+        if (
+            best_fixed is None
+            or fixed["steady_seconds"] < best_fixed["steady_seconds"]
+        ):
+            best_fixed = fixed
+        auto = split_run(policy)
+        assert auto["decisions"], (
+            f"controller never scaled on the skewed workload "
+            f"({auto['evaluations']} evaluations)"
+        )
+        tpw = steady_events / auto["steady_seconds"] / auto["final_workers"]
+        if tpw > best_auto_tpw:
+            best_auto_tpw = tpw
+            best_auto = auto
+    tpw_fixed = (
+        steady_events / best_fixed["steady_seconds"] / AUTOSCALE_SOURCE_WORKERS
+    )
+    recovery = best_auto_tpw / tpw_fixed
+    assert recovery >= AUTOSCALE_RECOVERY_FLOOR, (
+        f"autoscaled steady-phase throughput/worker only {recovery:.2f}x the "
+        f"fixed {AUTOSCALE_SOURCE_WORKERS}-worker layout's "
+        f"({best_auto_tpw:.0f} vs {tpw_fixed:.0f} e/s/worker); "
+        f"floor is {AUTOSCALE_RECOVERY_FLOOR}x"
+    )
+    return {
+        "workload": "skewed_etype_stream",
+        "hot_etypes": list(AUTOSCALE_HOT_ETYPES),
+        "source_workers": AUTOSCALE_SOURCE_WORKERS,
+        "policy": {
+            "min_workers": policy.min_workers,
+            "max_workers": policy.max_workers,
+            "evaluate_every": policy.evaluate_every,
+            "cooldown": policy.cooldown,
+        },
+        "phases": {
+            "uniform_events": len(segments[0]),
+            "skew_events": len(segments[1]),
+            "steady_events": steady_events,
+        },
+        "record_identity": "asserted",
+        "repeats": AUTOSCALE_REPEATS,
+        "evaluations": best_auto["evaluations"],
+        "decisions": len(best_auto["decisions"]),
+        "decision_trail": best_auto["decisions"],
+        "final_workers": best_auto["final_workers"],
+        "fixed": {
+            "steady_seconds": round(best_fixed["steady_seconds"], 4),
+            "throughput_per_worker": round(tpw_fixed, 1),
+        },
+        "autoscaled": {
+            "steady_seconds": round(best_auto["steady_seconds"], 4),
+            "throughput_per_worker": round(best_auto_tpw, 1),
+        },
+        "recovery_ratio": round(recovery, 2),
+        "recovery_floor": AUTOSCALE_RECOVERY_FLOOR,
+    }
+
+
 def run(write: bool = True) -> dict:
     scale = BenchScale.from_env()
     events = scale.stream_events
@@ -626,9 +815,11 @@ def run(write: bool = True) -> dict:
         }
         worker_scaling = skipped
         shard_migration = dict(skipped)
+        autoscaling = dict(skipped)
     else:
         worker_scaling = sweep_workers(stream, warmup, queries, fast_records, counts)
         shard_migration = measure_migration(stream, warmup, queries, fast_records)
+        autoscaling = measure_autoscaling(scale)
 
     n = len(stream)
     seed_elapsed = seed_timing["elapsed_seconds"]
@@ -681,6 +872,7 @@ def run(write: bool = True) -> dict:
         },
         "worker_scaling": worker_scaling,
         "shard_migration": shard_migration,
+        "autoscaling": autoscaling,
     }
     if write:
         ARTEFACT.write_text(json.dumps(result, indent=2) + "\n")
@@ -773,4 +965,16 @@ if __name__ == "__main__":
         print(
             f"shard migration (cut @{migration['cut_event']}, "
             f"records identical): {per_target}"
+        )
+    autoscaling = outcome["autoscaling"]
+    if autoscaling.get("skipped"):
+        print("autoscaling: skipped (REPRO_BENCH_WORKERS)")
+    else:
+        print(
+            f"autoscaling: {autoscaling['decisions']} scale decision(s) over "
+            f"{autoscaling['evaluations']} evaluation(s), workers "
+            f"{autoscaling['source_workers']}->{autoscaling['final_workers']}, "
+            f"steady throughput/worker {autoscaling['recovery_ratio']:.2f}x "
+            f"the fixed layout (floor {autoscaling['recovery_floor']}x, "
+            f"records identical)"
         )

@@ -93,6 +93,46 @@ def mixed_etype_queries(
     return queries
 
 
+def skewed_etype_stream(
+    num_events: int,
+    num_etypes: int = 24,
+    hot_etypes: Sequence[str] = ("T00", "T01", "T02"),
+    hot_fraction: float = 0.85,
+    skew_from: float = 0.5,
+    seed: int = 11,
+    population: Optional[int] = None,
+) -> List[EdgeEvent]:
+    """Two-phase stream: uniform mix that pivots onto a hot-type set.
+
+    The autoscaling workload (bench ``autoscaling`` section, CI
+    ``autoscale-smoke``): events before ``skew_from`` (a fraction of the
+    stream) draw edge types uniformly, exactly like
+    :func:`mixed_etype_stream`; from there on, ``hot_fraction`` of the
+    events land on ``hot_etypes`` and the rest stay uniform. A shard
+    layout cut on the uniform phase goes badly skewed in the hot phase —
+    workers owning no hot-adjacent query starve — which is precisely the
+    signal the elastic controller must detect and correct.
+    """
+    rng = random.Random(seed)
+    if population is None:
+        population = max(int(math.sqrt(num_events)) * 2, 32)
+    pivot = int(num_events * skew_from)
+    stream: List[EdgeEvent] = []
+    t = 0.0
+    for i in range(num_events):
+        t += rng.random() * 0.2
+        src = rng.randrange(population)
+        dst = rng.randrange(population)
+        if src == dst:
+            dst = (dst + 1) % population
+        if i >= pivot and rng.random() < hot_fraction:
+            etype = hot_etypes[rng.randrange(len(hot_etypes))]
+        else:
+            etype = f"T{rng.randrange(num_etypes):02d}"
+        stream.append(EdgeEvent(f"v{src}", f"v{dst}", etype, t))
+    return stream
+
+
 def mixed_etype_workload(
     num_events: int,
     num_queries: int = 10,

@@ -60,7 +60,7 @@ from .errors import CheckpointError
 from .persistence import manifest as ckpt_manifest
 from .query.parser import parse_query
 from .query.query_graph import QueryGraph
-from .runtime import FaultPlan, RestartPolicy, ShardedEngine
+from .runtime import AutoscalePolicy, FaultPlan, RestartPolicy, ShardedEngine
 from .search.engine import ContinuousQueryEngine
 from .sjtree import builder as sjtree_builder
 from .sjtree import serialize as sjtree_serialize
@@ -211,6 +211,54 @@ def _restart_policy(args: argparse.Namespace) -> Optional[RestartPolicy]:
     if max_restarts is None:
         return None
     return RestartPolicy(max_restarts=max_restarts)
+
+
+def _autoscale_policy(args: argparse.Namespace) -> Optional[AutoscalePolicy]:
+    """Build the run's AutoscalePolicy from the --autoscale* knobs.
+
+    The launch worker count is the default scale-up ceiling — the
+    controller sheds workers the workload cannot use and re-adds them up
+    to what the operator originally sized, never past it unless
+    ``--autoscale-max`` raises the band explicitly.
+    """
+    if not getattr(args, "autoscale", False):
+        return None
+    defaults = AutoscalePolicy()
+    return AutoscalePolicy(
+        min_workers=(
+            args.autoscale_min
+            if args.autoscale_min is not None
+            else defaults.min_workers
+        ),
+        max_workers=(
+            args.autoscale_max if args.autoscale_max is not None else args.workers
+        ),
+        evaluate_every=(
+            args.autoscale_every
+            if args.autoscale_every is not None
+            else defaults.evaluate_every
+        ),
+        cooldown=(
+            args.autoscale_cooldown
+            if args.autoscale_cooldown is not None
+            else defaults.cooldown
+        ),
+        skew_threshold=(
+            args.autoscale_skew
+            if args.autoscale_skew is not None
+            else defaults.skew_threshold
+        ),
+        drift_threshold=(
+            args.autoscale_drift
+            if args.autoscale_drift is not None
+            else defaults.drift_threshold
+        ),
+        backpressure_seconds=(
+            args.autoscale_backpressure
+            if args.autoscale_backpressure is not None
+            else defaults.backpressure_seconds
+        ),
+    )
 
 
 def _finish_bad_records(bad_records: Optional[BadRecordLog]) -> None:
@@ -409,6 +457,27 @@ def _validate_run_options(args: argparse.Namespace) -> None:
                 "--rebalance-every applies to the sharded runtime; "
                 "pass --workers >= 2"
             )
+    if getattr(args, "autoscale", False):
+        if getattr(args, "workers", 1) < 2:
+            raise ValueError(
+                "--autoscale applies to the sharded runtime; pass --workers >= 2"
+            )
+    else:
+        set_knobs = [
+            flag
+            for flag, attr in (
+                ("--autoscale-min", "autoscale_min"),
+                ("--autoscale-max", "autoscale_max"),
+                ("--autoscale-every", "autoscale_every"),
+                ("--autoscale-cooldown", "autoscale_cooldown"),
+                ("--autoscale-skew", "autoscale_skew"),
+                ("--autoscale-drift", "autoscale_drift"),
+                ("--autoscale-backpressure", "autoscale_backpressure"),
+            )
+            if getattr(args, attr, None) is not None
+        ]
+        if set_knobs:
+            raise ValueError(f"{set_knobs[0]} requires --autoscale")
     metrics_every = getattr(args, "metrics_every", None)
     if metrics_every is not None:
         if metrics_every < 1:
@@ -484,6 +553,14 @@ def _run_sharded_and_describe(
                     )
                 ) + ")"
             print(f"supervision: {restarts} worker restart(s){detail}")
+        autoscaler = engine.autoscaler
+        if autoscaler is not None:
+            scaled = autoscaler.actions()
+            print(
+                f"autoscaling: {autoscaler.evaluations} evaluation(s), "
+                f"{len(scaled)} scale decision(s), "
+                f"final workers={engine.workers}"
+            )
         if getattr(args, "profile", False):
             # one more coordinator round-trip; must happen before close()
             _print_sharded_profile(engine.metrics().collect())
@@ -597,10 +674,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             window=window,
             workers=args.workers,
             batch_size=args.batch_size,
+            partitioner=args.partitioner,
             profile_phases=args.profile,
             supervise=args.supervise,
             restart_policy=_restart_policy(args),
             fault_plan=FaultPlan.from_env(),
+            autoscale=_autoscale_policy(args),
         )
         engine.warmup(warmup)
         specs = [engine.register(query, strategy=args.strategy) for query in queries]
@@ -809,6 +888,72 @@ def build_parser() -> argparse.ArgumentParser:
             "re-cut the shard layout every N processed events from live "
             "statistics (sharded runtime; requires --workers >= 2)"
         ),
+    )
+    p_run.add_argument(
+        "--partitioner",
+        choices=("cost", "round-robin"),
+        default="cost",
+        help=(
+            "query placement policy for the sharded runtime; also the "
+            "policy every later re-cut (--rebalance-every, --autoscale) "
+            "applies"
+        ),
+    )
+    p_run.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "elastic controller: evaluate per-worker skew, selectivity "
+            "drift and queue backpressure every --autoscale-every events "
+            "and rebalance / scale the worker count when thresholds trip "
+            "(requires --workers >= 2; output stays record-identical to "
+            "a fixed layout)"
+        ),
+    )
+    p_run.add_argument(
+        "--autoscale-min",
+        type=int,
+        default=None,
+        help="scale-down floor (default 1)",
+    )
+    p_run.add_argument(
+        "--autoscale-max",
+        type=int,
+        default=None,
+        help="scale-up ceiling (default: the launch --workers count)",
+    )
+    p_run.add_argument(
+        "--autoscale-every",
+        type=int,
+        default=None,
+        help="events between controller evaluation ticks (default 4096)",
+    )
+    p_run.add_argument(
+        "--autoscale-cooldown",
+        type=int,
+        default=None,
+        help="evaluation ticks to hold after a scale decision (default 2)",
+    )
+    p_run.add_argument(
+        "--autoscale-skew",
+        type=float,
+        default=None,
+        help="per-worker load skew (1 - mean/max) that triggers a rebalance "
+        "(default 0.35)",
+    )
+    p_run.add_argument(
+        "--autoscale-drift",
+        type=float,
+        default=None,
+        help="edge-type-mix drift vs the layout baseline that triggers a "
+        "rebalance (default 0.6)",
+    )
+    p_run.add_argument(
+        "--autoscale-backpressure",
+        type=float,
+        default=None,
+        help="mean blocking batch-put seconds that triggers a scale-up "
+        "(default 0.05)",
     )
     _add_durability_arguments(p_run)
     _add_observability_arguments(p_run)

@@ -12,8 +12,19 @@ fallback.
 recovery checkpoints and their since-checkpoint delta replayed, keeping
 output record-identical through crashes. :mod:`repro.runtime.faults`
 provides the deterministic fault-injection harness that proves it.
+
+``autoscale=AutoscalePolicy(...)`` arms the elastic controller
+(:mod:`repro.runtime.autoscale`): skew/drift/backpressure signals drive
+online ``rebalance()`` cycles that scale the worker count and re-place
+queries from live statistics — still record-identical to a fixed layout.
 """
 
+from .autoscale import (
+    AutoscaleController,
+    AutoscaleDecision,
+    AutoscalePolicy,
+    skew_score,
+)
 from .faults import Fault, FaultInjector, FaultPlan, corrupt_file
 from .partition import (
     ShardPlan,
@@ -25,6 +36,9 @@ from .sharded import QuerySpec, ShardedEngine, WorkerStats
 from .supervisor import RestartPolicy, Supervisor, backoff_delay
 
 __all__ = [
+    "AutoscaleController",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
     "Fault",
     "FaultInjector",
     "FaultPlan",
@@ -39,4 +53,5 @@ __all__ = [
     "estimate_query_cost",
     "greedy_balanced",
     "round_robin",
+    "skew_score",
 ]

@@ -76,6 +76,7 @@ from ..search.engine import ContinuousQueryEngine, RunResult, algorithm_class
 from ..search.strategy import StrategyDecision, choose_strategy
 from ..stats.estimator import SelectivityEstimator
 from ..telemetry.registry import SECONDS_BUCKETS, HistogramSlot, MetricsRegistry
+from .autoscale import AutoscaleController, AutoscalePolicy
 from .faults import FaultPlan
 from .partition import ShardPlan, estimate_query_cost, greedy_balanced, round_robin
 from .supervisor import RestartPolicy, Supervisor
@@ -373,6 +374,15 @@ class ShardedEngine:
     fault_plan:
         A deterministic :class:`~repro.runtime.faults.FaultPlan` shipped
         to every worker — the chaos-testing hook; ``None`` in production.
+    autoscale:
+        An :class:`~repro.runtime.autoscale.AutoscalePolicy` arming the
+        elastic controller: :meth:`run` then slices the stream into
+        ``evaluate_every``-event segments and, at each tick, scores
+        skew/drift/backpressure/starvation and may drive
+        :meth:`rebalance` to scale the worker count or re-place queries
+        from live statistics. Output stays record-identical to a
+        fixed-layout run. The controller lives at ``self.autoscaler``
+        (decision trail, telemetry).
     """
 
     def __init__(
@@ -389,6 +399,7 @@ class ShardedEngine:
         supervise: bool = False,
         restart_policy: Optional[RestartPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        autoscale: Optional[AutoscalePolicy] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -449,6 +460,24 @@ class ShardedEngine:
         self._routed_total: Dict[int, int] = {}
         self._records_total: Dict[int, int] = {}
         self._batches_total: Dict[int, int] = {}
+        # Completed online rebalance() cycles (manual cadence or
+        # controller-initiated). Exposed as a coordinator counter so
+        # downstream consumers (the JSONL validator) can tell a layout
+        # migration — which renormalizes worker-side lifetime counters —
+        # from a genuinely broken counter regression.
+        self._rebalances_total = 0
+        # Elastic autoscaling: controller armed at construction; run()
+        # then routes through the tick-segmented loop.
+        if autoscale is not None and not (
+            autoscale.min_workers <= workers <= autoscale.max_workers
+        ):
+            raise ValueError(
+                f"workers={workers} outside the autoscale band "
+                f"[{autoscale.min_workers}, {autoscale.max_workers}]"
+            )
+        self.autoscaler: Optional[AutoscaleController] = (
+            AutoscaleController(self, autoscale) if autoscale is not None else None
+        )
 
     # ------------------------------------------------------------------
     # registration (mirrors ContinuousQueryEngine)
@@ -743,7 +772,53 @@ class ShardedEngine:
         is not sampled here (see ``partial_sample_every`` on the serial
         engine); per-worker end-of-run state lands in
         :attr:`last_worker_stats`.
+
+        With an :class:`~repro.runtime.autoscale.AutoscalePolicy` armed,
+        the stream is processed in ``evaluate_every``-event segments and
+        the controller may rebalance between them — each segment fully
+        collects before the cut, so concatenated records are identical
+        to a fixed-layout run. Tick progress persists across ``run()``
+        calls (segmented CLI drives compose with the controller cadence).
         """
+        self.start()
+        if self.autoscaler is not None:
+            return self._run_autoscaled(events, limit)
+        return self._run_direct(events, limit)
+
+    def _run_autoscaled(
+        self,
+        events: Iterable[EdgeEvent],
+        limit: Optional[int],
+    ) -> RunResult:
+        """Tick-segmented drive loop for an autoscale-armed engine."""
+        controller = self.autoscaler
+        if limit is not None:
+            events = itertools.islice(events, limit)
+        events = iter(events)
+        started = time.perf_counter()
+        merged = RunResult()
+        while True:
+            take = controller.take()
+            segment = list(itertools.islice(events, take))
+            if not segment:
+                break
+            result = self._run_direct(segment, None)
+            merged.records.extend(result.records)
+            merged.edges_processed += result.edges_processed
+            controller.note_segment(segment, self.last_worker_stats)
+            if controller.due():
+                controller.evaluate()
+            if len(segment) < take:
+                break
+        merged.elapsed_seconds = time.perf_counter() - started
+        return merged
+
+    def _run_direct(
+        self,
+        events: Iterable[EdgeEvent],
+        limit: Optional[int] = None,
+    ) -> RunResult:
+        """One uninterrupted route/collect/merge cycle (no autoscale ticks)."""
         self.start()
         if self._serial_engine is not None:
             result = self._serial_engine.run(events, limit=limit)
@@ -1024,7 +1099,10 @@ class ShardedEngine:
             window=manifest_mod.window_from_json(manifest["window"]),
             workers=manifest["workers"],
             batch_size=manifest["batch_size"],
-            partitioner=manifest["partitioner"],
+            # Single-mode manifests record partitioner=None; a resumed
+            # engine still needs a concrete active policy for later
+            # rebalance()/checkpoint() calls.
+            partitioner=manifest.get("partitioner") or "cost",
             mp_context=mp_context,
             profile_phases=profile_phases,
             supervise=supervise,
@@ -1110,11 +1188,17 @@ class ShardedEngine:
         # running on its current layout (the temp directory may leak, which
         # beats losing state).
         self.checkpoint(root, cursor=cursor)
+        # Thread the engine's *active* partitioner through explicitly when
+        # the caller does not override it. Relying on migrate's manifest
+        # fallback chain here re-reads whatever the checkpoint recorded —
+        # which for a single-mode manifest is None, silently re-cutting a
+        # round-robin engine with the "cost" default. Controller-initiated
+        # re-cuts (autoscale) and manual ones must agree on the policy.
         manifest = migrate_checkpoint(
             root,
             [spec.query for spec in self.specs],
             workers=workers if workers is not None else self.workers,
-            partitioner=partitioner,
+            partitioner=partitioner if partitioner is not None else self.partitioner,
         )
         self._shutdown_workers()
         self._serial_engine = None
@@ -1149,6 +1233,7 @@ class ShardedEngine:
             ) from exc
         if not keep:
             shutil.rmtree(root, ignore_errors=True)
+        self._rebalances_total += 1
         return manifest
 
     # ------------------------------------------------------------------
@@ -1163,6 +1248,8 @@ class ShardedEngine:
             f"workers={self.workers} ({len(shards)} shard(s)), "
             f"batch_size={self.batch_size}, partitioner={self.partitioner}"
         ]
+        if self.autoscaler is not None:
+            lines.extend(self.autoscaler.describe_lines())
         for shard in shards:
             alphabet = self.shard_alphabet(shard)
             names = ", ".join(self.specs[p].name for p in shard.positions)
@@ -1262,9 +1349,15 @@ class ShardedEngine:
                 events_streamed=self._events_streamed,
                 worker_rows=rows,
                 batch_put=self._batch_put,
+                rebalances=self._rebalances_total,
                 supervisor=(
                     self._supervisor.telemetry()
                     if self._supervisor is not None
+                    else None
+                ),
+                autoscaler=(
+                    self.autoscaler.telemetry()
+                    if self.autoscaler is not None
                     else None
                 ),
             ).collect()

@@ -31,6 +31,7 @@ from .triangles import (
 from .stability import (
     DistributionTracker,
     Snapshot,
+    drift_score,
     order_agreement,
     rank_correlation,
     rank_stability,
@@ -53,6 +54,7 @@ __all__ = [
     "count_triangles",
     "count_two_edge_paths",
     "default_edge_map",
+    "drift_score",
     "total_triangles",
     "edge_token",
     "estimator_from_graph",

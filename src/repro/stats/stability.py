@@ -153,6 +153,33 @@ def order_agreement(snapshots: Sequence[Snapshot], *, ignore_below: int = 0) -> 
     return agreements / (len(snapshots) - 1)
 
 
+def drift_score(
+    counts_a: Dict[Hashable, int],
+    counts_b: Dict[Hashable, int],
+    *,
+    ignore_below: int = 0,
+) -> float:
+    """Distance in [0, 1] between two selectivity orderings.
+
+    Maps the rank correlation between two histograms onto ``(1 − τ) / 2``:
+    0.0 when the frequency orderings agree exactly, 1.0 when one is the
+    exact reverse of the other.  ``ignore_below`` drops keys whose count is
+    below the threshold on *both* sides before ranking — the paper's
+    low-frequency-tail fluctuations (§6.3) would otherwise dominate the
+    score even though they carry no placement signal.
+    """
+    if ignore_below > 0:
+        keys = {
+            k
+            for k in set(counts_a) | set(counts_b)
+            if counts_a.get(k, 0) >= ignore_below or counts_b.get(k, 0) >= ignore_below
+        }
+        counts_a = {k: counts_a[k] for k in keys if k in counts_a}
+        counts_b = {k: counts_b[k] for k in keys if k in counts_b}
+    tau = rank_correlation(counts_a, counts_b)
+    return max(0.0, (1.0 - tau) / 2.0)
+
+
 def track_edge_types(events: Iterable, interval: int) -> DistributionTracker:
     """Convenience: run a tracker over ``EdgeEvent.etype`` values."""
     tracker = DistributionTracker(interval=interval)

@@ -21,6 +21,7 @@ from .registry import (
     render_prometheus,
 )
 from .schema import (
+    REQUIRED_AUTOSCALE_FAMILIES,
     REQUIRED_ENGINE_FAMILIES,
     REQUIRED_RUNTIME_FAMILIES,
     validate_jsonl_file,
@@ -39,6 +40,7 @@ __all__ = [
     "MetricsHTTPServer",
     "MetricsJSONLWriter",
     "MetricsRegistry",
+    "REQUIRED_AUTOSCALE_FAMILIES",
     "REQUIRED_ENGINE_FAMILIES",
     "REQUIRED_RUNTIME_FAMILIES",
     "render_prometheus",

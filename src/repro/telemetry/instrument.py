@@ -249,6 +249,8 @@ def runtime_registry(
     worker_rows: Dict[int, dict],
     batch_put: Optional[object] = None,
     supervisor: Optional[dict] = None,
+    autoscaler: Optional[dict] = None,
+    rebalances: int = 0,
 ) -> MetricsRegistry:
     """Build the coordinator-side ``repro_runtime_*`` family.
 
@@ -262,6 +264,12 @@ def runtime_registry(
     when the engine runs supervised — it adds the recovery family
     (restart counts by worker and reason, recovery latency, replayed
     batches/events, replay-buffer depth, recovery-checkpoint totals).
+    ``autoscaler`` is
+    :meth:`~repro.runtime.autoscale.AutoscaleController.telemetry`
+    output when the elastic controller is armed — it adds the
+    ``repro_runtime_autoscale_*`` family (current worker count and the
+    policy band it must stay inside, evaluation/decision counters by
+    action, and the last tick's skew/drift/backpressure signal values).
     """
     reg = MetricsRegistry()
     reg.gauge("repro_runtime_workers", "Worker processes", agg="max").slot.set(workers)
@@ -269,6 +277,14 @@ def runtime_registry(
     reg.counter(
         "repro_runtime_events_streamed_total", "Events consumed by the coordinator"
     ).slot.inc(events_streamed)
+    # A layout migration re-cuts every worker from per-query state slices,
+    # renormalizing worker-side lifetime counters (ingest totals track the
+    # restored window, not the discarded history). Consumers use an
+    # increase here as the counter-reset boundary.
+    reg.counter(
+        "repro_runtime_rebalances_total",
+        "Completed online shard-layout rebalances (manual or autoscale)",
+    ).slot.inc(rebalances)
 
     alive = reg.gauge(
         "repro_runtime_worker_alive", "1 while the worker process lives",
@@ -363,4 +379,52 @@ def runtime_registry(
             replay_depth.labels(str(worker_id)).set(
                 supervisor["replay_depth"][worker_id]
             )
+
+    if autoscaler is not None:
+        reg.gauge(
+            "repro_runtime_autoscale_workers",
+            "Current worker count under the elastic controller",
+            agg="max",
+        ).slot.set(autoscaler["workers"])
+        reg.gauge(
+            "repro_runtime_autoscale_min_workers",
+            "Controller scale-down floor",
+            agg="max",
+        ).slot.set(autoscaler["min_workers"])
+        reg.gauge(
+            "repro_runtime_autoscale_max_workers",
+            "Controller scale-up ceiling",
+            agg="max",
+        ).slot.set(autoscaler["max_workers"])
+        reg.counter(
+            "repro_runtime_autoscale_evaluations_total",
+            "Controller evaluation ticks",
+        ).slot.inc(autoscaler["evaluations"])
+        decisions = reg.counter(
+            "repro_runtime_autoscale_decisions_total",
+            "Layout-changing decisions by action",
+            labels=("action",),
+        )
+        for action, count in sorted(autoscaler["decisions"].items()):
+            decisions.labels(action).inc(count)
+        reg.gauge(
+            "repro_runtime_autoscale_skew_score",
+            "Last tick's per-worker load skew (1 - mean/max)",
+            agg="max",
+        ).slot.set(autoscaler["skew"])
+        reg.gauge(
+            "repro_runtime_autoscale_drift_score",
+            "Last tick's edge-type-mix drift vs the layout baseline",
+            agg="max",
+        ).slot.set(autoscaler["drift"])
+        reg.gauge(
+            "repro_runtime_autoscale_backpressure_seconds",
+            "Last tick's mean blocking batch-put latency",
+            agg="max",
+        ).slot.set(autoscaler["backpressure_seconds"])
+        reg.gauge(
+            "repro_runtime_autoscale_cooldown_ticks",
+            "Evaluation ticks remaining in the post-action cooldown",
+            agg="max",
+        ).slot.set(autoscaler["cooldown_ticks"])
     return reg

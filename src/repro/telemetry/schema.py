@@ -12,6 +12,7 @@ import json
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
+    "REQUIRED_AUTOSCALE_FAMILIES",
     "REQUIRED_ENGINE_FAMILIES",
     "REQUIRED_RUNTIME_FAMILIES",
     "validate_snapshot",
@@ -38,12 +39,70 @@ REQUIRED_RUNTIME_FAMILIES = (
     "repro_runtime_worker_alive",
     "repro_runtime_worker_queue_depth",
 )
+# Families an autoscale-armed run must additionally expose.
+REQUIRED_AUTOSCALE_FAMILIES = (
+    "repro_runtime_autoscale_workers",
+    "repro_runtime_autoscale_min_workers",
+    "repro_runtime_autoscale_max_workers",
+    "repro_runtime_autoscale_evaluations_total",
+)
 
 _ENVELOPE_KEYS = ("seq", "unix_time", "events_processed", "families")
 
 
+def _family_value(families: Dict[str, dict], name: str) -> Optional[float]:
+    entry = families.get(name)
+    if not entry:
+        return None
+    samples = entry.get("samples") or ()
+    if not samples:
+        return None
+    return samples[0].get("value")
+
+
+def _validate_autoscale_consistency(families: Dict[str, dict]) -> None:
+    """Cross-family invariants of the ``repro_runtime_autoscale_*`` group.
+
+    The worker-count gauge must sit inside the policy band the same
+    snapshot advertises, and layout-changing decisions can never exceed
+    evaluation ticks. Applied whenever the group is present (the gauges
+    travel together), required when the caller passes
+    ``expect_autoscale=True``.
+    """
+    workers = _family_value(families, "repro_runtime_autoscale_workers")
+    if workers is None:
+        return
+    low = _family_value(families, "repro_runtime_autoscale_min_workers")
+    high = _family_value(families, "repro_runtime_autoscale_max_workers")
+    if low is None or high is None:
+        raise ValueError(
+            "repro_runtime_autoscale_workers present without the "
+            "min/max band gauges"
+        )
+    if not low <= workers <= high:
+        raise ValueError(
+            f"autoscale workers gauge {workers} outside band [{low}, {high}]"
+        )
+    evaluations = _family_value(
+        families, "repro_runtime_autoscale_evaluations_total"
+    )
+    decisions_entry = families.get("repro_runtime_autoscale_decisions_total")
+    if decisions_entry is not None and evaluations is not None:
+        decided = sum(
+            sample["value"] for sample in decisions_entry.get("samples", ())
+        )
+        if decided > evaluations:
+            raise ValueError(
+                f"autoscale decisions ({decided}) exceed evaluations "
+                f"({evaluations})"
+            )
+
+
 def validate_snapshot(
-    families: Dict[str, dict], *, expect_runtime: bool = False
+    families: Dict[str, dict],
+    *,
+    expect_runtime: bool = False,
+    expect_autoscale: bool = False,
 ) -> None:
     """Structural check of one snapshot dict."""
     if not isinstance(families, dict):
@@ -51,9 +110,12 @@ def validate_snapshot(
     required: Tuple[str, ...] = REQUIRED_ENGINE_FAMILIES
     if expect_runtime:
         required = required + REQUIRED_RUNTIME_FAMILIES
+    if expect_autoscale:
+        required = required + REQUIRED_AUTOSCALE_FAMILIES
     for name in required:
         if name not in families:
             raise ValueError(f"snapshot missing required family {name!r}")
+    _validate_autoscale_consistency(families)
     for name, entry in families.items():
         kind = entry.get("type")
         if kind not in ("counter", "gauge", "histogram"):
@@ -87,6 +149,7 @@ def validate_jsonl_lines(
     lines: Iterable[str],
     *,
     expect_runtime: bool = False,
+    expect_autoscale: bool = False,
     expect_final_events: Optional[int] = None,
     expect_final_matches: Optional[int] = None,
 ) -> List[dict]:
@@ -94,7 +157,13 @@ def validate_jsonl_lines(
 
     Checks per line: envelope keys, snapshot structure, contiguous
     ``seq``, non-decreasing ``events_processed``, and that no counter
-    sample ever decreases between consecutive snapshots.  Optionally pins
+    sample ever decreases between consecutive snapshots.  One sanctioned
+    exception: an online shard-layout rebalance re-cuts every worker
+    from per-query state slices, renormalizing worker-side lifetime
+    counters — when ``repro_runtime_rebalances_total`` increased since
+    the previous snapshot, non-``repro_runtime_*`` counter decreases are
+    accepted for that transition (coordinator-side counters live across
+    re-cuts and must stay monotone regardless).  Optionally pins
     the final snapshot's ingested-edge total and summed per-query match
     total (the "consistent with describe()" check of the CI smoke leg).
     Returns the parsed envelopes.
@@ -102,6 +171,7 @@ def validate_jsonl_lines(
     envelopes: List[dict] = []
     previous_counters: Optional[Dict[Tuple[str, ...], float]] = None
     previous_events = -1
+    previous_rebalances: Optional[float] = None
     for lineno, raw in enumerate(lines, start=1):
         raw = raw.strip()
         if not raw:
@@ -126,17 +196,31 @@ def validate_jsonl_lines(
                 )
             previous_events = events
         families = envelope["families"]
-        validate_snapshot(families, expect_runtime=expect_runtime)
+        validate_snapshot(
+            families,
+            expect_runtime=expect_runtime,
+            expect_autoscale=expect_autoscale,
+        )
         counters = _counter_values(families)
+        rebalances = _family_value(families, "repro_runtime_rebalances_total")
+        migrated = (
+            rebalances is not None
+            and previous_rebalances is not None
+            and rebalances > previous_rebalances
+        )
         if previous_counters is not None:
             for key, value in counters.items():
                 before = previous_counters.get(key)
                 if before is not None and value < before:
+                    if migrated and not key[0].startswith("repro_runtime_"):
+                        continue  # worker state re-cut by the rebalance
                     raise ValueError(
                         f"line {lineno}: counter {key} decreased "
                         f"({before} -> {value})"
                     )
         previous_counters = counters
+        if rebalances is not None:
+            previous_rebalances = rebalances
         envelopes.append(envelope)
     if not envelopes:
         raise ValueError("no snapshots emitted")

@@ -1,0 +1,490 @@
+"""Elastic autoscaling: policy, signals, decision logic, record identity.
+
+Three layers:
+
+* pure-function units (:func:`skew_score`, policy validation), including
+  the hypothesis property that the skew score is invariant under worker
+  relabeling;
+* :class:`AutoscaleController` decision logic against a fake engine stub
+  (the controller's documented minimal surface), so every branch of the
+  priority order — backpressure scale-up, starvation scale-down, skew /
+  drift rebalance, cooldown hold — is pinned without process spawns;
+* end-to-end: an armed :class:`ShardedEngine` on the deliberately skewed
+  two-phase workload must fire at least one scale decision and still
+  emit records identical to both a fixed-layout run and the serial
+  engine — the unchanged correctness bar — plus the rebalance
+  partitioner regression (controller-initiated and manual re-cuts keep
+  the engine's active partitioner).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ContinuousQueryEngine, ShardedEngine
+from repro.analysis.experiments import (
+    mixed_etype_queries,
+    skewed_etype_stream,
+)
+from repro.graph.types import EdgeEvent
+from repro.runtime import AutoscaleController, AutoscalePolicy, skew_score
+from repro.runtime.sharded import WorkerStats
+from repro.telemetry import validate_snapshot
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = AutoscalePolicy()
+        assert policy.min_workers == 1
+        assert policy.max_workers == 8
+        assert policy.partitioner is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_workers": 0},
+            {"min_workers": 4, "max_workers": 2},
+            {"evaluate_every": 0},
+            {"cooldown": -1},
+            {"skew_threshold": 0.0},
+            {"skew_threshold": 1.5},
+            {"drift_threshold": -0.1},
+            {"backpressure_seconds": 0.0},
+            {"starve_fraction": 0.0},
+            {"starve_fraction": 1.0},
+            {"ignore_below": -1},
+            {"partitioner": "hash"},
+        ],
+    )
+    def test_bad_knobs_fail_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(**kwargs)
+
+
+class TestSkewScore:
+    def test_empty_and_single_worker_are_balanced(self):
+        assert skew_score([]) == 0.0
+        assert skew_score([42.0]) == 0.0
+
+    def test_all_zero_tick_is_balanced(self):
+        assert skew_score([0.0, 0.0, 0.0]) == 0.0
+
+    def test_perfect_balance_scores_zero(self):
+        assert skew_score([10.0, 10.0, 10.0]) == pytest.approx(0.0)
+
+    def test_known_imbalance(self):
+        # mean 2, peak 3 -> 1 - 2/3
+        assert skew_score([3.0, 1.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_one_worker_carries_everything(self):
+        # n workers, one busy: 1 - 1/n, approaching 1
+        assert skew_score([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.75)
+
+    def test_negative_loads_clamp_to_zero(self):
+        assert skew_score([-5.0, 10.0]) == skew_score([0.0, 10.0])
+
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariant_under_worker_relabeling(self, loads, seed):
+        """Relabeling workers permutes the load multiset; the score is a
+        function of the multiset alone, so it must not move (beyond
+        float summation-order noise)."""
+        import random
+
+        shuffled = loads[:]
+        random.Random(seed).shuffle(shuffled)
+        assert math.isclose(
+            skew_score(loads), skew_score(shuffled), rel_tol=1e-9, abs_tol=1e-12
+        )
+
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_in_unit_interval(self, loads):
+        assert 0.0 <= skew_score(loads) < 1.0
+
+
+# -- controller decision logic against the documented fake-engine surface --
+
+
+class FakeShard:
+    def __init__(self, worker_id, positions):
+        self.worker_id = worker_id
+        self.positions = tuple(positions)
+
+
+class FakeSpec:
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeSlot:
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+
+
+class FakeEngine:
+    """The minimal surface AutoscaleController documents it needs."""
+
+    def __init__(self, workers=3, queries=6, window=math.inf):
+        self.workers = workers
+        self.window = window
+        self.partitioner = "cost"
+        self.specs = [FakeSpec(f"q{i}") for i in range(queries)]
+        self._batch_put = FakeSlot()
+        self._events_streamed = 0
+        self.rebalance_calls = []
+        self._cut(workers)
+
+    def _cut(self, workers):
+        positions = {w: [] for w in range(workers)}
+        for i in range(len(self.specs)):
+            positions[i % workers].append(i)
+        self._shards = [
+            FakeShard(w, positions[w]) for w in range(workers)
+        ]
+
+    def rebalance(self, workers=None, partitioner=None, cursor=None):
+        self.rebalance_calls.append(
+            {"workers": workers, "partitioner": partitioner, "cursor": cursor}
+        )
+        self.workers = workers if workers is not None else self.workers
+        if partitioner is not None:
+            self.partitioner = partitioner
+        self._cut(self.workers)
+
+
+def uniform_events(n, etypes=("A", "B", "C"), start_t=0.0, step=1.0):
+    return [
+        EdgeEvent(f"s{i}", f"d{i}", etypes[i % len(etypes)], start_t + i * step)
+        for i in range(n)
+    ]
+
+
+def feed(controller, engine, per_worker_loads, events=None):
+    """One tick's worth of accounting with the given per-worker loads."""
+    events = events if events is not None else uniform_events(8)
+    stats = [
+        WorkerStats(worker_id=w, events_routed=load, records=0)
+        for w, load in per_worker_loads.items()
+    ]
+    engine._events_streamed += len(events)
+    controller.note_segment(events, stats)
+
+
+class TestControllerDecisions:
+    def test_balanced_tick_holds_still(self):
+        engine = FakeEngine(workers=3)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=8))
+        feed(controller, engine, {0: 100, 1: 100, 2: 100})
+        decision = controller.evaluate()
+        assert decision.action == "none"
+        assert engine.rebalance_calls == []
+
+    def test_starved_worker_scales_down_to_busy_count(self):
+        engine = FakeEngine(workers=3)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=8))
+        feed(controller, engine, {0: 100, 1: 100, 2: 0})
+        decision = controller.evaluate()
+        assert decision.action == "scale_down"
+        assert decision.new_workers == 2
+        assert engine.rebalance_calls[-1]["workers"] == 2
+
+    def test_scale_down_respects_min_workers(self):
+        engine = FakeEngine(workers=2)
+        policy = AutoscalePolicy(min_workers=2, evaluate_every=8)
+        controller = AutoscaleController(engine, policy)
+        feed(controller, engine, {0: 100, 1: 0})
+        decision = controller.evaluate()
+        # cannot drop below the band; the imbalance routes to a
+        # same-count rebalance instead (skew 0.5 > 0.35)
+        assert decision.action == "rebalance"
+        assert decision.new_workers == 2
+
+    def test_backpressure_scales_up_one_worker(self):
+        engine = FakeEngine(workers=2)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=8))
+        feed(controller, engine, {0: 100, 1: 100})
+        engine._batch_put.count = 10
+        engine._batch_put.sum = 1.0  # 100ms mean put > 50ms threshold
+        decision = controller.evaluate()
+        assert decision.action == "scale_up"
+        assert decision.new_workers == 3
+
+    def test_scale_up_respects_max_workers(self):
+        engine = FakeEngine(workers=2)
+        policy = AutoscalePolicy(max_workers=2, evaluate_every=8)
+        controller = AutoscaleController(engine, policy)
+        feed(controller, engine, {0: 100, 1: 100})
+        engine._batch_put.count = 10
+        engine._batch_put.sum = 1.0
+        decision = controller.evaluate()
+        assert decision.action == "none"
+        assert engine.rebalance_calls == []
+
+    def test_skew_triggers_same_count_rebalance(self):
+        engine = FakeEngine(workers=2)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=8))
+        # skew 1 - 64/100 = 0.36 > 0.35; the light worker still holds
+        # 28/128 = 22% > the 12.5% starvation line
+        feed(controller, engine, {0: 100, 1: 28})
+        decision = controller.evaluate()
+        assert decision.action == "rebalance"
+        assert decision.new_workers == 2
+        assert "skew" in decision.reason
+
+    def test_single_shard_never_rebalances(self):
+        engine = FakeEngine(workers=1)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=8))
+        feed(controller, engine, {0: 100})
+        decision = controller.evaluate()
+        assert decision.action == "none"
+
+    def test_drift_triggers_rebalance_when_load_stays_balanced(self):
+        engine = FakeEngine(workers=2, window=10.0)
+        policy = AutoscalePolicy(evaluate_every=8, drift_threshold=0.6)
+        controller = AutoscaleController(engine, policy)
+        # Anchor the baseline on an A-heavy mix...
+        hot_a = [
+            EdgeEvent(f"s{i}", f"d{i}", "A" if i % 4 else "B", i * 0.01)
+            for i in range(160)
+        ]
+        feed(controller, engine, {0: 100, 1: 100}, events=hot_a)
+        assert controller.evaluate().action == "none"
+        # ...then the window slides onto a B-heavy mix (old events evict)
+        hot_b = [
+            EdgeEvent(f"s{i}", f"d{i}", "B" if i % 4 else "A", 100.0 + i * 0.01)
+            for i in range(160)
+        ]
+        feed(controller, engine, {0: 100, 1: 100}, events=hot_b)
+        decision = controller.evaluate()
+        assert decision.action == "rebalance"
+        assert "drift" in decision.reason
+
+    def test_cooldown_holds_then_releases(self):
+        engine = FakeEngine(workers=3)
+        policy = AutoscalePolicy(evaluate_every=8, cooldown=2)
+        controller = AutoscaleController(engine, policy)
+        feed(controller, engine, {0: 100, 1: 100, 2: 0})
+        assert controller.evaluate().action == "scale_down"
+        # same starvation signal, but the cooldown gate holds — twice
+        feed(controller, engine, {0: 100, 1: 0})
+        assert controller.evaluate().action == "hold"
+        feed(controller, engine, {0: 100, 1: 0})
+        assert controller.evaluate().action == "hold"
+        # gate open again: the (still) starved layout may act
+        feed(controller, engine, {0: 100, 1: 0})
+        assert controller.evaluate().action != "hold"
+
+    def test_tick_accumulators_reset_after_evaluate(self):
+        engine = FakeEngine(workers=2)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=10))
+        feed(controller, engine, {0: 5, 1: 5}, events=uniform_events(6))
+        assert controller.take() == 4
+        assert not controller.due()
+        feed(controller, engine, {0: 5, 1: 5}, events=uniform_events(4))
+        assert controller.due()
+        controller.evaluate()
+        assert controller.take() == 10
+        assert not controller.due()
+
+    def test_controller_threads_policy_partitioner_through(self):
+        engine = FakeEngine(workers=3)
+        policy = AutoscalePolicy(evaluate_every=8, partitioner="round-robin")
+        controller = AutoscaleController(engine, policy)
+        feed(controller, engine, {0: 100, 1: 100, 2: 0})
+        controller.evaluate()
+        assert engine.rebalance_calls[-1]["partitioner"] == "round-robin"
+
+    def test_default_policy_defers_to_engine_partitioner(self):
+        engine = FakeEngine(workers=3)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=8))
+        feed(controller, engine, {0: 100, 1: 100, 2: 0})
+        controller.evaluate()
+        # None -> rebalance() substitutes the engine's active partitioner
+        assert engine.rebalance_calls[-1]["partitioner"] is None
+
+    def test_decision_trail_and_telemetry_shape(self):
+        engine = FakeEngine(workers=3)
+        controller = AutoscaleController(engine, AutoscalePolicy(evaluate_every=8))
+        feed(controller, engine, {0: 100, 1: 100, 2: 0})
+        decision = controller.evaluate()
+        assert decision.scaled
+        assert decision.tick == 1
+        assert controller.actions() == [decision]
+        as_dict = decision.as_dict()
+        assert as_dict["action"] == "scale_down"
+        assert set(as_dict["old_layout"]) == {"0", "1", "2"}
+        assert set(as_dict["new_layout"]) == {"0", "1"}
+        summary = decision.summary()
+        assert "workers 3->2" in summary
+        lines = controller.describe_lines()
+        assert "autoscale: armed" in lines[0]
+        assert "1 scale decision(s)" in lines[0]
+        telemetry = controller.telemetry()
+        assert telemetry["workers"] == 2
+        assert telemetry["evaluations"] == 1
+        assert telemetry["decisions"] == {"scale_down": 1}
+        assert 0.0 <= telemetry["skew"] <= 1.0
+
+
+# -- end to end: armed engine on the skewed workload -----------------------
+
+EVENTS = 2_000
+WARMUP = 500
+WINDOW = 40.0
+QUERIES = 10
+ETYPES = 24
+EVALUATE_EVERY = 125
+
+
+def skewed_workload():
+    full = skewed_etype_stream(EVENTS, num_etypes=ETYPES)
+    return full[:WARMUP], full[WARMUP:], mixed_etype_queries(QUERIES, ETYPES)
+
+
+def serial_identities(warmup, stream, queries):
+    engine = ContinuousQueryEngine(window=WINDOW)
+    engine.warmup(warmup)
+    for query in queries:
+        engine.register(query, strategy="Single", name=query.name)
+    result = engine.run(stream)
+    return [
+        (r.query_name, r.match.fingerprint, r.completed_at) for r in result.records
+    ]
+
+
+def sharded_identities(warmup, stream, queries, **kwargs):
+    engine = ShardedEngine(window=WINDOW, workers=3, batch_size=64, **kwargs)
+    engine.warmup(warmup)
+    for query in queries:
+        engine.register(query, strategy="Single", name=query.name)
+    try:
+        result = engine.run(stream)
+        identities = [
+            (r.query_name, r.match.fingerprint, r.completed_at)
+            for r in result.records
+        ]
+        return identities, engine.autoscaler, engine.describe(), engine.metrics()
+    finally:
+        engine.close()
+
+
+class TestEndToEnd:
+    def test_launch_workers_must_sit_inside_the_band(self):
+        with pytest.raises(ValueError, match="autoscale band"):
+            ShardedEngine(
+                workers=5, autoscale=AutoscalePolicy(min_workers=1, max_workers=3)
+            )
+
+    def test_armed_engine_scales_and_stays_record_identical(self):
+        warmup, stream, queries = skewed_workload()
+        reference = serial_identities(warmup, stream, queries)
+
+        fixed, autoscaler, _, _ = sharded_identities(warmup, stream, queries)
+        assert autoscaler is None
+        assert fixed == reference
+
+        policy = AutoscalePolicy(
+            min_workers=1,
+            max_workers=3,
+            evaluate_every=EVALUATE_EVERY,
+            cooldown=1,
+        )
+        armed, autoscaler, description, registry = sharded_identities(
+            warmup, stream, queries, autoscale=policy
+        )
+        assert armed == reference
+        assert autoscaler is not None
+        actions = autoscaler.actions()
+        assert actions, "controller never scaled on the skewed workload"
+        for decision in actions:
+            assert 1 <= decision.new_workers <= 3
+        assert autoscaler.evaluations >= len(actions)
+
+        # describe() surfaces the trail; metrics() passes schema
+        # validation including the autoscale families
+        assert "autoscale: armed [1..3] workers" in description
+        snapshot = registry.collect()
+        validate_snapshot(snapshot, expect_runtime=True, expect_autoscale=True)
+        workers_gauge = snapshot["repro_runtime_autoscale_workers"]
+        assert workers_gauge["samples"][0]["value"] == autoscaler.engine.workers
+
+
+class TestRebalancePartitionerRegression:
+    """rebalance() must re-cut with the engine's *active* partitioner.
+
+    Regression: the manifest fallback chain re-read whatever the
+    checkpoint recorded, so a round-robin engine rebalanced between
+    run() calls silently re-cut with the launch-time "cost" default.
+    """
+
+    def _armed_engine(self, partitioner):
+        warmup, stream, queries = skewed_workload()
+        engine = ShardedEngine(
+            window=WINDOW, workers=3, batch_size=64, partitioner=partitioner
+        )
+        engine.warmup(warmup)
+        for query in queries:
+            engine.register(query, strategy="Single", name=query.name)
+        return engine, stream, queries
+
+    def test_round_robin_survives_rebalance(self):
+        engine, stream, _ = self._armed_engine("round-robin")
+        try:
+            engine.run(stream[:600])
+            manifest = engine.rebalance(workers=2)
+            assert engine.partitioner == "round-robin"
+            assert manifest["partitioner"] == "round-robin"
+            # a round-robin 2-way cut of 10 queries deals positions
+            # alternately — the layout proves the policy was applied
+            layouts = sorted(
+                tuple(shard.positions) for shard in engine._shards
+            )
+            assert layouts == [tuple(range(0, 10, 2)), tuple(range(1, 10, 2))]
+            engine.run(stream[600:])
+        finally:
+            engine.close()
+
+    def test_explicit_override_still_wins(self):
+        engine, stream, _ = self._armed_engine("round-robin")
+        try:
+            engine.run(stream[:600])
+            manifest = engine.rebalance(workers=2, partitioner="cost")
+            assert manifest["partitioner"] == "cost"
+            assert engine.partitioner == "cost"
+        finally:
+            engine.close()
+
+    def test_record_identity_across_round_robin_rebalance(self):
+        warmup, stream, queries = skewed_workload()
+        reference = serial_identities(warmup, stream, queries)
+        engine, stream, queries = self._armed_engine("round-robin")
+        try:
+            first = engine.run(stream[:600])
+            engine.rebalance(workers=2)
+            rest = engine.run(stream[600:])
+        finally:
+            engine.close()
+        identities = [
+            (r.query_name, r.match.fingerprint, r.completed_at)
+            for result in (first, rest)
+            for r in result.records
+        ]
+        assert identities == reference

@@ -941,3 +941,75 @@ class TestSupervise:
         assert match_lines(chaos), "chaos leg needs matches to be meaningful"
         assert "supervision: 2 worker restart(s)" in chaos
         assert "supervision: 0 worker restart(s)" in clean
+
+
+class TestAutoscaleCLI:
+    """--autoscale wiring: validation, summary line, output identity."""
+
+    def _run_args(self, stream, query, *extra):
+        return [
+            "run",
+            "--stream",
+            str(stream),
+            "--query",
+            str(query),
+            "--strategy",
+            "SingleLazy",
+            "--max-print",
+            "5000",
+            "--window",
+            "50",
+            *extra,
+        ]
+
+    def test_autoscale_requires_workers(self, stream_file, query_file):
+        with pytest.raises(ValueError, match="--workers >= 2"):
+            main(self._run_args(stream_file, query_file, "--autoscale"))
+
+    def test_autoscale_knobs_require_autoscale(self, stream_file, query_file):
+        with pytest.raises(ValueError, match="requires --autoscale"):
+            main(
+                self._run_args(
+                    stream_file,
+                    query_file,
+                    "--workers",
+                    "2",
+                    "--autoscale-every",
+                    "500",
+                )
+            )
+
+    def test_autoscaled_run_matches_fixed_and_prints_summary(
+        self, stream_file, query_file, second_query_file, capsys
+    ):
+        base = self._run_args(
+            stream_file,
+            query_file,
+            "--query",
+            str(second_query_file),
+            "--workers",
+            "2",
+        )
+        assert main(base) == 0
+        fixed = capsys.readouterr().out
+        assert main(
+            base
+            + [
+                "--autoscale",
+                "--autoscale-min",
+                "1",
+                "--autoscale-every",
+                "300",
+                "--autoscale-cooldown",
+                "1",
+            ]
+        ) == 0
+        armed = capsys.readouterr().out
+
+        def match_lines(text):
+            return [l for l in text.splitlines() if l.startswith("match @")]
+
+        assert match_lines(armed) == match_lines(fixed)
+        assert "autoscaling: " in armed
+        assert "evaluation(s)" in armed
+        assert "autoscaling: " not in fixed

@@ -1,15 +1,19 @@
 """Unit tests for the §6.3 selectivity-order stability machinery."""
 
+import math
+
 import pytest
 
 from repro.graph import EdgeEvent
 from repro.stats import (
     DistributionTracker,
+    drift_score,
     order_agreement,
     rank_correlation,
     rank_stability,
     track_edge_types,
 )
+from repro.stats.stability import _kendall_tau
 
 
 def events(types):
@@ -114,3 +118,92 @@ class TestTrackEdgeTypes:
         tracker = track_edge_types(events(["T", "T", "U", "U"]), interval=2)
         assert len(tracker.snapshots) == 2
         assert tracker.snapshots[0].counts == {"T": 2}
+
+
+class TestKendallTauDegenerateRankings:
+    def test_all_tied_both_sides_is_nan(self):
+        # every pair tied on both axes: zero comparable pairs, tau-b is
+        # undefined (scipy and the pure-Python fallback agree)
+        assert math.isnan(_kendall_tau([1.0, 1.0, 1.0], [2.0, 2.0, 2.0]))
+
+    def test_one_constant_side_is_nan(self):
+        assert math.isnan(_kendall_tau([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]))
+
+    def test_rank_correlation_maps_nan_to_stable(self):
+        # a constant ranking cannot *dis*agree with anything — the
+        # public wrapper reports it as trivially stable
+        assert rank_correlation({"a": 1, "b": 1}, {"a": 1, "b": 2}) == 1.0
+        assert rank_correlation({"a": 3, "b": 3}, {"a": 3, "b": 3}) == 1.0
+
+
+class TestShortSnapshots:
+    def test_stream_shorter_than_interval_cuts_nothing_until_flush(self):
+        tracker = DistributionTracker(interval=10)
+        for key in ["a", "b", "a"]:
+            tracker.observe(key)
+        assert tracker.snapshots == []
+        tracker.flush()
+        assert len(tracker.snapshots) == 1
+        assert tracker.snapshots[0].end_edge_count == 3
+        assert tracker.snapshots[0].counts == {"a": 2, "b": 1}
+
+    def test_single_partial_snapshot_has_empty_stability_series(self):
+        tracker = DistributionTracker(interval=10)
+        tracker.observe("a")
+        tracker.flush()
+        assert rank_stability(tracker.snapshots) == []
+        assert order_agreement(tracker.snapshots) == 1.0
+
+    def test_trailing_partial_interval_joins_the_series(self):
+        tracker = DistributionTracker(interval=3)
+        for key in ["a", "a", "b", "a", "a"]:  # one full + one partial
+            tracker.observe(key)
+        tracker.flush()
+        assert len(tracker.snapshots) == 2
+        taus = rank_stability(tracker.snapshots)
+        assert len(taus) == 1
+
+
+class TestDriftScore:
+    def test_identical_orderings_score_zero(self):
+        assert drift_score({"a": 10, "b": 5}, {"a": 20, "b": 9}) == 0.0
+
+    def test_reversed_orderings_score_one(self):
+        assert drift_score({"a": 10, "b": 5}, {"a": 5, "b": 10}) == pytest.approx(
+            1.0
+        )
+
+    def test_fewer_than_two_keys_is_no_drift(self):
+        assert drift_score({"a": 10}, {"a": 3}) == 0.0
+        assert drift_score({}, {}) == 0.0
+
+    def test_bounded_below_by_zero(self):
+        assert drift_score({"a": 1, "b": 2, "c": 3}, {"a": 1, "b": 2, "c": 3}) >= 0.0
+
+    def test_ignore_below_drops_the_fluctuating_tail(self):
+        # hot ordering stable; only the 1-2 count tail flips
+        before = {"hot": 100, "warm": 50, "rare1": 1, "rare2": 2}
+        after = {"hot": 110, "warm": 40, "rare1": 2, "rare2": 1}
+        assert drift_score(before, after) > 0.0
+        assert drift_score(before, after, ignore_below=5) == 0.0
+
+    def test_ignore_below_keeps_keys_hot_on_either_side(self):
+        # "rare" is below the threshold before but hot after — exactly
+        # the drift the controller must see, so the filter keeps it
+        before = {"hot": 100, "mid": 50, "rare": 1}
+        after = {"hot": 100, "mid": 50, "rare": 400}
+        assert drift_score(before, after, ignore_below=5) > 0.0
+
+    def test_ignore_below_interacts_with_rank_stability(self):
+        # the same tail flip that perturbs the raw per-pair tau series
+        # disappears from the thresholded drift score
+        tracker = DistributionTracker(interval=8)
+        for key in ["hot"] * 5 + ["warm"] * 2 + ["rare1"]:
+            tracker.observe(key)
+        for key in ["hot"] * 5 + ["warm"] * 2 + ["rare2"]:
+            tracker.observe(key)
+        taus = rank_stability(tracker.snapshots)
+        assert len(taus) == 1 and taus[0] < 1.0
+        a, b = tracker.snapshots
+        assert drift_score(a.counts, b.counts, ignore_below=2) == 0.0
+        assert drift_score(a.counts, b.counts) > 0.0

@@ -339,6 +339,101 @@ class TestJSONLAndSchema:
             validate_jsonl_lines([])
 
 
+class TestAutoscaleSchema:
+    def test_valid_autoscale_snapshot_passes(self):
+        snap = _autoscale_like_snapshot()
+        validate_snapshot(snap, expect_autoscale=True)
+
+    def test_missing_autoscale_families_rejected(self):
+        snap = _engine_like_snapshot()
+        with pytest.raises(ValueError, match="missing required family"):
+            validate_snapshot(snap, expect_autoscale=True)
+
+    def test_workers_gauge_outside_band_rejected(self):
+        snap = _autoscale_like_snapshot(workers=7, low=1, high=4)
+        with pytest.raises(ValueError, match="outside band"):
+            validate_snapshot(snap)
+
+    def test_workers_gauge_without_band_rejected(self):
+        snap = _autoscale_like_snapshot()
+        del snap["repro_runtime_autoscale_min_workers"]
+        with pytest.raises(ValueError, match="min/max band"):
+            validate_snapshot(snap)
+
+    def test_decisions_exceeding_evaluations_rejected(self):
+        snap = _autoscale_like_snapshot(
+            evaluations=2, decided={"rebalance": 2, "scale_down": 1}
+        )
+        with pytest.raises(ValueError, match="exceed evaluations"):
+            validate_snapshot(snap)
+
+    def test_band_checked_even_without_expect_flag(self):
+        # the gauges travel together: any snapshot carrying them is
+        # held to the cross-family invariants
+        snap = _autoscale_like_snapshot(workers=0, low=1, high=4)
+        with pytest.raises(ValueError, match="outside band"):
+            validate_snapshot(snap)
+
+    def test_rebalance_boundary_excuses_worker_counter_reset(self):
+        # a layout re-cut renormalizes worker-side lifetime counters;
+        # the decrease is sanctioned exactly when the coordinator's
+        # rebalance counter ticked on the same transition
+        before = _autoscale_like_snapshot(ingested=100, rebalances=0)
+        after = _autoscale_like_snapshot(ingested=40, rebalances=1)
+        validate_jsonl_lines(_envelope_lines(before, after))
+
+    def test_worker_counter_reset_without_rebalance_rejected(self):
+        before = _autoscale_like_snapshot(ingested=100, rebalances=1)
+        after = _autoscale_like_snapshot(ingested=40, rebalances=1)
+        with pytest.raises(ValueError, match="decreased"):
+            validate_jsonl_lines(_envelope_lines(before, after))
+
+    def test_coordinator_counter_must_stay_monotone_across_rebalance(self):
+        # repro_runtime_* counters live in the coordinator and survive
+        # re-cuts — a decrease there is a real bug even mid-rebalance
+        before = _autoscale_like_snapshot(
+            ingested=100, rebalances=0, evaluations=5
+        )
+        after = _autoscale_like_snapshot(ingested=100, rebalances=1, evaluations=3)
+        with pytest.raises(ValueError, match="decreased"):
+            validate_jsonl_lines(_envelope_lines(before, after))
+
+
+def _envelope_lines(*family_dicts):
+    return [
+        json.dumps(
+            {"seq": i, "unix_time": 0.0, "events_processed": 10, "families": f}
+        )
+        for i, f in enumerate(family_dicts)
+    ]
+
+
+def _autoscale_like_snapshot(
+    ingested=10,
+    rebalances=0,
+    workers=2,
+    low=1,
+    high=4,
+    evaluations=3,
+    decided=None,
+):
+    """Engine families + the coordinator's autoscale/rebalance group."""
+    snap = _engine_like_snapshot(ingested=ingested)
+    reg = MetricsRegistry()
+    reg.counter("repro_runtime_rebalances_total").slot.inc(rebalances)
+    reg.gauge("repro_runtime_autoscale_workers", agg="max").slot.set(workers)
+    reg.gauge("repro_runtime_autoscale_min_workers", agg="max").slot.set(low)
+    reg.gauge("repro_runtime_autoscale_max_workers", agg="max").slot.set(high)
+    reg.counter("repro_runtime_autoscale_evaluations_total").slot.inc(evaluations)
+    decisions = reg.counter(
+        "repro_runtime_autoscale_decisions_total", labels=("action",)
+    )
+    for action, count in (decided or {}).items():
+        decisions.labels(action).inc(count)
+    snap.update(reg.collect())
+    return snap
+
+
 def _engine_like_snapshot(ingested=10):
     """A minimal snapshot carrying every required engine family."""
     reg = MetricsRegistry()

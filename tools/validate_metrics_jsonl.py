@@ -10,7 +10,7 @@ totals.
 Usage::
 
     PYTHONPATH=src python tools/validate_metrics_jsonl.py metrics.jsonl \
-        [--runtime] [--expect-events N] [--expect-matches N]
+        [--runtime] [--autoscale] [--expect-events N] [--expect-matches N]
 
 Exits 0 and prints a one-line summary on success; exits 1 with the
 validation error on failure.
@@ -36,6 +36,16 @@ def main(argv=None) -> int:
         help="require the repro_runtime_* families (sharded runs)",
     )
     parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "require the repro_runtime_autoscale_* families (autoscale-"
+            "armed runs); the workers-gauge-within-[min,max] and "
+            "decisions<=evaluations cross-checks apply whenever the "
+            "family is present"
+        ),
+    )
+    parser.add_argument(
         "--expect-events",
         type=int,
         default=None,
@@ -52,6 +62,7 @@ def main(argv=None) -> int:
         envelopes = validate_jsonl_file(
             args.path,
             expect_runtime=args.runtime,
+            expect_autoscale=args.autoscale,
             expect_final_events=args.expect_events,
             expect_final_matches=args.expect_matches,
         )
