@@ -86,7 +86,8 @@ class BadRecordLog:
         if self.policy == "quarantine":
             if self._handle is None:
                 self.quarantine_path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = open(
+                # Long-lived sink, closed explicitly in close().
+                self._handle = open(  # noqa: SIM115
                     self.quarantine_path, "a", encoding="utf-8"
                 )
             self._handle.write(

@@ -1,0 +1,56 @@
+"""The registry of every ``REPRO_*`` environment knob.
+
+One module owns the catalog so knobs cannot fork: ``tools/sa`` (rule
+``env-knobs``) statically requires every ``REPRO_*`` key read anywhere
+in the tree to be declared here, and every declared key to be read
+somewhere — adding an ad-hoc ``os.environ.get("REPRO_...")`` without
+registering it (or leaving a stale entry behind after removing the last
+reader) fails lint.
+
+Keys map to a one-line description of what the knob does and where it is
+honored.  The knob *semantics* live with their readers (``faults.py``,
+``durable.py``, ...); this is the index, not the implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+__all__ = ["KNOWN_KNOBS", "unknown_repro_knobs"]
+
+KNOWN_KNOBS: Dict[str, str] = {
+    "REPRO_FAULTS": (
+        "fault-injection plan for chaos legs; parsed by "
+        "runtime.faults.FaultPlan.from_env"
+    ),
+    "REPRO_NO_NUMPY": (
+        "force the pure-Python columnar kernel backend even when numpy "
+        "imports (graph.columnar, read at import time)"
+    ),
+    "REPRO_NO_FSYNC": (
+        "skip durability fsyncs in persistence.durable (faster CI, "
+        "weaker crash guarantees)"
+    ),
+    "REPRO_BENCH_SCALE": (
+        "benchmark/experiment size preset: smoke|small|medium|large "
+        "(analysis.experiments, benchmarks/)"
+    ),
+    "REPRO_BENCH_WORKERS": (
+        "comma list of worker counts for the benchmark scaling sweep; "
+        "empty disables the sweep (benchmarks/bench_throughput)"
+    ),
+}
+
+
+def unknown_repro_knobs(environ=os.environ) -> List[str]:
+    """``REPRO_*`` keys set in ``environ`` that no code reads.
+
+    A typo like ``REPRO_NO_FSYNCS=1`` silently does nothing; callers
+    (the CLI) can warn on a non-empty return instead.
+    """
+    return sorted(
+        key
+        for key in environ
+        if key.startswith("REPRO_") and key not in KNOWN_KNOBS
+    )

@@ -8,6 +8,8 @@ parsing, durability and the parallel runtime.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -91,11 +93,11 @@ class WorkerError(ReproRuntimeError):
         self,
         message: str,
         *,
-        worker_id=None,
-        context=None,
-        exitcode=None,
-        remote_traceback=None,
-        payload=None,
+        worker_id: Optional[int] = None,
+        context: Optional[str] = None,
+        exitcode: Optional[int] = None,
+        remote_traceback: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
     ) -> None:
         super().__init__(message)
         self.worker_id = worker_id

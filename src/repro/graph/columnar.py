@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 from typing import Iterator, List, Optional, Sequence
 
+from ..errors import ReproRuntimeError
 from .types import VOCABULARY, EdgeEvent
 
 #: numpy module when importable, else None — resolved once at import.
@@ -71,7 +72,9 @@ def set_backend(name: str) -> str:
 
     Test hook: the batched-vs-serial equivalence suite runs both backends
     in one process. ``"auto"`` restores import-time selection (numpy when
-    importable and ``REPRO_NO_NUMPY`` unset). Raises :class:`RuntimeError`
+    importable and ``REPRO_NO_NUMPY`` unset). Raises
+    :class:`~repro.errors.ReproRuntimeError` (a :class:`RuntimeError`
+    subclass, so existing ``except RuntimeError`` callers keep working)
     when numpy is requested but unavailable. Returns the backend now
     active.
     """
@@ -80,7 +83,7 @@ def set_backend(name: str) -> str:
         _active = None
     elif name == "numpy":
         if _NUMPY is None:
-            raise RuntimeError(
+            raise ReproRuntimeError(
                 "numpy backend requested but numpy is not importable "
                 "(or REPRO_NO_NUMPY disabled it at import time)"
             )

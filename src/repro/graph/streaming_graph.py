@@ -490,6 +490,15 @@ class StreamingGraph:
         if segment:
             yield from segment
 
+    def edges_of_type_code(self, code: int) -> Iterable[Edge]:
+        """All live edges of one interned type code (insertion order).
+
+        Hot-path twin of :meth:`edges_of_type` — skips the label
+        interning lookup; an unknown code yields nothing.
+        """
+        segment = self._by_type.get(code)
+        return segment if segment is not None else _EMPTY
+
     def count_of_type(self, etype: str) -> int:
         """Number of live edges of one type (O(1))."""
         code = VOCABULARY.etype_code_if_known(etype)

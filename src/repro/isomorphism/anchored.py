@@ -184,6 +184,9 @@ def _extend(
     query_edge = _pick_next(fragment, assignment, vertex_map)
     if query_edge is None:  # pragma: no cover - defensive
         return
+    # Membership filter only ("edge_id in used_edge_ids") — candidate
+    # order comes from _candidates (insertion-ordered adjacency), not
+    # from walking this set.
     used_edge_ids = {edge.edge_id for edge in assignment.values()}
 
     for data_edge, new_bindings in _candidates(graph, fragment, query_edge, vertex_map):
@@ -210,6 +213,7 @@ def _candidates(
     with the vertex bindings each candidate would add."""
     src_mapped = query_edge.src in vertex_map
     dst_mapped = query_edge.dst in vertex_map
+    # Membership probes only (injectivity checks below) — never iterated.
     used_vertices = set(vertex_map.values())
 
     if src_mapped and dst_mapped:

@@ -237,7 +237,12 @@ class Match:
         return self.edges
 
     def data_vertices(self) -> set[VertexId]:
-        """Distinct data vertices touched by the match."""
+        """Distinct data vertices touched by the match.
+
+        Membership/algebra use only — *iterating* this set is
+        hash-seed-dependent and reached emission order once (PR 5);
+        order-sensitive callers must use :meth:`data_vertices_ordered`.
+        """
         vm = self._vm
         if vm is not None:
             return set(vm.values())
@@ -308,6 +313,8 @@ class Match:
                     return None  # inconsistent on a shared query vertex
                 continue
             if claimed is None:
+                # Membership probes only ("dv in claimed") — never
+                # iterated, so set order cannot reach emission order.
                 claimed = set(large_map.values())
             if dv in claimed:
                 return None  # would break vertex injectivity

@@ -483,7 +483,8 @@ def _run(
 
     # GLOBAL: disconnected fragment component — fall back to the graph-wide
     # per-type index (generic-matcher use only; leaves are connected).
-    for data_edge in graph.edges_of_type(step.etype):
+    src_check_ok = step.src_check.ok
+    for data_edge in graph.edges_of_type_code(step.etype_code):
         loop_d = data_edge.src == data_edge.dst
         if step.is_loop != loop_d:
             continue
@@ -492,7 +493,7 @@ def _run(
         if step.is_loop:
             if data_edge.src in used_vertices:
                 continue
-            if not step.src_check.ok(graph, data_edge.src):
+            if not src_check_ok(graph, data_edge.src):
                 continue
             chosen[slot] = data_edge
             used_edges.add(data_edge.edge_id)
@@ -515,7 +516,7 @@ def _run(
         else:
             if data_edge.src in used_vertices or data_edge.dst in used_vertices:
                 continue
-            if not step.src_check.ok(graph, data_edge.src):
+            if not src_check_ok(graph, data_edge.src):
                 continue
             if not step.dst_check.ok(graph, data_edge.dst):
                 continue

@@ -76,7 +76,10 @@ def skew_score(loads: Iterable[float]) -> float:
     peak = max(values, default=0.0)
     if peak <= 0.0:
         return 0.0
-    return 1.0 - (sum(values) / len(values)) / peak
+    # mean/peak can exceed 1 by one ulp when every load is equal (the
+    # division does not round-trip sum/len exactly), which would leak a
+    # tiny negative out of the documented [0, 1) interval.
+    return max(0.0, 1.0 - (sum(values) / len(values)) / peak)
 
 
 @dataclass(frozen=True)

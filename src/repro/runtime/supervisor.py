@@ -335,7 +335,7 @@ class Supervisor:
                         "be re-issued",
                         worker_id=self._engine._shards[slot].worker_id,
                         context=kind,
-                    )
+                    ) from died
                 resend(slot)
                 continue
             if kind == "collect":

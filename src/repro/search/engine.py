@@ -279,7 +279,9 @@ class ContinuousQueryEngine:
                 for registered in self.queries.values()
                 if (ets := etype_sets[registered.name]) is None or etype in ets
             ]
-            for etype in alphabet
+            # sorted(): alphabet is a set; keep the route-table build
+            # independent of the interpreter hash seed.
+            for etype in sorted(alphabet)
         }
 
     def _build_algorithm(

@@ -35,7 +35,8 @@ class MetricsJSONLWriter:
     def __init__(self, path) -> None:
         self.path = path
         self.sequence = 0
-        self._fh = open(path, "w", encoding="utf-8")
+        # Held across emit() calls; released in close().
+        self._fh = open(path, "w", encoding="utf-8")  # noqa: SIM115
 
     def emit(
         self,

@@ -9,9 +9,11 @@ names the offending line/family.
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
+    "KNOWN_FAMILIES",
     "REQUIRED_AUTOSCALE_FAMILIES",
     "REQUIRED_ENGINE_FAMILIES",
     "REQUIRED_RUNTIME_FAMILIES",
@@ -19,6 +21,86 @@ __all__ = [
     "validate_jsonl_lines",
     "validate_jsonl_file",
 ]
+
+# The complete family catalog: every ``repro_*`` family any registry
+# builder may emit, with its label names.  ``tools/sa`` (rule
+# ``metrics-schema``) statically cross-checks this dict against the
+# registration sites in ``instrument.py``/``cli.py`` — adding a family
+# there without cataloging it here (or vice versa) fails lint, so the
+# validator below and the emitting code cannot silently diverge.
+KNOWN_FAMILIES = {
+    # -- engine -------------------------------------------------------
+    "repro_engine_edges_ingested_total": (),
+    "repro_engine_edges_evicted_total": (),
+    "repro_engine_chunks_processed_total": (),
+    "repro_engine_sweeps_total": (),
+    "repro_engine_dispatch_hits_total": (),
+    "repro_engine_chunk_size": (),
+    "repro_engine_dispatch_lut_size": (),
+    "repro_engine_dispatch_programs_compiled": (),
+    "repro_engine_queries": (),
+    "repro_engine_profile_enabled": (),
+    "repro_engine_matches_total": ("query",),
+    "repro_engine_partial_matches": ("query",),
+    "repro_engine_query_strategy_info": ("query", "strategy"),
+    "repro_engine_query_phase_seconds_total": ("query", "phase"),
+    "repro_engine_query_phase_calls_total": ("query", "phase"),
+    "repro_engine_stage_seconds_total": ("stage",),
+    "repro_engine_stage_calls_total": ("stage",),
+    "repro_engine_kernel_backend_info": ("backend",),
+    # -- graph --------------------------------------------------------
+    "repro_graph_live_edges": (),
+    "repro_graph_live_vertices": (),
+    "repro_graph_window_width_seconds": (),
+    "repro_graph_vocabulary_etypes": (),
+    "repro_graph_last_timestamp": (),
+    "repro_graph_etype_live_edges": ("etype",),
+    # -- sjtree -------------------------------------------------------
+    "repro_sjtree_node_residency": ("query", "node"),
+    "repro_sjtree_node_buckets": ("query", "node"),
+    "repro_sjtree_node_inserts_total": ("query", "node"),
+    "repro_sjtree_node_probes_total": ("query", "node"),
+    "repro_sjtree_node_expired_total": ("query", "node"),
+    # -- persistence --------------------------------------------------
+    "repro_persistence_checkpoints_total": (),
+    "repro_persistence_checkpoint_seconds": (),
+    "repro_persistence_checkpoint_bytes": (),
+    "repro_persistence_last_checkpoint_bytes": (),
+    # -- ingest (CLI bad-record policy) -------------------------------
+    "repro_ingest_bad_records_total": (),
+    "repro_ingest_quarantined_records_total": (),
+    # -- runtime coordinator ------------------------------------------
+    "repro_runtime_workers": (),
+    "repro_runtime_shards": (),
+    "repro_runtime_events_streamed_total": (),
+    "repro_runtime_rebalances_total": (),
+    "repro_runtime_worker_alive": ("worker",),
+    "repro_runtime_worker_queue_depth": ("worker",),
+    "repro_runtime_worker_heartbeat_age_seconds": ("worker",),
+    "repro_runtime_worker_events_routed_total": ("worker",),
+    "repro_runtime_worker_records_total": ("worker",),
+    "repro_runtime_worker_batches_total": ("worker",),
+    "repro_runtime_merge_buffer_records": ("worker",),
+    "repro_runtime_batch_put_seconds": (),
+    # -- supervised recovery ------------------------------------------
+    "repro_runtime_worker_restarts_total": ("worker", "reason"),
+    "repro_runtime_recovery_seconds": (),
+    "repro_runtime_replayed_batches_total": (),
+    "repro_runtime_replayed_events_total": (),
+    "repro_runtime_recovery_checkpoints_total": (),
+    "repro_runtime_recovery_checkpoint_failures_total": (),
+    "repro_runtime_replay_buffer_batches": ("worker",),
+    # -- elastic autoscaling ------------------------------------------
+    "repro_runtime_autoscale_workers": (),
+    "repro_runtime_autoscale_min_workers": (),
+    "repro_runtime_autoscale_max_workers": (),
+    "repro_runtime_autoscale_evaluations_total": (),
+    "repro_runtime_autoscale_decisions_total": ("action",),
+    "repro_runtime_autoscale_skew_score": (),
+    "repro_runtime_autoscale_drift_score": (),
+    "repro_runtime_autoscale_backpressure_seconds": (),
+    "repro_runtime_autoscale_cooldown_ticks": (),
+}
 
 # Families every engine snapshot must carry (single-process and per-worker
 # alike).  Runtime families additionally appear in sharded aggregates.
@@ -251,6 +333,19 @@ def validate_jsonl_lines(
     return envelopes
 
 
-def validate_jsonl_file(path, **kwargs) -> List[dict]:
+def validate_jsonl_file(
+    path: "str | os.PathLike[str]",
+    *,
+    expect_runtime: bool = False,
+    expect_autoscale: bool = False,
+    expect_final_events: Optional[int] = None,
+    expect_final_matches: Optional[int] = None,
+) -> List[dict]:
     with open(path, "r", encoding="utf-8") as fh:
-        return validate_jsonl_lines(fh, **kwargs)
+        return validate_jsonl_lines(
+            fh,
+            expect_runtime=expect_runtime,
+            expect_autoscale=expect_autoscale,
+            expect_final_events=expect_final_events,
+            expect_final_matches=expect_final_matches,
+        )

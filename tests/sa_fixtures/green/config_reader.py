@@ -1,0 +1,7 @@
+"""Green fixture: reads only declared env knobs."""
+
+import os
+
+
+def load():
+    return os.environ.get("REPRO_ALPHA")

@@ -1,0 +1,5 @@
+"""Green fixture: the registry and the readers agree."""
+
+KNOWN_KNOBS = {
+    "REPRO_ALPHA": "read by config_reader",
+}

@@ -1,0 +1,22 @@
+"""Green fixture: deterministic set consumption patterns."""
+
+
+def backfill(match, emit):
+    for vertex in match.data_vertices_ordered():
+        emit(vertex)
+
+
+def ordered(items):
+    seen = set(items)
+    return sorted(seen)
+
+
+def member(items, probe):
+    seen = set(items)
+    return probe in seen
+
+
+def audited(match, emit):
+    # A human argued the walk order cannot reach emission order here.
+    for vertex in match.data_vertices():  # sa: ignore[determinism]
+        emit(vertex)

@@ -1,0 +1,22 @@
+"""Green fixture: every codec tag has encoder and decoder coverage."""
+
+_TAG_INT = 1
+_TAG_STR = 2
+
+
+def write_value(w, value):
+    if isinstance(value, int):
+        w.u8(_TAG_INT)
+        w.varint(value)
+    else:
+        w.u8(_TAG_STR)
+        w.text(value)
+
+
+def read_value(r):
+    tag = r.u8()
+    if tag == _TAG_INT:
+        return r.varint()
+    if tag == _TAG_STR:
+        return r.text()
+    raise ValueError(tag)

@@ -1,0 +1,17 @@
+"""Green fixture: every section writer has a reader twin."""
+
+
+def _dump_header(w, state):
+    w.u32(1)
+
+
+def _read_header(r):
+    return r.u32()
+
+
+def _dump_counts(w, state):
+    w.u32(len(state))
+
+
+def _load_counts(r):
+    return r.u32()

@@ -1,0 +1,28 @@
+"""Green fixture: a consistent coordinator/worker wire protocol."""
+
+
+def _worker_main(task_queue, result_queue, init):
+    def reply(kind, payload):
+        result_queue.put((init.worker_id, kind, payload, init.incarnation))
+
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "batch":
+            reply("batch", len(message[1]))
+        elif kind == "close":
+            return
+
+
+class Coordinator:
+    def _gather(self, kind):
+        worker_id, got_kind, payload, _inc = self._result_queue.get()
+        if got_kind != kind:
+            raise ValueError(got_kind)
+        return worker_id, payload
+
+    def run(self, batch):
+        self._put(0, ("batch", batch))
+        out = self._gather("batch")
+        self._put(0, ("close",))
+        return out

@@ -1,0 +1,13 @@
+"""Green fixture: hot function with hoisted lookups and code-keyed API."""
+
+
+class Engine:
+    def _process_chunk(self, chunk):
+        out = []
+        offset = self.state.offset
+        append = out.append
+        knows = self.knows_code
+        for row in chunk:
+            append(offset + row.cost)
+            out.extend(self.graph.out_edges_code(row.src, knows))
+        return out

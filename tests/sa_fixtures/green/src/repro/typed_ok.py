@@ -1,0 +1,13 @@
+"""Green fixture: typed raises only."""
+
+
+class FixtureError(Exception):
+    pass
+
+
+def fail(message):
+    raise FixtureError(message)
+
+
+def reject(value):
+    raise ValueError(value)

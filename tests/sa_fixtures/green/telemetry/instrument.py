@@ -1,0 +1,8 @@
+"""Green fixture: registrations matching the schema catalog."""
+
+
+def build(reg):
+    c = reg.counter
+    c("repro_x_total", "x")
+    reg.gauge("repro_y_seconds", "y", labels=("stage",))
+    return reg

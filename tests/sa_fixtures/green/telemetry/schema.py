@@ -1,0 +1,8 @@
+"""Green fixture: catalog and registrations agree."""
+
+KNOWN_FAMILIES = {
+    "repro_x_total": (),
+    "repro_y_seconds": ("stage",),
+}
+
+REQUIRED_ENGINE_FAMILIES = ("repro_x_total",)

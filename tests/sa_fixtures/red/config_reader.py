@@ -1,0 +1,10 @@
+"""Red fixture: reads an env knob the registry does not declare."""
+
+import os
+
+ALPHA_ENV = "REPRO_ALPHA"
+
+
+def load():
+    alpha = os.environ.get(ALPHA_ENV)
+    return alpha, os.getenv("REPRO_UNDECLARED")

@@ -1,0 +1,6 @@
+"""Red fixture: env-knob registry with a stale entry (rule ``env-knobs``)."""
+
+KNOWN_KNOBS = {
+    "REPRO_ALPHA": "read by config_reader",
+    "REPRO_STALE": "no reader anywhere",
+}

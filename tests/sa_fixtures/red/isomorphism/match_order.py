@@ -1,0 +1,21 @@
+"""Red fixture: order-sensitive set consumption (rule ``determinism``).
+
+``backfill`` is the exact PR 5 incident shape — ``LazySearch`` iterated
+``Match.data_vertices()`` (a set) while rebuilding emission state, and
+kill/resume runs stopped being record-identical.
+"""
+
+
+def backfill(match, emit):
+    for vertex in match.data_vertices():
+        emit(vertex)
+
+
+def chain(items):
+    seen = set(items)
+    return [value for value in seen]
+
+
+def pops(items):
+    pending = set(items)
+    return pending.pop()

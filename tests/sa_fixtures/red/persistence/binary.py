@@ -1,0 +1,16 @@
+"""Red fixture: codec tag without a decoder branch (rule ``codec-tags``)."""
+
+_TAG_INT = 1
+_TAG_ORPHAN = 2
+
+
+def write_value(w, value):
+    w.u8(_TAG_INT)
+    w.varint(value)
+
+
+def read_value(r):
+    tag = r.u8()
+    if tag == _TAG_INT:
+        return r.varint()
+    raise ValueError(tag)

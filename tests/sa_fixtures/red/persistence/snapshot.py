@@ -1,0 +1,13 @@
+"""Red fixture: snapshot section writer with no reader twin."""
+
+
+def _dump_header(w, state):
+    w.u32(1)
+
+
+def _read_header(r):
+    return r.u32()
+
+
+def _dump_orphan(w, state):
+    w.u32(0)

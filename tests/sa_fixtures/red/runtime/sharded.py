@@ -1,0 +1,26 @@
+"""Red fixture: wire-protocol drift (rule ``wire-protocol``).
+
+Three seeded defects: the reply helper puts a 3-tuple (protocol is 4),
+the ``"drain"`` task has no dispatch branch, and the ``"ack"`` reply is
+never requested or matched coordinator-side.
+"""
+
+
+def _worker_main(task_queue, result_queue, init):
+    def reply(kind, payload):
+        result_queue.put((init.worker_id, kind, payload))
+
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "batch":
+            reply("ack", len(message[1]))
+        elif kind == "close":
+            return
+
+
+class Coordinator:
+    def run(self, batch):
+        self._put(0, ("batch", batch))
+        self._put(0, ("drain",))
+        self._put(0, ("close",))

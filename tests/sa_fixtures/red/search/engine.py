@@ -1,0 +1,19 @@
+"""Red fixture: hot-path hygiene violations (rules ``hot-*``)."""
+
+
+class Engine:
+    def _process_chunk(self, chunk):
+        out = []
+        for row in chunk:
+            def weigh(r):
+                return r.cost + 1
+
+            try:
+                out.append(self.state.offset + row.cost)
+            except KeyError:
+                pass
+            out.append(self.state.offset - 1)
+            out.append(weigh(row))
+            edges = self.graph.out_edges(row.src, "knows")
+            out.extend(edges)
+        return out

@@ -1,0 +1,9 @@
+"""Red fixture: untyped raises in library code (rule ``typed-errors``)."""
+
+
+def fail(message):
+    raise RuntimeError(message)
+
+
+def boom():
+    raise Exception("nope")

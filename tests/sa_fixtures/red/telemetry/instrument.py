@@ -1,0 +1,8 @@
+"""Red fixture: registrations diverging from the schema catalog."""
+
+
+def build(reg):
+    c = reg.counter
+    c("repro_x_total", "x", labels=("q",))
+    reg.gauge("repro_unknown_gauge", "not in the catalog")
+    return reg

@@ -1,0 +1,11 @@
+"""Red fixture: schema catalog out of sync (rule ``metrics-schema``)."""
+
+KNOWN_FAMILIES = {
+    "repro_x_total": (),
+    "repro_stale_total": (),
+}
+
+REQUIRED_ENGINE_FAMILIES = (
+    "repro_x_total",
+    "repro_missing_total",
+)

@@ -216,7 +216,7 @@ def test_snapshot_skips_unreclaimed_stale_matches(workload):
 
 def _tiny_engine():
     engine = ContinuousQueryEngine(window=10.0)
-    engine.warmup([e for e in mixed_etype_workload(50, num_queries=1, seed=1)[0]])
+    engine.warmup(list(mixed_etype_workload(50, num_queries=1, seed=1)[0]))
     query = QueryGraph.path(["T0", "T1"], name="q0")
     engine.register(query, strategy="Single", name="q0")
     return engine, [query]

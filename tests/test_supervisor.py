@@ -29,7 +29,7 @@ requires_fork = pytest.mark.skipif(
 )
 
 #: Fast-recovery policy for tests: near-zero backoff, deterministic.
-FAST = dict(backoff_base=0.01, backoff_cap=0.02, jitter=0.0)
+FAST = {"backoff_base": 0.01, "backoff_cap": 0.02, "jitter": 0.0}
 
 
 def identities(records):

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""One-way ratchet guard for the static-analysis burndown files.
+
+Two files in this repo encode "quality only moves forward" state:
+
+``tools/mypy_strict.txt``
+    The list of modules under strict mypy. It may only **grow**:
+    removing a module would silently relax type checking.
+
+``tools/sa/baseline.json``
+    The grandfathered findings of the invariant lint engine
+    (``python -m tools.sa``). It may only **shrink**: adding an entry
+    would grandfather a brand-new violation.
+
+This script compares the working-tree versions against the committed
+``HEAD`` versions (via ``git show``) and exits non-zero on any
+backwards movement. A file absent from HEAD (first commit introducing
+it) passes trivially. Stdlib only — safe to run anywhere git is.
+
+Usage::
+
+    python tools/check_ratchets.py [--repo-root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+STRICT_LIST = "tools/mypy_strict.txt"
+SA_BASELINE = "tools/sa/baseline.json"
+
+
+def _git_show(repo_root: Path, rel_path: str) -> str | None:
+    """Content of ``rel_path`` at HEAD, or None if absent there."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{rel_path}"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def _strict_modules(text: str) -> set[str]:
+    modules = set()
+    for line in text.splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            modules.add(line)
+    return modules
+
+
+def _baseline_size(text: str) -> int:
+    data = json.loads(text)
+    findings = data.get("findings", []) if isinstance(data, dict) else []
+    return len(findings)
+
+
+def check_strict_list(repo_root: Path) -> list[str]:
+    current_path = repo_root / STRICT_LIST
+    if not current_path.exists():
+        return [f"{STRICT_LIST}: missing from working tree"]
+    head = _git_show(repo_root, STRICT_LIST)
+    if head is None:
+        return []
+    removed = _strict_modules(head) - _strict_modules(current_path.read_text())
+    return [
+        f"{STRICT_LIST}: module removed from the strict list: {module}"
+        for module in sorted(removed)
+    ]
+
+
+def check_sa_baseline(repo_root: Path) -> list[str]:
+    current_path = repo_root / SA_BASELINE
+    if not current_path.exists():
+        return [f"{SA_BASELINE}: missing from working tree"]
+    try:
+        current = _baseline_size(current_path.read_text())
+    except (json.JSONDecodeError, TypeError) as exc:
+        return [f"{SA_BASELINE}: unreadable: {exc}"]
+    head_text = _git_show(repo_root, SA_BASELINE)
+    if head_text is None:
+        return []
+    head = _baseline_size(head_text)
+    if current > head:
+        return [
+            f"{SA_BASELINE}: baseline grew from {head} to {current} "
+            "finding(s); fix the new findings instead of baselining them"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=Path(__file__).resolve().parents[1],
+        help="repository root (default: parent of tools/)",
+    )
+    args = parser.parse_args(argv)
+    problems = check_strict_list(args.repo_root) + check_sa_baseline(
+        args.repo_root
+    )
+    for problem in problems:
+        print(f"ratchet violation: {problem}", file=sys.stderr)
+    if not problems:
+        print("ratchets ok: strict list did not shrink, baseline did not grow")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

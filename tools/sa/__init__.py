@@ -1,0 +1,39 @@
+"""Repo-local invariant lint engine (``python -m tools.sa``).
+
+See :mod:`tools.sa.core` for the engine concepts and
+:mod:`tools.sa.config` for the repo-specific knobs. The checkers live in
+:mod:`tools.sa.checkers`.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_CONFIG, Config
+from .core import (
+    Checker,
+    FileChecker,
+    Finding,
+    Project,
+    SAError,
+    SourceFile,
+    load_baseline,
+    load_project,
+    run_checkers,
+    save_baseline,
+    split_baselined,
+)
+
+__all__ = [
+    "Checker",
+    "Config",
+    "DEFAULT_CONFIG",
+    "FileChecker",
+    "Finding",
+    "Project",
+    "SAError",
+    "SourceFile",
+    "load_baseline",
+    "load_project",
+    "run_checkers",
+    "save_baseline",
+    "split_baselined",
+]

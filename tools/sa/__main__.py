@@ -1,0 +1,122 @@
+"""Command-line front end: ``python -m tools.sa [paths...]``.
+
+Exit status: 0 — clean (or all findings baselined); 1 — new findings;
+2 — usage/engine error (unknown rule, unparseable file, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .checkers import all_checkers
+from .config import DEFAULT_CONFIG
+from .core import (
+    SAError,
+    load_baseline,
+    load_project,
+    run_checkers,
+    save_baseline,
+    split_baselined,
+)
+
+_DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.sa",
+        description="Run the repo-specific invariant checkers.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools", "benchmarks"],
+        help="files or directories to scan (default: src tools benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=_DEFAULT_BASELINE,
+        help=f"baseline file (default: {_DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; every finding fails the run",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the known rule ids and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (findings still print)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    checkers = all_checkers()
+    if args.list_rules:
+        for checker in checkers:
+            for rule in checker.rules:
+                print(f"{rule}  ({checker.name})")
+        return 0
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [
+            rule.strip()
+            for chunk in args.select
+            for rule in chunk.split(",")
+            if rule.strip()
+        ]
+    try:
+        project = load_project(
+            [Path(p) for p in args.paths], DEFAULT_CONFIG, root=Path.cwd()
+        )
+        findings = run_checkers(project, checkers, select=select)
+        if args.update_baseline:
+            save_baseline(args.baseline, findings)
+            if not args.quiet:
+                print(
+                    f"baseline updated: {len(findings)} finding(s) -> "
+                    f"{args.baseline}"
+                )
+            return 0
+        baseline = [] if args.no_baseline else load_baseline(args.baseline)
+        new, baselined = split_baselined(findings, baseline)
+    except SAError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for finding in new:
+        print(finding.render())
+    for finding in baselined:
+        print(f"{finding.render()} (baselined)")
+    if not args.quiet:
+        print(
+            f"{len(project.files)} file(s) scanned: {len(new)} new, "
+            f"{len(baselined)} baselined finding(s)"
+        )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Checker registry: every invariant checker the engine knows about."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import Checker
+from .codec_tags import CodecTagsChecker
+from .determinism import DeterminismChecker
+from .env_knobs import EnvKnobsChecker
+from .hotpath import HotPathChecker
+from .metrics_schema import MetricsSchemaChecker
+from .typed_errors import TypedErrorsChecker
+from .wire_protocol import WireProtocolChecker
+
+
+def all_checkers() -> List[Checker]:
+    return [
+        DeterminismChecker(),
+        TypedErrorsChecker(),
+        HotPathChecker(),
+        CodecTagsChecker(),
+        WireProtocolChecker(),
+        MetricsSchemaChecker(),
+        EnvKnobsChecker(),
+    ]
+
+
+__all__ = ["all_checkers"]

@@ -1,0 +1,55 @@
+"""Shared AST helpers for the checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    """The value of a string-constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Terminal name of the called object: ``f(...)`` / ``a.b.f(...)`` -> f."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_chain(node: ast.AST) -> Optional[Tuple[str, int]]:
+    """Render ``a.b.c`` to ("a.b.c", depth) when rooted at a plain Name.
+
+    Depth counts the dots. Returns None for chains rooted at calls,
+    subscripts or other computed values.
+    """
+    parts = []
+    depth = 0
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        depth += 1
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts)), depth
+
+
+def functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every function/async-function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def enclosing_name_matches(name: str, pattern: str) -> bool:
+    """Match a function name against a config pattern (``*`` = prefix)."""
+    if pattern.endswith("*"):
+        return name.startswith(pattern[:-1])
+    return name == pattern

@@ -1,0 +1,139 @@
+"""Rule ``codec-tags`` — snapshot codec coverage is exhaustive.
+
+Two halves:
+
+* every module-level ``_TAG_*`` constant in the binary codec module
+  must be referenced from at least one encoder function (name contains
+  ``write``/``encode``) *and* one decoder function (name contains
+  ``read``/``decode``) — a tag written but never decoded is a snapshot
+  that cannot be restored; a tag decoded but never written is dead
+  protocol;
+* every snapshot section writer (``_dump_X``) must have a reader twin
+  (``_read_X`` / ``_load_X`` / ``_restore_X``, or an explicitly
+  configured irregular pair) — an unpaired writer means restore skips a
+  section and the byte stream desynchronizes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..config import Config
+from ..core import Checker, Finding, Project, SourceFile
+
+_ENCODER_MARKERS = ("write", "encode", "dump")
+_DECODER_MARKERS = ("read", "decode", "load")
+
+
+def _tag_constants(tree: ast.Module) -> List[Tuple[str, int]]:
+    tags = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id.startswith(
+                    "_TAG_"
+                ):
+                    tags.append((target.id, node.lineno))
+    return tags
+
+
+def _uses_by_function(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Tag names referenced inside each (possibly nested) function."""
+    uses: Dict[str, Set[str]] = {}
+
+    def visit(node: ast.AST, owner: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, child.name)
+            else:
+                if isinstance(child, ast.Name) and child.id.startswith(
+                    "_TAG_"
+                ):
+                    uses.setdefault(owner, set()).add(child.id)
+                visit(child, owner)
+
+    visit(tree, "<module>")
+    return uses
+
+
+class CodecTagsChecker(Checker):
+    name = "codec-tags"
+    rules = ("codec-tags",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        config = project.config
+        for src in project.match(config.codec_module):
+            yield from self._check_tags(src)
+        for src in project.match(config.snapshot_module):
+            yield from self._check_sections(src, config)
+
+    # ------------------------------------------------------------------
+
+    def _check_tags(self, src: SourceFile) -> Iterable[Finding]:
+        tags = _tag_constants(src.tree)
+        uses = _uses_by_function(src.tree)
+        encoders: Set[str] = set()
+        decoders: Set[str] = set()
+        for owner, owned in uses.items():
+            lowered = owner.lower()
+            if any(marker in lowered for marker in _ENCODER_MARKERS):
+                encoders |= owned
+            if any(marker in lowered for marker in _DECODER_MARKERS):
+                decoders |= owned
+        for tag, line in tags:
+            if tag not in encoders:
+                yield Finding(
+                    rule="codec-tags",
+                    path=src.rel,
+                    line=line,
+                    message=(
+                        f"{tag} has no encoder use (no write*/encode* "
+                        "function references it); the codec cannot "
+                        "produce this tag"
+                    ),
+                )
+            if tag not in decoders:
+                yield Finding(
+                    rule="codec-tags",
+                    path=src.rel,
+                    line=line,
+                    message=(
+                        f"{tag} has no decoder branch (no read*/decode* "
+                        "function references it); snapshots carrying it "
+                        "cannot be restored"
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+
+    def _check_sections(
+        self, src: SourceFile, config: Config
+    ) -> Iterable[Finding]:
+        defined = {
+            node.name: node.lineno
+            for node in src.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        prefix = config.section_writer_prefix
+        for name, line in sorted(defined.items()):
+            if not name.startswith(prefix):
+                continue
+            base = name[len(prefix) :]
+            explicit = config.section_pairs.get(name)
+            candidates = (
+                [explicit]
+                if explicit is not None
+                else [p + base for p in config.section_reader_prefixes]
+            )
+            if not any(candidate in defined for candidate in candidates):
+                yield Finding(
+                    rule="codec-tags",
+                    path=src.rel,
+                    line=line,
+                    message=(
+                        f"section writer {name}() has no reader twin "
+                        f"(looked for {', '.join(candidates)}); restore "
+                        "would desynchronize on this section"
+                    ),
+                )

@@ -1,0 +1,199 @@
+"""Rule ``determinism`` — no order-sensitive iteration over sets.
+
+Set iteration order depends on the interpreter hash seed, so any code
+whose *emission order* can be influenced by walking a set diverges
+across processes (PR 5's ``LazySearch`` backfill iterated
+``Match.data_vertices()`` — a set — and kill/resume runs stopped being
+record-identical; 687 in-process tests never saw it because forked
+workers share the parent's seed).
+
+Inside the emission-order-sensitive packages (``isomorphism/``,
+``sjtree/``, ``search/``) this checker flags every construct that
+consumes a set *in order*:
+
+* ``for x in s`` / comprehension ``for x in s`` where ``s`` is a set
+  display, set/frozenset call, a call to a known set-returning method
+  (``Match.data_vertices`` et al.), a set operator expression, or a
+  local name bound only to such expressions;
+* ordering-sensitive conversions: ``list(s)``, ``tuple(s)``,
+  ``iter(s)``, ``enumerate(s)``, ``reversed(s)``, ``"".join(s)``,
+  ``*s`` argument splats;
+* ``s.pop()`` — removes an arbitrary (hash-seed-dependent) element.
+
+Order-insensitive consumption (``len``/``min``/``max``/``sum``/``any``
+/``all``/``sorted``, membership tests, set algebra) is fine, and
+``sorted(s)`` is the canonical fix. False positives are silenced with
+``# sa: ignore[determinism]`` after a human has argued why the walk
+order cannot reach emission order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..config import Config
+from ..core import FileChecker, Finding, SourceFile
+from ._util import call_name
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "iter", "enumerate", "reversed"}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+#: consuming a set (or a comprehension over one) through these is
+#: order-insensitive — ``sorted(s)`` is the canonical fix itself.
+_SAFE_CONSUMERS = {
+    "sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset"
+}
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _scope_walk(body: List[ast.stmt]) -> Iterable[ast.AST]:
+    """Walk ``body`` without descending into nested function scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _FUNC_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class _Scope:
+    """Setness of local names within one function (or the module body)."""
+
+    def __init__(self, checker: "DeterminismChecker", config: Config) -> None:
+        self.checker = checker
+        self.config = config
+        self.set_names: Set[str] = set()
+        self.rebound_names: Set[str] = set()
+
+    def collect(self, body: List[ast.stmt]) -> None:
+        for node in _scope_walk(body):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._bind(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._bind(node.target, node.value)
+        # A name both set-bound and non-set-bound is ambiguous: stay
+        # conservative (no finding) rather than flag a maybe.
+        self.set_names -= self.rebound_names
+
+    def _bind(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if self._is_set_expr(value):
+            self.set_names.add(target.id)
+        else:
+            self.rebound_names.add(target.id)
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if isinstance(node.func, ast.Name) and name in _SET_CONSTRUCTORS:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and name in self.config.set_returning_methods
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.IfExp):
+            return self._is_set_expr(node.body) or self._is_set_expr(node.orelse)
+        return False
+
+
+class DeterminismChecker(FileChecker):
+    name = "determinism"
+    rules = ("determinism",)
+
+    def file_applies(self, rel: str, config: Config) -> bool:
+        return any(fragment in rel for fragment in config.order_sensitive_dirs)
+
+    def check_file(self, src: SourceFile, config: Config) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        scopes = [(src.tree.body, None)]
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node.body, node))
+        for body, _owner in scopes:
+            scope = _Scope(self, config)
+            scope.collect(body)
+            findings.extend(self._check_scope(src, body, scope))
+        return findings
+
+    def _check_scope(
+        self, src: SourceFile, body: List[ast.stmt], scope: _Scope
+    ) -> Iterable[Finding]:
+        # Arguments of order-insensitive consumers are safe: the set's
+        # walk order cannot reach emission order through sorted()/len()/…
+        safe_ids: Set[int] = set()
+        for node in _scope_walk(body):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _SAFE_CONSUMERS
+            ):
+                safe_ids.update(id(arg) for arg in node.args)
+        for node in _scope_walk(body):
+            yield from self._check_node(src, node, scope, safe_ids)
+
+    def _flag(self, src: SourceFile, node: ast.AST, what: str) -> Finding:
+        return Finding(
+            rule="determinism",
+            path=src.rel,
+            line=getattr(node, "lineno", 1),
+            message=(
+                f"{what} iterates a set in an emission-order-sensitive "
+                "module; iteration order is hash-seed dependent and "
+                "diverges across processes — wrap in sorted() (or use "
+                "a deterministic accessor like data_vertices_ordered)"
+            ),
+        )
+
+    def _check_node(
+        self, src: SourceFile, node: ast.AST, scope: _Scope, safe_ids: Set[int]
+    ) -> Iterable[Finding]:
+        is_set = scope._is_set_expr
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_set(node.iter):
+                yield self._flag(src, node.iter, "for-loop")
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            if isinstance(node, ast.SetComp) or id(node) in safe_ids:
+                return  # result (or consumer) is order-insensitive
+            for gen in node.generators:
+                if is_set(gen.iter):
+                    yield self._flag(src, gen.iter, "comprehension")
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if (
+                isinstance(node.func, ast.Name)
+                and name in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and is_set(node.args[0])
+                and id(node) not in safe_ids
+            ):
+                yield self._flag(src, node, f"{name}() conversion")
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and name == "join"
+                and node.args
+                and is_set(node.args[0])
+            ):
+                yield self._flag(src, node, "str.join()")
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and name == "pop"
+                and not node.args
+                and is_set(node.func.value)
+            ):
+                yield self._flag(src, node, "set.pop()")
+            for arg in node.args:
+                if isinstance(arg, ast.Starred) and is_set(arg.value):
+                    yield self._flag(src, arg, "argument splat")
+        elif isinstance(node, ast.YieldFrom) and is_set(node.value):
+            yield self._flag(src, node, "yield from")

@@ -1,0 +1,183 @@
+"""Hot-path hygiene rules over the configured hot functions.
+
+The per-edge kernels (`_process_chunk`, the compiled-plan executors,
+``insert_match``, the match-table methods) are the measured bottlenecks;
+PRs 3/6 bought their speedups by hoisting attribute lookups, compiling
+closures once, and keeping ``try`` out of inner loops.  These rules stop
+the patterns from creeping back:
+
+* ``hot-closure`` — a ``lambda``/``def`` created inside a loop of a hot
+  function allocates a fresh function object per iteration; build it
+  once outside (or at compile time).
+* ``hot-try`` — ``try``/``except`` inside a hot inner loop pays setup
+  per iteration on CPython < 3.11 and obscures the fast path; hoist the
+  try around the loop.
+* ``hot-strkey`` — string-keyed graph API calls (``out_edges`` /
+  ``in_edges`` / ``vertex_type`` / ``edges_of_type``) re-intern the
+  label per call; hot functions must use the ``*_code`` twins on
+  interned int codes.
+* ``hot-attr`` — the same ``a.b.c`` attribute chain read repeatedly
+  inside one loop should be hoisted to a local before the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from ..config import Config
+from ..core import FileChecker, Finding, SourceFile
+from ._util import dotted_chain, enclosing_name_matches
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class HotPathChecker(FileChecker):
+    name = "hot-path"
+    rules = ("hot-closure", "hot-try", "hot-strkey", "hot-attr")
+
+    def file_applies(self, rel: str, config: Config) -> bool:
+        return any(rel.endswith(path) for path, _ in config.hot_functions)
+
+    def _hot_patterns(self, rel: str, config: Config) -> List[str]:
+        return [
+            pattern
+            for path, pattern in config.hot_functions
+            if rel.endswith(path)
+        ]
+
+    def check_file(self, src: SourceFile, config: Config) -> Iterable[Finding]:
+        patterns = self._hot_patterns(src.rel, config)
+        for node in ast.walk(src.tree):
+            if isinstance(node, _FUNCS) and any(
+                enclosing_name_matches(node.name, p) for p in patterns
+            ):
+                yield from self._check_hot_function(src, node, config)
+
+    # ------------------------------------------------------------------
+
+    def _check_hot_function(
+        self, src: SourceFile, fn: ast.AST, config: Config
+    ) -> Iterable[Finding]:
+        hot = fn.name
+        # strkey: anywhere in the hot function, loop or not.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                twin = config.string_keyed_graph_calls.get(node.func.attr)
+                if twin is not None:
+                    yield Finding(
+                        rule="hot-strkey",
+                        path=src.rel,
+                        line=node.lineno,
+                        message=(
+                            f"hot function {hot}() calls string-keyed "
+                            f".{node.func.attr}(); use .{twin}() with the "
+                            "interned code"
+                        ),
+                    )
+        yield from self._walk_for_loops(src, fn, fn.body, config, hot)
+
+    def _walk_for_loops(
+        self,
+        src: SourceFile,
+        fn: ast.AST,
+        body: List[ast.stmt],
+        config: Config,
+        hot: str,
+    ) -> Iterable[Finding]:
+        """Find loops at this nesting level; recurse into their bodies."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, _FUNCS):
+                    continue
+                if isinstance(node, _LOOPS):
+                    yield from self._check_loop(src, node, config, hot)
+
+    def _loop_level_nodes(self, loop: ast.AST) -> Iterable[ast.AST]:
+        """Nodes inside ``loop`` but outside any nested loop/function."""
+        stack = list(loop.body) + getattr(loop, "orelse", [])
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, _LOOPS + _FUNCS):
+                continue  # nested loops are checked on their own
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _loop_targets(self, loop: ast.AST) -> set:
+        """Names bound by the loop itself (chains rooted there are
+        per-iteration values — not hoistable)."""
+        names = set()
+        target = getattr(loop, "target", None)
+        if target is not None:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+        return names
+
+    def _check_loop(
+        self, src: SourceFile, loop: ast.AST, config: Config, hot: str
+    ) -> Iterable[Finding]:
+        loop_targets = self._loop_targets(loop)
+        chains: Dict[str, List[int]] = {}
+        loop_nodes = list(self._loop_level_nodes(loop))
+        # Count only maximal chains: for ``self.a.b`` the inner
+        # ``self.a`` node is part of the same read, not a second one.
+        inner = {
+            id(node.value)
+            for node in loop_nodes
+            if isinstance(node, ast.Attribute)
+        }
+        for node in loop_nodes:
+            if isinstance(node, ast.Attribute) and id(node) in inner:
+                continue
+            if isinstance(node, (ast.Lambda,) + _FUNCS):
+                kind = (
+                    "lambda" if isinstance(node, ast.Lambda) else "nested def"
+                )
+                yield Finding(
+                    rule="hot-closure",
+                    path=src.rel,
+                    line=node.lineno,
+                    message=(
+                        f"{kind} created per iteration inside a loop of "
+                        f"hot function {hot}(); build the closure once "
+                        "outside the loop"
+                    ),
+                )
+            elif isinstance(node, ast.Try):
+                yield Finding(
+                    rule="hot-try",
+                    path=src.rel,
+                    line=node.lineno,
+                    message=(
+                        f"try/except inside a loop of hot function "
+                        f"{hot}(); hoist the try around the loop"
+                    ),
+                )
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                rendered = dotted_chain(node)
+                if rendered is None:
+                    continue
+                chain, depth = rendered
+                if (
+                    depth >= config.hoist_min_depth
+                    and chain.split(".", 1)[0] not in loop_targets
+                ):
+                    chains.setdefault(chain, []).append(node.lineno)
+        for chain, sites in sorted(chains.items()):
+            if len(sites) >= config.hoist_min_uses:
+                yield Finding(
+                    rule="hot-attr",
+                    path=src.rel,
+                    line=min(sites),
+                    message=(
+                        f"attribute chain {chain} read {len(sites)}x "
+                        f"inside one loop of hot function {hot}(); hoist "
+                        "it to a local before the loop"
+                    ),
+                )

@@ -1,0 +1,228 @@
+"""Rule ``metrics-schema`` — metric registrations match the schema catalog.
+
+Every ``repro_*`` family registered anywhere in the library (the
+``instrument.py`` builders, ingest counters, ...) must appear in the
+schema module's ``KNOWN_FAMILIES`` catalog with the *same label set*,
+and vice versa; the schema's ``REQUIRED_*`` tuples must name families
+that are actually registered.  Without this, a renamed family silently
+splits from its validation (the JSONL validator would stop seeing it)
+and dashboards fork from reality.
+
+Registrations are recognized as ``<registry>.counter/gauge/histogram(
+"repro_...", ...)`` calls, including through the local aliases
+``c = reg.counter`` / ``g = reg.gauge`` the builders use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..config import Config
+from ..core import Checker, Finding, Project, SourceFile
+from ._util import const_str
+
+
+def _label_tuple(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    """The ``labels=(...)`` kwarg as a tuple of strings; () if absent.
+
+    Returns None when the labels are not a literal (not checkable).
+    """
+    for kw in call.keywords:
+        if kw.arg == "labels":
+            if isinstance(kw.value, (ast.Tuple, ast.List)):
+                labels = []
+                for elt in kw.value.elts:
+                    value = const_str(elt)
+                    if value is None:
+                        return None
+                    labels.append(value)
+                return tuple(labels)
+            return None
+    return ()
+
+
+class _Registration:
+    __slots__ = ("name", "labels", "rel", "line")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Optional[Tuple[str, ...]],
+        rel: str,
+        line: int,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.rel = rel
+        self.line = line
+
+
+class MetricsSchemaChecker(Checker):
+    name = "metrics-schema"
+    rules = ("metrics-schema",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        config = project.config
+        schema_files = project.match(config.metrics_schema_module)
+        if not schema_files:
+            return
+        schema = schema_files[0]
+        known, required = self._parse_schema(schema)
+        registrations = self._collect_registrations(project, config, schema)
+        yield from self._cross_check(
+            schema, known, required, registrations
+        )
+
+    # ------------------------------------------------------------------
+
+    def _parse_schema(
+        self, src: SourceFile
+    ) -> Tuple[Dict[str, Tuple[Tuple[str, ...], int]], Dict[str, int]]:
+        """(KNOWN_FAMILIES name -> (labels, line), required name -> line)."""
+        known: Dict[str, Tuple[Tuple[str, ...], int]] = {}
+        required: Dict[str, int] = {}
+        for node in src.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "KNOWN_FAMILIES" and isinstance(
+                    node.value, ast.Dict
+                ):
+                    for key, value in zip(node.value.keys, node.value.values):
+                        name = const_str(key) if key is not None else None
+                        if name is None:
+                            continue
+                        labels: Tuple[str, ...] = ()
+                        if isinstance(value, (ast.Tuple, ast.List)):
+                            labels = tuple(
+                                const_str(e) or "" for e in value.elts
+                            )
+                        known[name] = (labels, key.lineno)
+                elif target.id.startswith("REQUIRED_") and isinstance(
+                    node.value, (ast.Tuple, ast.List)
+                ):
+                    for elt in node.value.elts:
+                        name = const_str(elt)
+                        if name is not None:
+                            required[name] = elt.lineno
+        return known, required
+
+    # ------------------------------------------------------------------
+
+    def _collect_registrations(
+        self, project: Project, config: Config, schema: SourceFile
+    ) -> List[_Registration]:
+        out: List[_Registration] = []
+        for rel in sorted(project.files):
+            src = project.files[rel]
+            if src is schema:
+                continue
+            aliases = self._register_aliases(src.tree, config)
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                func = node.func
+                is_register = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in config.metric_register_methods
+                ) or (isinstance(func, ast.Name) and func.id in aliases)
+                if not is_register:
+                    continue
+                name = const_str(node.args[0])
+                if name is None or not name.startswith(config.metric_prefix):
+                    continue
+                out.append(
+                    _Registration(name, _label_tuple(node), rel, node.lineno)
+                )
+        return out
+
+    def _register_aliases(self, tree: ast.Module, config: Config) -> Set[str]:
+        """Local names bound to registration methods (``c = reg.counter``)."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr in config.metric_register_methods
+            ):
+                aliases.add(node.targets[0].id)
+        return aliases
+
+    # ------------------------------------------------------------------
+
+    def _cross_check(
+        self,
+        schema: SourceFile,
+        known: Dict[str, Tuple[Tuple[str, ...], int]],
+        required: Dict[str, int],
+        registrations: List[_Registration],
+    ) -> Iterable[Finding]:
+        registered: Dict[str, _Registration] = {}
+        for reg in registrations:
+            registered.setdefault(reg.name, reg)
+        for reg in registrations:
+            entry = known.get(reg.name)
+            if entry is None:
+                yield Finding(
+                    rule="metrics-schema",
+                    path=reg.rel,
+                    line=reg.line,
+                    message=(
+                        f"family {reg.name!r} is registered but missing "
+                        "from KNOWN_FAMILIES in the telemetry schema"
+                    ),
+                )
+                continue
+            labels, _ = entry
+            if reg.labels is not None and reg.labels != labels:
+                yield Finding(
+                    rule="metrics-schema",
+                    path=reg.rel,
+                    line=reg.line,
+                    message=(
+                        f"family {reg.name!r} registered with labels "
+                        f"{reg.labels!r} but KNOWN_FAMILIES declares "
+                        f"{labels!r}"
+                    ),
+                )
+        for name, (labels, line) in sorted(known.items()):
+            if name not in registered:
+                yield Finding(
+                    rule="metrics-schema",
+                    path=schema.rel,
+                    line=line,
+                    message=(
+                        f"KNOWN_FAMILIES entry {name!r} is never "
+                        "registered by any scanned module"
+                    ),
+                )
+        for name, line in sorted(required.items()):
+            if name not in known:
+                yield Finding(
+                    rule="metrics-schema",
+                    path=schema.rel,
+                    line=line,
+                    message=(
+                        f"required family {name!r} is missing from "
+                        "KNOWN_FAMILIES"
+                    ),
+                )
+            if name not in registered:
+                yield Finding(
+                    rule="metrics-schema",
+                    path=schema.rel,
+                    line=line,
+                    message=(
+                        f"required family {name!r} is never registered "
+                        "by any scanned module"
+                    ),
+                )

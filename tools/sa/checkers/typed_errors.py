@@ -1,0 +1,45 @@
+"""Rule ``typed-errors`` — library raises come from ``repro.errors``.
+
+The library promises embedders one catchable base type
+(:class:`repro.errors.ReproError`); a bare ``raise RuntimeError`` /
+``raise Exception`` breaks that contract and loses the structured
+context the typed hierarchy carries (PR 8 had to hand-hunt these in the
+runtime).  Argument-validation builtins (``ValueError``/``TypeError``/
+``KeyError``...) stay legal — they signal caller bugs, not library
+failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..config import Config
+from ..core import FileChecker, Finding, SourceFile
+
+
+class TypedErrorsChecker(FileChecker):
+    name = "typed-errors"
+    rules = ("typed-errors",)
+
+    def file_applies(self, rel: str, config: Config) -> bool:
+        return any(fragment in rel for fragment in config.typed_error_dirs)
+
+    def check_file(self, src: SourceFile, config: Config) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in config.banned_raises:
+                yield Finding(
+                    rule="typed-errors",
+                    path=src.rel,
+                    line=node.lineno,
+                    message=(
+                        f"raise {exc.id} in library code; raise a typed "
+                        "error from the repro.errors hierarchy instead "
+                        "(embedders catch ReproError)"
+                    ),
+                )

@@ -1,0 +1,346 @@
+"""Rule ``wire-protocol`` — coordinator/worker message shapes agree.
+
+The sharded runtime speaks tuples over multiprocessing queues:
+
+* **task messages** (coordinator → worker): ``("<tag>", ...)`` tuples
+  enqueued via ``_put``/``put``/``put_nowait`` and dispatched in the
+  worker main loop by comparing ``kind == "<tag>"``;
+* **reply messages** (worker → coordinator): ``(worker_id, kind,
+  payload, incarnation)`` 4-tuples produced by the worker's ``reply``
+  helper and consumed by gather/recovery paths.
+
+The protocol is convention-only — nothing at runtime checks that a
+produced tag has a consumer or that every unpacking site expects the
+4-tuple shape — so this checker enforces statically:
+
+* every produced task tag has a dispatch branch, and vice versa;
+* all producers of one task tag agree on tuple arity, and no consumer
+  subscript reaches past that arity;
+* every ``reply("<tag>", ...)`` tag is requested or matched somewhere;
+* every literal put to a result queue, and every tuple-unpacking of a
+  reply, uses exactly the configured reply arity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..config import Config
+from ..core import Checker, Finding, Project, SourceFile
+from ._util import call_name, const_str
+
+
+def _receiver_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id
+        if isinstance(value, ast.Attribute):
+            return value.attr
+    return None
+
+
+def _is_result_queue(call: ast.Call) -> bool:
+    receiver = _receiver_name(call)
+    return receiver is not None and receiver.endswith("result_queue")
+
+
+class _Site:
+    __slots__ = ("src", "line")
+
+    def __init__(self, src: SourceFile, line: int) -> None:
+        self.src = src
+        self.line = line
+
+
+class WireProtocolChecker(Checker):
+    name = "wire-protocol"
+    rules = ("wire-protocol",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        config = project.config
+        files = [
+            src
+            for module in config.protocol_modules
+            for src in project.match(module)
+        ]
+        if not files:
+            return
+        task_produced: Dict[str, Dict[int, List[_Site]]] = {}
+        task_consumed: Dict[str, List[_Site]] = {}
+        task_subscripts: Dict[str, int] = {}
+        reply_produced: Dict[str, List[_Site]] = {}
+        reply_consumed: Set[str] = set()
+        findings: List[Finding] = []
+
+        for src in files:
+            self._scan_producers(
+                src, config, task_produced, reply_produced, findings
+            )
+            self._scan_reply_consumers(src, config, reply_consumed)
+            self._scan_reply_shapes(src, config, findings)
+            consumer = self._find_function(
+                src.tree, config.task_consumer_function
+            )
+            if consumer is not None:
+                self._scan_task_consumer(
+                    src, consumer, config, task_consumed, task_subscripts
+                )
+
+        yield from findings
+        yield from self._cross_check(
+            task_produced,
+            task_consumed,
+            task_subscripts,
+            reply_produced,
+            reply_consumed,
+        )
+
+    # -- producers ------------------------------------------------------
+
+    def _scan_producers(
+        self,
+        src: SourceFile,
+        config: Config,
+        task_produced: Dict[str, Dict[int, List[_Site]]],
+        reply_produced: Dict[str, List[_Site]],
+        findings: List[Finding],
+    ) -> None:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == config.reply_call and node.args:
+                tag = const_str(node.args[0])
+                if tag is not None:
+                    reply_produced.setdefault(tag, []).append(
+                        _Site(src, node.lineno)
+                    )
+                continue
+            if name in config.task_put_calls and not _is_result_queue(node):
+                for arg in node.args:
+                    if isinstance(arg, ast.Tuple) and arg.elts:
+                        tag = const_str(arg.elts[0])
+                        if tag is not None:
+                            task_produced.setdefault(tag, {}).setdefault(
+                                len(arg.elts), []
+                            ).append(_Site(src, node.lineno))
+
+    # -- task consumer (worker main loop) -------------------------------
+
+    def _find_function(self, tree: ast.Module, name: str):
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return node
+        return None
+
+    def _scan_task_consumer(
+        self,
+        src: SourceFile,
+        fn: ast.AST,
+        config: Config,
+        task_consumed: Dict[str, List[_Site]],
+        task_subscripts: Dict[str, int],
+    ) -> None:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.If):
+                continue
+            tag = self._compared_tag(node.test, config)
+            if tag is None:
+                continue
+            task_consumed.setdefault(tag, []).append(_Site(src, node.lineno))
+            max_index = -1
+            for sub in node.body:
+                for child in ast.walk(sub):
+                    if (
+                        isinstance(child, ast.Subscript)
+                        and isinstance(child.value, ast.Name)
+                        and child.value.id == "message"
+                        and isinstance(child.slice, ast.Constant)
+                        and isinstance(child.slice.value, int)
+                    ):
+                        max_index = max(max_index, child.slice.value)
+            if max_index >= 0:
+                task_subscripts[tag] = max(
+                    task_subscripts.get(tag, -1), max_index
+                )
+
+    def _compared_tag(self, test: ast.expr, config: Config) -> Optional[str]:
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+        ):
+            return None
+        left, right = test.left, test.comparators[0]
+        for var, const in ((left, right), (right, left)):
+            if (
+                isinstance(var, ast.Name)
+                and var.id in config.tag_variable_names
+            ):
+                return const_str(const)
+        return None
+
+    # -- reply consumers -------------------------------------------------
+
+    def _scan_reply_consumers(
+        self, src: SourceFile, config: Config, consumed: Set[str]
+    ) -> None:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in config.reply_request_calls:
+                    for arg in node.args:
+                        tag = const_str(arg)
+                        if tag is not None:
+                            consumed.add(tag)
+                            break
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                    left, right = node.left, node.comparators[0]
+                    for var, const in ((left, right), (right, left)):
+                        tag = const_str(const)
+                        if tag is None:
+                            continue
+                        if (
+                            isinstance(var, ast.Name)
+                            and var.id in config.tag_variable_names
+                        ) or (
+                            isinstance(var, ast.Subscript)
+                            and isinstance(var.slice, ast.Constant)
+                            and var.slice.value == 1
+                        ):
+                            consumed.add(tag)
+
+    # -- reply tuple shapes ----------------------------------------------
+
+    def _scan_reply_shapes(
+        self, src: SourceFile, config: Config, findings: List[Finding]
+    ) -> None:
+        arity = config.reply_arity
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if (
+                    name in ("put", "put_nowait")
+                    and _is_result_queue(node)
+                    and node.args
+                    and isinstance(node.args[0], ast.Tuple)
+                    and len(node.args[0].elts) != arity
+                ):
+                    findings.append(
+                        Finding(
+                            rule="wire-protocol",
+                            path=src.rel,
+                            line=node.lineno,
+                            message=(
+                                f"result-queue put of a "
+                                f"{len(node.args[0].elts)}-tuple; the "
+                                f"reply protocol is {arity}-tuples "
+                                "(worker_id, kind, payload, incarnation)"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Tuple)
+                    and all(isinstance(e, ast.Name) for e in target.elts)
+                ):
+                    continue
+                value = node.value
+                unpacks_reply = (
+                    isinstance(value, ast.Name) and value.id == "reply"
+                ) or (
+                    isinstance(value, ast.Call)
+                    and call_name(value) == "get"
+                    and _is_result_queue(value)
+                )
+                if unpacks_reply and len(target.elts) != arity:
+                    findings.append(
+                        Finding(
+                            rule="wire-protocol",
+                            path=src.rel,
+                            line=node.lineno,
+                            message=(
+                                f"reply unpacked into {len(target.elts)} "
+                                f"names; the reply protocol is "
+                                f"{arity}-tuples"
+                            ),
+                        )
+                    )
+
+    # -- cross checks -----------------------------------------------------
+
+    def _cross_check(
+        self,
+        task_produced: Dict[str, Dict[int, List[_Site]]],
+        task_consumed: Dict[str, List[_Site]],
+        task_subscripts: Dict[str, int],
+        reply_produced: Dict[str, List[_Site]],
+        reply_consumed: Set[str],
+    ) -> Iterable[Finding]:
+        for tag, arities in sorted(task_produced.items()):
+            site = next(iter(next(iter(arities.values()))))
+            if tag not in task_consumed:
+                yield Finding(
+                    rule="wire-protocol",
+                    path=site.src.rel,
+                    line=site.line,
+                    message=(
+                        f"task message {tag!r} is produced but the worker "
+                        "dispatch loop has no branch for it"
+                    ),
+                )
+            if len(arities) > 1:
+                yield Finding(
+                    rule="wire-protocol",
+                    path=site.src.rel,
+                    line=site.line,
+                    message=(
+                        f"task message {tag!r} is produced with "
+                        f"conflicting arities {sorted(arities)}"
+                    ),
+                )
+            max_sub = task_subscripts.get(tag, -1)
+            arity = max(arities)
+            if max_sub >= arity:
+                yield Finding(
+                    rule="wire-protocol",
+                    path=site.src.rel,
+                    line=site.line,
+                    message=(
+                        f"task message {tag!r} is produced with arity "
+                        f"{arity} but the consumer indexes "
+                        f"message[{max_sub}]"
+                    ),
+                )
+        for tag, sites in sorted(task_consumed.items()):
+            if tag not in task_produced:
+                site = sites[0]
+                yield Finding(
+                    rule="wire-protocol",
+                    path=site.src.rel,
+                    line=site.line,
+                    message=(
+                        f"worker dispatch branch for {tag!r} but no "
+                        "coordinator site produces that message"
+                    ),
+                )
+        for tag, sites in sorted(reply_produced.items()):
+            if tag not in reply_consumed:
+                site = sites[0]
+                yield Finding(
+                    rule="wire-protocol",
+                    path=site.src.rel,
+                    line=site.line,
+                    message=(
+                        f"reply {tag!r} is produced but never requested "
+                        "or matched by a coordinator-side consumer"
+                    ),
+                )

@@ -1,0 +1,285 @@
+"""Core of the repo-local static-analysis engine (``python -m tools.sa``).
+
+The engine is deliberately dependency-free: :mod:`ast` + :mod:`json` and
+nothing else, so it runs on any interpreter the test suite runs on and
+can be imported by the test suite itself.
+
+Concepts
+--------
+* :class:`Finding` — one rule violation at a file/line.
+* :class:`Checker` — base class. A checker declares the ``rules`` it can
+  emit and implements :meth:`Checker.check_project` over the parsed
+  project (most subclasses use the per-file convenience base
+  :class:`FileChecker` instead).
+* :class:`Project` — the parsed file set handed to checkers: path →
+  (source, AST), plus the :class:`Config` describing repo-specific
+  locations (hot functions, protocol modules, registry module, ...).
+* Suppressions — ``# sa: ignore[rule]`` (or ``# sa: ignore[r1, r2]``) on
+  the flagged line or the line directly above it silences that rule
+  there. Suppression never silences a rule the comment does not name.
+* Baseline — a checked-in JSON list of known findings
+  (``tools/sa/baseline.json``). Findings matching a baseline entry are
+  reported as "baselined" and do not fail the run, so pre-existing debt
+  is burned down instead of blocking; CI separately guards that the
+  baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class SAError(Exception):
+    """Engine-level usage error (unknown rule, unreadable baseline)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        # Line numbers drift with unrelated edits; baseline entries match
+        # on (rule, path, message) so they survive reshuffling above them.
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class SourceFile:
+    """One parsed module."""
+
+    path: Path  # absolute
+    rel: str  # relative to the scan root, forward slashes
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@dataclass
+class Project:
+    """The parsed file set a run operates on."""
+
+    root: Path
+    files: Dict[str, SourceFile]  # rel path -> file
+    config: "Config"
+
+    def match(self, *suffixes: str) -> List[SourceFile]:
+        """Files whose relative path ends with any of ``suffixes``."""
+        out = []
+        for rel in sorted(self.files):
+            if any(rel.endswith(s) for s in suffixes):
+                out.append(self.files[rel])
+        return out
+
+
+class Checker:
+    """Base class for project-level checkers.
+
+    ``name`` identifies the checker; ``rules`` lists every rule id it can
+    emit (used for ``--select`` validation and suppression checking).
+    """
+
+    name: str = ""
+    rules: Tuple[str, ...] = ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class FileChecker(Checker):
+    """Convenience base: dispatches per file, optionally path-filtered."""
+
+    def file_applies(self, rel: str, config: "Config") -> bool:
+        return True
+
+    def check_file(
+        self, src: SourceFile, config: "Config"
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for rel in sorted(project.files):
+            if self.file_applies(rel, project.config):
+                yield from self.check_file(project.files[rel], project.config)
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*sa:\s*ignore\[([A-Za-z0-9_,\s-]+)\]")
+
+
+def suppressed_rules(lines: Sequence[str], line: int) -> frozenset:
+    """Rules suppressed at 1-based ``line`` (same line or the line above)."""
+    rules: set = set()
+    for lineno in (line, line - 1):
+        if 1 <= lineno <= len(lines):
+            for m in _SUPPRESS_RE.finditer(lines[lineno - 1]):
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return frozenset(r for r in rules if r)
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Load the baseline file; missing file means an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SAError(f"unreadable baseline {path}: {exc}") from exc
+    entries = data.get("findings") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        raise SAError(
+            f"malformed baseline {path}: expected {{'findings': [...]}}"
+        )
+    for entry in entries:
+        if not isinstance(entry, dict) or not {
+            "rule",
+            "path",
+            "message",
+        } <= set(entry):
+            raise SAError(
+                f"malformed baseline entry in {path}: {entry!r} "
+                "(need rule/path/message keys)"
+            )
+    return entries
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"rule": f.rule, "path": f.path, "line": f.line, "message": f.message}
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Sequence[dict]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined).
+
+    Each baseline entry absorbs at most one finding (multiset match on
+    the (rule, path, message) key), so a *new* duplicate of a baselined
+    finding still fails the run.
+    """
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for entry in baseline:
+        key = (entry["rule"], entry["path"], entry["message"])
+        budget[key] = budget.get(key, 0) + 1
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old
+
+
+# ---------------------------------------------------------------------------
+# project loading / running
+# ---------------------------------------------------------------------------
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache"}
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(sub.parts):
+                    yield sub
+
+
+def load_project(
+    paths: Sequence[Path], config: "Config", root: Optional[Path] = None
+) -> Project:
+    """Parse every ``.py`` under ``paths`` into a :class:`Project`.
+
+    A syntactically invalid file is itself a finding-worthy event, but
+    the interpreter will complain louder than we can — so it raises.
+    """
+    root = (root or Path.cwd()).resolve()
+    files: Dict[str, SourceFile] = {}
+    for path in iter_python_files([p.resolve() for p in paths]):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        if rel in files:
+            continue
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise SAError(f"cannot parse {rel}: {exc}") from exc
+        files[rel] = SourceFile(path=path, rel=rel, source=source, tree=tree)
+    return Project(root=root, files=files, config=config)
+
+
+def run_checkers(
+    project: Project,
+    checkers: Sequence[Checker],
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run checkers, apply suppressions, return sorted findings."""
+    known_rules = {rule for checker in checkers for rule in checker.rules}
+    if select:
+        unknown = sorted(set(select) - known_rules)
+        if unknown:
+            raise SAError(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known_rules))}"
+            )
+        wanted = set(select)
+    else:
+        wanted = known_rules
+    findings: List[Finding] = []
+    for checker in checkers:
+        if not wanted & set(checker.rules):
+            continue
+        for finding in checker.check_project(project):
+            if finding.rule not in known_rules:
+                raise SAError(
+                    f"checker {checker.name!r} emitted undeclared rule "
+                    f"{finding.rule!r}"
+                )
+            if finding.rule not in wanted:
+                continue
+            src = project.files.get(finding.path)
+            if src is not None and finding.rule in suppressed_rules(
+                src.lines, finding.line
+            ):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
